@@ -1,0 +1,699 @@
+(* pathctl: command-line front end for the path/type constraint
+   reasoner.
+
+   Subcommands:
+     check          model-check constraints against a graph
+     implies        word constraint implication (untyped, PTIME)
+     implies-local  local extent constraint implication (Theorem 5.1)
+     implies-typed  P_c implication under an M schema (Theorem 4.2)
+     chase          semi-decide general P_c implication (untyped)
+     encode         print the monoid reductions (Theorems 4.3 / 5.2)
+     dot            render a graph file as DOT
+     validate       check a typed graph against a schema  *)
+
+open Cmdliner
+
+let die fmt = Format.kasprintf (fun s -> `Error (false, s)) fmt
+
+let read_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> Ok s
+  | exception Sys_error m -> Error m
+
+(* Constraint files: line-oriented DSL, or the XML syntax when the
+   content starts with '<'. *)
+let load_constraints path =
+  match read_file path with
+  | Error m -> Error m
+  | Ok s ->
+      let t = String.trim s in
+      if String.length t > 0 && t.[0] = '<' then Xmlrep.Constraints_xml.parse s
+      else Pathlang.Parser.constraints_of_string s
+
+(* Graph files: edge-list text, or an XML document when the content
+   starts with '<'. *)
+let load_graph path =
+  match read_file path with
+  | Error m -> Error m
+  | Ok s ->
+      let t = String.trim s in
+      if String.length t > 0 && t.[0] = '<' then
+        Result.map fst (Xmlrep.To_graph.graph_of_string s)
+      else Sgraph.Io.of_string s
+
+let parse_constraint s = Pathlang.Parser.constraint_of_string s
+
+(* --- common arguments ------------------------------------------------ *)
+
+let graph_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "g"; "graph" ] ~docv:"FILE"
+        ~doc:"Graph file: one edge per line, 'src label dst'; node 0 is the root.")
+
+let sigma_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "s"; "sigma" ] ~docv:"FILE"
+        ~doc:"Constraint file, one P_c constraint per line.")
+
+let phi_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"PHI" ~doc:"The test constraint, in concrete syntax.")
+
+(* --- check ------------------------------------------------------------ *)
+
+let check_cmd =
+  let run graph_file sigma_file =
+    match (load_graph graph_file, load_constraints sigma_file) with
+    | Error m, _ | _, Error m -> die "%s" m
+    | Ok g, Ok sigma ->
+        let ok = ref true in
+        List.iter
+          (fun c ->
+            let holds = Sgraph.Check.holds g c in
+            if not holds then ok := false;
+            Printf.printf "%-50s %s\n" (Pathlang.Constr.to_string c)
+              (if holds then "holds" else "FAILS");
+            if not holds then
+              List.iteri
+                (fun i (x, y) ->
+                  if i < 3 then Printf.printf "    violated at (x=%d, y=%d)\n" x y)
+                (Sgraph.Check.violations g c))
+          sigma;
+        if !ok then `Ok () else `Error (false, "some constraints fail")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Model-check constraints against a graph")
+    Term.(ret (const run $ graph_arg $ sigma_arg))
+
+(* --- implies (word, untyped) ------------------------------------------- *)
+
+let implies_cmd =
+  let proof_arg =
+    Arg.(
+      value & flag
+      & info [ "proof" ]
+          ~doc:
+            "Print a derivation in the three complete rules (reflexivity, \
+             transitivity, right-congruence) when implied.")
+  in
+  let run sigma_file phi proof =
+    match (load_constraints sigma_file, parse_constraint phi) with
+    | Error m, _ | _, Error m -> die "%s" m
+    | Ok sigma, Ok phi -> (
+        match Core.Word_untyped.implies ~sigma phi with
+        | Ok b ->
+            Printf.printf "%b\n" b;
+            if b && proof then (
+              match Core.Word_untyped.derivation ~sigma phi with
+              | Ok (Ok d) -> Format.printf "%a@." Core.Axioms.pp d
+              | Ok (Error m) -> Printf.printf "(no certificate: %s)\n" m
+              | Error _ -> ());
+            `Ok ()
+        | Error (Core.Word_untyped.Not_word_constraint c) ->
+            die "not a word constraint: %a (use 'chase' for general P_c)"
+              Pathlang.Constr.pp c)
+  in
+  Cmd.v
+    (Cmd.info "implies"
+       ~doc:
+         "Decide word constraint implication on semistructured data (PTIME, \
+          implication = finite implication)")
+    Term.(ret (const run $ sigma_arg $ phi_arg $ proof_arg))
+
+(* --- implies-local -------------------------------------------------------- *)
+
+let implies_local_cmd =
+  let alpha_arg =
+    Arg.(
+      value
+      & opt string "eps"
+      & info [ "alpha" ] ~docv:"PATH" ~doc:"The common prefix path (default eps).")
+  in
+  let k_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "k"; "bound" ] ~docv:"LABEL"
+          ~doc:"The bounding label K of Definition 2.3.")
+  in
+  let run sigma_file phi alpha k =
+    match (load_constraints sigma_file, parse_constraint phi) with
+    | Error m, _ | _, Error m -> die "%s" m
+    | Ok sigma, Ok phi -> (
+        match
+          Core.Local_extent.implies
+            ~alpha:(Pathlang.Path.of_string alpha)
+            ~k:(Pathlang.Label.make k) ~sigma ~phi
+        with
+        | Ok b ->
+            Printf.printf "%b\n" b;
+            `Ok ()
+        | Error m -> die "%s" m)
+  in
+  Cmd.v
+    (Cmd.info "implies-local"
+       ~doc:
+         "Decide implication of local extent constraints on semistructured \
+          data (Theorem 5.1, PTIME)")
+    Term.(ret (const run $ sigma_arg $ phi_arg $ alpha_arg $ k_arg))
+
+(* --- implies-typed ----------------------------------------------------------- *)
+
+let schema_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "schema" ] ~docv:"FILE" ~doc:"Schema file (see docs for syntax).")
+
+let implies_typed_cmd =
+  let proof_arg =
+    Arg.(value & flag & info [ "proof" ] ~doc:"Print the I_r derivation.")
+  in
+  let cert_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-cert" ] ~docv:"FILE"
+          ~doc:"Write the I_r certificate as an s-expression to FILE \
+                (verify later with check-proof).")
+  in
+  let run sigma_file phi schema_file proof cert =
+    match
+      ( load_constraints sigma_file,
+        parse_constraint phi,
+        Schema.Schema_parser.load schema_file )
+    with
+    | Error m, _, _ | _, Error m, _ | _, _, Error m -> die "%s" m
+    | Ok sigma, Ok phi, Ok schema -> (
+        match Core.Typed_m.decide schema ~sigma ~phi with
+        | Error m -> die "%s" m
+        | Ok (Core.Typed_m.Implied d) ->
+            Printf.printf "true\n";
+            if proof then Format.printf "%a@." Core.Axioms.pp d;
+            Option.iter
+              (fun file ->
+                Out_channel.with_open_text file (fun oc ->
+                    Out_channel.output_string oc (Core.Axioms.to_sexp d);
+                    Out_channel.output_string oc "\n"))
+              cert;
+            `Ok ()
+        | Ok (Core.Typed_m.Vacuous m) ->
+            Printf.printf "true (vacuously: %s)\n" m;
+            `Ok ()
+        | Ok (Core.Typed_m.Not_implied t) ->
+            Printf.printf "false\n";
+            if proof then
+              Printf.printf "countermodel:\n%s"
+                (Sgraph.Io.to_string t.Schema.Typecheck.graph);
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "implies-typed"
+       ~doc:
+         "Decide P_c implication under an M schema (Theorem 4.2: cubic time, \
+          finitely axiomatizable; --proof prints the I_r certificate)")
+    Term.(ret (const run $ sigma_arg $ phi_arg $ schema_arg $ proof_arg $ cert_arg))
+
+(* --- check-proof ------------------------------------------------------------------ *)
+
+let check_proof_cmd =
+  let proof_file_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "proof" ] ~docv:"FILE" ~doc:"Certificate file (s-expression).")
+  in
+  let run sigma_file phi proof_file =
+    match
+      (load_constraints sigma_file, parse_constraint phi, read_file proof_file)
+    with
+    | Error m, _, _ | _, Error m, _ | _, _, Error m -> die "%s" m
+    | Ok sigma, Ok phi, Ok src -> (
+        match Core.Axioms.of_sexp src with
+        | Error m -> die "malformed certificate: %s" m
+        | Ok d ->
+            if Core.Axioms.proves ~sigma ~goal:phi d then begin
+              Printf.printf "certificate OK: proves %s from sigma\n"
+                (Pathlang.Constr.to_string phi);
+              `Ok ()
+            end
+            else
+              `Error
+                ( false,
+                  "certificate does NOT prove the goal from the given sigma" ))
+  in
+  Cmd.v
+    (Cmd.info "check-proof"
+       ~doc:
+         "Independently verify an I_r certificate against a constraint set \
+          and a goal")
+    Term.(ret (const run $ sigma_arg $ phi_arg $ proof_file_arg))
+
+(* --- chase ---------------------------------------------------------------------- *)
+
+let chase_cmd =
+  let steps_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "steps" ] ~docv:"N" ~doc:"Chase step budget.")
+  in
+  let run sigma_file phi steps =
+    match (load_constraints sigma_file, parse_constraint phi) with
+    | Error m, _ | _, Error m -> die "%s" m
+    | Ok sigma, Ok phi -> (
+        match
+          Core.Semidecide.implies
+            ~chase_budget:{ Core.Chase.max_steps = steps; max_nodes = steps }
+            ~sigma phi
+        with
+        | Core.Verdict.Implied ->
+            Printf.printf "implied\n";
+            `Ok ()
+        | Core.Verdict.Refuted g ->
+            let g = Core.Minimize.countermodel g ~sigma ~phi in
+            Printf.printf "refuted; minimal countermodel:\n%s"
+              (Sgraph.Io.to_string g);
+            `Ok ()
+        | Core.Verdict.Unknown ->
+            Printf.printf "unknown (budget exhausted; the problem is undecidable)\n";
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "chase"
+       ~doc:
+         "Semi-decide general P_c implication on semistructured data \
+          (undecidable in general, Theorem 4.1; sound verdicts only)")
+    Term.(ret (const run $ sigma_arg $ phi_arg $ steps_arg))
+
+(* --- encode ---------------------------------------------------------------------- *)
+
+let encode_cmd =
+  let pres_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "presentation" ] ~docv:"FILE"
+          ~doc:"Monoid presentation ('gens a b' then 'u = v' lines).")
+  in
+  let which_arg =
+    Arg.(
+      value
+      & opt (enum [ ("pwk", `Pwk); ("mplus", `Mplus); ("pwalpha", `Pwalpha) ]) `Pwk
+      & info [ "reduction" ] ~docv:"KIND"
+          ~doc:"Which reduction: pwk (Thm 4.3), mplus (Thm 5.2), pwalpha (Thm 6.1).")
+  in
+  let run pres_file which =
+    match read_file pres_file with
+    | Error m -> die "%s" m
+    | Ok src -> (
+        match Monoid.Presentation.parse src with
+        | Error m -> die "%s" m
+        | Ok pres ->
+            (match which with
+            | `Pwk ->
+                List.iter
+                  (fun c -> print_endline (Pathlang.Constr.to_string c))
+                  (Core.Encode_pwk.encode pres)
+            | `Mplus ->
+                let enc = Core.Encode_mplus.encode pres in
+                print_string (Schema.Schema_parser.to_string enc.Core.Encode_mplus.schema);
+                print_endline "# constraints:";
+                List.iter
+                  (fun c -> print_endline (Pathlang.Constr.to_string c))
+                  enc.Core.Encode_mplus.sigma
+            | `Pwalpha ->
+                let enc = Core.Encode_pwalpha.encode pres in
+                print_string (Schema.Schema_parser.to_string enc.Core.Encode_pwalpha.schema);
+                print_endline "# constraints:";
+                List.iter
+                  (fun c -> print_endline (Pathlang.Constr.to_string c))
+                  enc.Core.Encode_pwalpha.sigma);
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "encode"
+       ~doc:
+         "Print the undecidability reductions from the monoid word problem \
+          (Sections 4.1 and 5.2)")
+    Term.(ret (const run $ pres_arg $ which_arg))
+
+(* --- dot ------------------------------------------------------------------------- *)
+
+let dot_cmd =
+  let run graph_file =
+    match load_graph graph_file with
+    | Error m -> die "%s" m
+    | Ok g ->
+        print_string (Sgraph.Dot.to_dot g);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Render a graph file as Graphviz DOT")
+    Term.(ret (const run $ graph_arg))
+
+(* --- validate -------------------------------------------------------------------- *)
+
+let validate_cmd =
+  let types_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "types" ] ~docv:"FILE"
+          ~doc:"Sort assignment: one 'node sort' pair per line.")
+  in
+  let run graph_file schema_file types_file =
+    match
+      ( load_graph graph_file,
+        Schema.Schema_parser.load schema_file,
+        read_file types_file )
+    with
+    | Error m, _, _ | _, Error m, _ | _, _, Error m -> die "%s" m
+    | Ok g, Ok schema, Ok types_src -> (
+        (* parse 'node sort-name' lines; sort names as in the schema
+           syntax: class name, atomic name, db *)
+        let lines =
+          String.split_on_char '\n' types_src
+          |> List.map String.trim
+          |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+        in
+        let parse_sort s =
+          if s = "db" then Ok (Schema.Mschema.dbtype schema)
+          else if
+            List.exists
+              (fun (c, _) -> Schema.Mtype.cname_name c = s)
+              (Schema.Mschema.classes schema)
+          then Ok (Schema.Mtype.Class (Schema.Mtype.cname s))
+          else Ok (Schema.Mtype.Atomic (Schema.Mtype.atomic s))
+        in
+        let rec parse_assignments acc = function
+          | [] -> Ok (List.rev acc)
+          | l :: rest -> (
+              match String.split_on_char ' ' l |> List.filter (( <> ) "") with
+              | [ n; sort ] -> (
+                  match (int_of_string_opt n, parse_sort sort) with
+                  | Some n, Ok s -> parse_assignments ((n, s) :: acc) rest
+                  | None, _ -> Error ("bad node id in: " ^ l)
+                  | _, Error m -> Error m)
+              | _ -> Error ("expected 'node sort': " ^ l))
+        in
+        match parse_assignments [] lines with
+        | Error m -> die "%s" m
+        | Ok assignments -> (
+            let t = Schema.Typecheck.make g assignments in
+            match Schema.Typecheck.validate schema t with
+            | Ok () ->
+                Printf.printf "valid: the structure is in U_f(Delta)\n";
+                `Ok ()
+            | Error es ->
+                List.iter (Printf.printf "  %s\n") es;
+                `Error (false, "type constraint Phi(Delta) violated")))
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Check a sorted graph against a schema's type constraint Phi(Delta)")
+    Term.(ret (const run $ graph_arg $ schema_arg $ types_arg))
+
+(* --- optimize -------------------------------------------------------------------- *)
+
+let optimize_cmd =
+  let query_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:"Union of root-anchored paths, comma-separated (a.b,c.d).")
+  in
+  let run sigma_file query =
+    match load_constraints sigma_file with
+    | Error m -> die "%s" m
+    | Ok sigma -> (
+        match
+          List.map Pathlang.Path.of_string (String.split_on_char ',' query)
+        with
+        | exception Invalid_argument m -> die "%s" m
+        | paths ->
+            let pruned = Core.Query.prune_union ~sigma paths in
+            let best =
+              List.map (Core.Query.cheapest_equivalent ~sigma) pruned
+            in
+            Printf.printf "%s\n"
+              (String.concat ","
+                 (List.map Pathlang.Path.to_string best));
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:
+         "Optimize a union-of-paths query under word constraints: prune \
+          contained disjuncts, substitute cheapest equivalent access paths")
+    Term.(ret (const run $ sigma_arg $ query_arg))
+
+(* --- consequences ----------------------------------------------------------------- *)
+
+let consequences_cmd =
+  let from_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PATH" ~doc:"Starting path.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 50 & info [ "steps" ] ~docv:"N" ~doc:"Sample size.")
+  in
+  let run sigma_file from steps =
+    match load_constraints sigma_file with
+    | Error m -> die "%s" m
+    | Ok sigma ->
+        List.iter
+          (fun c -> print_endline (Pathlang.Path.to_string c))
+          (Core.Word_untyped.consequences_sample ~sigma
+             ~from:(Pathlang.Path.of_string from) ~max_steps:steps);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "consequences"
+       ~doc:"Sample paths derivably implied from a starting path")
+    Term.(ret (const run $ sigma_arg $ from_arg $ steps_arg))
+
+(* --- word-problem ----------------------------------------------------------------- *)
+
+let word_problem_cmd =
+  let pres_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "presentation" ] ~docv:"FILE" ~doc:"Monoid presentation file.")
+  in
+  let eq_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EQUATION" ~doc:"Test equation, e.g. 'a.a.a = eps'.")
+  in
+  let run pres_file eq =
+    match read_file pres_file with
+    | Error m -> die "%s" m
+    | Ok src -> (
+        match Monoid.Presentation.parse src with
+        | Error m -> die "%s" m
+        | Ok pres -> (
+            match String.index_opt eq '=' with
+            | None -> die "expected 'u = v'"
+            | Some i -> (
+                let u =
+                  Pathlang.Path.of_string (String.trim (String.sub eq 0 i))
+                in
+                let v =
+                  Pathlang.Path.of_string
+                    (String.trim
+                       (String.sub eq (i + 1) (String.length eq - i - 1)))
+                in
+                match Monoid.Word_problem.decide pres (u, v) with
+                | Monoid.Word_problem.Equal ->
+                    print_endline "equal (provable)";
+                    `Ok ()
+                | Monoid.Word_problem.Separated h ->
+                    Format.printf "separated: %a@." Monoid.Hom.pp h;
+                    `Ok ()
+                | Monoid.Word_problem.Distinct ->
+                    print_endline
+                      "distinct (by convergent normal forms; no finite \
+                       separating monoid found)";
+                    `Ok ()
+                | Monoid.Word_problem.Unknown ->
+                    print_endline "unknown (undecidable in general)";
+                    `Ok ())))
+  in
+  Cmd.v
+    (Cmd.info "word-problem"
+       ~doc:
+         "Attack a monoid word problem instance (completion, equational \
+          search, separating homomorphisms)")
+    Term.(ret (const run $ pres_arg $ eq_arg))
+
+(* --- compare ---------------------------------------------------------------------- *)
+
+let compare_cmd =
+  let schema_opt_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "schema" ] ~docv:"FILE"
+          ~doc:"Optional schema; M schemas get the cubic procedure, M+ \
+                schemas bounded refutation.")
+  in
+  let run sigma_file phi schema_file =
+    match (load_constraints sigma_file, parse_constraint phi) with
+    | Error m, _ | _, Error m -> die "%s" m
+    | Ok sigma, Ok phi -> (
+        let with_schema k =
+          match schema_file with
+          | None -> k None
+          | Some f -> (
+              match Schema.Schema_parser.load f with
+              | Ok s -> k (Some s)
+              | Error m -> die "%s" m)
+        in
+        with_schema (fun schema ->
+            let report = Core.Interaction.compare ?schema ~sigma phi in
+            Format.printf "%a@." Core.Interaction.pp report;
+            `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Run one implication instance through every applicable context \
+          (untyped word / local extent / chase, and the typed procedures) \
+          and report the interaction")
+    Term.(ret (const run $ sigma_arg $ phi_arg $ schema_opt_arg))
+
+(* --- rpq ------------------------------------------------------------------------- *)
+
+let rpq_cmd =
+  let regex_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REGEX"
+          ~doc:"Regular path query, e.g. 'book.(ref)*.author'.")
+  in
+  let witness_arg =
+    Arg.(value & flag & info [ "witness" ] ~doc:"Print a witness path per answer.")
+  in
+  let run graph_file regex witness =
+    match (load_graph graph_file, Rpq.Regex.parse regex) with
+    | Error m, _ | _, Error m -> die "%s" m
+    | Ok g, Ok r ->
+        let answers = Rpq.Eval.eval g r in
+        Sgraph.Graph.Node_set.iter
+          (fun v ->
+            if witness then
+              match Rpq.Eval.witness g (Sgraph.Graph.root g) r v with
+              | Some w ->
+                  Printf.printf "%d\tvia %s\n" v (Pathlang.Path.to_string w)
+              | None -> Printf.printf "%d\n" v
+            else Printf.printf "%d\n" v)
+          answers;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "rpq"
+       ~doc:"Evaluate a regular path query on a graph (answers from the root)")
+    Term.(ret (const run $ graph_arg $ regex_arg $ witness_arg))
+
+(* --- odl ------------------------------------------------------------------------- *)
+
+let odl_cmd =
+  let odl_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "odl" ] ~docv:"FILE" ~doc:"ODL interface declarations.")
+  in
+  let run odl_file =
+    match read_file odl_file with
+    | Error m -> die "%s" m
+    | Ok src -> (
+        match Schema.Odl.parse src with
+        | Error m -> die "%s" m
+        | Ok spec ->
+            print_endline "# type constraint (the schema, in pathcons syntax):";
+            print_string (Schema.Schema_parser.to_string spec.Schema.Odl.schema);
+            print_endline "# extent constraints:";
+            List.iter
+              (fun c -> print_endline (Pathlang.Constr.to_string c))
+              spec.Schema.Odl.extent_constraints;
+            print_endline "# inverse constraints:";
+            List.iter
+              (fun c -> print_endline (Pathlang.Constr.to_string c))
+              spec.Schema.Odl.inverse_constraints;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "odl"
+       ~doc:
+         "Separate an ODL declaration into its type constraint and its path \
+          constraints (the Section 1 retrospective)")
+    Term.(ret (const run $ odl_arg))
+
+(* --- index ------------------------------------------------------------------------ *)
+
+let index_cmd =
+  let run graph_file =
+    match load_graph graph_file with
+    | Error m -> die "%s" m
+    | Ok g ->
+        Printf.printf "data graph: %d nodes, %d edges\n"
+          (Sgraph.Graph.node_count g) (Sgraph.Graph.edge_count g);
+        let q, _ = Sgraph.Bisim.quotient g in
+        Printf.printf "bisimulation quotient (1-index): %d nodes, %d edges\n"
+          (Sgraph.Graph.node_count q) (Sgraph.Graph.edge_count q);
+        (match Sgraph.Dataguide.build g with
+        | Ok guide ->
+            Printf.printf "strong dataguide: %d states\n"
+              (Sgraph.Dataguide.size guide)
+        | Error m -> Printf.printf "strong dataguide: %s\n" m);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "index"
+       ~doc:
+         "Report the sizes of the classical path indexes (bisimulation \
+          1-index, strong DataGuide) for a graph")
+    Term.(ret (const run $ graph_arg))
+
+(* --- main ------------------------------------------------------------------------ *)
+
+let () =
+  let doc =
+    "reasoning about path constraints and their interaction with type \
+     systems (Buneman, Fan, Weinstein, PODS'99)"
+  in
+  let info = Cmd.info "pathctl" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            check_cmd;
+            implies_cmd;
+            implies_local_cmd;
+            implies_typed_cmd;
+            chase_cmd;
+            encode_cmd;
+            dot_cmd;
+            validate_cmd;
+            optimize_cmd;
+            consequences_cmd;
+            word_problem_cmd;
+            rpq_cmd;
+            compare_cmd;
+            check_proof_cmd;
+            index_cmd;
+            odl_cmd;
+          ]))

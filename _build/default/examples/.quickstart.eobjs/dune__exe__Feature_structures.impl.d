@@ -1,0 +1,1 @@
+examples/feature_structures.ml: Core Format List Pathlang Printf Schema Sgraph

@@ -1,0 +1,1 @@
+examples/local_databases.ml: Core List Pathlang Printf Sgraph Xmlrep

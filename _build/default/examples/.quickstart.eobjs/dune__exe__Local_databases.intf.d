@@ -1,0 +1,1 @@
+examples/local_databases.mli:

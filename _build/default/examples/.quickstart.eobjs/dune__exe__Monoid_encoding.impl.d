@@ -1,0 +1,1 @@
+examples/monoid_encoding.ml: Core Format List Monoid Pathlang Printf Schema Sgraph

@@ -1,0 +1,1 @@
+examples/monoid_encoding.mli:

@@ -1,0 +1,1 @@
+examples/query_optimization.ml: Core List Pathlang Printf Schema Sgraph String Xmlrep

@@ -1,0 +1,1 @@
+examples/regular_paths.ml: Core List Pathlang Printf Result Rpq Sgraph String Xmlrep

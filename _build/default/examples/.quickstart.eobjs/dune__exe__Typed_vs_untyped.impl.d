@@ -1,0 +1,1 @@
+examples/typed_vs_untyped.ml: Core Format List Pathlang Printf Schema Sgraph Xmlrep

@@ -1,0 +1,1 @@
+examples/typed_vs_untyped.mli:

@@ -1,0 +1,101 @@
+(* Feature structures (Section 3.3).
+
+   The paper notes that databases of the model M "are comparable to
+   feature structures studied in feature logics, which have proven
+   useful for representing linguistic data".  This example makes the
+   comparison concrete: a feature structure is a label-deterministic
+   rooted graph -- an M structure -- and the {e path equations} of
+   feature logic (structure sharing / re-entrancy, written
+   <subject agreement> = <verb agreement>) are exactly word constraints
+   interpreted over M.  Unification-grammar style reasoning is then the
+   Theorem 4.2 decision procedure.
+
+   Run with:  dune exec examples/feature_structures.exe *)
+
+module Path = Pathlang.Path
+module Constr = Pathlang.Constr
+module Mtype = Schema.Mtype
+module Mschema = Schema.Mschema
+module TM = Core.Typed_m
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let p = Path.of_string
+
+(* A toy HPSG-ish grammar signature:
+     Sentence: subject NP, verb V
+     NP:       agreement Agr, head noun (string)
+     V:        agreement Agr, lemma (string)
+     Agr:      person (string), number (string)              *)
+let grammar =
+  let np = Mtype.cname "NP"
+  and v = Mtype.cname "V"
+  and agr = Mtype.cname "Agr" in
+  let str = Mtype.Atomic Mtype.string_ in
+  Mschema.make_exn ~kind:Mschema.M
+    ~classes:
+      [
+        (np, Mtype.record [ ("agreement", Mtype.Class agr); ("head", str) ]);
+        (v, Mtype.record [ ("agreement", Mtype.Class agr); ("lemma", str) ]);
+        (agr, Mtype.record [ ("person", str); ("number", str) ]);
+      ]
+    ~dbtype:(Mtype.record [ ("subject", Mtype.Class np); ("verb", Mtype.Class v) ])
+
+let eq u v = Constr.word ~lhs:(p u) ~rhs:(p v)
+
+let () =
+  section "The grammar signature as an M schema";
+  Format.printf "%a@." Mschema.pp grammar;
+
+  section "Path equations (re-entrancy) as word constraints";
+  (* subject-verb agreement: the two agreement substructures are shared *)
+  let agreement = eq "subject.agreement" "verb.agreement" in
+  Printf.printf "  <subject agreement> = <verb agreement>   i.e.  %s\n"
+    (Constr.to_string agreement);
+
+  section "Entailed sharing";
+  let sigma = [ agreement ] in
+  List.iter
+    (fun (s, t) ->
+      let phi = eq s t in
+      match TM.decide grammar ~sigma ~phi with
+      | Ok (TM.Implied d) ->
+          Printf.printf "  <%s> = <%s>  entailed (proof size %d)\n" s t
+            (Core.Axioms.size (Core.Axioms.simplify d))
+      | Ok (TM.Not_implied _) -> Printf.printf "  <%s> = <%s>  NOT entailed\n" s t
+      | Ok (TM.Vacuous m) -> Printf.printf "  vacuous: %s\n" m
+      | Error e -> Printf.printf "  error: %s\n" e)
+    [
+      ("subject.agreement.person", "verb.agreement.person");
+      ("subject.agreement.number", "verb.agreement.number");
+      ("subject.head", "verb.lemma");
+      ("subject.agreement", "subject.agreement");
+    ];
+
+  section "Unification failure = sort clash (Vacuous)";
+  (* forcing a string node to coincide with an Agr node cannot unify *)
+  let bad = eq "subject.head" "verb.agreement" in
+  (match TM.decide grammar ~sigma:[ bad ] ~phi:(eq "subject" "subject") with
+  | Ok (TM.Vacuous m) -> Printf.printf "  clash detected: %s\n" m
+  | _ -> Printf.printf "  unexpected\n");
+
+  section "A minimal model (the unifier, as a countermodel construction)";
+  (* the countermodel for an un-entailed equation doubles as the most
+     general feature structure satisfying sigma *)
+  (match TM.decide grammar ~sigma ~phi:(eq "subject.head" "verb.lemma") with
+  | Ok (TM.Not_implied t) ->
+      let g = t.Schema.Typecheck.graph in
+      Printf.printf
+        "  most general structure satisfying the equation system: %d nodes\n"
+        (Sgraph.Graph.node_count g);
+      Printf.printf "  (subject.agreement and verb.agreement share a node: %b)\n"
+        (Sgraph.Graph.Node_set.equal
+           (Sgraph.Eval.eval g (p "subject.agreement"))
+           (Sgraph.Eval.eval g (p "verb.agreement")))
+  | _ -> Printf.printf "  unexpected\n");
+
+  section "Summary";
+  Printf.printf
+    "Feature logics' satisfiability-plus-entailment for path equations is\n\
+     an instance of P_c implication over M: decidable, certificate-producing\n\
+     (Theorem 4.9), with sort clashes reported as vacuity.\n"

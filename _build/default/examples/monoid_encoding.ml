@@ -1,0 +1,112 @@
+(* The undecidability reductions, run on decidable monoid instances.
+
+   Theorem 4.3 encodes the word problem for (finite) monoids into
+   implication for the tiny fragment P_w(K) on untyped data; Theorem 5.2
+   encodes it into local-extent implication under an M+ schema.  Both
+   reductions are executable; we drive them with presentations whose
+   word problem Knuth-Bendix completion solves.
+
+   Run with:  dune exec examples/monoid_encoding.exe *)
+
+module Path = Pathlang.Path
+module Constr = Pathlang.Constr
+module Graph = Sgraph.Graph
+module Check = Sgraph.Check
+module WP = Monoid.Word_problem
+module Pwk = Core.Encode_pwk
+module Mplus = Core.Encode_mplus
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let budget = { Core.Chase.max_steps = 5000; max_nodes = 5000 }
+
+let run_instance pres name (u, v) =
+  Printf.printf "\n--- %s: is %s = %s ? ---\n" name (Path.to_string u)
+    (Path.to_string v);
+  (* ground truth at the monoid level *)
+  (match WP.decide pres (u, v) with
+  | WP.Equal -> Printf.printf "monoid level: provably equal\n"
+  | WP.Separated h ->
+      Printf.printf "monoid level: separated by a hom into a %d-element monoid\n"
+        (Monoid.Finite_monoid.size (Monoid.Hom.monoid h))
+  | WP.Distinct -> Printf.printf "monoid level: distinct (by normal forms)\n"
+  | WP.Unknown -> Printf.printf "monoid level: unknown\n");
+  (* the P_w(K) encoding *)
+  let sigma = Pwk.encode pres in
+  let phi1, phi2 = Pwk.encode_test (u, v) in
+  let verdict phi =
+    match Core.Chase.implies ~budget ~sigma phi with
+    | Core.Verdict.Implied -> "implied"
+    | Core.Verdict.Refuted _ -> "refuted"
+    | Core.Verdict.Unknown -> "unknown (budget)"
+  in
+  Printf.printf "P_w(K) encoding: phi(u,v) %s, phi(v,u) %s\n" (verdict phi1)
+    (verdict phi2);
+  (* when separated, Figure 2 gives a concrete verified countermodel *)
+  match WP.decide pres (u, v) with
+  | WP.Separated h ->
+      let g = Pwk.figure2 h in
+      Printf.printf
+        "figure 2 countermodel: %d nodes; |= Sigma: %b; |= tests: %b\n"
+        (Graph.node_count g) (Check.holds_all g sigma)
+        (Check.holds g phi1 && Check.holds g phi2)
+  | _ -> ()
+
+let () =
+  section "Reduction 1 (Theorem 4.3): monoids -> P_w(K), untyped";
+  let c3 = Monoid.Examples.cyclic 3 in
+  Printf.printf "presentation (cyclic group of order 3):\n";
+  Format.printf "%a@." Monoid.Presentation.pp c3;
+  Printf.printf "encoded Sigma:\n";
+  List.iter
+    (fun c -> Printf.printf "  %s\n" (Constr.to_string c))
+    (Pwk.encode c3);
+  run_instance c3 "cyclic3" (Path.of_string "a.a.a", Path.empty);
+  run_instance c3 "cyclic3" (Path.of_string "a", Path.empty);
+
+  let fc = Monoid.Examples.free_commutative2 in
+  run_instance fc "free-commutative" (Path.of_string "a.b", Path.of_string "b.a");
+  run_instance fc "free-commutative" (Path.of_string "a", Path.of_string "b");
+
+  section "Reduction 2 (Theorem 5.2): monoids -> local extent in M+";
+  let enc = Mplus.encode c3 in
+  Printf.printf "the schema Delta_1:\n";
+  Format.printf "%a@." Schema.Mschema.pp enc.Mplus.schema;
+  Printf.printf "encoded Sigma (prefix bounded by l and K):\n";
+  List.iter
+    (fun c -> Printf.printf "  %s\n" (Constr.to_string c))
+    enc.Mplus.sigma;
+
+  let demo (u, v) =
+    Printf.printf "\n--- typed vs untyped for %s = %s ---\n" (Path.to_string u)
+      (Path.to_string v);
+    let phi = Mplus.encode_test enc (u, v) in
+    Printf.printf "phi: %s\n" (Constr.to_string phi);
+    (match Mplus.untyped_implies enc (u, v) with
+    | Ok b -> Printf.printf "untyped local-extent procedure (Thm 5.1): %b\n" b
+    | Error e -> Printf.printf "error: %s\n" e);
+    match WP.decide c3 (u, v) with
+    | WP.Equal ->
+        Printf.printf
+          "typed (M+): equivalent to the monoid word problem => implied\n"
+    | WP.Separated h ->
+        let t = Mplus.figure4 enc h in
+        Printf.printf
+          "typed (M+): figure-4 countermodel with %d nodes; Phi(Delta_1) ok: %b; \
+           |= Sigma: %b; |= phi: %b\n"
+          (Graph.node_count t.Schema.Typecheck.graph)
+          (Schema.Typecheck.validate enc.Mplus.schema t = Ok ())
+          (Check.holds_all t.Schema.Typecheck.graph enc.Mplus.sigma)
+          (Check.holds t.Schema.Typecheck.graph phi)
+    | WP.Distinct | WP.Unknown -> Printf.printf "typed (M+): undetermined\n"
+  in
+  demo (Path.of_string "a.a.a", Path.empty);
+  demo (Path.of_string "a", Path.empty);
+
+  section "Moral";
+  Printf.printf
+    "The untyped instance is decidable (and says NO even for provable\n\
+     equations: the constraints on other local databases do not interact,\n\
+     Lemma 5.3); imposing Phi(Delta_1) makes the instance equivalent to an\n\
+     arbitrary monoid word problem -- the type system made implication\n\
+     strictly harder (Theorem 5.2).\n"

@@ -1,0 +1,97 @@
+(* The paper's central theme: the same constraints reasoned about with
+   and without a type system.
+
+   - Over untyped data, word constraint implication is PTIME but very
+     weak (no symmetry, no inverse reasoning).
+   - Under an M schema, every path reaches a unique node (Lemma 4.6), so
+     implication becomes an equational theory: cubic-time decidable and
+     finitely axiomatizable by I_r (Theorems 4.2/4.9) -- and answers
+     change in both directions.
+
+   Run with:  dune exec examples/typed_vs_untyped.exe *)
+
+module Path = Pathlang.Path
+module Constr = Pathlang.Constr
+module Parser = Pathlang.Parser
+module Mschema = Schema.Mschema
+module TM = Core.Typed_m
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let parse s =
+  match Parser.constraint_of_string s with Ok c -> c | Error e -> failwith e
+
+let () =
+  section "The M schema (bibliography without sets)";
+  Format.printf "%a@." Mschema.pp Mschema.bib_m;
+  Printf.printf "\nAs XML-Data (Section 1 style):\n%s\n"
+    (Xmlrep.Xml_data.render Mschema.bib_m);
+
+  let sigma =
+    List.map parse
+      [ "book : author <- wrote"; "person : wrote <- author" ]
+  in
+  section "Sigma: the inverse constraints";
+  List.iter (fun c -> Printf.printf "  %s\n" (Constr.to_string c)) sigma;
+
+  let queries =
+    [
+      (* word constraints *)
+      "book -> book.author.wrote";
+      "book.author.wrote -> book";
+      "book.author.wrote.author -> book.author";
+      "person.wrote.author -> person";
+      "book.author -> person";
+      (* a backward constraint *)
+      "book.ref : author <- wrote";
+    ]
+  in
+
+  section "Typed implication under M (cubic, with I_r certificates)";
+  List.iter
+    (fun q ->
+      let phi = parse q in
+      match TM.decide Mschema.bib_m ~sigma ~phi with
+      | Ok (TM.Implied d) ->
+          Printf.printf "  %-44s implied (proof size %d)\n" q (Core.Axioms.size d)
+      | Ok (TM.Not_implied t) ->
+          Printf.printf "  %-44s not implied (countermodel: %d nodes)\n" q
+            (Sgraph.Graph.node_count t.Schema.Typecheck.graph)
+      | Ok (TM.Vacuous m) -> Printf.printf "  %-44s vacuous: %s\n" q m
+      | Error e -> Printf.printf "  %-44s error: %s\n" q e)
+    queries;
+
+  section "An I_r derivation in full";
+  let phi = parse "book.author.wrote.author -> book.author" in
+  (match TM.decide Mschema.bib_m ~sigma ~phi with
+  | Ok (TM.Implied d) -> Format.printf "%a@." Core.Axioms.pp d
+  | _ -> Printf.printf "unexpected\n");
+
+  section "The same word queries on UNTYPED data (PTIME procedure of [4])";
+  let word_sigma = [] in
+  (* the inverse constraints are not word constraints, so the untyped
+     word procedure can only use the empty theory *)
+  List.iter
+    (fun q ->
+      let phi = parse q in
+      if Constr.is_word phi then
+        Printf.printf "  %-44s %b\n" q
+          (Core.Word_untyped.implies_exn ~sigma:word_sigma phi))
+    queries;
+
+  section "And the untyped chase on the full Sigma";
+  List.iter
+    (fun q ->
+      let phi = parse q in
+      match Core.Semidecide.implies ~sigma phi with
+      | Core.Verdict.Implied -> Printf.printf "  %-44s implied\n" q
+      | Core.Verdict.Refuted _ -> Printf.printf "  %-44s refuted\n" q
+      | Core.Verdict.Unknown -> Printf.printf "  %-44s unknown\n" q)
+    queries;
+
+  section "Summary";
+  Printf.printf
+    "Under the M type every constraint collapses to a path equality, so\n\
+     the inverse constraints become usable by equational reasoning; on\n\
+     untyped data the same implications are refutable (bigger models\n\
+     exist) or out of reach of the decidable fragment.\n"

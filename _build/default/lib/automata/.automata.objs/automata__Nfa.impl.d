@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Format Hashtbl Int List Option Pathlang Set String

@@ -1,0 +1,1 @@
+lib/automata/pds.ml: Format List Pathlang String

@@ -1,0 +1,1 @@
+lib/automata/pds.mli: Format Pathlang

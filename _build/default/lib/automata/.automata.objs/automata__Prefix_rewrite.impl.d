@@ -1,0 +1,1 @@
+lib/automata/prefix_rewrite.ml: List Nfa Pathlang Pds Printf Saturation

@@ -1,0 +1,1 @@
+lib/automata/prefix_rewrite.mli: Pathlang

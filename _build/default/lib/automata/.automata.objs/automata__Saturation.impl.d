@@ -1,0 +1,1 @@
+lib/automata/saturation.ml: Hashtbl List Nfa Option Pathlang Pds Queue

@@ -1,0 +1,1 @@
+lib/automata/saturation.mli: Nfa Pathlang Pds

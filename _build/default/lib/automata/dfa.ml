@@ -1,0 +1,234 @@
+module Label = Pathlang.Label
+
+type t = {
+  alphabet : Label.t array;
+  size : int;
+  start : int;
+  trans : int array array;
+  final : bool array;
+}
+
+let of_nfa ~alphabet nfa ~start =
+  let alphabet = Array.of_list alphabet in
+  let index = Hashtbl.create 64 in
+  let states = ref [] in
+  let count = ref 0 in
+  let intern set =
+    let key = Nfa.State_set.elements set in
+    match Hashtbl.find_opt index key with
+    | Some i -> (i, false)
+    | None ->
+        let i = !count in
+        incr count;
+        Hashtbl.add index key i;
+        states := set :: !states;
+        (i, true)
+  in
+  let start_set = Nfa.eps_closure nfa (Nfa.State_set.singleton start) in
+  let s0, _ = intern start_set in
+  let trans_acc = ref [] in
+  let rec explore frontier =
+    match frontier with
+    | [] -> ()
+    | set :: rest ->
+        let i, _ = intern set in
+        let row =
+          Array.map
+            (fun k ->
+              let target = Nfa.step nfa set k in
+              let j, fresh = intern target in
+              (j, if fresh then Some target else None))
+            alphabet
+        in
+        trans_acc := (i, Array.map fst row) :: !trans_acc;
+        let fresh_sets =
+          Array.to_list row |> List.filter_map (fun (_, f) -> f)
+        in
+        explore (fresh_sets @ rest)
+  in
+  explore [ start_set ];
+  let size = !count in
+  let trans = Array.make size [||] in
+  List.iter (fun (i, row) -> trans.(i) <- row) !trans_acc;
+  (* every state got a row: explore interns before emitting *)
+  Array.iteri
+    (fun i row -> if Array.length row = 0 then trans.(i) <- Array.make (Array.length alphabet) i)
+    trans;
+  let final = Array.make size false in
+  Hashtbl.iter
+    (fun key i ->
+      final.(i) <-
+        List.exists (fun q -> Nfa.is_final nfa q) key)
+    index;
+  { alphabet; size; start = s0; trans; final }
+
+let letter_index dfa k =
+  let rec go i =
+    if i >= Array.length dfa.alphabet then None
+    else if Label.equal dfa.alphabet.(i) k then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let accepts dfa word =
+  let rec go state = function
+    | [] -> dfa.final.(state)
+    | k :: rest -> (
+        match letter_index dfa k with
+        | None -> false
+        | Some i -> go dfa.trans.(state).(i) rest)
+  in
+  go dfa.start word
+
+let complement dfa = { dfa with final = Array.map not dfa.final }
+
+let check_same_alphabet a b =
+  if
+    Array.length a.alphabet <> Array.length b.alphabet
+    || not
+         (Array.for_all2
+            (fun x y -> Label.equal x y)
+            a.alphabet b.alphabet)
+  then invalid_arg "Dfa: alphabets differ"
+
+let product_reach a b =
+  check_same_alphabet a b;
+  let seen = Hashtbl.create 64 in
+  let q = Queue.create () in
+  Hashtbl.add seen (a.start, b.start) ();
+  Queue.add (a.start, b.start) q;
+  let acc = ref [] in
+  while not (Queue.is_empty q) do
+    let sa, sb = Queue.pop q in
+    acc := (sa, sb) :: !acc;
+    Array.iteri
+      (fun i _ ->
+        let t = (a.trans.(sa).(i), b.trans.(sb).(i)) in
+        if not (Hashtbl.mem seen t) then begin
+          Hashtbl.add seen t ();
+          Queue.add t q
+        end)
+      a.alphabet
+  done;
+  !acc
+
+let inter_empty a b =
+  not
+    (List.exists
+       (fun (sa, sb) -> a.final.(sa) && b.final.(sb))
+       (product_reach a b))
+
+let is_empty dfa =
+  (* reachability-aware emptiness *)
+  let rec bfs seen frontier =
+    match frontier with
+    | [] -> true
+    | s :: rest ->
+        if dfa.final.(s) then false
+        else
+          let next =
+            Array.to_list dfa.trans.(s)
+            |> List.filter (fun t -> not (List.mem t seen))
+            |> List.sort_uniq compare
+          in
+          bfs (next @ seen) (next @ rest)
+  in
+  bfs [ dfa.start ] [ dfa.start ]
+
+let nfa_inclusion ~alphabet a1 ~start1 a2 ~start2 =
+  let d1 = of_nfa ~alphabet a1 ~start:start1 in
+  let d2 = of_nfa ~alphabet a2 ~start:start2 in
+  inter_empty d1 (complement d2)
+
+let size dfa = dfa.size
+
+let minimize dfa =
+  (* restrict to reachable states *)
+  let reach = Hashtbl.create 16 in
+  let q = Queue.create () in
+  Hashtbl.add reach dfa.start ();
+  Queue.add dfa.start q;
+  while not (Queue.is_empty q) do
+    let s = Queue.pop q in
+    Array.iter
+      (fun t ->
+        if not (Hashtbl.mem reach t) then begin
+          Hashtbl.add reach t ();
+          Queue.add t q
+        end)
+      dfa.trans.(s)
+  done;
+  let reachable = List.sort compare (Hashtbl.fold (fun s () acc -> s :: acc) reach []) in
+  (* Moore refinement over the reachable states *)
+  let cls = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace cls s (if dfa.final.(s) then 1 else 0)) reachable;
+  let changed = ref true in
+  while !changed do
+    let index = Hashtbl.create 16 in
+    let next = ref 0 in
+    let fresh = Hashtbl.create 16 in
+    List.iter
+      (fun s ->
+        let key =
+          ( Hashtbl.find cls s,
+            Array.to_list (Array.map (fun t -> Hashtbl.find cls t) dfa.trans.(s)) )
+        in
+        let c =
+          match Hashtbl.find_opt index key with
+          | Some c -> c
+          | None ->
+              let c = !next in
+              incr next;
+              Hashtbl.add index key c;
+              c
+        in
+        Hashtbl.replace fresh s c)
+      reachable;
+    changed := List.exists (fun s -> Hashtbl.find fresh s <> Hashtbl.find cls s) reachable;
+    List.iter (fun s -> Hashtbl.replace cls s (Hashtbl.find fresh s)) reachable
+  done;
+  (* renumber classes with the start's class first *)
+  let start_class = Hashtbl.find cls dfa.start in
+  let renum c = if c = start_class then 0 else if c < start_class then c + 1 else c in
+  let n_classes =
+    1 + List.fold_left (fun m s -> max m (Hashtbl.find cls s)) 0 reachable
+  in
+  let trans = Array.make n_classes [||] in
+  let final = Array.make n_classes false in
+  List.iter
+    (fun s ->
+      let c = renum (Hashtbl.find cls s) in
+      final.(c) <- dfa.final.(s);
+      if Array.length trans.(c) = 0 then
+        trans.(c) <-
+          Array.map (fun t -> renum (Hashtbl.find cls t)) dfa.trans.(s))
+    reachable;
+  { alphabet = dfa.alphabet; size = n_classes; start = 0; trans; final }
+
+let some_word dfa =
+  let parent = Hashtbl.create 64 in
+  let q = Queue.create () in
+  Hashtbl.add parent dfa.start None;
+  Queue.add dfa.start q;
+  let found = ref None in
+  while !found = None && not (Queue.is_empty q) do
+    let s = Queue.pop q in
+    if dfa.final.(s) then found := Some s
+    else
+      Array.iteri
+        (fun i t ->
+          if not (Hashtbl.mem parent t) then begin
+            Hashtbl.add parent t (Some (s, dfa.alphabet.(i)));
+            Queue.add t q
+          end)
+        dfa.trans.(s)
+  done;
+  Option.map
+    (fun final_state ->
+      let rec build s acc =
+        match Hashtbl.find parent s with
+        | None -> acc
+        | Some (p, k) -> build p (k :: acc)
+      in
+      build final_state [])
+    !found

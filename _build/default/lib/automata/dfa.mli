@@ -1,0 +1,54 @@
+(** Deterministic finite automata over label alphabets, with the
+    classical constructions: subset determinization, complement,
+    product, emptiness — enough to decide language inclusion of NFAs,
+    which is what regular-path-query pruning needs.
+
+    A DFA here is total: a dead state is materialized during
+    determinization, so [complement] is just flipping accepting
+    states. *)
+
+type t = private {
+  alphabet : Pathlang.Label.t array;
+  size : int;
+  start : int;
+  trans : int array array;  (** [trans.(state).(letter_index)] *)
+  final : bool array;
+}
+
+val of_nfa :
+  alphabet:Pathlang.Label.t list -> Nfa.t -> start:Nfa.state -> t
+(** Subset construction (epsilon transitions of the NFA are honoured).
+    Labels outside [alphabet] are ignored; for language questions the
+    alphabet must cover both automata. *)
+
+val accepts : t -> Pathlang.Label.t list -> bool
+(** Words containing letters outside the alphabet are rejected. *)
+
+val complement : t -> t
+
+val inter_empty : t -> t -> bool
+(** Emptiness of the product language.  The two DFAs must share the
+    same alphabet (checked). *)
+
+val is_empty : t -> bool
+
+val nfa_inclusion :
+  alphabet:Pathlang.Label.t list ->
+  Nfa.t ->
+  start1:Nfa.state ->
+  Nfa.t ->
+  start2:Nfa.state ->
+  bool
+(** [L(A1) subseteq L(A2)] over the given alphabet. *)
+
+val some_word : t -> Pathlang.Label.t list option
+(** A shortest accepted word, if the language is non-empty. *)
+
+val minimize : t -> t
+(** Moore's partition-refinement minimization (reachable part, merged
+    equivalent states).  Language-preserving (property-tested) and
+    canonical in size: two DFAs recognize the same language iff their
+    minimizations have the same number of states. *)
+
+val size : t -> int
+

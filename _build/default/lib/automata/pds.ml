@@ -1,0 +1,72 @@
+module Label = Pathlang.Label
+
+type state = int
+
+type rule = { p : state; gamma : Label.t; q : state; push : Label.t list }
+
+type t = { control_count : int; rules : rule list }
+
+let make ~control_count rules =
+  List.iter
+    (fun r ->
+      if r.p < 0 || r.p >= control_count || r.q < 0 || r.q >= control_count then
+        invalid_arg "Pds.make: control state out of range")
+    rules;
+  { control_count; rules }
+
+let normalize pds =
+  let next = ref pds.control_count in
+  let fresh () =
+    let s = !next in
+    incr next;
+    s
+  in
+  let norm_rule r =
+    if List.length r.push <= 2 then [ r ]
+    else
+      (* <p,gamma> -> <q, w1..wk>  becomes a chain that builds the pushed
+         word from the bottom up: each intermediate state pushes one more
+         symbol in front of the rest. *)
+      match List.rev r.push with
+      | [] | [ _ ] | [ _; _ ] -> assert false
+      | wk :: rest_rev ->
+          (* rest_rev = w_{k-1} .. w1 *)
+          let rec chain q_cur top acc = function
+            | [] -> assert false
+            | [ w1 ] -> { p = q_cur; gamma = top; q = r.q; push = [ w1; top ] } :: acc
+            | wi :: more ->
+                let q' = fresh () in
+                let acc =
+                  { p = q_cur; gamma = top; q = q'; push = [ wi; top ] } :: acc
+                in
+                chain q' wi acc more
+          in
+          (* Start: replace gamma by wk, then repeatedly push w_{k-1} ... w1
+             in front. *)
+          let q1 = fresh () in
+          let first = { p = r.p; gamma = r.gamma; q = q1; push = [ wk ] } in
+          first :: List.rev (chain q1 wk [] rest_rev)
+  in
+  let rules = List.concat_map norm_rule pds.rules in
+  { control_count = !next; rules }
+
+let step pds (p, stack) =
+  match stack with
+  | [] -> []
+  | top :: rest ->
+      List.filter_map
+        (fun r ->
+          if r.p = p && Label.equal r.gamma top then Some (r.q, r.push @ rest)
+          else None)
+        pds.rules
+
+let pp ppf pds =
+  Format.fprintf ppf "@[<v>pds: %d control states@," pds.control_count;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  <%d, %a> -> <%d, %s>@," r.p Label.pp r.gamma r.q
+        (match r.push with
+        | [] -> "eps"
+        | w -> String.concat " " (List.map Label.to_string w)))
+    pds.rules;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,132 @@
+module Label = Pathlang.Label
+module Path = Pathlang.Path
+
+type rule = { lhs : Path.t; rhs : Path.t }
+
+type system = {
+  rules : rule list;
+  alphabet : Label.t list;
+  bottom : Label.t;
+  pds : Pds.t;  (** star state is 0 *)
+}
+
+let star = 0
+
+let fresh_bottom alphabet =
+  let taken = List.map Label.to_string alphabet in
+  let rec go name = if List.mem name taken then go (name ^ "_") else name in
+  Label.make (go "_bot")
+
+let compile ~alphabet rules =
+  let rule_labels =
+    List.fold_left
+      (fun acc r ->
+        Label.Set.union acc
+          (Label.Set.union (Path.labels_used r.lhs) (Path.labels_used r.rhs)))
+      Label.Set.empty rules
+  in
+  let alphabet =
+    Label.Set.elements
+      (Label.Set.union rule_labels
+         (List.fold_left (fun s k -> Label.Set.add k s) Label.Set.empty alphabet))
+  in
+  let bottom = fresh_bottom alphabet in
+  let next_state = ref 1 in
+  let fresh_state () =
+    let s = !next_state in
+    incr next_state;
+    s
+  in
+  let pds_rules =
+    List.concat_map
+      (fun r ->
+        let rhs = Path.to_labels r.rhs in
+        match Path.to_labels r.lhs with
+        | [] ->
+            (* eps => v : on any top symbol (including bottom), push v. *)
+            List.map
+              (fun g -> { Pds.p = star; gamma = g; q = star; push = rhs @ [ g ] })
+              (bottom :: alphabet)
+        | [ u1 ] -> [ { Pds.p = star; gamma = u1; q = star; push = rhs } ]
+        | u1 :: rest ->
+            (* Consume u1 .. um through chain states, then push the rhs. *)
+            let rec chain p = function
+              | [] -> assert false
+              | [ um ] -> [ { Pds.p; gamma = um; q = star; push = rhs } ]
+              | ui :: more ->
+                  let s = fresh_state () in
+                  { Pds.p; gamma = ui; q = s; push = [] } :: chain s more
+            in
+            let s1 = fresh_state () in
+            { Pds.p = star; gamma = u1; q = s1; push = [] } :: chain s1 rest)
+      rules
+  in
+  let pds = Pds.make ~control_count:!next_state pds_rules in
+  { rules; alphabet; bottom; pds }
+
+let alphabet s = s.alphabet
+let rules s = s.rules
+
+let check_query s rho =
+  Label.Set.iter
+    (fun k ->
+      if not (List.exists (Label.equal k) s.alphabet) then
+        invalid_arg
+          (Printf.sprintf "Prefix_rewrite: label %s outside compiled alphabet"
+             (Label.to_string k)))
+    (Path.labels_used rho)
+
+let stack_of s rho = Path.to_labels rho @ [ s.bottom ]
+
+let derives_generic saturate pds s alpha beta =
+  check_query s alpha;
+  check_query s beta;
+  (* Automaton accepting exactly the configuration <star, beta . bottom>. *)
+  let a = Nfa.create () in
+  Nfa.ensure_states a pds.Pds.control_count;
+  let rec build src = function
+    | [] -> Nfa.set_final a src
+    | k :: rest ->
+        let t = Nfa.add_state a in
+        Nfa.add_trans a src k t;
+        build t rest
+  in
+  build star (stack_of s beta);
+  let a = saturate pds a in
+  Saturation.accepts_config a star (stack_of s alpha)
+
+let derives s alpha beta = derives_generic Saturation.pre_star s.pds s alpha beta
+
+let derives_worklist s alpha beta =
+  derives_generic Saturation.pre_star_worklist (Pds.normalize s.pds) s alpha
+    beta
+
+let derives_via_post s alpha beta =
+  check_query s alpha;
+  check_query s beta;
+  let normalized = Pds.normalize s.pds in
+  let a = Nfa.create () in
+  Nfa.ensure_states a normalized.Pds.control_count;
+  let rec build src = function
+    | [] -> Nfa.set_final a src
+    | k :: rest ->
+        let t = Nfa.add_state a in
+        Nfa.add_trans a src k t;
+        build t rest
+  in
+  build star (stack_of s alpha);
+  let a = Saturation.post_star normalized a in
+  Saturation.accepts_config a star (stack_of s beta)
+
+let derives_bfs ?max_configs ?max_len s alpha beta =
+  Saturation.bfs_reachable ?max_configs ?max_len s.pds
+    ~start:(star, stack_of s alpha)
+    ~goal:(star, stack_of s beta)
+
+let one_step s rho =
+  List.filter_map
+    (fun r ->
+      match Path.strip_prefix ~prefix:r.lhs rho with
+      | Some sigma -> Some (Path.concat r.rhs sigma)
+      | None -> None)
+    s.rules

@@ -1,0 +1,59 @@
+(** Prefix rewriting on paths.
+
+    A system is a finite set of rules [u => v] over paths; one rewriting
+    step replaces a prefix: [u . sigma  =>  v . sigma].  Derivability
+    [beta in post*(alpha)] is exactly provability of the word constraint
+    [alpha => beta] from the rules under the three inference rules of
+    [Abiteboul-Vianu 97] (reflexivity, transitivity, right-congruence),
+    which [4] proved complete for word constraint implication on
+    semistructured data — see [Core.Word_untyped].
+
+    Decidability in PTIME comes from encoding the system as a
+    single-control-state pushdown system (with a bottom-of-stack marker
+    and per-rule chain states for long left-hand sides) and running
+    {!Saturation.pre_star}. *)
+
+type rule = { lhs : Pathlang.Path.t; rhs : Pathlang.Path.t }
+
+type system
+
+val compile : alphabet:Pathlang.Label.t list -> rule list -> system
+(** [compile ~alphabet rules] prepares the system.  [alphabet] must
+    cover every label of every rule (and of every later query); the
+    function extends it automatically with the labels appearing in the
+    rules, so only query-only labels truly need to be passed.
+    Empty left-hand sides are allowed. *)
+
+val alphabet : system -> Pathlang.Label.t list
+(** The full alphabet the system was compiled for (without the internal
+    bottom marker). *)
+
+val rules : system -> rule list
+
+val derives : system -> Pathlang.Path.t -> Pathlang.Path.t -> bool
+(** [derives s alpha beta] decides [beta in post*(alpha)] via pre*
+    saturation.
+    @raise Invalid_argument if a query path uses a label outside the
+    compiled alphabet. *)
+
+val derives_via_post : system -> Pathlang.Path.t -> Pathlang.Path.t -> bool
+(** Same answer computed with the dual post* saturation; kept as an
+    independent implementation for cross-validation and ablation. *)
+
+val derives_worklist : system -> Pathlang.Path.t -> Pathlang.Path.t -> bool
+(** Same answer computed with the worklist-optimal pre* of
+    Esparza-Hansel-Rossmanith-Schwoon over the normalized PDS; third
+    independent engine, used in the ablation bench. *)
+
+val derives_bfs :
+  ?max_configs:int ->
+  ?max_len:int ->
+  system ->
+  Pathlang.Path.t ->
+  Pathlang.Path.t ->
+  bool option
+(** Brute-force oracle: BFS over the rewriting graph.  [Some b] is a
+    definitive answer, [None] means the budget ran out. *)
+
+val one_step : system -> Pathlang.Path.t -> Pathlang.Path.t list
+(** All paths reachable in exactly one rewriting step. *)

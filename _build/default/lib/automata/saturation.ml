@@ -1,0 +1,182 @@
+module Label = Pathlang.Label
+
+let check_states (pds : Pds.t) (a : Nfa.t) =
+  if Nfa.state_count a < pds.control_count then
+    invalid_arg "Saturation: automaton is missing control states"
+
+let pre_star (pds : Pds.t) a =
+  check_states pds a;
+  let a = Nfa.copy a in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (r : Pds.rule) ->
+        let targets = Nfa.reach a r.q r.push in
+        Nfa.State_set.iter
+          (fun s ->
+            if not (Nfa.mem_trans a r.p r.gamma s) then begin
+              Nfa.add_trans a r.p r.gamma s;
+              changed := true
+            end)
+          targets)
+      pds.rules
+  done;
+  a
+
+(* Esparza-Hansel-Rossmanith-Schwoon pre*: process every transition once.
+   rel: transitions already added; delta2: for rules <p,g> -> <q,g' g''>,
+   pending "when (s, g'', s') appears, add (p, g, s')" obligations indexed
+   by (s, g''). *)
+let pre_star_worklist (pds : Pds.t) a =
+  check_states pds a;
+  List.iter
+    (fun (r : Pds.rule) ->
+      if List.length r.push > 2 then
+        invalid_arg "Saturation.pre_star_worklist: PDS not normalized")
+    pds.rules;
+  let a = Nfa.copy a in
+  let worklist = Queue.create () in
+  let enqueue (p, g, s) =
+    if not (Nfa.mem_trans a p g s) then begin
+      Nfa.add_trans a p g s;
+      Queue.add (p, g, s) worklist
+    end
+  in
+  (* existing transitions seed the worklist *)
+  List.iter (fun t -> Queue.add t worklist) (Nfa.transitions a);
+  (* pop rules <p,g> -> <q,eps> contribute immediately *)
+  List.iter
+    (fun (r : Pds.rule) ->
+      match r.push with [] -> enqueue (r.p, r.gamma, r.q) | _ -> ())
+    pds.rules;
+  let delta2 = Hashtbl.create 64 in
+  let add_obligation key v =
+    Hashtbl.replace delta2 key
+      (v :: Option.value ~default:[] (Hashtbl.find_opt delta2 key))
+  in
+  while not (Queue.is_empty worklist) do
+    let q, g, s = Queue.pop worklist in
+    (* discharged obligations *)
+    List.iter
+      (fun (p, gamma) -> enqueue (p, gamma, s))
+      (Option.value ~default:[] (Hashtbl.find_opt delta2 (q, g)));
+    List.iter
+      (fun (r : Pds.rule) ->
+        match r.push with
+        | [ g' ] when r.q = q && Label.equal g' g -> enqueue (r.p, r.gamma, s)
+        | [ g'; g'' ] when r.q = q && Label.equal g' g ->
+            (* need (s, g'', s') for each s'; register and replay *)
+            add_obligation (s, g'') (r.p, r.gamma);
+            Nfa.State_set.iter
+              (fun s' -> enqueue (r.p, r.gamma, s'))
+              (Nfa.reach a s [ g'' ])
+        | _ -> ())
+      pds.rules
+  done;
+  a
+
+let post_star (pds : Pds.t) a =
+  check_states pds a;
+  List.iter
+    (fun (r : Pds.rule) ->
+      if List.length r.push > 2 then
+        invalid_arg "Saturation.post_star: PDS not normalized")
+    pds.rules;
+  let a = Nfa.copy a in
+  (* One helper state per push-2 rule. *)
+  let helper =
+    List.filter_map
+      (fun (r : Pds.rule) ->
+        match r.push with
+        | [ _; _ ] -> Some (r, Nfa.add_state a)
+        | _ -> None)
+      pds.rules
+  in
+  let find_helper r = List.assq r (List.map (fun (r, s) -> (r, s)) helper) in
+  let gamma_targets p gamma =
+    (* all s with p -gamma->* s, allowing epsilon steps around the letter *)
+    Nfa.step a (Nfa.State_set.singleton p) gamma
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (r : Pds.rule) ->
+        let sources = gamma_targets r.p r.gamma in
+        match r.push with
+        | [] ->
+            Nfa.State_set.iter
+              (fun s ->
+                if not (Nfa.State_set.mem s (Nfa.eps_closure a (Nfa.State_set.singleton r.q)))
+                then begin
+                  Nfa.add_eps a r.q s;
+                  changed := true
+                end)
+              sources
+        | [ g' ] ->
+            Nfa.State_set.iter
+              (fun s ->
+                if not (Nfa.mem_trans a r.q g' s) then begin
+                  Nfa.add_trans a r.q g' s;
+                  changed := true
+                end)
+              sources
+        | [ g'; g'' ] ->
+            let h = find_helper r in
+            if not (Nfa.mem_trans a r.q g' h) then begin
+              Nfa.add_trans a r.q g' h;
+              changed := true
+            end;
+            Nfa.State_set.iter
+              (fun s ->
+                if not (Nfa.mem_trans a h g'' s) then begin
+                  Nfa.add_trans a h g'' s;
+                  changed := true
+                end)
+              sources
+        | _ -> assert false)
+      pds.rules
+  done;
+  a
+
+let accepts_config a p w = Nfa.accepts_from a p w
+
+let bfs_reachable ?(max_configs = 100_000) ?max_len (pds : Pds.t) ~start ~goal =
+  (* Configurations longer than [max_len] are pruned to keep memory
+     bounded on stack-growing systems; once anything is pruned, an empty
+     queue no longer proves unreachability, so the answer degrades from
+     [Some false] to [None]. *)
+  let max_len =
+    match max_len with
+    | Some m -> m
+    | None -> List.length (snd start) + List.length (snd goal) + 24
+  in
+  let seen = Hashtbl.create 256 in
+  let key (p, w) = (p, List.map Label.to_string w) in
+  let q = Queue.create () in
+  Hashtbl.add seen (key start) ();
+  Queue.add start q;
+  let budget = ref max_configs in
+  let pruned = ref false in
+  let rec go () =
+    if Queue.is_empty q then if !pruned then None else Some false
+    else if !budget <= 0 then None
+    else begin
+      decr budget;
+      let c = Queue.pop q in
+      if key c = key goal then Some true
+      else begin
+        List.iter
+          (fun c' ->
+            if List.length (snd c') > max_len then pruned := true
+            else if not (Hashtbl.mem seen (key c')) then begin
+              Hashtbl.add seen (key c') ();
+              Queue.add c' q
+            end)
+          (Pds.step pds c);
+        go ()
+      end
+    end
+  in
+  go ()

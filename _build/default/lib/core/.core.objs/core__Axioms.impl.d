@@ -1,0 +1,1 @@
+lib/core/axioms.ml: Format List Pathlang Printf Result String

@@ -1,0 +1,1 @@
+lib/core/axioms.mli: Format Pathlang

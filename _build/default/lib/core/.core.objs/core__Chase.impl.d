@@ -1,0 +1,1 @@
+lib/core/chase.ml: List Logs Pathlang Sgraph Verdict

@@ -1,0 +1,1 @@
+lib/core/chase.mli: Pathlang Sgraph Verdict

@@ -1,0 +1,1 @@
+lib/core/encode_mplus.ml: Hashtbl List Local_extent Monoid Pathlang Schema Sgraph

@@ -1,0 +1,1 @@
+lib/core/encode_mplus.mli: Monoid Pathlang Schema

@@ -1,0 +1,1 @@
+lib/core/encode_pwalpha.ml: Hashtbl List Monoid Pathlang Schema Sgraph

@@ -1,0 +1,1 @@
+lib/core/encode_pwalpha.mli: Monoid Pathlang Schema

@@ -1,0 +1,1 @@
+lib/core/encode_pwk.ml: Hashtbl List Monoid Pathlang Semidecide Sgraph

@@ -1,0 +1,1 @@
+lib/core/encode_pwk.mli: Chase Monoid Pathlang Sgraph Verdict

@@ -1,0 +1,1 @@
+lib/core/interaction.ml: Axioms Format List Local_extent Option Pathlang Schema Semidecide Sgraph Typed_m Typed_search Verdict Word_untyped

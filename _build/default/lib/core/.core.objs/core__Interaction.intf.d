@@ -1,0 +1,1 @@
+lib/core/interaction.mli: Chase Format Pathlang Schema Typed_m Typed_search Verdict

@@ -1,0 +1,1 @@
+lib/core/local_extent.ml: Format List Option Pathlang Sgraph Word_untyped

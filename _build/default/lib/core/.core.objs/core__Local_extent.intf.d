@@ -1,0 +1,1 @@
+lib/core/local_extent.mli: Pathlang Sgraph

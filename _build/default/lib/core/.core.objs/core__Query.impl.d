@@ -1,0 +1,1 @@
+lib/core/query.ml: Format List Option Pathlang Schema Sgraph Typed_m Word_untyped

@@ -1,0 +1,1 @@
+lib/core/semidecide.ml: Chase List Pathlang Sgraph Verdict

@@ -1,0 +1,1 @@
+lib/core/semidecide.mli: Chase Pathlang Verdict

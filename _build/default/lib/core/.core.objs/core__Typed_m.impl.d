@@ -1,0 +1,1 @@
+lib/core/typed_m.ml: Array Axioms Format Fun Hashtbl List Option Pathlang Queue Random Schema Seq Sgraph

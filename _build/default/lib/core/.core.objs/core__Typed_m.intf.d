@@ -1,0 +1,1 @@
+lib/core/typed_m.mli: Axioms Pathlang Random Schema

@@ -1,0 +1,1 @@
+lib/core/typed_search.ml: Array List Pathlang Schema Sgraph

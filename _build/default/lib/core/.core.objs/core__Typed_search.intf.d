@@ -1,0 +1,1 @@
+lib/core/typed_search.mli: Pathlang Schema

@@ -1,0 +1,1 @@
+lib/core/word_untyped.ml: Automata Axioms Format Hashtbl List Pathlang Queue

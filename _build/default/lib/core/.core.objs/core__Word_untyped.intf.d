@@ -1,0 +1,1 @@
+lib/core/word_untyped.mli: Axioms Pathlang

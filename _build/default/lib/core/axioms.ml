@@ -1,0 +1,312 @@
+module Constr = Pathlang.Constr
+module Path = Pathlang.Path
+
+type t =
+  | Axiom of Constr.t
+  | Reflexivity of Path.t
+  | Transitivity of t * t
+  | Right_congruence of t * Path.t
+  | Commutativity of t
+  | Forward_to_word of t
+  | Word_to_forward of t * Path.t
+  | Backward_to_word of t
+  | Word_to_backward of t * Path.t * Path.t
+
+let ( let* ) r f = Result.bind r f
+
+let as_word_conclusion c =
+  match Constr.as_word c with
+  | Some (l, r) -> Ok (l, r)
+  | None ->
+      Error (Format.asprintf "expected a word constraint, got %a" Constr.pp c)
+
+let rec conclusion = function
+  | Axiom c -> Ok c
+  | Reflexivity alpha -> Ok (Constr.word ~lhs:alpha ~rhs:alpha)
+  | Transitivity (d1, d2) ->
+      let* c1 = conclusion d1 in
+      let* c2 = conclusion d2 in
+      let* l1, r1 = as_word_conclusion c1 in
+      let* l2, r2 = as_word_conclusion c2 in
+      if Path.equal r1 l2 then Ok (Constr.word ~lhs:l1 ~rhs:r2)
+      else
+        Error
+          (Format.asprintf "transitivity: middle paths differ (%a vs %a)"
+             Path.pp r1 Path.pp l2)
+  | Right_congruence (d, gamma) ->
+      let* c = conclusion d in
+      let* l, r = as_word_conclusion c in
+      Ok (Constr.word ~lhs:(Path.concat l gamma) ~rhs:(Path.concat r gamma))
+  | Commutativity d ->
+      let* c = conclusion d in
+      let* l, r = as_word_conclusion c in
+      Ok (Constr.word ~lhs:r ~rhs:l)
+  | Forward_to_word d -> (
+      let* c = conclusion d in
+      match Constr.kind c with
+      | Constr.Forward ->
+          Ok
+            (Constr.word
+               ~lhs:(Path.concat (Constr.prefix c) (Constr.lhs c))
+               ~rhs:(Path.concat (Constr.prefix c) (Constr.rhs c)))
+      | Constr.Backward ->
+          Error "forward-to-word applied to a backward constraint")
+  | Word_to_forward (d, alpha) -> (
+      let* c = conclusion d in
+      let* l, r = as_word_conclusion c in
+      match
+        (Path.strip_prefix ~prefix:alpha l, Path.strip_prefix ~prefix:alpha r)
+      with
+      | Some beta, Some gamma ->
+          Ok (Constr.forward ~prefix:alpha ~lhs:beta ~rhs:gamma)
+      | _ ->
+          Error
+            (Format.asprintf "word-to-forward: %a is not a common prefix"
+               Path.pp alpha))
+  | Backward_to_word d -> (
+      let* c = conclusion d in
+      match Constr.kind c with
+      | Constr.Backward ->
+          Ok
+            (Constr.word ~lhs:(Constr.prefix c)
+               ~rhs:
+                 (Path.concat (Constr.prefix c)
+                    (Path.concat (Constr.lhs c) (Constr.rhs c))))
+      | Constr.Forward ->
+          Error "backward-to-word applied to a forward constraint")
+  | Word_to_backward (d, alpha, beta) -> (
+      let* c = conclusion d in
+      let* l, r = as_word_conclusion c in
+      if not (Path.equal l alpha) then
+        Error "word-to-backward: left side is not the given prefix"
+      else
+        match Path.strip_prefix ~prefix:(Path.concat alpha beta) r with
+        | Some gamma -> Ok (Constr.backward ~prefix:alpha ~lhs:beta ~rhs:gamma)
+        | None ->
+            Error "word-to-backward: right side does not extend prefix.body")
+
+let rec axioms_used = function
+  | Axiom c -> [ c ]
+  | Reflexivity _ -> []
+  | Transitivity (d1, d2) -> axioms_used d1 @ axioms_used d2
+  | Right_congruence (d, _)
+  | Commutativity d
+  | Forward_to_word d
+  | Word_to_forward (d, _)
+  | Backward_to_word d
+  | Word_to_backward (d, _, _) ->
+      axioms_used d
+
+let check ~sigma d =
+  let* c = conclusion d in
+  match
+    List.find_opt
+      (fun a -> not (List.exists (Constr.equal a) sigma))
+      (axioms_used d)
+  with
+  | Some a ->
+      Error (Format.asprintf "axiom %a is not in Sigma" Constr.pp a)
+  | None -> Ok c
+
+let proves ~sigma ~goal d =
+  match check ~sigma d with Ok c -> Constr.equal c goal | Error _ -> false
+
+let rec size = function
+  | Axiom _ | Reflexivity _ -> 1
+  | Transitivity (d1, d2) -> 1 + size d1 + size d2
+  | Right_congruence (d, _)
+  | Commutativity d
+  | Forward_to_word d
+  | Word_to_forward (d, _)
+  | Backward_to_word d
+  | Word_to_backward (d, _, _) ->
+      1 + size d
+
+let is_word_conclusion d =
+  match conclusion d with Ok c -> Constr.is_word c | Error _ -> false
+
+let rec simplify d =
+  let d =
+    match d with
+    | Axiom _ | Reflexivity _ -> d
+    | Transitivity (a, b) -> Transitivity (simplify a, simplify b)
+    | Right_congruence (a, g) -> Right_congruence (simplify a, g)
+    | Commutativity a -> Commutativity (simplify a)
+    | Forward_to_word a -> Forward_to_word (simplify a)
+    | Word_to_forward (a, p) -> Word_to_forward (simplify a, p)
+    | Backward_to_word a -> Backward_to_word (simplify a)
+    | Word_to_backward (a, p, b) -> Word_to_backward (simplify a, p, b)
+  in
+  match d with
+  | Commutativity (Commutativity a) -> a
+  | Commutativity (Reflexivity p) -> Reflexivity p
+  | Right_congruence (a, g) when Path.is_empty g -> a
+  | Right_congruence (Right_congruence (a, g1), g2) ->
+      Right_congruence (a, Path.concat g1 g2)
+  | Right_congruence (Reflexivity p, g) -> Reflexivity (Path.concat p g)
+  | Transitivity (Reflexivity _, a) when is_word_conclusion a -> a
+  | Transitivity (a, Reflexivity _) when is_word_conclusion a -> a
+  | d -> d
+
+let rule_name = function
+  | Axiom _ -> "axiom"
+  | Reflexivity _ -> "reflexivity"
+  | Transitivity _ -> "transitivity"
+  | Right_congruence _ -> "right-congruence"
+  | Commutativity _ -> "commutativity"
+  | Forward_to_word _ -> "forward-to-word"
+  | Word_to_forward _ -> "word-to-forward"
+  | Backward_to_word _ -> "backward-to-word"
+  | Word_to_backward _ -> "word-to-backward"
+
+(* --- serialization ---------------------------------------------------- *)
+
+let quote s = "\"" ^ s ^ "\""
+
+let rec to_sexp = function
+  | Axiom c -> Printf.sprintf "(axiom %s)" (quote (Constr.to_string c))
+  | Reflexivity p -> Printf.sprintf "(refl %s)" (quote (Path.to_string p))
+  | Transitivity (a, b) -> Printf.sprintf "(trans %s %s)" (to_sexp a) (to_sexp b)
+  | Right_congruence (a, g) ->
+      Printf.sprintf "(rcong %s %s)" (to_sexp a) (quote (Path.to_string g))
+  | Commutativity a -> Printf.sprintf "(comm %s)" (to_sexp a)
+  | Forward_to_word a -> Printf.sprintf "(f2w %s)" (to_sexp a)
+  | Word_to_forward (a, p) ->
+      Printf.sprintf "(w2f %s %s)" (to_sexp a) (quote (Path.to_string p))
+  | Backward_to_word a -> Printf.sprintf "(b2w %s)" (to_sexp a)
+  | Word_to_backward (a, p, b) ->
+      Printf.sprintf "(w2b %s %s %s)" (to_sexp a)
+        (quote (Path.to_string p))
+        (quote (Path.to_string b))
+
+type token = Lparen | Rparen | Atom of string | Str of string
+
+exception Parse of string
+
+let tokenize src =
+  let tokens = ref [] in
+  let n = String.length src in
+  let i = ref 0 in
+  while !i < n do
+    (match src.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '(' ->
+        tokens := Lparen :: !tokens;
+        incr i
+    | ')' ->
+        tokens := Rparen :: !tokens;
+        incr i
+    | '"' ->
+        let j = ref (!i + 1) in
+        while !j < n && src.[!j] <> '"' do
+          incr j
+        done;
+        if !j >= n then raise (Parse "unterminated string");
+        tokens := Str (String.sub src (!i + 1) (!j - !i - 1)) :: !tokens;
+        i := !j + 1
+    | _ ->
+        let j = ref !i in
+        while
+          !j < n
+          && not (List.mem src.[!j] [ ' '; '\t'; '\n'; '\r'; '('; ')'; '"' ])
+        do
+          incr j
+        done;
+        tokens := Atom (String.sub src !i (!j - !i)) :: !tokens;
+        i := !j)
+  done;
+  List.rev !tokens
+
+let of_sexp src =
+  let parse_path s =
+    match Path.of_string s with
+    | p -> p
+    | exception Invalid_argument m -> raise (Parse m)
+  in
+  let parse_constr s =
+    match Pathlang.Parser.constraint_of_string s with
+    | Ok c -> c
+    | Error m -> raise (Parse m)
+  in
+  let rec parse = function
+    | Lparen :: Atom tag :: rest -> (
+        match tag with
+        | "axiom" -> (
+            match rest with
+            | Str s :: Rparen :: rest -> (Axiom (parse_constr s), rest)
+            | _ -> raise (Parse "axiom expects one string"))
+        | "refl" -> (
+            match rest with
+            | Str s :: Rparen :: rest -> (Reflexivity (parse_path s), rest)
+            | _ -> raise (Parse "refl expects one string"))
+        | "trans" ->
+            let a, rest = parse rest in
+            let b, rest = parse rest in
+            (match rest with
+            | Rparen :: rest -> (Transitivity (a, b), rest)
+            | _ -> raise (Parse "trans: missing )"))
+        | "rcong" -> (
+            let a, rest = parse rest in
+            match rest with
+            | Str s :: Rparen :: rest ->
+                (Right_congruence (a, parse_path s), rest)
+            | _ -> raise (Parse "rcong expects a derivation and a path"))
+        | "comm" ->
+            let a, rest = parse rest in
+            (match rest with
+            | Rparen :: rest -> (Commutativity a, rest)
+            | _ -> raise (Parse "comm: missing )"))
+        | "f2w" ->
+            let a, rest = parse rest in
+            (match rest with
+            | Rparen :: rest -> (Forward_to_word a, rest)
+            | _ -> raise (Parse "f2w: missing )"))
+        | "w2f" -> (
+            let a, rest = parse rest in
+            match rest with
+            | Str s :: Rparen :: rest -> (Word_to_forward (a, parse_path s), rest)
+            | _ -> raise (Parse "w2f expects a derivation and a path"))
+        | "b2w" ->
+            let a, rest = parse rest in
+            (match rest with
+            | Rparen :: rest -> (Backward_to_word a, rest)
+            | _ -> raise (Parse "b2w: missing )"))
+        | "w2b" -> (
+            let a, rest = parse rest in
+            match rest with
+            | Str p :: Str b :: Rparen :: rest ->
+                (Word_to_backward (a, parse_path p, parse_path b), rest)
+            | _ -> raise (Parse "w2b expects a derivation and two paths"))
+        | t -> raise (Parse ("unknown rule " ^ t)))
+    | _ -> raise (Parse "expected ( rule ...)")
+  in
+  match parse (tokenize src) with
+  | d, [] -> Ok d
+  | _, _ -> Error "trailing tokens"
+  | exception Parse m -> Error m
+
+let pp ppf d =
+  let rec go indent d =
+    let pad = String.make indent ' ' in
+    let concl =
+      match conclusion d with
+      | Ok c -> Constr.to_string c
+      | Error e -> "<malformed: " ^ e ^ ">"
+    in
+    Format.fprintf ppf "%s%s: %s@," pad (rule_name d) concl;
+    match d with
+    | Axiom _ | Reflexivity _ -> ()
+    | Transitivity (d1, d2) ->
+        go (indent + 2) d1;
+        go (indent + 2) d2
+    | Right_congruence (d, _)
+    | Commutativity d
+    | Forward_to_word d
+    | Word_to_forward (d, _)
+    | Backward_to_word d
+    | Word_to_backward (d, _, _) ->
+        go (indent + 2) d
+  in
+  Format.fprintf ppf "@[<v>";
+  go 0 d;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,77 @@
+(** The finite axiomatization I_r of P_c implication in the model M
+    (Section 4.2, Theorem 4.9), as machine-checkable proof objects.
+
+    The eight rules:
+    {ul
+    {- Reflexivity: [|- alpha -> alpha]}
+    {- Transitivity: [alpha -> beta, beta -> gamma |- alpha -> gamma]}
+    {- Right-congruence: [alpha -> beta |- alpha.gamma -> beta.gamma]}
+    {- Commutativity: [alpha -> beta |- beta -> alpha]}
+    {- Forward-to-word: [forall x (alpha(r,x) -> forall y (beta(x,y) ->
+       gamma(x,y)))  |-  alpha.beta -> alpha.gamma]}
+    {- Word-to-forward: the converse}
+    {- Backward-to-word: [forall x (alpha(r,x) -> forall y (beta(x,y) ->
+       gamma(y,x)))  |-  alpha -> alpha.beta.gamma]}
+    {- Word-to-backward: the converse}}
+
+    where [alpha -> beta] abbreviates the word constraint
+    [forall x (alpha(r,x) -> beta(r,x))].  The first three rules are the
+    complete system of [4] for untyped word constraints; the remaining
+    five are sound only over [U(Delta)] for an M schema (commutativity,
+    for instance, fails badly on untyped data), which is where the
+    interaction between path and type constraints becomes visible.
+
+    [Typed_m.decide] emits these derivations; {!check} re-verifies them
+    independently, so a positive answer of the cubic procedure carries a
+    certificate. *)
+
+type t =
+  | Axiom of Pathlang.Constr.t  (** a member of Sigma *)
+  | Reflexivity of Pathlang.Path.t
+  | Transitivity of t * t
+  | Right_congruence of t * Pathlang.Path.t
+  | Commutativity of t
+  | Forward_to_word of t
+  | Word_to_forward of t * Pathlang.Path.t
+      (** the path is the prefix [alpha] at which to split *)
+  | Backward_to_word of t
+  | Word_to_backward of t * Pathlang.Path.t * Pathlang.Path.t
+      (** prefix [alpha] and body [beta] at which to split *)
+
+val conclusion : t -> (Pathlang.Constr.t, string) result
+(** The constraint a derivation proves; [Error] if some rule application
+    is malformed (mismatched middle path, bad split, ...). *)
+
+val check :
+  sigma:Pathlang.Constr.t list -> t -> (Pathlang.Constr.t, string) result
+(** {!conclusion} plus the check that every [Axiom] leaf is a member of
+    [sigma] (up to {!Pathlang.Constr.equal}). *)
+
+val proves :
+  sigma:Pathlang.Constr.t list -> goal:Pathlang.Constr.t -> t -> bool
+(** The derivation checks and concludes exactly [goal]. *)
+
+val size : t -> int
+(** Number of rule applications. *)
+
+val simplify : t -> t
+(** Conclusion-preserving cleanup: drops double commutativity, fuses
+    commutativity through transitivity symmetrically, removes
+    reflexivity units of transitivity, and merges nested
+    right-congruences.  For well-formed derivations,
+    [conclusion (simplify d) = conclusion d] and
+    [size (simplify d) <= size d] (both property-tested); on malformed
+    derivations the result is unspecified. *)
+
+val axioms_used : t -> Pathlang.Constr.t list
+
+val pp : Format.formatter -> t -> unit
+(** Indented rule-by-rule rendering with conclusions. *)
+
+val to_sexp : t -> string
+(** Compact machine-readable serialization, e.g.
+    [(trans (axiom "a -> b") (axiom "b -> c"))].  Round-trips through
+    {!of_sexp} (property-tested), so certificates can be stored and
+    re-checked out of process (see [pathctl check-proof]). *)
+
+val of_sexp : string -> (t, string) result

@@ -1,0 +1,114 @@
+module Constr = Pathlang.Constr
+module Path = Pathlang.Path
+module Graph = Sgraph.Graph
+module Check = Sgraph.Check
+module Eval = Sgraph.Eval
+
+let src = Logs.Src.create "pathcons.chase" ~doc:"budgeted P_c chase"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type budget = { max_steps : int; max_nodes : int }
+
+let default_budget = { max_steps = 2000; max_nodes = 2000 }
+
+type outcome = Fixpoint of Graph.t | Exhausted of Graph.t
+
+let merge g a b =
+  if a = b then (Graph.copy g, fun n -> n)
+  else begin
+    (* Keep the root: merge into the smaller id (so 0 absorbs). *)
+    let target = min a b and victim = max a b in
+    let rename n =
+      let n = if n = victim then target else n in
+      if n > victim then n - 1 else n
+    in
+    let h = Graph.create () in
+    for _ = 2 to Graph.node_count g - 1 do
+      ignore (Graph.add_node h)
+    done;
+    List.iter (fun (x, k, y) -> Graph.add_edge h (rename x) k (rename y)) (Graph.edges g);
+    (h, rename)
+  end
+
+(* One repair for the first violation found; [None] when G |= Sigma. *)
+let repair g sigma =
+  let rec find = function
+    | [] -> None
+    | c :: rest -> (
+        match Check.violations g c with
+        | [] -> find rest
+        | (x, y) :: _ -> Some (c, x, y))
+  in
+  match find sigma with
+  | None -> None
+  | Some (c, x, y) ->
+      let rhs = Constr.rhs c in
+      let merged_or_added =
+        match (Constr.kind c, Path.is_empty rhs) with
+        | Constr.Forward, true -> `Merge (x, y)
+        | Constr.Backward, true -> `Merge (y, x)
+        | Constr.Forward, false -> `Add (x, rhs, y)
+        | Constr.Backward, false -> `Add (y, rhs, x)
+      in
+      Some
+        (match merged_or_added with
+        | `Merge (a, b) ->
+            Log.debug (fun m ->
+                m "EGD repair for %a: merge %d and %d" Constr.pp c a b);
+            let g', rename = merge g a b in
+            (g', rename)
+        | `Add (node_src, rho, dst) ->
+            Log.debug (fun m ->
+                m "TGD repair for %a: add %a-path %d ~> %d" Constr.pp c Path.pp
+                  rho node_src dst);
+            let g' = Graph.copy g in
+            Graph.add_path g' node_src rho dst;
+            (g', fun n -> n))
+
+(* Fairness: rotate the constraint list as steps accumulate so a diverging
+   dependency cannot starve the others. *)
+let rotate sigma steps =
+  match sigma with
+  | [] -> []
+  | _ ->
+      let n = List.length sigma in
+      let k = steps mod n in
+      let rec split i acc = function
+        | rest when i = k -> rest @ List.rev acc
+        | x :: rest -> split (i + 1) (x :: acc) rest
+        | [] -> List.rev acc
+      in
+      split 0 [] sigma
+
+let run ?(budget = default_budget) ?(tracked = []) g sigma =
+  let rec go steps g tracked =
+    if steps >= budget.max_steps || Graph.node_count g > budget.max_nodes then
+      (Exhausted g, tracked)
+    else
+      match repair g (rotate sigma steps) with
+      | None -> (Fixpoint g, tracked)
+      | Some (g', rename) -> go (steps + 1) g' (List.map rename tracked)
+  in
+  go 0 (Graph.copy g) tracked
+
+let conclusion_holds g phi x y =
+  match Constr.kind phi with
+  | Constr.Forward -> Eval.holds_between g x (Constr.rhs phi) y
+  | Constr.Backward -> Eval.holds_between g y (Constr.rhs phi) x
+
+let implies ?(budget = default_budget) ~sigma phi =
+  (* Canonical database of phi's premise. *)
+  let g = Graph.create () in
+  let x = Graph.ensure_path g (Graph.root g) (Constr.prefix phi) in
+  let y = Graph.ensure_path g x (Constr.lhs phi) in
+  let rec go steps g x y =
+    if conclusion_holds g phi x y then Verdict.Implied
+    else if steps >= budget.max_steps || Graph.node_count g > budget.max_nodes
+    then Verdict.Unknown
+    else
+      match repair g (rotate sigma steps) with
+      | None -> Verdict.Refuted g
+      | Some (g', rename) -> go (steps + 1) g' (rename x) (rename y)
+  in
+  go 0 g x y

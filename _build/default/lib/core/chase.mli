@@ -1,0 +1,46 @@
+(** A budgeted chase for P_c constraints.
+
+    Every P_c constraint is a tuple/equality-generating dependency over
+    the binary signature: a forward constraint
+    [forall x (alpha(r,x) -> forall y (beta(x,y) -> gamma(x,y)))]
+    with [gamma <> eps] asks for a [gamma]-path from [x] to [y] (a TGD:
+    repair by adding a fresh path), and with [gamma = eps] asks for
+    [x = y] (an EGD: repair by merging nodes); backward constraints are
+    symmetric.  Chasing the canonical database of [phi]'s premise with
+    [Sigma] therefore semi-decides [Sigma |= phi]:
+    - if the conclusion becomes true at any finite stage, [phi] is
+      implied (each chase step is a logical consequence of [Sigma]);
+    - if the chase reaches a fixpoint with the conclusion still false,
+      the result is a finite model of [Sigma /\ not phi];
+    - otherwise the budget runs out ([Unknown]) — unavoidable, since
+      the problem is undecidable (Theorem 4.1). *)
+
+type budget = { max_steps : int; max_nodes : int }
+
+val default_budget : budget
+(** 2000 steps / 2000 nodes. *)
+
+type outcome =
+  | Fixpoint of Sgraph.Graph.t  (** all constraints hold *)
+  | Exhausted of Sgraph.Graph.t
+
+val run :
+  ?budget:budget ->
+  ?tracked:Sgraph.Graph.node list ->
+  Sgraph.Graph.t ->
+  Pathlang.Constr.t list ->
+  outcome * Sgraph.Graph.node list
+(** Chases a copy of the graph.  [tracked] nodes are followed through
+    merges and returned re-addressed. *)
+
+val implies :
+  ?budget:budget ->
+  sigma:Pathlang.Constr.t list ->
+  Pathlang.Constr.t ->
+  Verdict.t
+
+val merge : Sgraph.Graph.t -> Sgraph.Graph.node -> Sgraph.Graph.node
+  -> Sgraph.Graph.t * (Sgraph.Graph.node -> Sgraph.Graph.node)
+(** [merge g a b] identifies the two nodes (the root stays the root) and
+    returns the contracted graph with the renaming.  Exposed for the
+    typed-countermodel builders and tests. *)

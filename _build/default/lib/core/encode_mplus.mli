@@ -1,0 +1,69 @@
+(** The reduction behind Theorem 5.2: the word problem for (finite)
+    monoids encoded as the (finite) implication problem for local extent
+    constraints in the object-oriented model M+ (Section 5.2,
+    Lemma 5.4).
+
+    For a presentation over [Gamma_0 = {l_1, ..., l_m}], the M+ schema
+    [Delta_1] is
+    {ul
+    {- [C |-> [l_1 : C; ...; l_m : C]] — the free-monoid action,}
+    {- [C_s |-> {C}] — a set of [C] objects,}
+    {- [C_l |-> [a : C; b : C_s; K : C_l]],}
+    {- [DBtype = [l : C_l]].}}
+
+    [Sigma] (a subset of P_c with prefix bounded by [l] and [K]):
+    {ol
+    {- [forall x (l.K(r,x) -> forall y (a(x,y) -> b.*(x,y)))]}
+    {- [forall x (l.K(r,x) -> forall y (b.*.l_j(x,y) -> b.*(x,y)))] for
+       each generator}
+    {- [forall x (l.b.*(r,x) -> forall y (alpha_i(x,y) -> beta_i(x,y)))]
+       (and its converse) for each equation — the converse direction is
+       included, matching the symmetric treatment in Lemma 4.5; the
+       12-page version displays only one direction (the full proof lives
+       in the technical report), and including both keeps every
+       direction of the reduction checkable, see DESIGN.md}
+    {- [forall x (l(r,x) -> forall y (eps(x,y) -> K(x,y)))] — forcing
+       the [K] self-loop on the unique [l]-node.}}
+
+    The test [(alpha, beta)] becomes
+    [phi = forall x (l.K(r,x) -> forall y (a.alpha(x,y) ->
+    a.beta(x,y)))], which is bounded by [l] and [K].
+
+    On {e untyped} data this instance is decidable in PTIME
+    (Theorem 5.1) and essentially always refutable; under [Phi(Delta_1)]
+    it is equivalent to the monoid word problem — the concrete
+    manifestation of "adding a type system makes implication harder". *)
+
+type encoding = {
+  schema : Schema.Mschema.t;  (** [Delta_1] *)
+  sigma : Pathlang.Constr.t list;
+  l : Pathlang.Label.t;
+  k : Pathlang.Label.t;
+  a : Pathlang.Label.t;
+  b : Pathlang.Label.t;
+}
+
+val encode : Monoid.Presentation.t -> encoding
+(** The bookkeeping labels [l], [K], [a], [b] are primed until fresh
+    with respect to the generators.
+    @raise Invalid_argument if the presentation uses [*] as a
+    generator. *)
+
+val encode_test :
+  encoding -> Pathlang.Path.t * Pathlang.Path.t -> Pathlang.Constr.t
+(** [phi_(alpha,beta)]. *)
+
+val figure4 : encoding -> Monoid.Hom.t -> Schema.Typecheck.t
+(** The typed structure of Figure 4, built from a homomorphism into a
+    finite monoid: the unique [C_l] node with its [K] self-loop, an [a]
+    edge to the identity element, a [b] edge to the set of all elements
+    of the generated submonoid, and the Cayley action on [C] nodes.
+    When [h] respects the presentation, the result satisfies
+    [Phi(Delta_1) /\ Sigma]; when [h] separates the test pair,
+    [phi_(alpha,beta)] fails.  Verified by the test suite. *)
+
+val untyped_implies :
+  encoding -> Pathlang.Path.t * Pathlang.Path.t -> (bool, string) result
+(** The same instance under the {e untyped} local-extent procedure
+    (Theorem 5.1): the answer the data gives {e before} the type
+    constraint is imposed. *)

@@ -1,0 +1,116 @@
+module Constr = Pathlang.Constr
+module Path = Pathlang.Path
+module Label = Pathlang.Label
+module Fragment = Pathlang.Fragment
+module Graph = Sgraph.Graph
+module Mtype = Schema.Mtype
+module Mschema = Schema.Mschema
+module SG = Schema.Schema_graph
+module Typecheck = Schema.Typecheck
+module Presentation = Monoid.Presentation
+module Hom = Monoid.Hom
+module FM = Monoid.Finite_monoid
+
+type encoding = {
+  schema : Mschema.t;
+  sigma : Constr.t list;
+  l : Label.t;
+  a : Label.t;
+  b : Label.t;
+}
+
+let encode pres =
+  let gens = Presentation.gens pres in
+  if List.exists (fun g -> Label.to_string g = "*") gens then
+    invalid_arg "Encode_pwalpha.encode: '*' cannot be a generator";
+  let taken = List.map Label.to_string gens in
+  let fresh base =
+    let rec go name = if List.mem name taken then go (name ^ "'") else name in
+    Label.make (go base)
+  in
+  let l = fresh "l" and a = fresh "a" and b = fresh "b" in
+  let c = Mtype.cname "C" and cs = Mtype.cname "Cs" and cl = Mtype.cname "Cl" in
+  let schema =
+    Mschema.make_exn ~kind:Mschema.M_plus
+      ~classes:
+        [
+          (c, Mtype.Record (List.map (fun lj -> (lj, Mtype.Class c)) gens));
+          (cs, Mtype.Set (Mtype.Class c));
+          (cl, Mtype.Record [ (a, Mtype.Class c); (b, Mtype.Class cs) ]);
+        ]
+      ~dbtype:(Mtype.Record [ (l, Mtype.Class cl) ])
+  in
+  let lp = Path.singleton l in
+  let b_star = Path.of_labels [ b; SG.star ] in
+  let sigma =
+    Constr.forward ~prefix:lp ~lhs:(Path.singleton a) ~rhs:b_star
+    :: List.map
+         (fun lj -> Constr.forward ~prefix:lp ~lhs:(Path.snoc b_star lj) ~rhs:b_star)
+         gens
+    @ List.concat_map
+        (fun (u, v) ->
+          [
+            Constr.forward ~prefix:lp ~lhs:(Path.concat b_star u)
+              ~rhs:(Path.concat b_star v);
+            Constr.forward ~prefix:lp ~lhs:(Path.concat b_star v)
+              ~rhs:(Path.concat b_star u);
+          ])
+        (Presentation.relations pres)
+  in
+  { schema; sigma; l; a; b }
+
+let encode_test enc (alpha, beta) =
+  Constr.forward ~prefix:(Path.singleton enc.l) ~lhs:(Path.cons enc.a alpha)
+    ~rhs:(Path.cons enc.a beta)
+
+let in_fragment enc sigma =
+  Fragment.check_all (Fragment.in_pw_path ~rho:(Path.singleton enc.l)) sigma
+
+let countermodel enc hom =
+  let m = Hom.monoid hom in
+  let gen_map = Hom.gen_map hom in
+  let g = Graph.create () in
+  let typed = Typecheck.make g [] in
+  let set_t = Typecheck.set_type typed in
+  set_t (Graph.root g) (Mschema.dbtype enc.schema);
+  let o = Graph.add_node g in
+  set_t o (Mtype.Class (Mtype.cname "Cl"));
+  Graph.add_edge g (Graph.root g) enc.l o;
+  let node_of = Hashtbl.create 16 in
+  let fresh x =
+    let n = Graph.add_node g in
+    set_t n (Mtype.Class (Mtype.cname "C"));
+    Hashtbl.replace node_of x n;
+    n
+  in
+  ignore (fresh (FM.one m));
+  let rec close = function
+    | [] -> ()
+    | x :: rest ->
+        let next =
+          List.filter_map
+            (fun (_, img) ->
+              let y = FM.mul m x img in
+              if Hashtbl.mem node_of y then None
+              else begin
+                ignore (fresh y);
+                Some y
+              end)
+            gen_map
+        in
+        close (rest @ next)
+  in
+  close [ FM.one m ];
+  Hashtbl.iter
+    (fun x n ->
+      List.iter
+        (fun (lj, img) ->
+          Graph.add_edge g n lj (Hashtbl.find node_of (FM.mul m x img)))
+        gen_map)
+    node_of;
+  let s = Graph.add_node g in
+  set_t s (Mtype.Class (Mtype.cname "Cs"));
+  Graph.add_edge g o enc.b s;
+  Hashtbl.iter (fun _ n -> Graph.add_edge g s SG.star n) node_of;
+  Graph.add_edge g o enc.a (Hashtbl.find node_of (FM.one m));
+  typed

@@ -1,0 +1,51 @@
+(** The reduction behind Theorem 6.1: implication of the fragment
+    P_w(rho) — word constraints plus word constraints relativized to a
+    fixed prefix rho (Section 6) — is undecidable in the model M+.
+
+    The 12-page paper states the theorem and leaves the construction to
+    the technical report [10]; the encoding implemented here is the
+    natural specialization of Lemma 5.4 with the [K] bookkeeping
+    removed, so that {e every} constraint carries the same prefix
+    [rho = l] and the instance lies inside P_w(l):
+
+    schema [Delta_2]:
+    [C |-> [l_1 : C; ...; l_m : C]], [C_s |-> {C}],
+    [C_l |-> [a : C; b : C_s]], [DBtype = [l : C_l]];
+
+    [Sigma] (all with prefix [l]):
+    {ol
+    {- [a -> b.star]}
+    {- [b.star.l_j -> b.star] for each generator}
+    {- [(b.*.alpha_i -> b.*.beta_i)] and converse, for each equation}}
+
+    test: [(l : a.alpha -> a.beta)].
+
+    Correctness mirrors Lemma 5.4: a separating homomorphism into a
+    finite monoid yields the quotient countermodel ({!countermodel});
+    an equational proof of [alpha = beta] forces the test constraint in
+    every structure of [U(Delta_2)] because the member set is closed
+    under the generator action and label-deterministic on it.  Both
+    directions are exercised by the test suite. *)
+
+type encoding = {
+  schema : Schema.Mschema.t;
+  sigma : Pathlang.Constr.t list;
+  l : Pathlang.Label.t;
+  a : Pathlang.Label.t;
+  b : Pathlang.Label.t;
+}
+
+val encode : Monoid.Presentation.t -> encoding
+(** The bookkeeping labels [l], [a], [b] are primed until fresh with
+    respect to the generators.
+    @raise Invalid_argument if the presentation uses [*] as a
+    generator. *)
+
+val encode_test :
+  encoding -> Pathlang.Path.t * Pathlang.Path.t -> Pathlang.Constr.t
+
+val in_fragment : encoding -> Pathlang.Constr.t list -> (unit, Pathlang.Constr.t) result
+(** Membership of the instance in P_w(l). *)
+
+val countermodel : encoding -> Monoid.Hom.t -> Schema.Typecheck.t
+(** The Figure-4 structure without the [K] loop. *)

@@ -1,0 +1,92 @@
+module Constr = Pathlang.Constr
+module Path = Pathlang.Path
+module Label = Pathlang.Label
+module Fragment = Pathlang.Fragment
+module Graph = Sgraph.Graph
+module Presentation = Monoid.Presentation
+module Hom = Monoid.Hom
+module FM = Monoid.Finite_monoid
+
+let default_k pres =
+  let gens = List.map Label.to_string (Presentation.gens pres) in
+  let rec go name = if List.mem name gens then go (name ^ "'") else name in
+  Label.make (go "K")
+
+let encode ?k pres =
+  let k = match k with Some k -> k | None -> default_k pres in
+  if List.exists (Label.equal k) (Presentation.gens pres) then
+    invalid_arg "Encode_pwk.encode: K collides with a generator";
+  let kp = Path.singleton k in
+  let base =
+    Constr.word ~lhs:Path.empty ~rhs:kp
+    :: List.map
+         (fun l -> Constr.word ~lhs:(Path.snoc kp l) ~rhs:kp)
+         (Presentation.gens pres)
+  in
+  let eqs =
+    List.concat_map
+      (fun (u, v) ->
+        [
+          Constr.forward ~prefix:kp ~lhs:u ~rhs:v;
+          Constr.forward ~prefix:kp ~lhs:v ~rhs:u;
+        ])
+      (Presentation.relations pres)
+  in
+  base @ eqs
+
+let encode_test (alpha, beta) =
+  (Constr.word ~lhs:alpha ~rhs:beta, Constr.word ~lhs:beta ~rhs:alpha)
+
+let in_fragment ~k sigma = Fragment.check_all (Fragment.in_pw_k ~k) sigma
+
+let figure2 ?k hom =
+  let m = Hom.monoid hom in
+  let gen_map = Hom.gen_map hom in
+  let k =
+    match k with
+    | Some k -> k
+    | None ->
+        let gens = List.map (fun (g, _) -> Label.to_string g) gen_map in
+        let rec go name = if List.mem name gens then go (name ^ "'") else name in
+        Label.make (go "K")
+  in
+  (* Reachable submonoid from the identity under right multiplication by
+     generator images. *)
+  let g = Graph.create () in
+  let node_of = Hashtbl.create 16 in
+  Hashtbl.replace node_of (FM.one m) (Graph.root g);
+  let rec close frontier =
+    match frontier with
+    | [] -> ()
+    | x :: rest ->
+        let next =
+          List.filter_map
+            (fun (_, img) ->
+              let y = FM.mul m x img in
+              if Hashtbl.mem node_of y then None
+              else begin
+                Hashtbl.replace node_of y (Graph.add_node g);
+                Some y
+              end)
+            gen_map
+        in
+        close (rest @ next)
+  in
+  close [ FM.one m ];
+  (* l_j edges along the Cayley action, K edges from the root to all. *)
+  Hashtbl.iter
+    (fun x n ->
+      Graph.add_edge g (Graph.root g) k n;
+      List.iter
+        (fun (lj, img) -> Graph.add_edge g n lj (Hashtbl.find node_of (FM.mul m x img)))
+        gen_map)
+    node_of;
+  g
+
+let demo ?chase_budget pres (alpha, beta) =
+  let sigma = encode pres in
+  let phi1, phi2 = encode_test (alpha, beta) in
+  let monoid_verdict = Monoid.Word_problem.decide pres (alpha, beta) in
+  let v1 = Semidecide.implies ?chase_budget ~enum_nodes:0 ~sigma phi1 in
+  let v2 = Semidecide.implies ?chase_budget ~enum_nodes:0 ~sigma phi2 in
+  (monoid_verdict, v1, v2)

@@ -1,0 +1,86 @@
+module Constr = Pathlang.Constr
+module Path = Pathlang.Path
+module Label = Pathlang.Label
+module Bounded = Pathlang.Bounded
+module Mschema = Schema.Mschema
+
+type typed_outcome =
+  | M_decided of Typed_m.outcome
+  | Mplus_refuted of Schema.Typecheck.t
+  | Mplus_open of string
+  | Typed_error of string
+
+type report = {
+  word_untyped : bool option;
+  local_extent : (Path.t * Label.t * bool) option;
+  chase : Verdict.t;
+  typed : typed_outcome option;
+}
+
+let try_word ~sigma phi =
+  match Word_untyped.implies ~sigma phi with
+  | Ok b -> Some b
+  | Error _ -> None
+
+let try_local ~sigma phi =
+  (* use the canonical bound inferred from phi (the split at its last
+     prefix label), if the whole set fits Definition 2.3 *)
+  List.find_map
+    (fun (alpha, k) ->
+      match Local_extent.implies ~alpha ~k ~sigma ~phi with
+      | Ok b -> Some (alpha, k, b)
+      | Error _ -> None)
+    (Bounded.infer_bound phi)
+
+let try_typed ?search_bounds schema ~sigma phi =
+  match Mschema.kind schema with
+  | Mschema.M -> (
+      match Typed_m.decide schema ~sigma ~phi with
+      | Ok outcome -> M_decided outcome
+      | Error e -> Typed_error e)
+  | Mschema.M_plus -> (
+      match Typed_search.find_countermodel ?bounds:search_bounds schema ~sigma ~phi with
+      | Ok (Some t) -> Mplus_refuted t
+      | Ok None ->
+          Mplus_open
+            "no countermodel within the search bounds; M+ implication is \
+             undecidable (Theorem 5.2)"
+      | Error e -> Typed_error e)
+
+let compare ?schema ?chase_budget ?search_bounds ~sigma phi =
+  {
+    word_untyped = try_word ~sigma phi;
+    local_extent = try_local ~sigma phi;
+    chase = Semidecide.implies ?chase_budget ~sigma phi;
+    typed = Option.map (fun s -> try_typed ?search_bounds s ~sigma phi) schema;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>";
+  (match r.word_untyped with
+  | Some b -> Format.fprintf ppf "word constraints, untyped (PTIME): %b@," b
+  | None -> Format.fprintf ppf "word constraints, untyped: not applicable@,");
+  (match r.local_extent with
+  | Some (alpha, k, b) ->
+      Format.fprintf ppf "local extent, untyped (PTIME, bound (%a, %a)): %b@,"
+        Path.pp alpha Label.pp k b
+  | None -> Format.fprintf ppf "local extent, untyped: not applicable@,");
+  Format.fprintf ppf "general P_c, untyped (chase): %a@," Verdict.pp r.chase;
+  (match r.typed with
+  | None -> ()
+  | Some (M_decided (Typed_m.Implied d)) ->
+      Format.fprintf ppf "under the M schema: implied (proof size %d)@,"
+        (Axioms.size d)
+  | Some (M_decided (Typed_m.Not_implied t)) ->
+      Format.fprintf ppf
+        "under the M schema: not implied (countermodel, %d nodes)@,"
+        (Sgraph.Graph.node_count t.Schema.Typecheck.graph)
+  | Some (M_decided (Typed_m.Vacuous m)) ->
+      Format.fprintf ppf "under the M schema: vacuously implied (%s)@," m
+  | Some (Mplus_refuted t) ->
+      Format.fprintf ppf
+        "under the M+ schema: not implied (countermodel, %d nodes)@,"
+        (Sgraph.Graph.node_count t.Schema.Typecheck.graph)
+  | Some (Mplus_open m) -> Format.fprintf ppf "under the M+ schema: open (%s)@," m
+  | Some (Typed_error e) -> Format.fprintf ppf "typed: error (%s)@," e);
+  Format.fprintf ppf "@]"

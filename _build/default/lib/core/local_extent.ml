@@ -1,0 +1,94 @@
+module Constr = Pathlang.Constr
+module Path = Pathlang.Path
+module Label = Pathlang.Label
+module Bounded = Pathlang.Bounded
+module Graph = Sgraph.Graph
+
+type reduction = {
+  partition : Bounded.partition;
+  sigma1_k : Constr.t list;
+  sigma1_r : Constr.t list;
+  phi1 : Constr.t;
+  sigma2_k : Constr.t list;
+  phi2 : Constr.t;
+}
+
+let unshift_all rho cs =
+  List.map
+    (fun c ->
+      match Constr.unshift rho c with
+      | Some c' -> c'
+      | None -> assert false (* guaranteed by the partition checks *))
+    cs
+
+let reduce ~alpha ~k ~sigma ~phi =
+  if not (Bounded.is_bounded ~alpha ~k phi) then
+    Error
+      (Format.asprintf "test constraint %a is not bounded by (%a, %a)" Constr.pp
+         phi Path.pp alpha Label.pp k)
+  else
+    match Bounded.partition ~alpha ~k sigma with
+    | Error e -> Error e
+    | Ok partition ->
+        let sigma1_k = unshift_all alpha partition.Bounded.sigma_k in
+        let sigma1_r = unshift_all alpha partition.Bounded.sigma_r in
+        let phi1 =
+          match Constr.unshift alpha phi with
+          | Some c -> c
+          | None -> assert false
+        in
+        let kpath = Path.singleton k in
+        let sigma2_k = unshift_all kpath sigma1_k in
+        let phi2 =
+          match Constr.unshift kpath phi1 with
+          | Some c -> c
+          | None -> assert false
+        in
+        Ok { partition; sigma1_k; sigma1_r; phi1; sigma2_k; phi2 }
+
+let implies ~alpha ~k ~sigma ~phi =
+  match reduce ~alpha ~k ~sigma ~phi with
+  | Error e -> Error e
+  | Ok red -> (
+      match Word_untyped.implies ~sigma:red.sigma2_k red.phi2 with
+      | Ok b -> Ok b
+      | Error (Word_untyped.Not_word_constraint c) ->
+          Error
+            (Format.asprintf "reduction produced a non-word constraint %a"
+               Constr.pp c))
+
+let lift_k g ~k =
+  let h = Graph.create () in
+  let rename = Graph.union_disjoint h g in
+  Graph.add_edge h (Graph.root h) k (Graph.root h);
+  Graph.add_edge h (Graph.root h) k (rename (Graph.root g));
+  h
+
+let lift_alpha g ~alpha =
+  if Path.is_empty alpha then Graph.copy g
+  else begin
+    let h = Graph.create () in
+    let rename = Graph.union_disjoint h g in
+    Graph.add_path h (Graph.root h) alpha (rename (Graph.root g));
+    h
+  end
+
+let figure3 g ~alpha ~k = lift_alpha (lift_k g ~k) ~alpha
+
+let countermodel ~alpha ~k ~sigma ~phi ~max_nodes =
+  match reduce ~alpha ~k ~sigma ~phi with
+  | Error e -> Error e
+  | Ok red ->
+      let labels =
+        Label.Set.elements
+          (List.fold_left
+             (fun acc c -> Label.Set.union acc (Constr.labels_used c))
+             (Constr.labels_used red.phi2)
+             red.sigma2_k)
+      in
+      let labels = if labels = [] then [ k ] else labels in
+      Ok
+        (Option.map
+           (fun g -> figure3 g ~alpha ~k)
+           (Sgraph.Enumerate.find_countermodel ~max_nodes ~labels
+              ~sigma:red.sigma2_k ~phi:red.phi2))

@@ -1,0 +1,80 @@
+(** Implication of local extent constraints on semistructured data:
+    Theorem 5.1 and Lemma 5.3.
+
+    Input: a finite subset [Sigma ∪ {phi}] of P_c with prefix bounded by
+    a path [alpha] and a label [K] (Definition 2.3), where [phi] itself
+    is bounded by [alpha] and [K].  On untyped data the constraints on
+    other local databases ([Sigma_r]) do not interact, and stripping the
+    common prefix twice ([g1] removes [alpha], [g2] removes [K])
+    reduces the question to word constraint implication, hence PTIME:
+
+    [Sigma |= phi  iff  Sigma^1_K ∪ Sigma^1_r |= phi^1  iff
+     Sigma^2_K |= phi^2]
+
+    and likewise for finite implication (the two coincide here because
+    they coincide for P_w).
+
+    The word-level step inherits {!Word_untyped}'s completeness scope:
+    exact whenever no constraint ends in the empty path; with [eps]
+    right-hand sides (equality-generating constraints, which Def 2.3
+    does not forbid for the conclusions) the answer is a sound
+    under-approximation of implication — see the discussion in
+    {!Word_untyped}. *)
+
+type reduction = {
+  partition : Pathlang.Bounded.partition;
+      (** [Sigma_K] / [Sigma_r] split of the input *)
+  sigma1_k : Pathlang.Constr.t list;  (** [g1] applied to [Sigma_K] *)
+  sigma1_r : Pathlang.Constr.t list;  (** [g1] applied to [Sigma_r] *)
+  phi1 : Pathlang.Constr.t;
+  sigma2_k : Pathlang.Constr.t list;
+      (** [g2] applied to [Sigma^1_K]: word constraints *)
+  phi2 : Pathlang.Constr.t;  (** a word constraint *)
+}
+
+val reduce :
+  alpha:Pathlang.Path.t ->
+  k:Pathlang.Label.t ->
+  sigma:Pathlang.Constr.t list ->
+  phi:Pathlang.Constr.t ->
+  (reduction, string) result
+(** Checks the Definition 2.3 side conditions and computes the two
+    prefix-stripping steps. *)
+
+val implies :
+  alpha:Pathlang.Path.t ->
+  k:Pathlang.Label.t ->
+  sigma:Pathlang.Constr.t list ->
+  phi:Pathlang.Constr.t ->
+  (bool, string) result
+(** The PTIME procedure: reduce, then decide word implication. *)
+
+val lift_k : Sgraph.Graph.t -> k:Pathlang.Label.t -> Sgraph.Graph.t
+(** The structure [H] of Figure 3: a fresh root [r_H] with a [K]-loop
+    and a [K]-edge to (a copy of) the old root.  If [G] is a finite
+    model of [/\ Sigma^2_K /\ not phi^2] then [H] is a finite model of
+    [/\ Sigma^1_K /\ /\ Sigma^1_r /\ not phi^1]. *)
+
+val lift_alpha : Sgraph.Graph.t -> alpha:Pathlang.Path.t -> Sgraph.Graph.t
+(** The first lift in the proof of Lemma 5.3: a fresh root with an
+    [alpha]-path to (a copy of) the old root; turns a model of
+    [/\ Sigma^1 /\ not phi^1] into a model of [/\ Sigma /\ not phi]. *)
+
+val figure3 :
+  Sgraph.Graph.t ->
+  alpha:Pathlang.Path.t ->
+  k:Pathlang.Label.t ->
+  Sgraph.Graph.t
+(** Both lifts composed: a countermodel at the word level becomes a
+    countermodel for the original bounded instance. *)
+
+val countermodel :
+  alpha:Pathlang.Path.t ->
+  k:Pathlang.Label.t ->
+  sigma:Pathlang.Constr.t list ->
+  phi:Pathlang.Constr.t ->
+  max_nodes:int ->
+  (Sgraph.Graph.t option, string) result
+(** When [implies] answers no, search (bounded enumeration at the word
+    level, then {!figure3}) for an explicit finite countermodel of the
+    original instance. *)

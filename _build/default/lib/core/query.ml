@@ -1,0 +1,67 @@
+module Path = Pathlang.Path
+module Constr = Pathlang.Constr
+module NS = Sgraph.Graph.Node_set
+
+type query = Path.t list
+
+let eval g q =
+  List.fold_left
+    (fun acc p -> NS.union acc (Sgraph.Eval.eval g p))
+    NS.empty q
+
+let contained ~sigma p q =
+  Word_untyped.implies_exn ~sigma (Constr.word ~lhs:p ~rhs:q)
+
+let equivalent ~sigma p q = contained ~sigma p q && contained ~sigma q p
+
+let prune_union ~sigma q =
+  (* keep a disjunct only if it is not contained in some other disjunct
+     that we keep; scanning in order with accumulated kept/remaining
+     avoids dropping two mutually-contained disjuncts both *)
+  let rec go kept = function
+    | [] -> List.rev kept
+    | p :: rest ->
+        let redundant =
+          List.exists (fun q' -> contained ~sigma p q') (kept @ rest)
+        in
+        if redundant then go kept rest else go (p :: kept) rest
+  in
+  go [] q
+
+let cheapest_equivalent ~sigma ?(budget = 500) p =
+  (* candidate paths: forward closure of p under the rules, plus the
+     backward closure (paths q with q -> p), sampled breadth-first *)
+  let forward = Word_untyped.consequences_sample ~sigma ~from:p ~max_steps:budget in
+  let flipped =
+    List.filter_map Constr.as_word sigma
+    |> List.map (fun (l, r) -> Constr.word ~lhs:r ~rhs:l)
+  in
+  let backward =
+    Word_untyped.consequences_sample ~sigma:flipped ~from:p ~max_steps:budget
+  in
+  let candidates = forward @ backward in
+  let best =
+    List.fold_left
+      (fun best q ->
+        if Path.length q < Path.length best && equivalent ~sigma p q then q
+        else best)
+      p candidates
+  in
+  best
+
+let cheapest_equivalent_typed schema ~sigma ?max_len p =
+  let max_len = max (Option.value ~default:(Path.length p) max_len) (Path.length p) in
+  if not (Schema.Schema_graph.in_paths schema p) then
+    Error (Format.asprintf "%a is not in Paths(Delta)" Path.pp p)
+  else
+    (* one consequence closure gives every equivalence at once *)
+    match Typed_m.equivalence_classes schema ~sigma ~max_len with
+    | Error e -> Error e
+    | Ok classes -> (
+        match List.find_opt (fun cl -> List.exists (Path.equal p) cl) classes with
+        | None -> Ok p
+        | Some cl ->
+            Ok
+              (List.fold_left
+                 (fun best q -> if Path.compare q best < 0 then q else best)
+                 p cl))

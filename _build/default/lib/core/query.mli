@@ -1,0 +1,53 @@
+(** Constraint-aware optimization of path queries.
+
+    The paper motivates path constraints as "important in query
+    optimization" (Sections 1 and 2.2): implication lets an optimizer
+    prune redundant disjuncts, substitute cheaper access paths, and
+    detect emptiness-preserving rewrites.  This module packages the
+    decision procedures into exactly those rewrites, for the setting
+    where they are complete: word constraints on untyped data, and full
+    P_c under an M schema.
+
+    A query here is a finite union of root-anchored paths: it selects
+    [union_i eval(rho_i)]. *)
+
+type query = Pathlang.Path.t list
+(** Disjuncts; the query's answer is the union of the paths' answers. *)
+
+val eval : Sgraph.Graph.t -> query -> Sgraph.Graph.Node_set.t
+
+val contained :
+  sigma:Pathlang.Constr.t list ->
+  Pathlang.Path.t ->
+  Pathlang.Path.t ->
+  bool
+(** [contained ~sigma p q]: in every model of [sigma] (word
+    constraints), every node selected by [p] is selected by [q].  This
+    is exactly the word constraint [p -> q]. *)
+
+val equivalent :
+  sigma:Pathlang.Constr.t list -> Pathlang.Path.t -> Pathlang.Path.t -> bool
+
+val prune_union : sigma:Pathlang.Constr.t list -> query -> query
+(** Removes every disjunct contained in another (kept) disjunct.  The
+    result selects the same nodes in every model of [sigma]. *)
+
+val cheapest_equivalent :
+  sigma:Pathlang.Constr.t list ->
+  ?budget:int ->
+  Pathlang.Path.t ->
+  Pathlang.Path.t
+(** Searches the constraint-rewriting neighbourhood of the path (both
+    directions, up to [budget] paths) for the shortest path provably
+    equivalent under [sigma]; returns the input if none is shorter. *)
+
+val cheapest_equivalent_typed :
+  Schema.Mschema.t ->
+  sigma:Pathlang.Constr.t list ->
+  ?max_len:int ->
+  Pathlang.Path.t ->
+  (Pathlang.Path.t, string) result
+(** Under an M schema the equational theory is decidable for all of
+    P_c, so the search is complete up to the length bound: the shortest
+    path in [Paths(Delta)] equivalent to the input under [sigma]
+    (default bound: the input's length). *)

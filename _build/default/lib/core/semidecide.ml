@@ -1,0 +1,26 @@
+module Constr = Pathlang.Constr
+module Label = Pathlang.Label
+
+let implies ?chase_budget ?(enum_nodes = 3) ~sigma phi =
+  match Chase.implies ?budget:chase_budget ~sigma phi with
+  | (Verdict.Implied | Verdict.Refuted _) as v -> v
+  | Verdict.Unknown ->
+      if enum_nodes <= 0 then Verdict.Unknown
+      else begin
+        let labels =
+          Label.Set.elements
+            (List.fold_left
+               (fun acc c -> Label.Set.union acc (Constr.labels_used c))
+               (Constr.labels_used phi) sigma)
+        in
+        let labels = if labels = [] then [ Label.make "a" ] else labels in
+        (* Keep the brute-force search tractable. *)
+        let max_nodes =
+          if List.length labels > 2 then min enum_nodes 2 else enum_nodes
+        in
+        match
+          Sgraph.Enumerate.find_countermodel ~max_nodes ~labels ~sigma ~phi
+        with
+        | Some g -> Verdict.Refuted g
+        | None -> Verdict.Unknown
+      end

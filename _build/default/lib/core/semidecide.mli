@@ -1,0 +1,24 @@
+(** Sound, budgeted semi-decision of P_c implication on semistructured
+    data.
+
+    The implication and finite implication problems for P_c (already for
+    the fragment P_w(K)) are undecidable on untyped data (Theorems 4.1
+    and 4.3), so the best possible general procedure combines
+    semi-procedures for both answers:
+    - the chase ({!Chase.implies}) derives positive answers and, on
+      reaching a fixpoint, finite countermodels;
+    - bounded exhaustive model search ({!Sgraph.Enumerate}) recovers
+      small countermodels the chase misses when it diverges.
+
+    Positive answers are sound for implication and finite implication
+    alike; [Refuted] answers are finite models, i.e. sound for both as
+    well. *)
+
+val implies :
+  ?chase_budget:Chase.budget ->
+  ?enum_nodes:int ->
+  sigma:Pathlang.Constr.t list ->
+  Pathlang.Constr.t ->
+  Verdict.t
+(** [enum_nodes] caps the exhaustive search (default 3; the search cost
+    is [2^(L*n^2)], keep it tiny). Set it to 0 to disable enumeration. *)

@@ -1,0 +1,424 @@
+module Constr = Pathlang.Constr
+module Path = Pathlang.Path
+module Label = Pathlang.Label
+module Mschema = Schema.Mschema
+module Mtype = Schema.Mtype
+module SG = Schema.Schema_graph
+module Typecheck = Schema.Typecheck
+module Graph = Sgraph.Graph
+
+type outcome =
+  | Implied of Axioms.t
+  | Not_implied of Typecheck.t
+  | Vacuous of string
+
+let to_word_equality c =
+  let alpha = Constr.prefix c in
+  match Constr.kind c with
+  | Constr.Forward ->
+      (Path.concat alpha (Constr.lhs c), Path.concat alpha (Constr.rhs c))
+  | Constr.Backward ->
+      (alpha, Path.concat alpha (Path.concat (Constr.lhs c) (Constr.rhs c)))
+
+(* ------------------------------------------------------------------ *)
+(* Congruence closure over the prefix-closed set of mentioned paths,
+   with a proof forest for I_r certificate extraction.                 *)
+(* ------------------------------------------------------------------ *)
+
+type reason = By_input of Axioms.t | By_congruence of int * int * Label.t
+
+type forest_edge = { other : int; reason : reason; stamp : int }
+
+type state = {
+  paths : Path.t array;
+  sorts : Mtype.t array;
+  parent : int array;
+  rank : int array;
+  succ : (int, (int * int) Label.Map.t) Hashtbl.t;
+      (** rep -> label -> (successor node, witness parent node); the
+          witness [w] satisfies [paths.(succ) = paths.(w) . label] *)
+  forest : (int, forest_edge list) Hashtbl.t;
+  mutable clock : int;
+}
+
+exception Clash of string
+
+let rec find st n =
+  let p = st.parent.(n) in
+  if p = n then n
+  else begin
+    let r = find st p in
+    st.parent.(n) <- r;
+    r
+  end
+
+let succ_map st r = Option.value ~default:Label.Map.empty (Hashtbl.find_opt st.succ r)
+
+let forest_add st a b reason =
+  let stamp = st.clock in
+  st.clock <- stamp + 1;
+  let push n e =
+    Hashtbl.replace st.forest n
+      (e :: Option.value ~default:[] (Hashtbl.find_opt st.forest n))
+  in
+  push a { other = b; reason; stamp };
+  push b { other = a; reason; stamp }
+
+let rec union st a b reason =
+  let ra = find st a and rb = find st b in
+  if ra <> rb then begin
+    if not (Mtype.equal st.sorts.(ra) st.sorts.(rb)) then
+      raise
+        (Clash
+           (Format.asprintf
+              "paths %a (sort %s) and %a (sort %s) are forced equal"
+              Path.pp st.paths.(a)
+              (Mtype.to_string st.sorts.(ra))
+              Path.pp st.paths.(b)
+              (Mtype.to_string st.sorts.(rb))));
+    forest_add st a b reason;
+    let big, small = if st.rank.(ra) >= st.rank.(rb) then (ra, rb) else (rb, ra) in
+    st.parent.(small) <- big;
+    if st.rank.(big) = st.rank.(small) then st.rank.(big) <- st.rank.(big) + 1;
+    let ms = succ_map st small and mb = succ_map st big in
+    Hashtbl.remove st.succ small;
+    let merged, pending =
+      Label.Map.fold
+        (fun l (sn, wn) (acc, pending) ->
+          match Label.Map.find_opt l acc with
+          | Some (sn', wn') -> (acc, (sn, sn', wn, wn', l) :: pending)
+          | None -> (Label.Map.add l (sn, wn) acc, pending))
+        ms (mb, [])
+    in
+    Hashtbl.replace st.succ big merged;
+    List.iter
+      (fun (sn, sn', wn, wn', l) -> union st sn sn' (By_congruence (wn, wn', l)))
+      pending
+  end
+
+(* Certificate extraction: the unique forest path between two congruent
+   nodes, restricted to edges older than [before] (so that recursive
+   explanations of congruence edges terminate). *)
+let rec explain st ~before a b =
+  if a = b then Axioms.Reflexivity st.paths.(a)
+  else begin
+    (* BFS for the path a ~> b over old-enough edges. *)
+    let prev = Hashtbl.create 16 in
+    let q = Queue.create () in
+    Hashtbl.add prev a None;
+    Queue.add a q;
+    let rec bfs () =
+      if Hashtbl.mem prev b then ()
+      else if Queue.is_empty q then
+        invalid_arg "Typed_m.explain: nodes not connected in proof forest"
+      else begin
+        let n = Queue.pop q in
+        List.iter
+          (fun e ->
+            if e.stamp < before && not (Hashtbl.mem prev e.other) then begin
+              Hashtbl.add prev e.other (Some (n, e));
+              Queue.add e.other q
+            end)
+          (Option.value ~default:[] (Hashtbl.find_opt st.forest n));
+        bfs ()
+      end
+    in
+    bfs ();
+    (* Reconstruct edge list from a to b. *)
+    let rec backtrack n acc =
+      match Hashtbl.find prev n with
+      | None -> acc
+      | Some (p, e) -> backtrack p ((p, n, e) :: acc)
+    in
+    let edges = backtrack b [] in
+    let derivation_of_edge (u, v, e) =
+      (* wanted conclusion: word (paths u -> paths v) *)
+      let base =
+        match e.reason with
+        | By_input d -> d
+        | By_congruence (wu, wv, l) ->
+            Axioms.Right_congruence
+              (explain st ~before:e.stamp wu wv, Path.singleton l)
+      in
+      match Axioms.conclusion base with
+      | Ok c when Constr.is_word c && Path.equal (Constr.lhs c) st.paths.(u)
+                  && Path.equal (Constr.rhs c) st.paths.(v) ->
+          base
+      | Ok _ -> Axioms.Commutativity base
+      | Error e -> invalid_arg ("Typed_m.explain: malformed step: " ^ e)
+    in
+    match List.map derivation_of_edge edges with
+    | [] -> assert false
+    | d :: ds -> List.fold_left (fun acc d' -> Axioms.Transitivity (acc, d')) d ds
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let input_derivation c =
+  if Constr.is_word c then Axioms.Axiom c
+  else
+    match Constr.kind c with
+    | Constr.Forward -> Axioms.Forward_to_word (Axioms.Axiom c)
+    | Constr.Backward -> Axioms.Backward_to_word (Axioms.Axiom c)
+
+let wrap_for phi d =
+  if Constr.is_word phi then d
+  else
+    match Constr.kind phi with
+    | Constr.Forward -> Axioms.Word_to_forward (d, Constr.prefix phi)
+    | Constr.Backward ->
+        Axioms.Word_to_backward (d, Constr.prefix phi, Constr.lhs phi)
+
+let build_state schema all_paths =
+  (* prefix closure *)
+  let closure =
+    List.fold_left
+      (fun acc p ->
+        List.fold_left (fun acc q -> Path.Set.add q acc) acc (Path.prefixes p))
+      Path.Set.empty all_paths
+  in
+  let paths = Array.of_list (Path.Set.elements closure) in
+  let ids =
+    Array.to_seqi paths
+    |> Seq.fold_left (fun m (i, p) -> Path.Map.add p i m) Path.Map.empty
+  in
+  let n = Array.length paths in
+  let sorts =
+    Array.map
+      (fun p ->
+        match SG.type_of_path schema p with
+        | Some tau -> tau
+        | None -> assert false (* validated upstream *))
+      paths
+  in
+  let st =
+    {
+      paths;
+      sorts;
+      parent = Array.init n Fun.id;
+      rank = Array.make n 0;
+      succ = Hashtbl.create (2 * n);
+      forest = Hashtbl.create (2 * n);
+      clock = 0;
+    }
+  in
+  Array.iteri
+    (fun i p ->
+      match Path.to_labels p with
+      | [] -> ()
+      | labels ->
+          let l = List.nth labels (List.length labels - 1) in
+          let parent_path = Path.of_labels (List.filteri (fun j _ -> j < List.length labels - 1) labels) in
+          let pi = Path.Map.find parent_path ids in
+          Hashtbl.replace st.succ pi (Label.Map.add l (i, pi) (succ_map st pi)))
+    paths;
+  (st, ids)
+
+(* Countermodel: congruence classes plus generic per-sort nodes. *)
+let countermodel schema st =
+  let g = Graph.create () in
+  let typed = Typecheck.make g [] in
+  let class_node = Hashtbl.create 16 in
+  let root_rep = find st 0 in
+  (* node 0 in [st] is the empty path: Path.Set orders by shortlex so eps
+     is always index 0. *)
+  assert (Path.is_empty st.paths.(0));
+  Hashtbl.replace class_node root_rep (Graph.root g);
+  Typecheck.set_type typed (Graph.root g) st.sorts.(root_rep);
+  Array.iteri
+    (fun i _ ->
+      let r = find st i in
+      if not (Hashtbl.mem class_node r) then begin
+        let n = Graph.add_node g in
+        Hashtbl.replace class_node r n;
+        Typecheck.set_type typed n st.sorts.(r)
+      end)
+    st.paths;
+  let generic = Hashtbl.create 16 in
+  let rec generic_node tau =
+    let key = Mtype.to_string tau in
+    match Hashtbl.find_opt generic key with
+    | Some n -> n
+    | None ->
+        let n = Graph.add_node g in
+        Hashtbl.replace generic key n;
+        Typecheck.set_type typed n tau;
+        List.iter
+          (fun (l, ft) -> Graph.add_edge g n l (generic_node ft))
+          (SG.out_edges schema tau);
+        n
+  in
+  Hashtbl.iter
+    (fun r gnode ->
+      let map = succ_map st r in
+      List.iter
+        (fun (l, ft) ->
+          match Label.Map.find_opt l map with
+          | Some (sn, _) -> Graph.add_edge g gnode l (Hashtbl.find class_node (find st sn))
+          | None -> Graph.add_edge g gnode l (generic_node ft))
+        (SG.out_edges schema st.sorts.(r)))
+    (Hashtbl.copy class_node);
+  typed
+
+(* Shared setup: validate, convert, materialize, saturate.  Returns the
+   closed state (or the clash message) together with the node lookup. *)
+let run_closure schema ~sigma ~extra_paths =
+  if Mschema.kind schema <> Mschema.M then
+    Error "Typed_m: schema is not of kind M"
+  else
+    let bad =
+      List.find_map
+        (fun c ->
+          match SG.check_constraint_paths schema c with
+          | Ok () -> None
+          | Error rho -> Some (c, rho))
+        sigma
+    in
+    match bad with
+    | Some (c, rho) ->
+        Error
+          (Format.asprintf "constraint %a mentions %a, not in Paths(Delta)"
+             Constr.pp c Path.pp rho)
+    | None ->
+        let inputs =
+          List.map (fun c -> (to_word_equality c, input_derivation c)) sigma
+        in
+        let all_paths =
+          (* the empty path is always materialized so that the root class
+             exists even for empty inputs *)
+          Path.empty :: extra_paths
+          @ List.concat_map (fun ((u, v), _) -> [ u; v ]) inputs
+        in
+        let st, ids = build_state schema all_paths in
+        let node p = Path.Map.find p ids in
+        let run () =
+          List.iter
+            (fun ((u, v), d) -> union st (node u) (node v) (By_input d))
+            inputs
+        in
+        (match run () with
+        | () -> Ok (`Closed (st, node))
+        | exception Clash msg -> Ok (`Clash msg))
+
+let decide schema ~sigma ~phi =
+  match SG.check_constraint_paths schema phi with
+  | Error rho ->
+      Error
+        (Format.asprintf "constraint %a mentions %a, not in Paths(Delta)"
+           Constr.pp phi Path.pp rho)
+  | Ok () -> (
+      let s_path, t_path = to_word_equality phi in
+      match run_closure schema ~sigma ~extra_paths:[ s_path; t_path ] with
+      | Error _ as e -> e
+      | Ok (`Clash msg) -> Ok (Vacuous msg)
+      | Ok (`Closed (st, node)) ->
+          let s = node s_path and t = node t_path in
+          if find st s = find st t then begin
+            let d = explain st ~before:max_int s t in
+            Ok (Implied (wrap_for phi d))
+          end
+          else Ok (Not_implied (countermodel schema st)))
+
+let implies schema ~sigma ~phi =
+  match decide schema ~sigma ~phi with
+  | Ok (Implied _ | Vacuous _) -> Ok true
+  | Ok (Not_implied _) -> Ok false
+  | Error e -> Error e
+
+let satisfiable schema ~sigma =
+  match run_closure schema ~sigma ~extra_paths:[] with
+  | Error e -> Error e
+  | Ok (`Clash _) -> Ok false
+  | Ok (`Closed _) -> Ok true
+
+let equivalence_classes schema ~sigma ~max_len =
+  let universe = SG.paths_up_to schema max_len in
+  match run_closure schema ~sigma ~extra_paths:universe with
+  | Error e -> Error e
+  | Ok (`Clash msg) -> Error ("unsatisfiable: " ^ msg)
+  | Ok (`Closed (st, node)) ->
+      let by_rep = Hashtbl.create 64 in
+      List.iter
+        (fun p ->
+          let r = find st (node p) in
+          Hashtbl.replace by_rep r
+            (p :: Option.value ~default:[] (Hashtbl.find_opt by_rep r)))
+        universe;
+      Ok
+        (Hashtbl.fold (fun _ ps acc -> List.rev ps :: acc) by_rep []
+        |> List.sort (fun a b -> Path.compare (List.hd a) (List.hd b)))
+
+let canonical_model schema ~sigma =
+  match run_closure schema ~sigma ~extra_paths:[] with
+  | Error e -> Error e
+  | Ok (`Clash msg) -> Error ("unsatisfiable: " ^ msg)
+  | Ok (`Closed (st, _)) -> Ok (countermodel schema st)
+
+(* ------------------------------------------------------------------ *)
+
+let random_walk ~rng schema start max_len =
+  let len = Random.State.int rng (max_len + 1) in
+  let rec go tau acc k =
+    if k = 0 then (Path.of_labels (List.rev acc), tau)
+    else
+      match SG.out_edges schema tau with
+      | [] -> (Path.of_labels (List.rev acc), tau)
+      | edges ->
+          let l, tau' = List.nth edges (Random.State.int rng (List.length edges)) in
+          go tau' (l :: acc) (k - 1)
+  in
+  go start [] len
+
+let walk_to_sort ~rng schema start target max_len =
+  let rec attempt k =
+    if k = 0 then None
+    else
+      let p, tau = random_walk ~rng schema start max_len in
+      if Mtype.equal tau target then Some p else attempt (k - 1)
+  in
+  attempt 50
+
+let random_constraints ~rng ~schema ~count ~max_len =
+  let dbt = Mschema.dbtype schema in
+  let sort_of p =
+    match SG.type_of_path schema p with Some t -> t | None -> assert false
+  in
+  let rec make ?(fuel = 200) n acc =
+    if n = 0 then acc
+    else if fuel = 0 then
+      (* Schema shape frustrates sampling (e.g. no cycles back): emit a
+         trivially satisfiable forward constraint and move on. *)
+      let alpha, _ = random_walk ~rng schema dbt max_len in
+      let beta, _ = random_walk ~rng schema dbt 0 in
+      make (n - 1) (Constr.forward ~prefix:alpha ~lhs:beta ~rhs:beta :: acc)
+    else
+      let alpha, tau_x =
+        if Random.State.int rng 3 = 0 then (Path.empty, dbt)
+        else random_walk ~rng schema dbt max_len
+      in
+      let beta, tau_y = random_walk ~rng schema tau_x max_len in
+      let choice = Random.State.int rng 3 in
+      let c =
+        if choice = 2 && not (Path.is_empty beta) then
+          (* backward: need gamma from tau_y back to sort of alpha *)
+          match walk_to_sort ~rng schema tau_y tau_x max_len with
+          | Some gamma -> Some (Constr.backward ~prefix:alpha ~lhs:beta ~rhs:gamma)
+          | None -> None
+        else
+          match walk_to_sort ~rng schema tau_x tau_y max_len with
+          | Some gamma ->
+              if choice = 0 then
+                Some
+                  (Constr.word
+                     ~lhs:(Path.concat alpha beta)
+                     ~rhs:(Path.concat alpha gamma))
+              else Some (Constr.forward ~prefix:alpha ~lhs:beta ~rhs:gamma)
+          | None -> None
+      in
+      match c with
+      | Some c ->
+          ignore (sort_of (Constr.prefix c));
+          make (n - 1) (c :: acc)
+      | None -> make ~fuel:(fuel - 1) n acc
+  in
+  make count []

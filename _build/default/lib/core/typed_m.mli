@@ -1,0 +1,99 @@
+(** Implication of P_c constraints in the object-oriented model M:
+    Theorems 4.2 and 4.9.
+
+    In M every structure of [U(Delta)] is label-deterministic and
+    complete (Lemma 4.6: each path in [Paths(Delta)] reaches exactly one
+    node), so a P_c constraint degenerates into an equality between the
+    endpoints of two root-anchored paths (Lemmas 4.7 and 4.8):
+
+    - forward [(alpha, beta, gamma)] holds iff the word constraint
+      [alpha.beta -> alpha.gamma] does, iff the nodes reached by
+      [alpha.beta] and [alpha.gamma] coincide;
+    - backward [(alpha, beta, gamma)] holds iff
+      [alpha -> alpha.beta.gamma] does.
+
+    Implication is therefore a congruence-closure problem on the
+    prefix-closed set of mentioned paths, typed by the schema graph:
+    union-find with successor propagation (each constraint is applied
+    exactly once, the property the paper credits for the cubic bound;
+    with union-find the procedure is in fact near-linear).  Implication
+    and finite implication coincide.
+
+    A positive answer carries an I_r derivation ({!Axioms.t}) — the
+    finite axiomatizability half of Theorem 4.9 — and a negative answer
+    carries a finite countermodel in [U_f(Delta)]. *)
+
+type outcome =
+  | Implied of Axioms.t
+      (** with an I_r derivation of [phi] from [Sigma] *)
+  | Not_implied of Schema.Typecheck.t
+      (** a finite abstract database satisfying
+          [Phi(Delta) /\ Sigma /\ not phi] *)
+  | Vacuous of string
+      (** [Sigma] forces two paths of different sorts to meet, so no
+          structure in [U(Delta)] satisfies it and the implication holds
+          vacuously.  The string explains the sort clash.  (The paper
+          implicitly assumes satisfiable [Sigma]; I_r derives nothing
+          from an inconsistency, so this case is reported separately —
+          see DESIGN.md.) *)
+
+val to_word_equality : Pathlang.Constr.t -> Pathlang.Path.t * Pathlang.Path.t
+(** The Lemma 4.7/4.8 translation: the pair of root-anchored paths whose
+    endpoint equality is equivalent to the constraint over [U(Delta)]. *)
+
+val decide :
+  Schema.Mschema.t ->
+  sigma:Pathlang.Constr.t list ->
+  phi:Pathlang.Constr.t ->
+  (outcome, string) result
+(** [Error] when the schema is not of kind M, or some constraint
+    mentions a path outside [Paths(Delta)] (the offending path is
+    named). *)
+
+val implies :
+  Schema.Mschema.t ->
+  sigma:Pathlang.Constr.t list ->
+  phi:Pathlang.Constr.t ->
+  (bool, string) result
+(** [Implied _] and [Vacuous _] count as [true]. *)
+
+val satisfiable :
+  Schema.Mschema.t -> sigma:Pathlang.Constr.t list -> (bool, string) result
+(** Whether some structure of [U(Delta)] satisfies [Sigma]: false
+    exactly when the congruence closure forces two paths of different
+    sorts together (the [Vacuous] case).  Over M this is decidable by
+    the same closure; a positive answer is witnessed by a finite model
+    (tested), so satisfiability and finite satisfiability coincide. *)
+
+val equivalence_classes :
+  Schema.Mschema.t ->
+  sigma:Pathlang.Constr.t list ->
+  max_len:int ->
+  (Pathlang.Path.t list list, string) result
+(** The consequence closure made visible: all paths of [Paths(Delta)]
+    up to the length bound, grouped into classes that [Sigma] forces to
+    reach the same node in every structure of [U(Delta)].  Two paths
+    are in the same class iff the word constraint between them is
+    implied (in both directions — implication over M is symmetric).
+    [Error] on an unsatisfiable [Sigma] or non-M schema. *)
+
+val canonical_model :
+  Schema.Mschema.t ->
+  sigma:Pathlang.Constr.t list ->
+  (Schema.Typecheck.t, string) result
+(** A finite structure in [U_f(Delta)] satisfying [Sigma] that is
+    {e free}: it satisfies exactly the implied constraints among those
+    whose paths it materializes (it is the countermodel construction
+    with no goal).  [Error] when [Sigma] is unsatisfiable over the
+    schema. *)
+
+val random_constraints :
+  rng:Random.State.t ->
+  schema:Schema.Mschema.t ->
+  count:int ->
+  max_len:int ->
+  Pathlang.Constr.t list
+(** Random well-formed P_c constraints over [Paths(Delta)] (a mix of
+    word, forward and backward constraints whose two sides end at the
+    same sort, so they are individually satisfiable); used by benches
+    and property tests. *)

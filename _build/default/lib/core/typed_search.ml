@@ -1,0 +1,211 @@
+module Path = Pathlang.Path
+module Label = Pathlang.Label
+module Mtype = Schema.Mtype
+module Mschema = Schema.Mschema
+module SG = Schema.Schema_graph
+module Typecheck = Schema.Typecheck
+module Graph = Sgraph.Graph
+module Check = Sgraph.Check
+
+type bounds = { max_per_class : int; max_per_atom : int; max_structures : int }
+
+let default_bounds =
+  { max_per_class = 2; max_per_atom = 1; max_structures = 200_000 }
+
+let supported schema =
+  let dbt = Mschema.dbtype schema in
+  let value_sort s =
+    match s with
+    | Mtype.Set _ -> true
+    | Mtype.Record _ -> not (Mtype.equal s dbt)
+    | Mtype.Atomic _ | Mtype.Class _ -> false
+  in
+  if List.exists value_sort (SG.sorts schema) then
+    Error
+      "Typed_search: schemas with anonymous nested record/set values are not \
+       supported"
+  else Ok ()
+
+(* All vectors (n_1..n_k) with n_i in 1..max, ordered by total size. *)
+let count_vectors k max =
+  let rec go k =
+    if k = 0 then [ [] ]
+    else
+      let rest = go (k - 1) in
+      List.concat_map (fun v -> List.init max (fun i -> (i + 1) :: v)) rest
+  in
+  List.sort
+    (fun a b -> compare (List.fold_left ( + ) 0 a) (List.fold_left ( + ) 0 b))
+    (go k)
+
+type slot =
+  | Choice of Graph.node * Label.t * Graph.node list
+      (** record field: pick one target *)
+  | Subset of Graph.node * Graph.node list
+      (** set body: pick any subset of members *)
+
+exception Found of Typecheck.t
+exception Budget
+
+let find_countermodel ?(bounds = default_bounds) schema ~sigma ~phi =
+  match supported schema with
+  | Error _ as e -> e
+  | Ok () ->
+      let classes = Mschema.classes schema in
+      let atoms =
+        List.filter_map
+          (function Mtype.Atomic b -> Some b | _ -> None)
+          (SG.sorts schema)
+      in
+      let budget = ref bounds.max_structures in
+      let try_vector counts =
+        (* node inventory: 0 = root, then classes, then atoms *)
+        let next = ref 1 in
+        let alloc n =
+          let ids = List.init n (fun i -> !next + i) in
+          next := !next + n;
+          ids
+        in
+        let class_nodes = List.map2 (fun (c, _) n -> (c, alloc n)) classes counts in
+        let atom_nodes =
+          List.map (fun b -> (b, alloc bounds.max_per_atom)) atoms
+        in
+        let total = !next in
+        let nodes_of_sort = function
+          | Mtype.Class c ->
+              List.assoc c class_nodes
+          | Mtype.Atomic b -> List.assoc b atom_nodes
+          | _ -> []
+        in
+        (* sort of every node *)
+        let sort_of = Array.make total (Mschema.dbtype schema) in
+        List.iter
+          (fun (c, ids) -> List.iter (fun i -> sort_of.(i) <- Mtype.Class c) ids)
+          class_nodes;
+        List.iter
+          (fun (b, ids) -> List.iter (fun i -> sort_of.(i) <- Mtype.Atomic b) ids)
+          atom_nodes;
+        (* slots *)
+        let slots =
+          List.concat
+            (List.init total (fun n ->
+                 match SG.expand schema sort_of.(n) with
+                 | Mtype.Atomic _ -> []
+                 | Mtype.Record fields ->
+                     List.map
+                       (fun (l, ft) -> Choice (n, l, nodes_of_sort ft))
+                       fields
+                 | Mtype.Set m -> [ Subset (n, nodes_of_sort m) ]
+                 | Mtype.Class _ -> assert false))
+        in
+        (* a record field with no available target kills the vector *)
+        if
+          List.exists
+            (function Choice (_, _, []) -> true | _ -> false)
+            slots
+        then ()
+        else begin
+          let build assignment =
+            decr budget;
+            if !budget < 0 then raise Budget;
+            let g = Graph.create () in
+            for _ = 2 to total do
+              ignore (Graph.add_node g)
+            done;
+            List.iter
+              (function
+                | `Edge (n, l, t) -> Graph.add_edge g n l t
+                | `Members (n, ms) ->
+                    List.iter (fun m -> Graph.add_edge g n SG.star m) ms)
+              assignment;
+            if Check.holds_all g sigma && not (Check.holds g phi) then begin
+              let typed =
+                Typecheck.make g
+                  (List.init total (fun i -> (i, sort_of.(i))))
+              in
+              (* by construction this validates; keep the assertion
+                 cheap but real *)
+              if Typecheck.validate schema typed = Ok () then
+                raise (Found typed)
+            end
+          in
+          let rec enumerate acc = function
+            | [] -> build acc
+            | Choice (n, l, targets) :: rest ->
+                List.iter
+                  (fun t -> enumerate (`Edge (n, l, t) :: acc) rest)
+                  targets
+            | Subset (n, members) :: rest ->
+                let m = List.length members in
+                for mask = 0 to (1 lsl m) - 1 do
+                  let ms =
+                    List.filteri (fun i _ -> mask land (1 lsl i) <> 0) members
+                  in
+                  enumerate (`Members (n, ms) :: acc) rest
+                done
+          in
+          enumerate [] slots
+        end
+      in
+      (try
+         List.iter try_vector
+           (count_vectors (List.length classes) bounds.max_per_class);
+         Ok None
+       with
+      | Found t -> Ok (Some t)
+      | Budget -> Ok None)
+
+let count_structures ?(bounds = default_bounds) schema =
+  match supported schema with
+  | Error _ as e -> e
+  | Ok () ->
+      let classes = Mschema.classes schema in
+      let atoms =
+        List.filter_map
+          (function Mtype.Atomic b -> Some b | _ -> None)
+          (SG.sorts schema)
+      in
+      let total = ref 0 in
+      (try
+         List.iter
+           (fun counts ->
+             let sort_count = function
+               | Mtype.Class c ->
+                   let rec find cs ns =
+                     match (cs, ns) with
+                     | (c', _) :: _, n :: _
+                       when Mtype.cname_name c' = Mtype.cname_name c ->
+                         n
+                     | _ :: cs, _ :: ns -> find cs ns
+                     | _ -> 0
+                   in
+                   find classes counts
+               | Mtype.Atomic _ ->
+                   if atoms = [] then 0 else bounds.max_per_atom
+               | _ -> 0
+             in
+             let node_choices sort =
+               match SG.expand schema sort with
+               | Mtype.Atomic _ -> 1
+               | Mtype.Record fields ->
+                   List.fold_left
+                     (fun acc (_, ft) -> acc * max 1 (sort_count ft))
+                     1 fields
+               | Mtype.Set m -> 1 lsl sort_count m
+               | Mtype.Class _ -> assert false
+             in
+             let pow b e =
+               let rec go acc e = if e = 0 then acc else go (acc * b) (e - 1) in
+               go 1 e
+             in
+             let per_vector =
+               List.fold_left2
+                 (fun acc (c, _) n -> acc * pow (node_choices (Mtype.Class c)) n)
+                 (node_choices (Mschema.dbtype schema))
+                 classes counts
+             in
+             total := !total + per_vector;
+             if !total > bounds.max_structures then raise Exit)
+           (count_vectors (List.length classes) bounds.max_per_class);
+         Ok !total
+       with Exit -> Ok bounds.max_structures)

@@ -1,0 +1,11 @@
+type t = Implied | Refuted of Sgraph.Graph.t | Unknown
+
+let is_implied = function Implied -> true | Refuted _ | Unknown -> false
+let is_refuted = function Refuted _ -> true | Implied | Unknown -> false
+
+let pp ppf = function
+  | Implied -> Format.pp_print_string ppf "implied"
+  | Refuted g ->
+      Format.fprintf ppf "refuted (countermodel with %d nodes)"
+        (Sgraph.Graph.node_count g)
+  | Unknown -> Format.pp_print_string ppf "unknown"

@@ -1,0 +1,21 @@
+(** Outcomes of budgeted (semi-)decision procedures.
+
+    The implication problems for P_c and for P_w(K) on semistructured
+    data are undecidable (Theorems 4.1/4.3), so procedures for them
+    cannot always answer; both positive and negative answers carry
+    checkable evidence. *)
+
+type t =
+  | Implied
+      (** Established by sound derivation steps (chase): every (finite
+          or infinite) model of Sigma satisfies phi. *)
+  | Refuted of Sgraph.Graph.t
+      (** A finite model of Sigma /\ not phi: Sigma does not (finitely)
+          imply phi.  The witness can be re-checked with
+          [Sgraph.Check]. *)
+  | Unknown  (** Budget exhausted. *)
+
+val is_implied : t -> bool
+val is_refuted : t -> bool
+
+val pp : Format.formatter -> t -> unit

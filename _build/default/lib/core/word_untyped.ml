@@ -1,0 +1,140 @@
+module Constr = Pathlang.Constr
+module Path = Pathlang.Path
+module Label = Pathlang.Label
+module PR = Automata.Prefix_rewrite
+
+type error = Not_word_constraint of Pathlang.Constr.t
+
+let check_word sigma =
+  match List.find_opt (fun c -> not (Constr.is_word c)) sigma with
+  | Some c -> Error (Not_word_constraint c)
+  | None -> Ok ()
+
+let system_of ~sigma ~extra =
+  let rules =
+    List.map (fun c -> { PR.lhs = Constr.lhs c; rhs = Constr.rhs c }) sigma
+  in
+  let alphabet =
+    Label.Set.elements
+      (List.fold_left
+         (fun acc c -> Label.Set.union acc (Constr.labels_used c))
+         extra sigma)
+  in
+  PR.compile ~alphabet rules
+
+let with_word_instance ~sigma phi f =
+  match check_word (phi :: sigma) with
+  | Error _ as e -> e
+  | Ok () ->
+      let system = system_of ~sigma ~extra:(Constr.labels_used phi) in
+      Ok (f system (Constr.lhs phi) (Constr.rhs phi))
+
+let implies ~sigma phi = with_word_instance ~sigma phi PR.derives
+
+let implies_exn ~sigma phi =
+  match implies ~sigma phi with
+  | Ok b -> b
+  | Error (Not_word_constraint c) ->
+      invalid_arg
+        (Format.asprintf "Word_untyped.implies_exn: %a is not a word constraint"
+           Constr.pp c)
+
+let implies_via_post ~sigma phi = with_word_instance ~sigma phi PR.derives_via_post
+
+let implies_via_worklist ~sigma phi =
+  with_word_instance ~sigma phi PR.derives_worklist
+
+let derivation ?(max_frontier = 4096) ~sigma phi =
+  with_word_instance ~sigma phi (fun system alpha beta ->
+      if not (PR.derives system alpha beta) then Error "not implied"
+      else if Path.equal alpha beta then Ok (Axioms.Reflexivity alpha)
+      else begin
+        (* BFS from alpha through words that still derive beta; the target
+           is at the end of some shortest rewriting sequence, so BFS with
+           the derives-filter finds it without wandering. *)
+        let parent = Hashtbl.create 64 in
+        let key = Path.to_string in
+        let q = Queue.create () in
+        Hashtbl.add parent (key alpha) None;
+        Queue.add alpha q;
+        let found = ref false in
+        let frontier_budget = ref max_frontier in
+        while (not !found) && not (Queue.is_empty q) do
+          let w = Queue.pop q in
+          let steps =
+            (* one-step successors together with the rule that produced
+               them and the surviving suffix *)
+            List.filter_map
+              (fun (r : PR.rule) ->
+                match Path.strip_prefix ~prefix:r.PR.lhs w with
+                | Some suffix -> Some (Path.concat r.PR.rhs suffix, r, suffix)
+                | None -> None)
+              (PR.rules system)
+          in
+          List.iter
+            (fun (w', r, suffix) ->
+              if (not !found) && not (Hashtbl.mem parent (key w')) then
+                if PR.derives system w' beta then begin
+                  decr frontier_budget;
+                  if !frontier_budget >= 0 then begin
+                    Hashtbl.add parent (key w') (Some (w, r, suffix));
+                    Queue.add w' q;
+                    if Path.equal w' beta then found := true
+                  end
+                end)
+            steps
+        done;
+        if not !found then Error "frontier budget exhausted"
+        else begin
+          (* reconstruct the chain of one-step rewrites and build the
+             transitivity/congruence derivation *)
+          let rec chain w acc =
+            match Hashtbl.find parent (key w) with
+            | None -> acc
+            | Some (prev, r, suffix) -> chain prev ((prev, r, suffix, w) :: acc)
+          in
+          let steps = chain beta [] in
+          let step_derivation (_, (r : PR.rule), suffix, _) =
+            let axiom =
+              Axioms.Axiom (Constr.word ~lhs:r.PR.lhs ~rhs:r.PR.rhs)
+            in
+            if Path.is_empty suffix then axiom
+            else Axioms.Right_congruence (axiom, suffix)
+          in
+          match List.map step_derivation steps with
+          | [] -> Ok (Axioms.Reflexivity alpha)
+          | d :: ds ->
+              Ok
+                (Axioms.simplify
+                   (List.fold_left (fun acc d' -> Axioms.Transitivity (acc, d')) d ds))
+        end
+      end)
+
+let derivation_bfs ?max_configs ~sigma phi =
+  with_word_instance ~sigma phi (fun s a b -> PR.derives_bfs ?max_configs s a b)
+
+let consequences_sample ~sigma ~from ~max_steps =
+  match check_word sigma with
+  | Error _ -> []
+  | Ok () ->
+      let system = system_of ~sigma ~extra:(Path.labels_used from) in
+      let seen = Hashtbl.create 64 in
+      let key = Path.to_string in
+      let q = Queue.create () in
+      Hashtbl.add seen (key from) ();
+      Queue.add from q;
+      let acc = ref [] in
+      let steps = ref max_steps in
+      while (not (Queue.is_empty q)) && !steps > 0 do
+        decr steps;
+        let w = Queue.pop q in
+        acc := w :: !acc;
+        List.iter
+          (fun w' ->
+            if not (Hashtbl.mem seen (key w')) then begin
+              Hashtbl.add seen (key w') ();
+              Queue.add w' q
+            end)
+          (PR.one_step system w)
+      done;
+      List.rev !acc

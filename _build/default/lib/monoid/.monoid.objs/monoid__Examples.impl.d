@@ -1,0 +1,1 @@
+lib/monoid/examples.ml: Char List Pathlang Presentation Printf String

@@ -1,0 +1,1 @@
+lib/monoid/examples.mli: Pathlang Presentation

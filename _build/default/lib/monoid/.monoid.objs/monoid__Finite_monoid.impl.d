@@ -1,0 +1,1 @@
+lib/monoid/finite_monoid.ml: Array Format Fun Hashtbl List String

@@ -1,0 +1,1 @@
+lib/monoid/finite_monoid.mli: Format

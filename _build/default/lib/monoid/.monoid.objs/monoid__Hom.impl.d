@@ -1,0 +1,1 @@
+lib/monoid/hom.ml: Finite_monoid Format List Pathlang Printf String

@@ -1,0 +1,1 @@
+lib/monoid/hom.mli: Finite_monoid Format Pathlang

@@ -1,0 +1,1 @@
+lib/monoid/presentation.ml: Buffer Format List Pathlang Printf String

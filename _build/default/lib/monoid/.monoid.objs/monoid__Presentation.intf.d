@@ -1,0 +1,1 @@
+lib/monoid/presentation.mli: Format Pathlang

@@ -1,0 +1,1 @@
+lib/monoid/word_problem.ml: Array Finite_monoid Hashtbl Hom List Pathlang Presentation Queue Rewriting

@@ -1,0 +1,1 @@
+lib/monoid/word_problem.mli: Hom Pathlang Presentation Rewriting

@@ -1,0 +1,65 @@
+module Label = Pathlang.Label
+module Path = Pathlang.Path
+
+let gen_names n =
+  List.init n (fun i ->
+      if i < 26 then String.make 1 (Char.chr (Char.code 'a' + i))
+      else Printf.sprintf "g%d" i)
+
+let free n = Presentation.of_strings ~gens:(gen_names n) ~relations:[]
+
+let cyclic n =
+  let rec repeat k = if k = 0 then [] else "a" :: repeat (k - 1) in
+  Presentation.of_strings ~gens:[ "a" ]
+    ~relations:[ (String.concat "." (repeat n), "eps") ]
+
+let free_commutative2 =
+  Presentation.of_strings ~gens:[ "a"; "b" ] ~relations:[ ("a.b", "b.a") ]
+
+let bicyclic =
+  Presentation.of_strings ~gens:[ "a"; "b" ] ~relations:[ ("a.b", "eps") ]
+
+let idempotent2 =
+  Presentation.of_strings ~gens:[ "a"; "b" ]
+    ~relations:[ ("a.a", "a"); ("b.b", "b") ]
+
+let klein_bottle_like =
+  Presentation.of_strings ~gens:[ "a"; "b" ] ~relations:[ ("a.b", "b.a.a") ]
+
+let klein_four =
+  Presentation.of_strings ~gens:[ "a"; "b" ]
+    ~relations:[ ("a.a", "eps"); ("b.b", "eps"); ("a.b", "b.a") ]
+
+let symmetric3 =
+  Presentation.of_strings ~gens:[ "a"; "b" ]
+    ~relations:[ ("a.a", "eps"); ("b.b.b", "eps"); ("a.b.a", "b.b") ]
+
+let catalog =
+  [
+    ("free2", free 2);
+    ("cyclic3", cyclic 3);
+    ("cyclic5", cyclic 5);
+    ("free-commutative", free_commutative2);
+    ("bicyclic", bicyclic);
+    ("idempotent", idempotent2);
+    ("klein-like", klein_bottle_like);
+    ("klein-four", klein_four);
+    ("symmetric3", symmetric3);
+  ]
+
+let sample_tests pres =
+  let gens = Presentation.gens pres in
+  match gens with
+  | [] -> []
+  | [ a ] ->
+      let w k = Path.of_labels (List.init k (fun _ -> a)) in
+      [ (w 1, w 1); (w 2, w 5); (w 0, w 3); (w 3, w 6) ]
+  | a :: b :: _ ->
+      let p l = Path.of_labels l in
+      [
+        (p [ a; b ], p [ b; a ]);
+        (p [ a; b ], Path.empty);
+        (p [ a; a; b ], p [ a ]);
+        (p [ a; b; a ], p [ b; a; a ]);
+        (p [ a ], p [ b ]);
+      ]

@@ -1,0 +1,124 @@
+type t = { size : int; one : int; mul : int array array }
+
+let make ~one mul =
+  let n = Array.length mul in
+  if n = 0 then Error "empty carrier"
+  else if one < 0 || one >= n then Error "identity out of range"
+  else if Array.exists (fun row -> Array.length row <> n) mul then
+    Error "Cayley table not square"
+  else if
+    Array.exists (fun row -> Array.exists (fun x -> x < 0 || x >= n) row) mul
+  then Error "product out of range"
+  else begin
+    let ok_id = ref true and ok_assoc = ref true in
+    for x = 0 to n - 1 do
+      if mul.(one).(x) <> x || mul.(x).(one) <> x then ok_id := false
+    done;
+    (try
+       for x = 0 to n - 1 do
+         for y = 0 to n - 1 do
+           for z = 0 to n - 1 do
+             if mul.(mul.(x).(y)).(z) <> mul.(x).(mul.(y).(z)) then begin
+               ok_assoc := false;
+               raise Exit
+             end
+           done
+         done
+       done
+     with Exit -> ());
+    if not !ok_id then Error "identity laws fail"
+    else if not !ok_assoc then Error "associativity fails"
+    else Ok { size = n; one; mul }
+  end
+
+let make_exn ~one mul =
+  match make ~one mul with
+  | Ok m -> m
+  | Error e -> invalid_arg ("Finite_monoid.make_exn: " ^ e)
+
+let size m = m.size
+let one m = m.one
+let mul m x y = m.mul.(x).(y)
+let elements m = List.init m.size Fun.id
+let mul_word m xs = List.fold_left (mul m) m.one xs
+
+let pow m x k =
+  let rec go acc k = if k = 0 then acc else go (mul m acc x) (k - 1) in
+  go m.one k
+
+let cyclic n =
+  if n < 1 then invalid_arg "Finite_monoid.cyclic";
+  let mul = Array.init n (fun i -> Array.init n (fun j -> (i + j) mod n)) in
+  make_exn ~one:0 mul
+
+let of_transformations ~points gens =
+  List.iter
+    (fun f ->
+      if Array.length f <> points then
+        invalid_arg "of_transformations: wrong arity";
+      Array.iter
+        (fun x -> if x < 0 || x >= points then invalid_arg "of_transformations: out of range")
+        f)
+    gens;
+  let compose f g = Array.init points (fun x -> g.(f.(x))) in
+  let id = Array.init points Fun.id in
+  let index = Hashtbl.create 64 in
+  let elems = ref [] in
+  let count = ref 0 in
+  let intern f =
+    let key = Array.to_list f in
+    match Hashtbl.find_opt index key with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        incr count;
+        Hashtbl.add index key i;
+        elems := f :: !elems;
+        i
+  in
+  let _ = intern id in
+  let gen_ids = List.map intern gens in
+  (* BFS closure under right multiplication by generators. *)
+  let rec close frontier =
+    match frontier with
+    | [] -> ()
+    | f :: rest ->
+        let new_elems =
+          List.filter_map
+            (fun g ->
+              let fg = compose f g in
+              let before = !count in
+              let _ = intern fg in
+              if !count > before then Some fg else None)
+            gens
+        in
+        close (rest @ new_elems)
+  in
+  close (id :: gens);
+  let arr = Array.of_list (List.rev !elems) in
+  let n = !count in
+  let mul =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            let key = Array.to_list (compose arr.(i) arr.(j)) in
+            Hashtbl.find index key))
+  in
+  (make_exn ~one:0 mul, gen_ids)
+
+let is_commutative m =
+  let n = m.size in
+  let rec go x y =
+    if x >= n then true
+    else if y >= n then go (x + 1) 0
+    else m.mul.(x).(y) = m.mul.(y).(x) && go x (y + 1)
+  in
+  go 0 0
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>monoid of size %d, identity %d@," m.size m.one;
+  Array.iter
+    (fun row ->
+      Format.fprintf ppf "  %s@,"
+        (String.concat " " (Array.to_list (Array.map string_of_int row))))
+    m.mul;
+  Format.fprintf ppf "@]"

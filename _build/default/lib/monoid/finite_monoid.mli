@@ -1,0 +1,42 @@
+(** Finite monoids presented by Cayley tables.
+
+    Theorem 4.4 (classical): the word problem for (finite) monoids is
+    undecidable; it is the source problem of both undecidability
+    reductions in the paper (Theorems 4.3 and 5.2).  Finite monoids and
+    homomorphisms into them are the {e witnesses} of non-implication:
+    Lemma 4.5 and Lemma 5.4 turn a separating homomorphism
+    [h : Gamma* -> M] into a finite countermodel (Figures 2 and 4). *)
+
+type t = private { size : int; one : int; mul : int array array }
+
+val make : one:int -> int array array -> (t, string) result
+(** Validates closure, the identity laws and associativity. *)
+
+val make_exn : one:int -> int array array -> t
+
+val size : t -> int
+val one : t -> int
+val mul : t -> int -> int -> int
+
+val elements : t -> int list
+
+val mul_word : t -> int list -> int
+(** Product of a list of elements (the identity for the empty list). *)
+
+val pow : t -> int -> int -> int
+
+val cyclic : int -> t
+(** The cyclic group Z/nZ as a monoid ([n >= 1]). *)
+
+val of_transformations : points:int -> int array list -> t * int list
+(** [of_transformations ~points gens] closes the given transformations
+    of [{0, ..., points-1}] under composition (convention: [f * g] maps
+    [x] to [g (f x)], i.e. left-to-right application) together with the
+    identity, and returns the resulting transformation monoid and the
+    indices of the generators in it.
+    @raise Invalid_argument on a transformation of the wrong arity or
+    range. *)
+
+val is_commutative : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+module Label = Pathlang.Label
+module Path = Pathlang.Path
+
+type t = { monoid : Finite_monoid.t; gen_map : (Label.t * int) list }
+
+let make monoid gen_map =
+  List.iter
+    (fun (_, x) ->
+      if x < 0 || x >= Finite_monoid.size monoid then
+        invalid_arg "Hom.make: image out of range")
+    gen_map;
+  { monoid; gen_map }
+
+let monoid h = h.monoid
+let gen_map h = h.gen_map
+
+let image h k =
+  match List.find_opt (fun (g, _) -> Label.equal g k) h.gen_map with
+  | Some (_, x) -> x
+  | None -> invalid_arg ("Hom.eval: no image for generator " ^ Label.to_string k)
+
+let eval h w = Finite_monoid.mul_word h.monoid (List.map (image h) (Path.to_labels w))
+
+let respects h eqs = List.for_all (fun (u, v) -> eval h u = eval h v) eqs
+let separates h (u, v) = eval h u <> eval h v
+
+let pp ppf h =
+  Format.fprintf ppf "hom into monoid of size %d: %s"
+    (Finite_monoid.size h.monoid)
+    (String.concat ", "
+       (List.map
+          (fun (g, x) -> Printf.sprintf "%s -> %d" (Label.to_string g) x)
+          h.gen_map))

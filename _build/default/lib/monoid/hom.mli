@@ -1,0 +1,24 @@
+(** Monoid homomorphisms [h : Gamma* -> M] out of a free monoid,
+    determined by the images of the generators. *)
+
+type t
+
+val make : Finite_monoid.t -> (Pathlang.Label.t * int) list -> t
+(** @raise Invalid_argument if an image is outside the monoid's
+    carrier. *)
+
+val monoid : t -> Finite_monoid.t
+val gen_map : t -> (Pathlang.Label.t * int) list
+
+val eval : t -> Pathlang.Path.t -> int
+(** [h(word)]; the identity on the empty word.
+    @raise Invalid_argument on a letter without an image. *)
+
+val respects : t -> (Pathlang.Path.t * Pathlang.Path.t) list -> bool
+(** [h(u_i) = h(v_i)] for every listed equation, i.e. [h] factors
+    through the presented monoid. *)
+
+val separates : t -> Pathlang.Path.t * Pathlang.Path.t -> bool
+(** [h(u) <> h(v)]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+module Label = Pathlang.Label
+module Path = Pathlang.Path
+module Srs = Rewriting.Srs
+module Kb = Rewriting.Kb
+
+type verdict = Equal | Separated of Hom.t | Distinct | Unknown
+
+let via_completion ?max_rules pres =
+  match Kb.complete ?max_rules (Presentation.relations pres) with
+  | Kb.Convergent rules -> Ok (fun u v -> Srs.joinable rules u v)
+  | Kb.Budget_exhausted rules -> Error rules
+
+(* One bidirectional rewriting step: apply a relation in either direction at
+   any position. *)
+let neighbours relations w =
+  List.concat_map
+    (fun (u, v) ->
+      let apply l r =
+        let rec at i acc =
+          let labels = Path.to_labels w in
+          if i + Path.length l > List.length labels then List.rev acc
+          else
+            let front = List.filteri (fun j _ -> j < i) labels in
+            let rest = List.filteri (fun j _ -> j >= i) labels in
+            let seg = List.filteri (fun j _ -> j < Path.length l) rest in
+            let tail = List.filteri (fun j _ -> j >= Path.length l) rest in
+            if Path.equal (Path.of_labels seg) l then
+              at (i + 1) (Path.of_labels (front @ Path.to_labels r @ tail) :: acc)
+            else at (i + 1) acc
+        in
+        at 0 []
+      in
+      apply u v @ apply v u)
+    relations
+
+let equational_search ?(max_words = 20_000) pres (alpha, beta) =
+  let relations = Presentation.relations pres in
+  let seen = Hashtbl.create 256 in
+  let key w = Path.to_string w in
+  let q = Queue.create () in
+  Hashtbl.add seen (key alpha) ();
+  Queue.add alpha q;
+  let budget = ref max_words in
+  let rec go () =
+    if Queue.is_empty q then Some false
+    else if !budget <= 0 then None
+    else begin
+      decr budget;
+      let w = Queue.pop q in
+      if Path.equal w beta then Some true
+      else begin
+        List.iter
+          (fun w' ->
+            if not (Hashtbl.mem seen (key w')) then begin
+              Hashtbl.add seen (key w') ();
+              Queue.add w' q
+            end)
+          (neighbours relations w);
+        go ()
+      end
+    end
+  in
+  go ()
+
+(* All transformations of [points] points, as arrays. *)
+let all_transformations points =
+  let rec go acc k =
+    if k = points then acc
+    else
+      go
+        (List.concat_map
+           (fun partial -> List.init points (fun img -> img :: partial))
+           acc)
+        (k + 1)
+  in
+  List.map (fun l -> Array.of_list (List.rev l)) (go [ [] ] 0)
+
+let search_separating_hom ?(max_points = 3) ?(max_candidates = 2_000_000) pres
+    test =
+  let gens = Presentation.gens pres in
+  let relations = Presentation.relations pres in
+  let tried = ref 0 in
+  let rec per_points points =
+    if points > max_points then None
+    else begin
+      let transformations = all_transformations points in
+      (* Enumerate assignments generator-by-generator, depth first. *)
+      let rec assign acc = function
+        | [] ->
+            let fs = List.rev acc in
+            incr tried;
+            if !tried > max_candidates then raise Exit;
+            let monoid, gen_ids =
+              Finite_monoid.of_transformations ~points (List.map snd fs)
+            in
+            let gen_map = List.map2 (fun (g, _) id -> (g, id)) fs gen_ids in
+            let h = Hom.make monoid gen_map in
+            if Hom.respects h relations && Hom.separates h test then Some h
+            else None
+        | g :: rest ->
+            List.find_map
+              (fun f -> assign ((g, f) :: acc) rest)
+              transformations
+      in
+      match assign [] gens with
+      | Some h -> Some h
+      | None -> per_points (points + 1)
+      | exception Exit -> None
+    end
+  in
+  per_points 1
+
+let decide ?kb_max_rules ?(search_budget = 20_000) ?max_points pres test =
+  match via_completion ?max_rules:kb_max_rules pres with
+  | Ok equal -> (
+      if equal (fst test) (snd test) then Equal
+      else
+        (* Completion decides Theta |= alpha = beta for arbitrary monoids;
+           for the finite-monoid separation we still exhibit a witness. *)
+        match search_separating_hom ?max_points pres test with
+        | Some h -> Separated h
+        | None -> Distinct)
+  | Error _partial -> (
+      match equational_search ~max_words:search_budget pres test with
+      | Some true -> Equal
+      | _ -> (
+          match search_separating_hom ?max_points pres test with
+          | Some h -> Separated h
+          | None -> Unknown))

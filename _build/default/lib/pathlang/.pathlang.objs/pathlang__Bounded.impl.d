@@ -1,0 +1,1 @@
+lib/pathlang/bounded.ml: Constr Format Label List Path

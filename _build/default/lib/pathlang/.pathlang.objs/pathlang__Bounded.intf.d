@@ -1,0 +1,1 @@
+lib/pathlang/bounded.mli: Constr Label Path

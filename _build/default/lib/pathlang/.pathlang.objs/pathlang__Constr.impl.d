@@ -1,0 +1,1 @@
+lib/pathlang/constr.ml: Format Label Path Stdlib

@@ -1,0 +1,1 @@
+lib/pathlang/constr.mli: Format Label Path

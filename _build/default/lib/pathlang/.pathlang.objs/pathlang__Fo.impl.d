@@ -1,0 +1,1 @@
+lib/pathlang/fo.ml: Constr Format Label List Path Printf Set String

@@ -1,0 +1,1 @@
+lib/pathlang/fo.mli: Constr Format Label Path

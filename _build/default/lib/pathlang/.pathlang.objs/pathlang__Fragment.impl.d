@@ -1,0 +1,1 @@
+lib/pathlang/fragment.ml: Constr List Path

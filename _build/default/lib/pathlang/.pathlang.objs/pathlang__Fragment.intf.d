@@ -1,0 +1,1 @@
+lib/pathlang/fragment.mli: Constr Label Path

@@ -1,0 +1,1 @@
+lib/pathlang/label.ml: Format Hashtbl List Map Printf Set String

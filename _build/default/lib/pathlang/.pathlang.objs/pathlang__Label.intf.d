@@ -1,0 +1,1 @@
+lib/pathlang/label.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/pathlang/parser.ml: Constr List Path Printf String

@@ -1,0 +1,1 @@
+lib/pathlang/parser.mli: Constr Path

@@ -1,0 +1,1 @@
+lib/pathlang/path.ml: Format Hashtbl Int Label List Map Set String

@@ -1,0 +1,1 @@
+lib/pathlang/path.mli: Format Label Map Set

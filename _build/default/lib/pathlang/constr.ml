@@ -1,0 +1,85 @@
+type kind = Forward | Backward
+
+type t = { kind : kind; prefix : Path.t; lhs : Path.t; rhs : Path.t }
+
+let make kind ~prefix ~lhs ~rhs = { kind; prefix; lhs; rhs }
+let forward ~prefix ~lhs ~rhs = make Forward ~prefix ~lhs ~rhs
+let backward ~prefix ~lhs ~rhs = make Backward ~prefix ~lhs ~rhs
+let word ~lhs ~rhs = forward ~prefix:Path.empty ~lhs ~rhs
+
+let kind c = c.kind
+let prefix c = c.prefix
+let pf = prefix
+let lhs c = c.lhs
+let rhs c = c.rhs
+
+let is_word c = c.kind = Forward && Path.is_empty c.prefix
+let as_word c = if is_word c then Some (c.lhs, c.rhs) else None
+
+let shift rho c = { c with prefix = Path.concat rho c.prefix }
+
+let unshift rho c =
+  match Path.strip_prefix ~prefix:rho c.prefix with
+  | Some rest -> Some { c with prefix = rest }
+  | None -> None
+
+let labels_used c =
+  Label.Set.union
+    (Path.labels_used c.prefix)
+    (Label.Set.union (Path.labels_used c.lhs) (Path.labels_used c.rhs))
+
+let paths_used c =
+  let body = Path.concat c.prefix c.lhs in
+  match c.kind with
+  | Forward -> [ c.prefix; body; Path.concat c.prefix c.rhs ]
+  | Backward ->
+      (* gamma runs from the endpoint of prefix.lhs back towards x, so
+         the root-anchored paths a model must realize are alpha,
+         alpha.beta and alpha.beta.gamma. *)
+      [ c.prefix; body; Path.concat body c.rhs ]
+
+let equal a b =
+  a.kind = b.kind && Path.equal a.prefix b.prefix && Path.equal a.lhs b.lhs
+  && Path.equal a.rhs b.rhs
+
+let compare a b =
+  let c = Stdlib.compare a.kind b.kind in
+  if c <> 0 then c
+  else
+    let c = Path.compare a.prefix b.prefix in
+    if c <> 0 then c
+    else
+      let c = Path.compare a.lhs b.lhs in
+      if c <> 0 then c else Path.compare a.rhs b.rhs
+
+let arrow = function Forward -> "->" | Backward -> "<-"
+
+let pp ppf c =
+  if Path.is_empty c.prefix then
+    Format.fprintf ppf "%a %s %a" Path.pp c.lhs (arrow c.kind) Path.pp c.rhs
+  else
+    Format.fprintf ppf "%a : %a %s %a" Path.pp c.prefix Path.pp c.lhs
+      (arrow c.kind) Path.pp c.rhs
+
+let to_string c = Format.asprintf "%a" pp c
+
+(* Render a path as the chain of atoms of Section 2.1, e.g.
+   [a.b(x,y)] becomes [exists z1 (a(x,z1) /\ b(z1,y))].  For readability we
+   print the compact atom [rho(x,y)] instead of the expansion, matching the
+   paper's own notation. *)
+let pp_path_atom ppf (rho, x, y) =
+  if Path.is_empty rho then Format.fprintf ppf "%s = %s" x y
+  else Format.fprintf ppf "%a(%s, %s)" Path.pp rho x y
+
+let pp_fo ppf c =
+  match c.kind with
+  | Forward ->
+      Format.fprintf ppf "forall x (%a -> forall y (%a -> %a))" pp_path_atom
+        (c.prefix, "r", "x") pp_path_atom (c.lhs, "x", "y") pp_path_atom
+        (c.rhs, "x", "y")
+  | Backward ->
+      Format.fprintf ppf "forall x (%a -> forall y (%a -> %a))" pp_path_atom
+        (c.prefix, "r", "x") pp_path_atom (c.lhs, "x", "y") pp_path_atom
+        (c.rhs, "y", "x")
+
+let to_fo_string c = Format.asprintf "%a" pp_fo c

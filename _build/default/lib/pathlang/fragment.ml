@@ -1,0 +1,17 @@
+let lift rho psi =
+  match Constr.as_word psi with
+  | Some (lhs, rhs) -> Some (Constr.forward ~prefix:rho ~lhs ~rhs)
+  | None -> None
+
+let in_pw = Constr.is_word
+
+let in_pw_path ~rho phi =
+  Constr.kind phi = Constr.Forward
+  && (Path.is_empty (Constr.prefix phi) || Path.equal (Constr.prefix phi) rho)
+
+let in_pw_k ~k phi = in_pw_path ~rho:(Path.singleton k) phi
+
+let check_all member sigma =
+  match List.find_opt (fun phi -> not (member phi)) sigma with
+  | None -> Ok ()
+  | Some phi -> Error phi

@@ -1,0 +1,31 @@
+(** The "small" undecidable fragments of P_c from Sections 4.1 and 6.
+
+    For a label [K], the fragment [P_w(K)] is
+    [P_w union { (psi; K) | psi in P_w }] where, for a word constraint
+    [psi = forall x (alpha(r,x) -> beta(r,x))],
+    [(psi; K) = forall x (K(r,x) -> forall y (alpha(x,y) -> beta(x,y)))].
+
+    More generally, for a path [rho], [P_w(rho)] (written [P_w(alpha)] in
+    Section 6) prefixes word constraints with the fixed path [rho]. *)
+
+val lift : Path.t -> Constr.t -> Constr.t option
+(** [lift rho psi] is [Some (psi; rho)] when [psi] is a word constraint:
+    the forward constraint with prefix [rho] and the body of [psi];
+    [None] when [psi] is not a word constraint. *)
+
+val in_pw : Constr.t -> bool
+(** Membership in P_w (Definition 2.2). *)
+
+val in_pw_k : k:Label.t -> Constr.t -> bool
+(** Membership in [P_w(K)] for the label [k]. *)
+
+val in_pw_path : rho:Path.t -> Constr.t -> bool
+(** Membership in [P_w(rho)] for an arbitrary fixed path [rho]
+    (Section 6).  [in_pw_path ~rho:(Path.singleton k)] coincides with
+    [in_pw_k ~k]. *)
+
+val check_all :
+  (Constr.t -> bool) -> Constr.t list -> (unit, Constr.t) result
+(** [check_all member sigma] is [Ok ()] when every constraint satisfies
+    the membership predicate, and [Error phi] naming the first member
+    outside the fragment otherwise. *)

@@ -1,0 +1,26 @@
+type t = string
+
+let forbidden = [ '.'; '('; ')'; '['; ']'; ':'; '>'; '<'; '-'; '='; ',' ]
+
+let valid_char c =
+  (not (List.mem c forbidden))
+  && (not (c = ' ' || c = '\t' || c = '\n' || c = '\r'))
+
+let make s =
+  if String.length s = 0 then invalid_arg "Label.make: empty label";
+  String.iter
+    (fun c ->
+      if not (valid_char c) then
+        invalid_arg (Printf.sprintf "Label.make: forbidden character %C in %S" c s))
+    s;
+  s
+
+let of_string = make
+let to_string s = s
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+let pp = Format.pp_print_string
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)

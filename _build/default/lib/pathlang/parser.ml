@@ -1,0 +1,54 @@
+let path_of_string s =
+  match Path.of_string s with
+  | p -> Ok p
+  | exception Invalid_argument msg -> Error msg
+
+(* Split [s] at the first occurrence of the token [tok]; tokens never occur
+   inside labels (Label.make forbids their characters). *)
+let split_once tok s =
+  let len = String.length s and tlen = String.length tok in
+  let rec find i =
+    if i + tlen > len then None
+    else if String.sub s i tlen = tok then
+      Some (String.sub s 0 i, String.sub s (i + tlen) (len - i - tlen))
+    else find (i + 1)
+  in
+  find 0
+
+let constraint_of_string line =
+  let line = String.trim line in
+  let prefix_part, body =
+    match split_once ":" line with
+    | Some (p, rest) -> (String.trim p, String.trim rest)
+    | None -> ("eps", line)
+  in
+  let kind, lhs_s, rhs_s =
+    match split_once "->" body with
+    | Some (l, r) -> (Constr.Forward, String.trim l, String.trim r)
+    | None -> (
+        match split_once "<-" body with
+        | Some (l, r) -> (Constr.Backward, String.trim l, String.trim r)
+        | None -> (Constr.Forward, "", ""))
+  in
+  if lhs_s = "" && rhs_s = "" then
+    Error (Printf.sprintf "no '->' or '<-' found in %S" line)
+  else
+    match (path_of_string prefix_part, path_of_string lhs_s, path_of_string rhs_s)
+    with
+    | Ok prefix, Ok lhs, Ok rhs -> Ok (Constr.make kind ~prefix ~lhs ~rhs)
+    | Error m, _, _ | _, Error m, _ | _, _, Error m ->
+        Error (Printf.sprintf "in %S: %s" line m)
+
+let constraints_of_string doc =
+  let lines = String.split_on_char '\n' doc in
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let t = String.trim line in
+        if t = "" || t.[0] = '#' then go (n + 1) acc rest
+        else (
+          match constraint_of_string t with
+          | Ok c -> go (n + 1) (c :: acc) rest
+          | Error m -> Error (Printf.sprintf "line %d: %s" n m))
+  in
+  go 1 [] lines

@@ -1,0 +1,24 @@
+(** Concrete syntax for P_c constraints.
+
+    One constraint per line:
+    {v
+      # extent constraint (word constraint: empty prefix)
+      book.author -> person
+      # forward constraint with prefix MIT
+      MIT : book.author -> person
+      # backward (inverse) constraint: wrote(y, x) for author(x, y)
+      book : author <- wrote
+      # the empty path is written eps
+      MIT.book : eps -> ref
+    v}
+    Blank lines and lines starting with [#] are ignored. *)
+
+val constraint_of_string : string -> (Constr.t, string) result
+(** Parses a single constraint. *)
+
+val constraints_of_string : string -> (Constr.t list, string) result
+(** Parses a whole document (one constraint per line); the error message
+    carries the 1-based line number. *)
+
+val path_of_string : string -> (Path.t, string) result
+(** Parses a dotted path or [eps]. *)

@@ -1,0 +1,73 @@
+type t = Label.t list
+
+let empty = []
+let is_empty p = p = []
+let of_labels ls = ls
+let to_labels p = p
+let of_strings ss = List.map Label.make ss
+let singleton k = [ k ]
+let cons k p = k :: p
+let snoc p k = p @ [ k ]
+let concat p q = p @ q
+let length = List.length
+
+let head = function [] -> None | k :: _ -> Some k
+let uncons = function [] -> None | k :: p -> Some (k, p)
+
+let rec last = function
+  | [] -> None
+  | [ k ] -> Some k
+  | _ :: p -> last p
+
+let rec is_prefix p q =
+  match (p, q) with
+  | [], _ -> true
+  | _, [] -> false
+  | a :: p', b :: q' -> Label.equal a b && is_prefix p' q'
+
+let rec strip_prefix ~prefix q =
+  match (prefix, q) with
+  | [], _ -> Some q
+  | _, [] -> None
+  | a :: p', b :: q' -> if Label.equal a b then strip_prefix ~prefix:p' q' else None
+
+let prefixes p =
+  let rec go acc rev_cur = function
+    | [] -> List.rev acc
+    | k :: rest -> go (List.rev (k :: rev_cur) :: acc) (k :: rev_cur) rest
+  in
+  go [ [] ] [] p
+
+let rev = List.rev
+
+let labels_used p = List.fold_left (fun s k -> Label.Set.add k s) Label.Set.empty p
+
+let equal p q = try List.for_all2 Label.equal p q with Invalid_argument _ -> false
+
+let compare_lex = List.compare Label.compare
+
+let compare p q =
+  let c = Int.compare (List.length p) (List.length q) in
+  if c <> 0 then c else compare_lex p q
+
+let hash = Hashtbl.hash
+
+let to_string = function
+  | [] -> "eps"
+  | p -> String.concat "." (List.map Label.to_string p)
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" || s = "eps" then []
+  else List.map Label.make (String.split_on_char '.' s)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

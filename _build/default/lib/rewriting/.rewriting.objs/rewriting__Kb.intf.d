@@ -1,0 +1,1 @@
+lib/rewriting/kb.mli: Srs

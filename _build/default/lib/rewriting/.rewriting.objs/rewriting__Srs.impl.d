@@ -1,0 +1,1 @@
+lib/rewriting/srs.ml: Array Format List Option Pathlang

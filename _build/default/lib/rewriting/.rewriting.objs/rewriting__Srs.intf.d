@@ -1,0 +1,1 @@
+lib/rewriting/srs.mli: Format Pathlang

@@ -1,0 +1,62 @@
+module Path = Pathlang.Path
+
+type outcome =
+  | Convergent of Srs.rule list
+  | Budget_exhausted of Srs.rule list
+
+(* Keep the rule set inter-reduced: every rule's sides are normal with
+   respect to the other rules.  Rules whose lhs becomes reducible are
+   turned back into equations. *)
+let simplify rules =
+  let rec go acc pending = function
+    | [] -> (List.rev acc, pending)
+    | (r : Srs.rule) :: rest ->
+        let others = acc @ rest in
+        let rhs' = Srs.normalize others r.rhs in
+        if Srs.rewrite_once others r.lhs <> None then
+          go acc ((r.lhs, rhs') :: pending) rest
+        else go ({ r with rhs = rhs' } :: acc) pending rest
+  in
+  go [] [] rules
+
+let complete ?(max_rules = 512) ?(max_passes = 64) equations =
+  (* A global fuel counter guards against pathological simplify/reopen
+     cycles; completion is inherently a semi-algorithm. *)
+  let fuel = ref (1000 * max_rules) in
+  let rec add_equations rules pending =
+    decr fuel;
+    if !fuel <= 0 then Error rules
+    else
+      match pending with
+      | [] -> Ok rules
+      | (u, v) :: pending ->
+          let u' = Srs.normalize rules u and v' = Srs.normalize rules v in
+          if Path.equal u' v' then add_equations rules pending
+          else (
+            match Srs.orient (u', v') with
+            | None -> add_equations rules pending
+            | Some r ->
+                if List.length rules >= max_rules then Error rules
+                else
+                  let rules, reopened = simplify (r :: rules) in
+                  add_equations rules (reopened @ pending))
+  in
+  let rec passes n rules =
+    if n > max_passes then Budget_exhausted rules
+    else
+      let cps =
+        List.filter
+          (fun (u, v) -> not (Srs.joinable rules u v))
+          (Srs.critical_pairs rules)
+      in
+      if cps = [] then Convergent rules
+      else
+        match add_equations rules cps with
+        | Ok rules' -> passes (n + 1) rules'
+        | Error rules' -> Budget_exhausted rules'
+  in
+  match add_equations [] equations with
+  | Ok rules -> passes 1 rules
+  | Error rules -> Budget_exhausted rules
+
+let decides_equal rules u v = Srs.joinable rules u v

@@ -1,0 +1,27 @@
+(** Knuth-Bendix completion for string rewriting systems.
+
+    Given a finite set of equations (a monoid presentation), completion
+    tries to produce a finite convergent (terminating + confluent)
+    rewriting system for the same congruence; when it succeeds, the word
+    problem of the presentation is decided by comparing normal forms.
+    The word problem for monoids is undecidable in general (Theorem 4.4
+    of the paper quotes this), so completion is necessarily budgeted. *)
+
+type outcome =
+  | Convergent of Srs.rule list
+      (** Completion finished; normal forms decide the word problem. *)
+  | Budget_exhausted of Srs.rule list
+      (** The rules found so far (sound for joinability but not
+          complete). *)
+
+val complete :
+  ?max_rules:int ->
+  ?max_passes:int ->
+  (Srs.word * Srs.word) list ->
+  outcome
+(** Shortlex-oriented completion with inter-reduction.  Defaults:
+    [max_rules = 512], [max_passes = 64]. *)
+
+val decides_equal : Srs.rule list -> Srs.word -> Srs.word -> bool
+(** Equality of normal forms (a complete decision procedure only for a
+    {!Convergent} system). *)

@@ -1,0 +1,1 @@
+lib/rpq/eval.ml: Automata Hashtbl List Option Pathlang Queue Regex Sgraph

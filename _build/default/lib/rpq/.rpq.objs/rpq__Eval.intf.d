@@ -1,0 +1,1 @@
+lib/rpq/eval.mli: Pathlang Regex Sgraph

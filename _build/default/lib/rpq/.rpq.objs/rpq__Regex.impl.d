@@ -1,0 +1,1 @@
+lib/rpq/regex.ml: Automata Format List Option Pathlang Printf String

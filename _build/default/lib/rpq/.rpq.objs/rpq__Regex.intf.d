@@ -1,0 +1,1 @@
+lib/rpq/regex.mli: Automata Format Pathlang

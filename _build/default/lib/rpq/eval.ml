@@ -1,0 +1,80 @@
+module Graph = Sgraph.Graph
+module Nfa = Automata.Nfa
+module NS = Graph.Node_set
+module Path = Pathlang.Path
+
+(* BFS over the product of the graph and the query NFA.  Pairs (v, q)
+   with q ranging over eps-closed single states. *)
+let product_search g src r =
+  let a, start = Regex.to_nfa r in
+  let closure q = Nfa.eps_closure a (Nfa.State_set.singleton q) in
+  let seen = Hashtbl.create 64 in
+  let parent = Hashtbl.create 64 in
+  let q = Queue.create () in
+  let push (v, st) from =
+    if not (Hashtbl.mem seen (v, st)) then begin
+      Hashtbl.add seen (v, st) ();
+      Hashtbl.add parent (v, st) from;
+      Queue.add (v, st) q
+    end
+  in
+  Nfa.State_set.iter (fun st -> push (src, st) None) (closure start);
+  while not (Queue.is_empty q) do
+    let v, st = Queue.pop q in
+    List.iter
+      (fun (k, v') ->
+        Nfa.State_set.iter
+          (fun st' ->
+            Nfa.State_set.iter
+              (fun st'' -> push (v', st'') (Some ((v, st), k)))
+              (closure st'))
+          (Nfa.reach a st [ k ] |> fun set -> set))
+      (Graph.succ_all g v)
+  done;
+  (a, seen, parent)
+
+let eval_from g src r =
+  let a, seen, _ = product_search g src r in
+  Hashtbl.fold
+    (fun (v, st) () acc -> if Nfa.is_final a st then NS.add v acc else acc)
+    seen NS.empty
+
+let eval g r = eval_from g (Graph.root g) r
+
+let holds_between g src r dst = NS.mem dst (eval_from g src r)
+
+let witness g src r dst =
+  let a, seen, parent = product_search g src r in
+  let target =
+    Hashtbl.fold
+      (fun (v, st) () acc ->
+        if v = dst && Nfa.is_final a st && acc = None then Some (v, st) else acc)
+      seen None
+  in
+  Option.map
+    (fun state ->
+      let rec build s acc =
+        match Hashtbl.find parent s with
+        | None -> acc
+        | Some (prev, k) -> build prev (k :: acc)
+      in
+      Path.of_labels (build state []))
+    target
+
+type constr = { lhs : Regex.t; rhs : Regex.t }
+
+let holds g c = NS.subset (eval g c.lhs) (eval g c.rhs)
+
+let violations g c =
+  NS.elements (NS.diff (eval g c.lhs) (eval g c.rhs))
+
+let prune_union rs =
+  let rec go kept = function
+    | [] -> List.rev kept
+    | r :: rest ->
+        let redundant =
+          List.exists (fun r' -> Regex.included r r') (kept @ rest)
+        in
+        if redundant then go kept rest else go (r :: kept) rest
+  in
+  go [] rs

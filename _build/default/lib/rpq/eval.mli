@@ -1,0 +1,41 @@
+(** Regular path queries over semistructured graphs, and the regular
+    word constraints of [4] as {e checkable} (not implied-over)
+    properties.
+
+    [eval g r] selects every node reachable from the root along a label
+    sequence in [L(r)], computed by BFS over the product of the graph
+    with the query automaton — the classical RPQ algorithm,
+    [O(|G| * |r|)] states. *)
+
+val eval_from :
+  Sgraph.Graph.t -> Sgraph.Graph.node -> Regex.t -> Sgraph.Graph.Node_set.t
+
+val eval : Sgraph.Graph.t -> Regex.t -> Sgraph.Graph.Node_set.t
+
+val holds_between :
+  Sgraph.Graph.t -> Sgraph.Graph.node -> Regex.t -> Sgraph.Graph.node -> bool
+
+val witness :
+  Sgraph.Graph.t ->
+  Sgraph.Graph.node ->
+  Regex.t ->
+  Sgraph.Graph.node ->
+  Pathlang.Path.t option
+(** A shortest label sequence in [L(r)] connecting the two nodes. *)
+
+(** Regular word constraints (the constraint language of [4]):
+    [forall x (r1(root, x) -> r2(root, x))] with [r1], [r2] regular.
+    Model checking is decidable and implemented; the {e implication}
+    problem for these constraints is out of scope here, exactly as in
+    the paper (Section 1). *)
+type constr = { lhs : Regex.t; rhs : Regex.t }
+
+val holds : Sgraph.Graph.t -> constr -> bool
+
+val violations : Sgraph.Graph.t -> constr -> Sgraph.Graph.node list
+
+(** Union-of-RPQs optimization by {e syntactic} language inclusion:
+    sound without any constraint theory (smaller language, smaller
+    answer), complementing the constraint-aware pruning of
+    [Core.Query]. *)
+val prune_union : Regex.t list -> Regex.t list

@@ -1,0 +1,1 @@
+lib/schema/instance.ml: Format Hashtbl List Mschema Mtype Pathlang Printf Schema_graph Sgraph String Typecheck

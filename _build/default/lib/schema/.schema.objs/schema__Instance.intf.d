@@ -1,0 +1,1 @@
+lib/schema/instance.mli: Format Mschema Mtype Pathlang Typecheck

@@ -1,0 +1,1 @@
+lib/schema/instance_gen.ml: Instance List Mschema Mtype Printf Random

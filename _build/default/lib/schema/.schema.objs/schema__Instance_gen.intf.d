@@ -1,0 +1,1 @@
+lib/schema/instance_gen.mli: Instance Mschema Random

@@ -1,0 +1,1 @@
+lib/schema/mschema.ml: Format List Mtype Pathlang Printf Random String

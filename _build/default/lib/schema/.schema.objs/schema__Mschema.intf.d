@@ -1,0 +1,1 @@
+lib/schema/mschema.mli: Format Mtype Random

@@ -1,0 +1,1 @@
+lib/schema/mtype.ml: Format List Map Pathlang Set Stdlib String

@@ -1,0 +1,1 @@
+lib/schema/mtype.mli: Format Map Pathlang Set

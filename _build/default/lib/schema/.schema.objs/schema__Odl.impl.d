@@ -1,0 +1,1 @@
+lib/schema/odl.ml: Buffer List Mschema Mtype Option Pathlang Printf Schema_graph String

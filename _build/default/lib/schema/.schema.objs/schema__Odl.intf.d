@@ -1,0 +1,1 @@
+lib/schema/odl.mli: Mschema Pathlang

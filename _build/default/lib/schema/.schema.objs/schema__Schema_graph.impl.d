@@ -1,0 +1,1 @@
+lib/schema/schema_graph.ml: List Mschema Mtype Pathlang

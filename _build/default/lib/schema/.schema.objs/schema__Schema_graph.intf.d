@@ -1,0 +1,1 @@
+lib/schema/schema_graph.mli: Mschema Mtype Pathlang

@@ -1,0 +1,1 @@
+lib/schema/schema_parser.ml: Buffer In_channel List Mschema Mtype Pathlang Printf String

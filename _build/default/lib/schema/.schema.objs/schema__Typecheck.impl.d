@@ -1,0 +1,1 @@
+lib/schema/typecheck.ml: Format Hashtbl List Mschema Mtype Pathlang Schema_graph Sgraph

@@ -1,0 +1,1 @@
+lib/schema/typecheck.mli: Hashtbl Mschema Mtype Sgraph

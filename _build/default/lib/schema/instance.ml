@@ -1,0 +1,267 @@
+module Label = Pathlang.Label
+module Graph = Sgraph.Graph
+
+type value =
+  | Vatom of Mtype.atomic * string
+  | Void of Mtype.cname * int
+  | Vset of value list
+  | Vrecord of (Label.t * value) list
+
+type t = {
+  schema : Mschema.t;
+  oids : ((Mtype.cname * int) * value) list;
+  entry : value;
+}
+
+let rec check_value inst_oids schema tau v =
+  match (tau, v) with
+  | Mtype.Atomic b, Vatom (b', _) ->
+      if Mtype.atomic_name b = Mtype.atomic_name b' then Ok ()
+      else Error "atom of wrong atomic type"
+  | Mtype.Class c, Void (c', i) ->
+      if Mtype.cname_name c <> Mtype.cname_name c' then
+        Error "oid of wrong class"
+      else if List.mem_assoc (c', i) inst_oids then Ok ()
+      else Error (Printf.sprintf "dangling oid %s#%d" (Mtype.cname_name c') i)
+  | Mtype.Set m, Vset vs ->
+      let rec all = function
+        | [] -> Ok ()
+        | v :: rest -> (
+            match check_value inst_oids schema m v with
+            | Ok () -> all rest
+            | Error _ as e -> e)
+      in
+      all vs
+  | Mtype.Record ftypes, Vrecord fields ->
+      let sorted l = List.sort (fun (a, _) (b, _) -> Label.compare a b) l in
+      let ftypes = sorted ftypes and fields = sorted fields in
+      if
+        List.length ftypes <> List.length fields
+        || not
+             (List.for_all2
+                (fun (l, _) (l', _) -> Label.equal l l')
+                ftypes fields)
+      then Error "record fields do not match the record type"
+      else
+        let rec all = function
+          | [] -> Ok ()
+          | ((_, ft), (_, fv)) :: rest -> (
+              match check_value inst_oids schema ft fv with
+              | Ok () -> all rest
+              | Error _ as e -> e)
+        in
+        all (List.combine ftypes fields)
+  | _ -> Error "value does not match its type"
+
+let make ~schema ~oids ~entry =
+  let keys = List.map fst oids in
+  let distinct =
+    List.length keys
+    = List.length
+        (List.sort_uniq compare
+           (List.map (fun (c, i) -> (Mtype.cname_name c, i)) keys))
+  in
+  if not distinct then Error "duplicate oids"
+  else
+    let check_oid ((c, _i), v) =
+      match Mschema.class_body schema c with
+      | body -> check_value oids schema body v
+      | exception Not_found ->
+          Error (Printf.sprintf "oid of undeclared class %s" (Mtype.cname_name c))
+    in
+    let rec all = function
+      | [] -> Ok ()
+      | o :: rest -> (
+          match check_oid o with Ok () -> all rest | Error _ as e -> e)
+    in
+    match all oids with
+    | Error e -> Error e
+    | Ok () -> (
+        match check_value oids schema (Mschema.dbtype schema) entry with
+        | Error e -> Error ("entry point: " ^ e)
+        | Ok () -> Ok { schema; oids; entry })
+
+let make_exn ~schema ~oids ~entry =
+  match make ~schema ~oids ~entry with
+  | Ok i -> i
+  | Error e -> invalid_arg ("Instance.make_exn: " ^ e)
+
+(* --- Lemma 3.1: instance to structure ------------------------------- *)
+
+type intern_key =
+  | KAtom of string * string
+  | KSet of string * int list  (** sort, sorted member nodes *)
+  | KRec of string * (string * int) list
+
+let to_structure inst =
+  let schema = inst.schema in
+  let g = Graph.create () in
+  let typed = Typecheck.make g [] in
+  Typecheck.set_type typed (Graph.root g) (Mschema.dbtype schema);
+  let oid_nodes = Hashtbl.create 16 in
+  List.iter
+    (fun ((c, i), _) ->
+      let n = Graph.add_node g in
+      Typecheck.set_type typed n (Mtype.Class c);
+      Hashtbl.replace oid_nodes (Mtype.cname_name c, i) n)
+    inst.oids;
+  let interned = Hashtbl.create 16 in
+  let rec node_of tau v =
+    match v with
+    | Vatom (b, s) ->
+        let key = KAtom (Mtype.atomic_name b, s) in
+        intern key (Mtype.Atomic b) []
+    | Void (c, i) -> Hashtbl.find oid_nodes (Mtype.cname_name c, i)
+    | Vset vs ->
+        let member =
+          match tau with
+          | Mtype.Set m -> m
+          | _ -> invalid_arg "Instance.to_structure: set value at non-set type"
+        in
+        let ids = List.sort_uniq compare (List.map (node_of member) vs) in
+        intern
+          (KSet (Mtype.to_string tau, ids))
+          tau
+          (List.map (fun n -> (Schema_graph.star, n)) ids)
+    | Vrecord fields ->
+        let ftypes =
+          match tau with
+          | Mtype.Record fts -> fts
+          | _ -> invalid_arg "Instance.to_structure: record value at non-record type"
+        in
+        let ids =
+          List.map
+            (fun (l, fv) ->
+              let ft = List.find (fun (l', _) -> Label.equal l l') ftypes in
+              (l, node_of (snd ft) fv))
+            fields
+        in
+        let key_ids =
+          List.sort compare (List.map (fun (l, n) -> (Label.to_string l, n)) ids)
+        in
+        intern (KRec (Mtype.to_string tau, key_ids)) tau ids
+  and intern key tau edges =
+    match Hashtbl.find_opt interned key with
+    | Some n -> n
+    | None ->
+        let n = Graph.add_node g in
+        Hashtbl.replace interned key n;
+        Typecheck.set_type typed n tau;
+        List.iter (fun (l, m) -> Graph.add_edge g n l m) edges;
+        n
+  in
+  (* Attach a composite value's edges directly to an existing node (the
+     root for the entry value, a class node for an oid's state). *)
+  let attach node tau v =
+    match (Schema_graph.expand schema tau, v) with
+    | Mtype.Set member, Vset vs ->
+        List.iter
+          (fun m -> Graph.add_edge g node Schema_graph.star (node_of member m))
+          vs
+    | Mtype.Record ftypes, Vrecord fields ->
+        List.iter
+          (fun (l, fv) ->
+            let ft = List.find (fun (l', _) -> Label.equal l l') ftypes in
+            Graph.add_edge g node l (node_of (snd ft) fv))
+          fields
+    | _ -> invalid_arg "Instance.to_structure: ill-typed composite value"
+  in
+  attach (Graph.root g) (Mschema.dbtype schema) inst.entry;
+  List.iter
+    (fun ((c, i), v) ->
+      let node = Hashtbl.find oid_nodes (Mtype.cname_name c, i) in
+      attach node (Mtype.Class c) v)
+    inst.oids;
+  typed
+
+(* --- Lemma 3.1: structure to instance ------------------------------- *)
+
+let of_structure schema typed =
+  match Typecheck.validate schema typed with
+  | Error es -> Error es
+  | Ok () ->
+      let g = typed.Typecheck.graph in
+      let rec value_of tau node =
+        match tau with
+        | Mtype.Atomic b -> Vatom (b, Printf.sprintf "v%d" node)
+        | Mtype.Class c -> Void (c, node)
+        | Mtype.Set member ->
+            Vset
+              (List.map (value_of member)
+                 (Graph.succ g node Schema_graph.star))
+        | Mtype.Record ftypes ->
+            Vrecord
+              (List.map
+                 (fun (l, ft) ->
+                   match Graph.succ g node l with
+                   | [ m ] -> (l, value_of ft m)
+                   | _ -> assert false (* validated: exactly one edge *))
+                 ftypes)
+      in
+      let state_of c node =
+        let body = Mschema.class_body schema c in
+        match body with
+        | Mtype.Set member ->
+            Vset (List.map (value_of member) (Graph.succ g node Schema_graph.star))
+        | Mtype.Record ftypes ->
+            Vrecord
+              (List.map
+                 (fun (l, ft) ->
+                   match Graph.succ g node l with
+                   | [ m ] -> (l, value_of ft m)
+                   | _ -> assert false)
+                 ftypes)
+        | _ -> assert false
+      in
+      let oids =
+        List.filter_map
+          (fun n ->
+            match Typecheck.type_of typed n with
+            | Some (Mtype.Class c) -> Some ((c, n), state_of c n)
+            | _ -> None)
+          (Graph.nodes g)
+      in
+      let entry =
+        let dbt = Mschema.dbtype schema in
+        match dbt with
+        | Mtype.Set member ->
+            Vset
+              (List.map (value_of member)
+                 (Graph.succ g (Graph.root g) Schema_graph.star))
+        | Mtype.Record ftypes ->
+            Vrecord
+              (List.map
+                 (fun (l, ft) ->
+                   match Graph.succ g (Graph.root g) l with
+                   | [ m ] -> (l, value_of ft m)
+                   | _ -> assert false)
+                 ftypes)
+        | _ -> assert false
+      in
+      Ok { schema; oids; entry }
+
+let sat inst phi =
+  let typed = to_structure inst in
+  Sgraph.Check.holds typed.Typecheck.graph phi
+
+let rec pp_value ppf = function
+  | Vatom (b, s) -> Format.fprintf ppf "%s:%s" s (Mtype.atomic_name b)
+  | Void (c, i) -> Format.fprintf ppf "%s#%d" (Mtype.cname_name c) i
+  | Vset vs ->
+      Format.fprintf ppf "{%s}"
+        (String.concat ", " (List.map (Format.asprintf "%a" pp_value) vs))
+  | Vrecord fields ->
+      Format.fprintf ppf "[%s]"
+        (String.concat "; "
+           (List.map
+              (fun (l, v) ->
+                Format.asprintf "%a = %a" Label.pp l pp_value v)
+              fields))
+
+let pp ppf inst =
+  Format.fprintf ppf "@[<v>instance of %a@," Mschema.pp inst.schema;
+  List.iter
+    (fun ((c, i), v) ->
+      Format.fprintf ppf "  %s#%d |-> %a@," (Mtype.cname_name c) i pp_value v)
+    inst.oids;
+  Format.fprintf ppf "  entry = %a@]" pp_value inst.entry

@@ -1,0 +1,22 @@
+let random ~rng ?(oids_per_class = 2) ?(atom_pool = 3) ?(max_set = 3) schema =
+  if Mschema.classes schema <> [] && oids_per_class < 1 then
+    invalid_arg "Instance_gen.random: need at least one oid per class";
+  let pick n = Random.State.int rng n in
+  let rec value_of = function
+    | Mtype.Atomic b ->
+        Instance.Vatom (b, Printf.sprintf "atom%d" (pick atom_pool))
+    | Mtype.Class c -> Instance.Void (c, pick oids_per_class)
+    | Mtype.Set member ->
+        let n = pick (max_set + 1) in
+        Instance.Vset (List.init n (fun _ -> value_of member))
+    | Mtype.Record fields ->
+        Instance.Vrecord (List.map (fun (l, t) -> (l, value_of t)) fields)
+  in
+  let oids =
+    List.concat_map
+      (fun (c, body) ->
+        List.init oids_per_class (fun i -> ((c, i), value_of body)))
+      (Mschema.classes schema)
+  in
+  let entry = value_of (Mschema.dbtype schema) in
+  Instance.make_exn ~schema ~oids ~entry

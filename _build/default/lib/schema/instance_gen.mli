@@ -1,0 +1,18 @@
+(** Random database instances of a schema.
+
+    Used by property tests (Lemma 3.1 round trips, countermodel
+    validation) and by benches that need populations of abstract
+    databases.  Values are generated top-down: class-typed positions
+    point at uniformly chosen declared oids, set values draw random
+    subsets, atoms draw from a small pool (so that sharing and equality
+    of leaves both occur). *)
+
+val random :
+  rng:Random.State.t ->
+  ?oids_per_class:int ->
+  ?atom_pool:int ->
+  ?max_set:int ->
+  Mschema.t ->
+  Instance.t
+(** @raise Invalid_argument if the schema declares a class but
+    [oids_per_class < 1] (every class-typed position needs a target). *)

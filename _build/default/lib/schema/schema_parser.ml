@@ -1,0 +1,194 @@
+(* Hand-rolled recursive descent over a cursor, mirroring Xmlrep.Xml. *)
+
+type cursor = { src : string; mutable pos : int }
+
+exception Err of string
+
+let fail cur msg = raise (Err (Printf.sprintf "at offset %d: %s" cur.pos msg))
+
+let peek cur =
+  if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  let rec go () =
+    match peek cur with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance cur;
+        go ()
+    | Some '#' ->
+        (* comment to end of line *)
+        let rec eat () =
+          match peek cur with
+          | Some '\n' | None -> ()
+          | Some _ ->
+              advance cur;
+              eat ()
+        in
+        eat ();
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let ident cur =
+  skip_ws cur;
+  let start = cur.pos in
+  let rec go () =
+    match peek cur with
+    | Some c when is_ident_char c ->
+        advance cur;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  if cur.pos = start then fail cur "expected an identifier";
+  String.sub cur.src start (cur.pos - start)
+
+let expect cur c =
+  skip_ws cur;
+  match peek cur with
+  | Some c' when c' = c -> advance cur
+  | _ -> fail cur (Printf.sprintf "expected %C" c)
+
+let accept cur c =
+  skip_ws cur;
+  match peek cur with
+  | Some c' when c' = c ->
+      advance cur;
+      true
+  | _ -> false
+
+(* type expressions; class-ness resolved afterwards *)
+type raw = Rname of string | Rset of raw | Rrecord of (string * raw) list
+
+let rec parse_type cur =
+  skip_ws cur;
+  match peek cur with
+  | Some '{' ->
+      advance cur;
+      let t = parse_type cur in
+      expect cur '}';
+      Rset t
+  | Some '[' ->
+      advance cur;
+      let rec fields acc =
+        let l = ident cur in
+        expect cur ':';
+        let t = parse_type cur in
+        let acc = (l, t) :: acc in
+        if accept cur ';' then fields acc
+        else begin
+          expect cur ']';
+          Rrecord (List.rev acc)
+        end
+      in
+      if accept cur ']' then Rrecord [] else fields []
+  | _ -> Rname (ident cur)
+
+let rec resolve class_names = function
+  | Rname n ->
+      if List.mem n class_names then Mtype.Class (Mtype.cname n)
+      else Mtype.Atomic (Mtype.atomic n)
+  | Rset t -> Mtype.Set (resolve class_names t)
+  | Rrecord fields ->
+      Mtype.Record
+        (List.map
+           (fun (l, t) -> (Pathlang.Label.make l, resolve class_names t))
+           fields)
+
+let of_string src =
+  let cur = { src; pos = 0 } in
+  try
+    let kind = ref None in
+    let classes = ref [] in
+    let db = ref None in
+    let rec loop () =
+      skip_ws cur;
+      if peek cur = None then ()
+      else begin
+        let kw = ident cur in
+        (match kw with
+        | "kind" -> (
+            match ident cur with
+            | "M" ->
+                (* the ident parser stops at '+', so "M+" arrives as "M"
+                   followed by a '+' character *)
+                if accept cur '+' then kind := Some Mschema.M_plus
+                else kind := Some Mschema.M
+            | "Mplus" | "M_plus" -> kind := Some Mschema.M_plus
+            | k -> fail cur ("unknown kind " ^ k))
+        | "class" ->
+            let name = ident cur in
+            expect cur '=';
+            let t = parse_type cur in
+            classes := (name, t) :: !classes
+        | "db" ->
+            expect cur '=';
+            db := Some (parse_type cur)
+        | other -> fail cur ("unknown directive " ^ other));
+        loop ()
+      end
+    in
+    loop ();
+    match !db with
+    | None -> Error "missing 'db = ...' line"
+    | Some raw_db ->
+        let class_names = List.map fst !classes in
+        let resolved_classes =
+          List.rev_map
+            (fun (n, t) -> (Mtype.cname n, resolve class_names t))
+            !classes
+        in
+        let dbtype = resolve class_names raw_db in
+        let try_kind k =
+          Mschema.make ~kind:k ~classes:resolved_classes ~dbtype
+        in
+        (match !kind with
+        | Some k -> try_kind k
+        | None -> (
+            match try_kind Mschema.M with
+            | Ok s -> Ok s
+            | Error _ -> try_kind Mschema.M_plus))
+  with Err m -> Error m
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> of_string s
+  | exception Sys_error m -> Error m
+
+let rec type_to_string = function
+  | Mtype.Atomic b -> Mtype.atomic_name b
+  | Mtype.Class c -> Mtype.cname_name c
+  | Mtype.Set t -> "{" ^ type_to_string t ^ "}"
+  | Mtype.Record fields ->
+      "[ "
+      ^ String.concat "; "
+          (List.map
+             (fun (l, t) ->
+               Pathlang.Label.to_string l ^ ": " ^ type_to_string t)
+             fields)
+      ^ " ]"
+
+let to_string schema =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (match Mschema.kind schema with
+    | Mschema.M -> "kind M\n"
+    | Mschema.M_plus -> "kind M+\n");
+  List.iter
+    (fun (c, body) ->
+      Buffer.add_string buf
+        (Printf.sprintf "class %s = %s\n" (Mtype.cname_name c)
+           (type_to_string body)))
+    (Mschema.classes schema);
+  Buffer.add_string buf
+    (Printf.sprintf "db = %s\n" (type_to_string (Mschema.dbtype schema)));
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** Concrete syntax for schemas.
+
+    {v
+      # bibliography schema (comments allowed)
+      kind M
+      class Person = [ name: string; SSN: string; wrote: Book ]
+      class Book   = [ title: string; year: int; ref: Book; author: Person ]
+      db = [ person: Person; book: Book ]
+    v}
+
+    Type expressions: an identifier is a class if declared by some
+    [class] line and an atomic type otherwise; [{T}] is a set type;
+    [[l1: T1; ...; ln: Tn]] is a record.  The [kind] line ([M] or [M+])
+    is optional; when omitted the kind is inferred ([M] when the schema
+    satisfies the M restrictions, [M+] otherwise). *)
+
+val of_string : string -> (Mschema.t, string) result
+
+val load : string -> (Mschema.t, string) result
+
+val to_string : Mschema.t -> string
+(** Renders in the same syntax; [of_string (to_string s)] reproduces
+    the schema. *)

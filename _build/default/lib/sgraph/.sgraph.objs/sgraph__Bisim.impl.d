@@ -1,0 +1,1 @@
+lib/sgraph/bisim.ml: Array Graph Hashtbl List Pathlang

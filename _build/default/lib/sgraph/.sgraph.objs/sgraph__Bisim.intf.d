@@ -1,0 +1,1 @@
+lib/sgraph/bisim.mli: Graph

@@ -1,0 +1,1 @@
+lib/sgraph/check.ml: Eval Graph List Pathlang

@@ -1,0 +1,1 @@
+lib/sgraph/check.mli: Graph Pathlang

@@ -1,0 +1,1 @@
+lib/sgraph/dataguide.ml: Graph Hashtbl List Option Pathlang Queue

@@ -1,0 +1,1 @@
+lib/sgraph/dataguide.mli: Graph Pathlang

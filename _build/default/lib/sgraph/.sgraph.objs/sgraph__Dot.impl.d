@@ -1,0 +1,1 @@
+lib/sgraph/dot.ml: Buffer Fun Graph List Pathlang Printf String

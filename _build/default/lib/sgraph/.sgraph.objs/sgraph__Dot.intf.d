@@ -1,0 +1,1 @@
+lib/sgraph/dot.mli: Graph

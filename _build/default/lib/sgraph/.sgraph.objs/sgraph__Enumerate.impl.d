@@ -1,0 +1,1 @@
+lib/sgraph/enumerate.ml: Array Check Fun Graph List

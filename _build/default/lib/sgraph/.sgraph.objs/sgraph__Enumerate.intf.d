@@ -1,0 +1,1 @@
+lib/sgraph/enumerate.mli: Graph Pathlang

@@ -1,0 +1,1 @@
+lib/sgraph/eval.ml: Graph Hashtbl List Pathlang

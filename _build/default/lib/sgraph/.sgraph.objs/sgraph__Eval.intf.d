@@ -1,0 +1,1 @@
+lib/sgraph/eval.mli: Graph Pathlang

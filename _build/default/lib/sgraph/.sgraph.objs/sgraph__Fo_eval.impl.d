@@ -1,0 +1,1 @@
+lib/sgraph/fo_eval.ml: Graph List Pathlang

@@ -1,0 +1,1 @@
+lib/sgraph/fo_eval.mli: Graph Pathlang

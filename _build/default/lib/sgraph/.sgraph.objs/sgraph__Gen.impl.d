@@ -1,0 +1,1 @@
+lib/sgraph/gen.ml: Array Char Eval Graph List Pathlang Printf Random String

@@ -1,0 +1,1 @@
+lib/sgraph/graph.ml: Format Hashtbl Int List Option Pathlang Set

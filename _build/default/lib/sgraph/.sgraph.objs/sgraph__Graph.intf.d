@@ -1,0 +1,1 @@
+lib/sgraph/graph.mli: Format Pathlang Set

@@ -1,0 +1,1 @@
+lib/sgraph/io.ml: Graph In_channel List Out_channel Pathlang Printf String

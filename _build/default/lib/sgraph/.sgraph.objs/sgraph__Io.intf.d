@@ -1,0 +1,1 @@
+lib/sgraph/io.mli: Graph

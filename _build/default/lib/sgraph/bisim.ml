@@ -1,0 +1,58 @@
+module Label = Pathlang.Label
+
+(* Partition refinement on successor signatures.  The signature of a
+   node under a partition P is the set of (label, class) pairs of its
+   outgoing edges; refining until stable yields the largest forward
+   bisimulation.  O(n^2 log n)-ish with sorting; fine at our scale. *)
+let partition g =
+  let n = Graph.node_count g in
+  let classes = Array.make n 0 in
+  let changed = ref true in
+  while !changed do
+    let signature v =
+      List.sort_uniq compare
+        (List.map
+           (fun (k, w) -> (Label.to_string k, classes.(w)))
+           (Graph.succ_all g v))
+    in
+    let index = Hashtbl.create 16 in
+    let next = ref 0 in
+    let fresh_classes =
+      Array.init n (fun v ->
+          let key = (classes.(v), signature v) in
+          match Hashtbl.find_opt index key with
+          | Some c -> c
+          | None ->
+              let c = !next in
+              incr next;
+              Hashtbl.add index key c;
+              c)
+    in
+    changed := fresh_classes <> classes;
+    Array.blit fresh_classes 0 classes 0 n
+  done;
+  classes
+
+let quotient g =
+  let classes = partition g in
+  let n_classes =
+    1 + Array.fold_left max 0 classes
+  in
+  let h = Graph.create () in
+  (* class of the root must be node 0 in the quotient: renumber so the
+     root's class comes first *)
+  let root_class = classes.(Graph.root g) in
+  let renum c =
+    if c = root_class then 0 else if c < root_class then c + 1 else c
+  in
+  for _ = 2 to n_classes do
+    ignore (Graph.add_node h)
+  done;
+  List.iter
+    (fun (x, k, y) -> Graph.add_edge h (renum classes.(x)) k (renum classes.(y)))
+    (Graph.edges g);
+  (h, fun v -> renum classes.(v))
+
+let bisimilar g v w =
+  let classes = partition g in
+  classes.(v) = classes.(w)

@@ -1,0 +1,26 @@
+(** Forward bisimulation quotients of semistructured graphs.
+
+    Two nodes are (forward) bisimilar when they have the same labels of
+    outgoing edges and, for every label, bisimilar successors.  The
+    quotient by the largest forward bisimulation is the classical
+    "1-index" of semistructured databases: it preserves the answers of
+    root-anchored path (and regular path) queries up to class
+    membership, while often being much smaller than the data.
+
+    For label-deterministic graphs (the M structures of the paper) the
+    quotient coincides with automaton minimization — the maximal merging
+    the record-extensionality part of Phi(Delta) talks about. *)
+
+val partition : Graph.t -> int array
+(** [partition g] assigns each node its bisimulation class (classes are
+    numbered densely from 0, computed by partition refinement on
+    (label, successor-class) signatures). *)
+
+val quotient : Graph.t -> Graph.t * (Graph.node -> Graph.node)
+(** The quotient graph (one node per class, the root's class as root)
+    and the projection.  Answers of any root-anchored path query map
+    onto the quotient's answers:
+    [eval (quotient g) rho = { proj v | v in eval g rho }] —
+    property-tested. *)
+
+val bisimilar : Graph.t -> Graph.node -> Graph.node -> bool

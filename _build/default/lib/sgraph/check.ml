@@ -1,0 +1,35 @@
+module Constr = Pathlang.Constr
+module NS = Graph.Node_set
+
+let violations g c =
+  let xs = Eval.eval g (Constr.prefix c) in
+  NS.fold
+    (fun x acc ->
+      let ys = Eval.eval_from g x (Constr.lhs c) in
+      match Constr.kind c with
+      | Constr.Forward ->
+          let zs = Eval.eval_from g x (Constr.rhs c) in
+          NS.fold (fun y acc -> if NS.mem y zs then acc else (x, y) :: acc) ys acc
+      | Constr.Backward ->
+          NS.fold
+            (fun y acc ->
+              if Eval.holds_between g y (Constr.rhs c) x then acc
+              else (x, y) :: acc)
+            ys acc)
+    xs []
+
+let holds g c =
+  let xs = Eval.eval g (Constr.prefix c) in
+  NS.for_all
+    (fun x ->
+      let ys = Eval.eval_from g x (Constr.lhs c) in
+      match Constr.kind c with
+      | Constr.Forward ->
+          let zs = Eval.eval_from g x (Constr.rhs c) in
+          NS.subset ys zs
+      | Constr.Backward ->
+          NS.for_all (fun y -> Eval.holds_between g y (Constr.rhs c) x) ys)
+    xs
+
+let holds_all g cs = List.for_all (holds g) cs
+let first_violated g cs = List.find_opt (fun c -> not (holds g c)) cs

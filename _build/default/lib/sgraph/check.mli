@@ -1,0 +1,17 @@
+(** Model checking P_c constraints over finite graphs: the satisfaction
+    relation [G |= phi] of Section 2.2. *)
+
+val holds : Graph.t -> Pathlang.Constr.t -> bool
+(** [holds g phi] decides [G |= phi] directly from Definition 2.1: for
+    every [x] with [alpha(r, x)] and every [y] with [beta(x, y)], check
+    [gamma(x, y)] (forward) or [gamma(y, x)] (backward). *)
+
+val holds_all : Graph.t -> Pathlang.Constr.t list -> bool
+
+val violations :
+  Graph.t -> Pathlang.Constr.t -> (Graph.node * Graph.node) list
+(** The witness pairs [(x, y)] at which the constraint fails; empty iff
+    the constraint holds. *)
+
+val first_violated :
+  Graph.t -> Pathlang.Constr.t list -> Pathlang.Constr.t option

@@ -1,0 +1,29 @@
+(** Strong DataGuides: the deterministic path index of semistructured
+    databases (Goldman–Widom, Lore).
+
+    The DataGuide is the subset-construction determinization of the
+    graph from its root: each guide node stands for the {e exact} set of
+    data nodes reachable by some root path, so evaluating a path on the
+    guide walks a single deterministic chain and returns the exact
+    answer set — the complement of the (approximate but
+    merging-friendly) bisimulation quotient in {!Bisim}.
+
+    Size caveat: like any determinization the guide can be exponential
+    in pathological graphs; on tree-like data it is linear. *)
+
+type t
+
+val build : ?max_states:int -> Graph.t -> (t, string) result
+(** [Error] if the construction exceeds [max_states] (default 10000). *)
+
+val eval : t -> Pathlang.Path.t -> Graph.Node_set.t
+(** Exact: [eval guide rho = Eval.eval g rho] (property-tested). *)
+
+val size : t -> int
+(** Number of guide states. *)
+
+val graph : t -> Graph.t
+(** The guide itself as a rooted graph (useful for rendering). *)
+
+val annotation : t -> Graph.node -> Graph.Node_set.t
+(** The data nodes a guide node stands for. *)

@@ -1,0 +1,31 @@
+let escape s =
+  String.concat "" (List.map (function '"' -> "\\\"" | c -> String.make 1 c)
+                      (List.init (String.length s) (String.get s)))
+
+let to_dot ?(name = "G") ?node_label g =
+  let buf = Buffer.create 1024 in
+  let label n =
+    match node_label with Some f -> f n | None -> string_of_int n
+  in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  rankdir=TB;\n  node [shape=circle, fontsize=10];\n";
+  List.iter
+    (fun n ->
+      let shape = if n = Graph.root g then ", shape=doublecircle" else "" in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"%s];\n" n (escape (label n)) shape))
+    (Graph.nodes g);
+  List.iter
+    (fun (x, k, y) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%s\"];\n" x y
+           (escape (Pathlang.Label.to_string k))))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ~path ?name ?node_label g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?name ?node_label g))

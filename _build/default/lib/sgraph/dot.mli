@@ -1,0 +1,18 @@
+(** Graphviz rendering of semistructured graphs (used to regenerate the
+    paper's figures). *)
+
+val to_dot :
+  ?name:string ->
+  ?node_label:(Graph.node -> string) ->
+  Graph.t ->
+  string
+(** DOT source; the root is drawn as a double circle.  [node_label]
+    overrides the default numeric labels (return [""] to show a plain
+    dot). *)
+
+val write_file :
+  path:string ->
+  ?name:string ->
+  ?node_label:(Graph.node -> string) ->
+  Graph.t ->
+  unit

@@ -1,0 +1,51 @@
+(* Each potential edge (x, k, y) is one bit; we count through all bit
+   vectors.  An int64-based counter keeps us honest about overflow: we refuse
+   instances with 62 or more potential edges. *)
+
+let potential_edges ~nodes ~labels =
+  List.concat_map
+    (fun x ->
+      List.concat_map
+        (fun k -> List.map (fun y -> (x, k, y)) (List.init nodes Fun.id))
+        labels)
+    (List.init nodes Fun.id)
+
+let count ~nodes ~labels =
+  let bits = nodes * nodes * List.length labels in
+  if bits >= 62 then invalid_arg "Enumerate.count: instance too large";
+  1 lsl bits
+
+let iter ~nodes ~labels f =
+  let pes = Array.of_list (potential_edges ~nodes ~labels) in
+  let bits = Array.length pes in
+  if bits >= 62 then invalid_arg "Enumerate.iter: instance too large";
+  let total = 1 lsl bits in
+  let rec go mask =
+    if mask >= total then None
+    else begin
+      let g = Graph.create () in
+      for _ = 2 to nodes do
+        ignore (Graph.add_node g)
+      done;
+      for i = 0 to bits - 1 do
+        if mask land (1 lsl i) <> 0 then
+          let x, k, y = pes.(i) in
+          Graph.add_edge g x k y
+      done;
+      if f g then Some g else go (mask + 1)
+    end
+  in
+  go 0
+
+let find_countermodel ~max_nodes ~labels ~sigma ~phi =
+  let rec go n =
+    if n > max_nodes then None
+    else
+      match
+        iter ~nodes:n ~labels (fun g ->
+            (not (Check.holds g phi)) && Check.holds_all g sigma)
+      with
+      | Some g -> Some g
+      | None -> go (n + 1)
+  in
+  go 1

@@ -1,0 +1,27 @@
+(** Exhaustive enumeration of small rooted graphs.
+
+    Used for brute-force refutation of finite implication on tiny
+    signatures: the number of graphs is [2^(L * n^2)] for [n] nodes and
+    [L] labels, so callers must keep [n] and [L] very small (the tests
+    use [n <= 3], [L <= 2]). *)
+
+val iter :
+  nodes:int ->
+  labels:Pathlang.Label.t list ->
+  (Graph.t -> bool) ->
+  Graph.t option
+(** [iter ~nodes ~labels f] enumerates every graph with exactly [nodes]
+    nodes (node 0 the root) over the label set, calling [f] on each;
+    stops and returns the first graph on which [f] returns [true]. *)
+
+val find_countermodel :
+  max_nodes:int ->
+  labels:Pathlang.Label.t list ->
+  sigma:Pathlang.Constr.t list ->
+  phi:Pathlang.Constr.t ->
+  Graph.t option
+(** Searches all graphs of size 1..[max_nodes] for a finite model of
+    [Sigma /\ not phi]; [Some g] refutes [Sigma |=_f phi]. *)
+
+val count : nodes:int -> labels:Pathlang.Label.t list -> int
+(** Number of graphs that {!iter} would enumerate. *)

@@ -1,0 +1,60 @@
+module Path = Pathlang.Path
+module NS = Graph.Node_set
+
+let step g frontier k =
+  NS.fold (fun x acc -> List.fold_left (fun a y -> NS.add y a) acc (Graph.succ g x k)) frontier NS.empty
+
+let eval_from g x rho =
+  List.fold_left (step g) (NS.singleton x) (Path.to_labels rho)
+
+let eval g rho = eval_from g (Graph.root g) rho
+
+let holds_between g x rho y = NS.mem y (eval_from g x rho)
+
+let reachable g x =
+  let rec go seen = function
+    | [] -> seen
+    | n :: rest ->
+        let next =
+          List.filter_map
+            (fun (_, y) -> if NS.mem y seen then None else Some y)
+            (Graph.succ_all g n)
+        in
+        let seen = List.fold_left (fun s y -> NS.add y s) seen next in
+        go seen (next @ rest)
+  in
+  go (NS.singleton x) [ x ]
+
+let witness_path g x y =
+  if x = y then Some Path.empty
+  else
+    let parent = Hashtbl.create 16 in
+    let rec bfs frontier =
+      if frontier = [] then None
+      else if Hashtbl.mem parent y then Some ()
+      else
+        let next =
+          List.concat_map
+            (fun n ->
+              List.filter_map
+                (fun (k, m) ->
+                  if m <> x && not (Hashtbl.mem parent m) then begin
+                    Hashtbl.add parent m (n, k);
+                    Some m
+                  end
+                  else None)
+                (Graph.succ_all g n))
+            frontier
+        in
+        if Hashtbl.mem parent y then Some () else bfs next
+    in
+    match bfs [ x ] with
+    | None -> None
+    | Some () ->
+        let rec build acc n =
+          if n = x then acc
+          else
+            let p, k = Hashtbl.find parent n in
+            build (k :: acc) p
+        in
+        Some (Path.of_labels (build [] y))

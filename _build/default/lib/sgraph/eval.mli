@@ -1,0 +1,23 @@
+(** Path evaluation over semistructured graphs.
+
+    [rho(x, y)] holds in [G] exactly when [y] is in
+    [eval_from g x rho]. *)
+
+val eval_from : Graph.t -> Graph.node -> Pathlang.Path.t -> Graph.Node_set.t
+(** All nodes reachable from the given node by following the path.
+    Runs in [O(|rho| * |G|)] using per-step frontier sets. *)
+
+val eval : Graph.t -> Pathlang.Path.t -> Graph.Node_set.t
+(** [eval g rho = eval_from g (root g) rho]. *)
+
+val holds_between :
+  Graph.t -> Graph.node -> Pathlang.Path.t -> Graph.node -> bool
+(** [holds_between g x rho y] decides [G |= rho(x, y)]. *)
+
+val reachable : Graph.t -> Graph.node -> Graph.Node_set.t
+(** All nodes reachable from the given node by any path (BFS). *)
+
+val witness_path :
+  Graph.t -> Graph.node -> Graph.node -> Pathlang.Path.t option
+(** A shortest label sequence leading from the first node to the second,
+    if any. *)

@@ -1,0 +1,25 @@
+open Pathlang.Fo
+
+type env = (string * Graph.node) list
+
+let term env = function
+  | Root -> 0
+  | Var v -> (
+      match List.assoc_opt v env with
+      | Some n -> n
+      | None -> invalid_arg ("Fo_eval: unbound variable " ^ v))
+
+let rec eval g env = function
+  | True -> true
+  | False -> false
+  | Atom (k, s, t) -> Graph.has_edge g (term env s) k (term env t)
+  | Eq (s, t) -> term env s = term env t
+  | Not f -> not (eval g env f)
+  | And (f, h) -> eval g env f && eval g env h
+  | Or (f, h) -> eval g env f || eval g env h
+  | Implies (f, h) -> (not (eval g env f)) || eval g env h
+  | Forall (v, f) -> List.for_all (fun n -> eval g ((v, n) :: env) f) (Graph.nodes g)
+  | Exists (v, f) -> List.exists (fun n -> eval g ((v, n) :: env) f) (Graph.nodes g)
+
+let sentence g f = eval g [] f
+let holds_constraint g c = sentence g (of_constraint c)

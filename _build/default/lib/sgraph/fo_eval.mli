@@ -1,0 +1,18 @@
+(** Naive first-order evaluation over a finite graph.
+
+    Quantifiers range over all nodes, so evaluation is exponential in
+    quantifier depth; this module is the obviously-correct oracle used to
+    property-test {!Check} and {!Eval}, not a production evaluator. *)
+
+type env = (string * Graph.node) list
+
+val eval : Graph.t -> env -> Pathlang.Fo.formula -> bool
+(** @raise Invalid_argument on a free variable missing from the
+    environment. *)
+
+val sentence : Graph.t -> Pathlang.Fo.formula -> bool
+(** Evaluation under the empty environment. *)
+
+val holds_constraint : Graph.t -> Pathlang.Constr.t -> bool
+(** [G |= phi] computed by translating [phi] to first-order logic
+    ({!Pathlang.Fo.of_constraint}) and evaluating naively. *)

@@ -1,0 +1,62 @@
+module Label = Pathlang.Label
+module Path = Pathlang.Path
+module Constr = Pathlang.Constr
+
+let line rho =
+  let g = Graph.create () in
+  ignore (Graph.ensure_path g (Graph.root g) rho);
+  g
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+let random ~rng ~nodes ~labels ~edge_prob =
+  let g = Graph.create () in
+  let ids = Array.init nodes (fun i -> if i = 0 then Graph.root g else Graph.add_node g) in
+  Array.iter
+    (fun x ->
+      Array.iter
+        (fun y ->
+          List.iter
+            (fun k ->
+              if Random.State.float rng 1.0 < edge_prob then Graph.add_edge g x k y)
+            labels)
+        ids)
+    ids;
+  (* Make every node reachable from the root so that constraints are not
+     vacuously satisfied on disconnected junk. *)
+  let reach = ref (Eval.reachable g (Graph.root g)) in
+  Array.iter
+    (fun y ->
+      if not (Graph.Node_set.mem y !reach) then begin
+        let x = pick rng (Graph.Node_set.elements !reach) in
+        Graph.add_edge g x (pick rng labels) y;
+        reach := Graph.Node_set.union !reach (Eval.reachable g y)
+      end)
+    ids;
+  g
+
+let random_tree ~rng ~nodes ~labels =
+  let g = Graph.create () in
+  for _ = 2 to nodes do
+    let parent = Random.State.int rng (Graph.node_count g) in
+    let n = Graph.add_node g in
+    Graph.add_edge g parent (pick rng labels) n
+  done;
+  g
+
+let random_path ~rng ~max_len ~labels =
+  let len = Random.State.int rng (max_len + 1) in
+  Path.of_labels (List.init len (fun _ -> pick rng labels))
+
+let random_word_constraints ~rng ~count ~max_len ~labels =
+  List.init count (fun _ ->
+      let nonempty () =
+        let p = random_path ~rng ~max_len:(max 1 max_len) ~labels in
+        if Path.is_empty p then Path.singleton (pick rng labels) else p
+      in
+      Constr.word ~lhs:(nonempty ()) ~rhs:(random_path ~rng ~max_len ~labels))
+
+let alphabet n =
+  List.init n (fun i ->
+      if i < 26 then Label.make (String.make 1 (Char.chr (Char.code 'a' + i)))
+      else Label.make (Printf.sprintf "l%d" i))

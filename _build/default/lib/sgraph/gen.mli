@@ -1,0 +1,38 @@
+(** Deterministic and random graph generators for tests and benches. *)
+
+val line : Pathlang.Path.t -> Graph.t
+(** The canonical database of a path: a chain [r -k1-> ... -kn-> v]. *)
+
+val random :
+  rng:Random.State.t ->
+  nodes:int ->
+  labels:Pathlang.Label.t list ->
+  edge_prob:float ->
+  Graph.t
+(** Erdos-Renyi-style graph: each potential labeled edge present with
+    probability [edge_prob]; additionally every node is connected to the
+    root component (a random incoming tree edge is added for unreachable
+    nodes, so the whole graph is an accessible rooted graph). *)
+
+val random_tree :
+  rng:Random.State.t -> nodes:int -> labels:Pathlang.Label.t list -> Graph.t
+(** Random rooted tree with uniformly chosen parents and labels. *)
+
+val random_path :
+  rng:Random.State.t ->
+  max_len:int ->
+  labels:Pathlang.Label.t list ->
+  Pathlang.Path.t
+(** Random path of length uniform in [0, max_len]. *)
+
+val random_word_constraints :
+  rng:Random.State.t ->
+  count:int ->
+  max_len:int ->
+  labels:Pathlang.Label.t list ->
+  Pathlang.Constr.t list
+(** Random word constraints (non-empty left side). *)
+
+val alphabet : int -> Pathlang.Label.t list
+(** [alphabet n] is the list of labels [a; b; ...] ([l26]; [l27]; ...
+    beyond 26). *)

@@ -1,0 +1,147 @@
+module Label = Pathlang.Label
+module Path = Pathlang.Path
+
+type node = int
+
+module Node_set = Set.Make (Int)
+
+type t = {
+  mutable size : int;
+  adj : (node * Label.t, node list) Hashtbl.t;
+  radj : (node * Label.t, node list) Hashtbl.t;
+  outl : (node, Label.Set.t) Hashtbl.t;
+  inl : (node, Label.Set.t) Hashtbl.t;
+  mutable all_labels : Label.Set.t;
+  mutable edge_count : int;
+}
+
+let create () =
+  {
+    size = 1;
+    adj = Hashtbl.create 64;
+    radj = Hashtbl.create 64;
+    outl = Hashtbl.create 64;
+    inl = Hashtbl.create 64;
+    all_labels = Label.Set.empty;
+    edge_count = 0;
+  }
+
+let root _ = 0
+
+let add_node g =
+  let n = g.size in
+  g.size <- n + 1;
+  n
+
+let mem_node g n = n >= 0 && n < g.size
+
+let succ g x k = Option.value ~default:[] (Hashtbl.find_opt g.adj (x, k))
+let pred g y k = Option.value ~default:[] (Hashtbl.find_opt g.radj (y, k))
+
+let has_edge g x k y = List.mem y (succ g x k)
+
+let add_label_index tbl n k =
+  let set = Option.value ~default:Label.Set.empty (Hashtbl.find_opt tbl n) in
+  Hashtbl.replace tbl n (Label.Set.add k set)
+
+let add_edge g x k y =
+  if not (mem_node g x && mem_node g y) then
+    invalid_arg "Graph.add_edge: unknown node";
+  if not (has_edge g x k y) then begin
+    Hashtbl.replace g.adj (x, k) (y :: succ g x k);
+    Hashtbl.replace g.radj (y, k) (x :: pred g y k);
+    add_label_index g.outl x k;
+    add_label_index g.inl y k;
+    g.all_labels <- Label.Set.add k g.all_labels;
+    g.edge_count <- g.edge_count + 1
+  end
+
+let add_path g x rho y =
+  match Path.to_labels rho with
+  | [] -> if x <> y then invalid_arg "Graph.add_path: empty path between distinct nodes"
+  | labels ->
+      let rec go src = function
+        | [] -> assert false
+        | [ k ] -> add_edge g src k y
+        | k :: rest ->
+            let mid = add_node g in
+            add_edge g src k mid;
+            go mid rest
+      in
+      go x labels
+
+let ensure_path g x rho =
+  let rec go src = function
+    | [] -> src
+    | k :: rest -> (
+        match succ g src k with
+        | y :: _ -> go y rest
+        | [] ->
+            let y = add_node g in
+            add_edge g src k y;
+            go y rest)
+  in
+  go x (Path.to_labels rho)
+
+let out_labels g n = Option.value ~default:Label.Set.empty (Hashtbl.find_opt g.outl n)
+
+let succ_all g n =
+  Label.Set.fold
+    (fun k acc -> List.fold_left (fun acc y -> (k, y) :: acc) acc (succ g n k))
+    (out_labels g n) []
+
+let node_count g = g.size
+let edge_count g = g.edge_count
+
+let nodes g = List.init g.size (fun i -> i)
+
+let edges g =
+  List.concat_map
+    (fun x -> List.map (fun (k, y) -> (x, k, y)) (succ_all g x))
+    (nodes g)
+
+let labels g = g.all_labels
+
+let copy g =
+  {
+    size = g.size;
+    adj = Hashtbl.copy g.adj;
+    radj = Hashtbl.copy g.radj;
+    outl = Hashtbl.copy g.outl;
+    inl = Hashtbl.copy g.inl;
+    all_labels = g.all_labels;
+    edge_count = g.edge_count;
+  }
+
+let of_edges es =
+  let g = create () in
+  let max_id =
+    List.fold_left (fun m (x, _, y) -> max m (max x y)) 0 es
+  in
+  while g.size <= max_id do
+    ignore (add_node g)
+  done;
+  List.iter (fun (x, k, y) -> add_edge g x (Label.make k) y) es;
+  g
+
+let union_disjoint g h =
+  let offset = g.size in
+  let rename n = n + offset in
+  for _ = 1 to h.size do
+    ignore (add_node g)
+  done;
+  List.iter (fun (x, k, y) -> add_edge g (rename x) k (rename y)) (edges h);
+  rename
+
+let sorted_edges g =
+  List.sort compare
+    (List.map (fun (x, k, y) -> (x, Label.to_string k, y)) (edges g))
+
+let equal g h = g.size = h.size && sorted_edges g = sorted_edges h
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph: %d nodes, %d edges@," g.size g.edge_count;
+  List.iter
+    (fun (x, k, y) -> Format.fprintf ppf "  %d -%a-> %d@," x Label.pp k y)
+    (edges g);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,68 @@
+(** Semistructured databases: rooted, edge-labeled, directed graphs.
+
+    This is the abstraction of Section 3.1: a (finite) structure
+    [G = (|G|, r^G, E^G)] over a signature [sigma = (r, E)], depicted as a
+    rooted edge-labeled directed graph.  Nodes are dense integers; node 0
+    is always the root.  Graphs are mutable (they are built by generators
+    and by the chase, which extends them in place); {!copy} gives an
+    independent snapshot. *)
+
+type node = int
+
+type t
+
+module Node_set : Set.S with type elt = node
+
+val create : unit -> t
+(** A graph with a single node, the root. *)
+
+val root : t -> node
+
+val add_node : t -> node
+(** Adds a fresh node and returns it. *)
+
+val add_edge : t -> node -> Pathlang.Label.t -> node -> unit
+(** Adds an edge; duplicate edges are ignored.  Both endpoints must be
+    existing nodes. *)
+
+val add_path : t -> node -> Pathlang.Path.t -> node -> unit
+(** [add_path g x rho y] adds a chain of fresh intermediate nodes so that
+    [y] becomes reachable from [x] via [rho].  [rho] must be non-empty
+    unless [x = y].
+    @raise Invalid_argument if [rho] is empty and [x <> y]. *)
+
+val ensure_path : t -> node -> Pathlang.Path.t -> node
+(** [ensure_path g x rho] returns a node reachable from [x] via [rho],
+    reusing existing edges greedily and adding fresh nodes for the
+    missing suffix. *)
+
+val has_edge : t -> node -> Pathlang.Label.t -> node -> bool
+val succ : t -> node -> Pathlang.Label.t -> node list
+val succ_all : t -> node -> (Pathlang.Label.t * node) list
+val pred : t -> node -> Pathlang.Label.t -> node list
+val out_labels : t -> node -> Pathlang.Label.Set.t
+
+val node_count : t -> int
+val edge_count : t -> int
+val nodes : t -> node list
+val edges : t -> (node * Pathlang.Label.t * node) list
+val labels : t -> Pathlang.Label.Set.t
+
+val mem_node : t -> node -> bool
+
+val copy : t -> t
+
+val of_edges : (int * string * int) list -> t
+(** Builds a graph from raw edges; node ids may be sparse, they are used
+    as given (all ids up to the maximum mentioned are created).  Node 0
+    is the root and always exists. *)
+
+val union_disjoint : t -> t -> (node -> node)
+(** [union_disjoint g h] copies every node and edge of [h] into [g]
+    (including [h]'s root, which becomes an ordinary node of [g]) and
+    returns the renaming from [h]-nodes to [g]-nodes. *)
+
+val equal : t -> t -> bool
+(** Equality of node sets and edge sets (not isomorphism). *)
+
+val pp : Format.formatter -> t -> unit

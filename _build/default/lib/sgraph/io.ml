@@ -1,0 +1,38 @@
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec parse n acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let t = String.trim line in
+        if t = "" || t.[0] = '#' then parse (n + 1) acc rest
+        else
+          match String.split_on_char ' ' t |> List.filter (fun x -> x <> "") with
+          | [ src; label; dst ] -> (
+              match (int_of_string_opt src, int_of_string_opt dst) with
+              | Some x, Some y when x >= 0 && y >= 0 ->
+                  parse (n + 1) ((x, label, y) :: acc) rest
+              | _ -> Error (Printf.sprintf "line %d: bad node id" n))
+          | _ -> Error (Printf.sprintf "line %d: expected 'src label dst'" n))
+  in
+  match parse 1 [] lines with
+  | Error _ as e -> e
+  | Ok edges -> (
+      match Graph.of_edges edges with
+      | g -> Ok g
+      | exception Invalid_argument m -> Error m)
+
+let to_string g =
+  String.concat ""
+    (List.map
+       (fun (x, k, y) ->
+         Printf.sprintf "%d %s %d\n" x (Pathlang.Label.to_string k) y)
+       (Graph.edges g))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> of_string s
+  | exception Sys_error m -> Error m
+
+let save path g =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string g))

@@ -1,0 +1,13 @@
+(** Plain-text serialization of graphs.
+
+    Format: one edge per line, [src label dst], with node ids as
+    decimal integers and node 0 the root.  Blank lines and [#] comments
+    are ignored. *)
+
+val of_string : string -> (Graph.t, string) result
+val to_string : Graph.t -> string
+
+val load : string -> (Graph.t, string) result
+(** Reads a file. *)
+
+val save : string -> Graph.t -> unit

@@ -1,0 +1,1 @@
+lib/xmlrep/bib.ml: Array List Pathlang Random Sgraph

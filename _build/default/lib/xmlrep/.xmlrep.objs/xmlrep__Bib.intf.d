@@ -1,0 +1,1 @@
+lib/xmlrep/bib.mli: Pathlang Random Sgraph

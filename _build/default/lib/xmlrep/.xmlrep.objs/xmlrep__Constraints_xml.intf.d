@@ -1,0 +1,1 @@
+lib/xmlrep/constraints_xml.mli: Pathlang Xml

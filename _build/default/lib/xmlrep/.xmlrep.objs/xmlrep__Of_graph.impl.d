@@ -1,0 +1,1 @@
+lib/xmlrep/of_graph.ml: Hashtbl List Pathlang Printf Queue Sgraph Xml

@@ -1,0 +1,1 @@
+lib/xmlrep/of_graph.mli: Sgraph Xml

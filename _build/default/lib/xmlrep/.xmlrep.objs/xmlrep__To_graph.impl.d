@@ -1,0 +1,1 @@
+lib/xmlrep/to_graph.ml: Hashtbl List Pathlang Sgraph String Xml

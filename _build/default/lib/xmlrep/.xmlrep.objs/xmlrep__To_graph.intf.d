@@ -1,0 +1,1 @@
+lib/xmlrep/to_graph.mli: Sgraph Xml

@@ -1,0 +1,1 @@
+lib/xmlrep/xml.mli:

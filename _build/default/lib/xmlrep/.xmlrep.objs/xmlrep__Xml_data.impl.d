@@ -1,0 +1,1 @@
+lib/xmlrep/xml_data.ml: List Pathlang Schema Xml

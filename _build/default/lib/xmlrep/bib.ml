@@ -1,0 +1,161 @@
+module Graph = Sgraph.Graph
+module Label = Pathlang.Label
+module Path = Pathlang.Path
+module Constr = Pathlang.Constr
+
+let figure1_xml =
+  {|<bibliography>
+  <book id="b1" author="#p1">
+    <title>Semistructured Data</title>
+    <ISBN>0-111</ISBN>
+  </book>
+  <book id="b2" author="#p1" ref="#b3">
+    <title>Path Constraints</title>
+    <ISBN>0-222</ISBN>
+    <year>1998</year>
+  </book>
+  <book id="b3" author="#p2">
+    <title>Type Systems</title>
+    <ISBN>0-333</ISBN>
+  </book>
+  <person id="p1" wrote="#b1">
+    <name>Peter</name>
+    <SSN>111-11</SSN>
+    <age>55</age>
+  </person>
+  <person id="p2" wrote="#b3">
+    <name>Wenfei</name>
+    <SSN>222-22</SSN>
+  </person>
+</bibliography>|}
+
+let lbl = Label.make
+
+let add_leaf g node k =
+  let n = Graph.add_node g in
+  Graph.add_edge g node (lbl k) n
+
+(* Builds the bibliography rooted at [root]: three books, two persons,
+   full author/wrote inverses and one ref edge. *)
+let build_bib g root =
+  let book () =
+    let b = Graph.add_node g in
+    Graph.add_edge g root (lbl "book") b;
+    add_leaf g b "title";
+    add_leaf g b "ISBN";
+    b
+  in
+  let person () =
+    let p = Graph.add_node g in
+    Graph.add_edge g root (lbl "person") p;
+    add_leaf g p "name";
+    add_leaf g p "SSN";
+    p
+  in
+  let b1 = book () and b2 = book () and b3 = book () in
+  let p1 = person () and p2 = person () in
+  add_leaf g b2 "year";
+  add_leaf g p1 "age";
+  let link b p =
+    Graph.add_edge g b (lbl "author") p;
+    Graph.add_edge g p (lbl "wrote") b
+  in
+  link b1 p1;
+  link b2 p1;
+  link b2 p2;
+  link b3 p2;
+  Graph.add_edge g b2 (lbl "ref") b3
+
+let figure1 () =
+  let g = Graph.create () in
+  build_bib g (Graph.root g);
+  g
+
+let extent_constraints () =
+  [
+    Constr.word ~lhs:(Path.of_string "book.author") ~rhs:(Path.of_string "person");
+    Constr.word ~lhs:(Path.of_string "person.wrote") ~rhs:(Path.of_string "book");
+    Constr.word ~lhs:(Path.of_string "book.ref") ~rhs:(Path.of_string "book");
+  ]
+
+let inverse_constraints () =
+  [
+    Constr.backward ~prefix:(Path.of_string "book")
+      ~lhs:(Path.of_string "author") ~rhs:(Path.of_string "wrote");
+    Constr.backward ~prefix:(Path.of_string "person")
+      ~lhs:(Path.of_string "wrote") ~rhs:(Path.of_string "author");
+  ]
+
+let penn_bib () =
+  let g = figure1 () in
+  let attach name =
+    let local_root = Graph.add_node g in
+    Graph.add_edge g (Graph.root g) (lbl name) local_root;
+    build_bib g local_root
+  in
+  attach "MIT";
+  attach "Warner";
+  g
+
+let local_constraints ~prefix () =
+  let p = Path.of_string prefix in
+  List.filter_map
+    (fun c -> Some (Constr.shift p c))
+    (extent_constraints () @ inverse_constraints ())
+
+let sigma0 () =
+  let mit = Path.of_string "MIT" in
+  let warner = Path.of_string "Warner" in
+  [
+    (* local extent constraints on MIT-bib (bounded by eps and MIT) *)
+    Constr.forward ~prefix:mit ~lhs:(Path.of_string "book.author")
+      ~rhs:(Path.of_string "person");
+    Constr.forward ~prefix:mit ~lhs:(Path.of_string "person.wrote")
+      ~rhs:(Path.of_string "book");
+    (* inverse constraints on Warner-bib (constraints on another local
+       database) *)
+    Constr.backward
+      ~prefix:(Path.concat warner (Path.of_string "book"))
+      ~lhs:(Path.of_string "author") ~rhs:(Path.of_string "wrote");
+    Constr.backward
+      ~prefix:(Path.concat warner (Path.of_string "person"))
+      ~lhs:(Path.of_string "wrote") ~rhs:(Path.of_string "author");
+  ]
+
+let phi0 () =
+  Constr.forward ~prefix:(Path.of_string "MIT") ~lhs:(Path.of_string "book.ref")
+    ~rhs:(Path.of_string "book")
+
+let synthetic ~rng ~books ~persons =
+  let g = Graph.create () in
+  let root = Graph.root g in
+  let person_nodes =
+    Array.init persons (fun _ ->
+        let p = Graph.add_node g in
+        Graph.add_edge g root (lbl "person") p;
+        add_leaf g p "name";
+        add_leaf g p "SSN";
+        p)
+  in
+  let book_nodes =
+    Array.init books (fun _ ->
+        let b = Graph.add_node g in
+        Graph.add_edge g root (lbl "book") b;
+        add_leaf g b "title";
+        add_leaf g b "ISBN";
+        b)
+  in
+  Array.iter
+    (fun b ->
+      let n_authors = 1 + Random.State.int rng 3 in
+      for _ = 1 to n_authors do
+        let p = person_nodes.(Random.State.int rng persons) in
+        Graph.add_edge g b (lbl "author") p;
+        Graph.add_edge g p (lbl "wrote") b
+      done;
+      let n_refs = Random.State.int rng 3 in
+      for _ = 1 to n_refs do
+        Graph.add_edge g b (lbl "ref") book_nodes.(Random.State.int rng books)
+      done)
+    book_nodes;
+  g

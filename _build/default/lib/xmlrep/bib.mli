@@ -1,0 +1,46 @@
+(** The running bibliography example of Sections 1 and 2.
+
+    Everything displayed in the paper's introduction is constructed
+    here: the Figure 1 document graph, the extent / inverse / local
+    database constraints, the Penn-bib database with its MIT-bib and
+    Warner-bib local databases, and the implication instance
+    [(Sigma_0, phi_0)] of Section 2.2. *)
+
+val figure1_xml : string
+(** An XML source whose graph is (isomorphic to) Figure 1. *)
+
+val figure1 : unit -> Sgraph.Graph.t
+(** The Figure 1 structure [G_0]: a root with [book] and [person] edges,
+    [author]/[wrote] inverse pairs, a [ref] edge, and
+    [title]/[ISBN]/[year]/[name]/[SSN]/[age] leaves. *)
+
+val extent_constraints : unit -> Pathlang.Constr.t list
+(** The three word constraints of Section 1:
+    [book.author -> person], [person.wrote -> book],
+    [book.ref -> book]. *)
+
+val inverse_constraints : unit -> Pathlang.Constr.t list
+(** The two P_c inverse constraints of Section 1 (backward form):
+    [book : author <- wrote] and [person : wrote <- author]. *)
+
+val penn_bib : unit -> Sgraph.Graph.t
+(** Penn-bib with local databases: the root gains [MIT] and [Warner]
+    edges to fresh copies of the Figure 1 bibliography. *)
+
+val local_constraints : prefix:string -> unit -> Pathlang.Constr.t list
+(** Extent and inverse constraints relativized to a local database, e.g.
+    [prefix:"MIT"] gives the Section 1 local database constraints. *)
+
+val sigma0 : unit -> Pathlang.Constr.t list
+(** The set [Sigma_0] of Section 2.2: the two local extent constraints
+    on MIT-bib and the two inverse constraints on Warner-bib. *)
+
+val phi0 : unit -> Pathlang.Constr.t
+(** [forall x (MIT(r,x) -> forall y (book.ref(x,y) -> book(x,y)))]. *)
+
+val synthetic :
+  rng:Random.State.t -> books:int -> persons:int -> Sgraph.Graph.t
+(** A large random bibliography in the Figure 1 shape (titles, ISBNs,
+    1-3 authors per book with [wrote] back-edges, up to 2 [ref]s) that
+    satisfies all extent and inverse constraints by construction; used
+    by scale benches. *)

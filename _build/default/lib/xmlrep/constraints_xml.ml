@@ -1,0 +1,74 @@
+module Path = Pathlang.Path
+module Constr = Pathlang.Constr
+
+let constraint_to_xml c =
+  let attrs =
+    (if Path.is_empty (Constr.prefix c) then []
+     else [ ("prefix", Path.to_string (Constr.prefix c)) ])
+    @ [
+        ("lhs", Path.to_string (Constr.lhs c));
+        ("rhs", Path.to_string (Constr.rhs c));
+      ]
+  in
+  let tag =
+    match Constr.kind c with
+    | Constr.Forward -> if Constr.is_word c then "word" else "forward"
+    | Constr.Backward -> "backward"
+  in
+  Xml.Element (tag, attrs, [])
+
+let render_xml cs = Xml.Element ("constraints", [], List.map constraint_to_xml cs)
+let render cs = Xml.to_string ~indent:true (render_xml cs)
+
+let constraint_of_xml el =
+  let attr name =
+    List.assoc_opt name (Xml.attrs el)
+  in
+  let path_attr name =
+    match attr name with
+    | None -> Ok Path.empty
+    | Some s -> (
+        match Path.of_string s with
+        | p -> Ok p
+        | exception Invalid_argument m -> Error m)
+  in
+  let required name =
+    match attr name with
+    | None -> Error (Printf.sprintf "missing attribute %s" name)
+    | Some s -> (
+        match Path.of_string s with
+        | p -> Ok p
+        | exception Invalid_argument m -> Error m)
+  in
+  match Xml.name el with
+  | Some tag when tag = "word" || tag = "forward" || tag = "backward" -> (
+      match (path_attr "prefix", required "lhs", required "rhs") with
+      | Ok prefix, Ok lhs, Ok rhs ->
+          let kind =
+            if tag = "backward" then Constr.Backward else Constr.Forward
+          in
+          if tag = "word" && not (Path.is_empty prefix) then
+            Error "<word> must not carry a prefix"
+          else Ok (Constr.make kind ~prefix ~lhs ~rhs)
+      | Error m, _, _ | _, Error m, _ | _, _, Error m -> Error m)
+  | Some tag -> Error (Printf.sprintf "unknown element <%s>" tag)
+  | None -> Error "text where a constraint element was expected"
+
+let of_xml doc =
+  match Xml.name doc with
+  | Some "constraints" ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | el :: rest -> (
+            match el with
+            | Xml.Text _ -> go acc rest
+            | Xml.Element _ -> (
+                match constraint_of_xml el with
+                | Ok c -> go (c :: acc) rest
+                | Error _ as e -> e))
+      in
+      go [] (Xml.children doc)
+  | _ -> Error "expected a <constraints> document"
+
+let parse src =
+  match Xml.parse src with Ok doc -> of_xml doc | Error m -> Error m

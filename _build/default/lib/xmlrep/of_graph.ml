@@ -1,0 +1,65 @@
+module Graph = Sgraph.Graph
+module Label = Pathlang.Label
+module NS = Graph.Node_set
+
+let xml_of_graph ?(root_name = "root") g =
+  let root = Graph.root g in
+  (* BFS spanning tree: tree.(m) = Some (n, k) when m was discovered from
+     n via label k. *)
+  let tree = Hashtbl.create 16 in
+  let order = ref [] in
+  let q = Queue.create () in
+  Hashtbl.add tree root None;
+  Queue.add root q;
+  while not (Queue.is_empty q) do
+    let n = Queue.pop q in
+    order := n :: !order;
+    List.iter
+      (fun (k, m) ->
+        if not (Hashtbl.mem tree m) then begin
+          Hashtbl.add tree m (Some (n, k));
+          Queue.add m q
+        end)
+      (List.sort compare (Graph.succ_all g n))
+  done;
+  (* reference targets: nodes pointed to by non-tree edges *)
+  let referenced = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem tree n then
+        List.iter
+          (fun (k, m) ->
+            let is_tree_edge =
+              match Hashtbl.find_opt tree m with
+              | Some (Some (n', k')) -> n' = n && Label.equal k' k
+              | _ -> false
+            in
+            if not is_tree_edge then Hashtbl.replace referenced m ())
+          (Graph.succ_all g n))
+    (Graph.nodes g);
+  let node_id n = Printf.sprintf "n%d" n in
+  let rec element n name =
+    let attrs =
+      if Hashtbl.mem referenced n then [ ("id", node_id n) ] else []
+    in
+    let children =
+      List.concat_map
+        (fun (k, m) ->
+          let is_tree_edge =
+            match Hashtbl.find_opt tree m with
+            | Some (Some (n', k')) -> n' = n && Label.equal k' k
+            | _ -> false
+          in
+          if is_tree_edge then [ element m (Label.to_string k) ]
+          else
+            [
+              Xml.Element
+                (Label.to_string k, [ ("ref", "#" ^ node_id m) ], []);
+            ])
+        (List.sort compare (Graph.succ_all g n))
+    in
+    Xml.Element (name, attrs, children)
+  in
+  element root root_name
+
+let to_string ?root_name g = Xml.to_string ~indent:true (xml_of_graph ?root_name g)

@@ -1,0 +1,64 @@
+module Graph = Sgraph.Graph
+module Label = Pathlang.Label
+
+let graph_of_xml doc =
+  match doc with
+  | Xml.Text _ -> Error "document root is text"
+  | Xml.Element _ -> (
+      let g = Graph.create () in
+      let ids = Hashtbl.create 16 in
+      let pending_refs = ref [] in
+      (* First pass: create element nodes and tree edges, record ids and
+         reference attributes. *)
+      let rec build node el =
+        List.iter
+          (fun (k, v) ->
+            if k = "id" then
+              if Hashtbl.mem ids v then
+                raise (Invalid_argument ("duplicate id " ^ v))
+              else Hashtbl.replace ids v node
+            else if String.length v > 0 && v.[0] = '#' then
+              pending_refs :=
+                (node, Label.make k, String.sub v 1 (String.length v - 1))
+                :: !pending_refs
+            else begin
+              let leaf = Graph.add_node g in
+              Graph.add_edge g node (Label.make k) leaf
+            end)
+          (Xml.attrs el);
+        List.iter
+          (fun child ->
+            match child with
+            | Xml.Text _ -> ()
+            | Xml.Element (name, [ ("ref", v) ], [])
+              when String.length v > 0 && v.[0] = '#' ->
+                (* a pure reference element <name ref="#id"/>: an edge to
+                   the referenced node, no new node *)
+                pending_refs :=
+                  (node, Label.make name, String.sub v 1 (String.length v - 1))
+                  :: !pending_refs
+            | Xml.Element (name, _, _) ->
+                let cn = Graph.add_node g in
+                Graph.add_edge g node (Label.make name) cn;
+                build cn child)
+          (Xml.children el)
+      in
+      match build (Graph.root g) doc with
+      | () -> (
+          let dangling =
+            List.find_opt
+              (fun (_, _, target) -> not (Hashtbl.mem ids target))
+              !pending_refs
+          in
+          match dangling with
+          | Some (_, _, target) -> Error ("dangling reference #" ^ target)
+          | None ->
+              List.iter
+                (fun (node, k, target) ->
+                  Graph.add_edge g node k (Hashtbl.find ids target))
+                !pending_refs;
+              Ok (g, Hashtbl.fold (fun k v acc -> (k, v) :: acc) ids []))
+      | exception Invalid_argument e -> Error e)
+
+let graph_of_string s =
+  match Xml.parse s with Ok doc -> graph_of_xml doc | Error e -> Error e

@@ -1,0 +1,251 @@
+type t = Element of string * (string * string) list * t list | Text of string
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: a hand-rolled recursive-descent parser over a cursor.      *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { src : string; mutable pos : int }
+
+exception Parse_error of string
+
+let fail cur msg =
+  raise (Parse_error (Printf.sprintf "at offset %d: %s" cur.pos msg))
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let eat cur c =
+  match peek cur with
+  | Some c' when c' = c -> advance cur
+  | _ -> fail cur (Printf.sprintf "expected %C" c)
+
+let skip_ws cur =
+  let rec go () =
+    match peek cur with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance cur;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = ':' || c = '.'
+
+let parse_name cur =
+  let start = cur.pos in
+  let rec go () =
+    match peek cur with
+    | Some c when is_name_char c ->
+        advance cur;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  if cur.pos = start then fail cur "expected a name";
+  String.sub cur.src start (cur.pos - start)
+
+let decode_entities s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else if s.[i] = '&' then begin
+      match String.index_from_opt s i ';' with
+      | Some j when j - i <= 5 ->
+          let ent = String.sub s (i + 1) (j - i - 1) in
+          let repl =
+            match ent with
+            | "lt" -> "<"
+            | "gt" -> ">"
+            | "amp" -> "&"
+            | "quot" -> "\""
+            | "apos" -> "'"
+            | _ -> "&" ^ ent ^ ";"
+          in
+          Buffer.add_string buf repl;
+          go (j + 1)
+      | _ ->
+          Buffer.add_char buf '&';
+          go (i + 1)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let parse_attr cur =
+  let name = parse_name cur in
+  skip_ws cur;
+  eat cur '=';
+  skip_ws cur;
+  let quote =
+    match peek cur with
+    | Some (('"' | '\'') as q) ->
+        advance cur;
+        q
+    | _ -> fail cur "expected a quoted attribute value"
+  in
+  let start = cur.pos in
+  let rec go () =
+    match peek cur with
+    | Some c when c <> quote ->
+        advance cur;
+        go ()
+    | Some _ -> ()
+    | None -> fail cur "unterminated attribute value"
+  in
+  go ();
+  let value = String.sub cur.src start (cur.pos - start) in
+  advance cur;
+  (name, decode_entities value)
+
+let rec parse_element cur =
+  eat cur '<';
+  let name = parse_name cur in
+  let rec attrs acc =
+    skip_ws cur;
+    match peek cur with
+    | Some '/' ->
+        advance cur;
+        eat cur '>';
+        Element (name, List.rev acc, [])
+    | Some '>' ->
+        advance cur;
+        let children = parse_children cur name in
+        Element (name, List.rev acc, children)
+    | Some c when is_name_char c -> attrs (parse_attr cur :: acc)
+    | _ -> fail cur "malformed tag"
+  in
+  attrs []
+
+and parse_children cur parent =
+  let items = ref [] in
+  let rec go () =
+    match peek cur with
+    | None -> fail cur (Printf.sprintf "unclosed element <%s>" parent)
+    | Some '<' ->
+        if
+          cur.pos + 1 < String.length cur.src
+          && cur.src.[cur.pos + 1] = '/'
+        then begin
+          advance cur;
+          advance cur;
+          let closing = parse_name cur in
+          skip_ws cur;
+          eat cur '>';
+          if closing <> parent then
+            fail cur
+              (Printf.sprintf "mismatched closing tag </%s> for <%s>" closing
+                 parent)
+        end
+        else if
+          cur.pos + 3 < String.length cur.src
+          && String.sub cur.src cur.pos 4 = "<!--"
+        then begin
+          (* comment *)
+          match String.index_from_opt cur.src cur.pos '>' with
+          | Some j when j >= cur.pos + 6 ->
+              cur.pos <- j + 1;
+              go ()
+          | _ -> fail cur "unterminated comment"
+        end
+        else begin
+          items := parse_element cur :: !items;
+          go ()
+        end
+    | Some _ ->
+        let start = cur.pos in
+        let rec text () =
+          match peek cur with
+          | Some c when c <> '<' ->
+              advance cur;
+              text ()
+          | _ -> ()
+        in
+        text ();
+        let s = String.sub cur.src start (cur.pos - start) in
+        if String.trim s <> "" then items := Text (decode_entities s) :: !items;
+        go ()
+  in
+  go ();
+  List.rev !items
+
+let parse src =
+  let cur = { src; pos = 0 } in
+  try
+    skip_ws cur;
+    (* optional declaration *)
+    if
+      cur.pos + 1 < String.length src
+      && src.[cur.pos] = '<'
+      && src.[cur.pos + 1] = '?'
+    then begin
+      match String.index_from_opt src cur.pos '>' with
+      | Some j -> cur.pos <- j + 1
+      | None -> fail cur "unterminated declaration"
+    end;
+    skip_ws cur;
+    let root = parse_element cur in
+    skip_ws cur;
+    if cur.pos <> String.length src then fail cur "trailing content";
+    Ok root
+  with Parse_error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+
+let encode_entities s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(indent = false) t =
+  let buf = Buffer.create 256 in
+  let rec go depth t =
+    let pad = if indent then String.make (2 * depth) ' ' else "" in
+    let nl = if indent then "\n" else "" in
+    match t with
+    | Text s -> Buffer.add_string buf (pad ^ encode_entities s ^ nl)
+    | Element (name, attrs, children) ->
+        let attr_s =
+          String.concat ""
+            (List.map
+               (fun (k, v) -> Printf.sprintf " %s=\"%s\"" k (encode_entities v))
+               attrs)
+        in
+        if children = [] then
+          Buffer.add_string buf (Printf.sprintf "%s<%s%s/>%s" pad name attr_s nl)
+        else begin
+          Buffer.add_string buf (Printf.sprintf "%s<%s%s>%s" pad name attr_s nl);
+          List.iter (go (depth + 1)) children;
+          Buffer.add_string buf (Printf.sprintf "%s</%s>%s" pad name nl)
+        end
+  in
+  go 0 t;
+  Buffer.contents buf
+
+let name = function Element (n, _, _) -> Some n | Text _ -> None
+let attrs = function Element (_, a, _) -> a | Text _ -> []
+let children = function Element (_, _, c) -> c | Text _ -> []
+
+let rec text_content = function
+  | Text s -> s
+  | Element (_, _, c) -> String.concat "" (List.map text_content c)
+
+let find_all n t =
+  List.filter (fun c -> name c = Some n) (children t)

@@ -1,0 +1,23 @@
+(** A minimal XML document model and parser.
+
+    Just enough XML to express documents like the paper's Figure 1
+    source: elements with attributes and element/text children.  No
+    namespaces, DTDs, processing instructions, CDATA or entity
+    definitions beyond the five predefined ones. *)
+
+type t = Element of string * (string * string) list * t list | Text of string
+
+val parse : string -> (t, string) result
+(** Parses a single root element (leading/trailing whitespace and an
+    optional [<?xml ...?>] declaration are allowed). *)
+
+val to_string : ?indent:bool -> t -> string
+
+val name : t -> string option
+val attrs : t -> (string * string) list
+val children : t -> t list
+val text_content : t -> string
+(** Concatenated text of the subtree. *)
+
+val find_all : string -> t -> t list
+(** Direct children with the given element name. *)

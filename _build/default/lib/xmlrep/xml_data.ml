@@ -1,0 +1,64 @@
+module Mtype = Schema.Mtype
+module Mschema = Schema.Mschema
+module Label = Pathlang.Label
+
+let rec field_elements (l, tau) =
+  let name = Label.to_string l in
+  match tau with
+  | Mtype.Atomic b ->
+      [
+        Xml.Element
+          ("element", [ ("name", name); ("type", "#" ^ Mtype.atomic_name b) ], []);
+      ]
+  | Mtype.Class c ->
+      [
+        Xml.Element
+          ( "attribute",
+            [ ("name", name); ("range", "#" ^ Mtype.cname_name c) ],
+            [] );
+      ]
+  | Mtype.Set inner ->
+      List.map
+        (fun el ->
+          match el with
+          | Xml.Element (tag, attrs, ch) ->
+              Xml.Element (tag, attrs @ [ ("occurs", "many") ], ch)
+          | other -> other)
+        (field_elements (l, inner))
+  | Mtype.Record fields ->
+      [
+        Xml.Element
+          ( "group",
+            [ ("name", name) ],
+            List.concat_map field_elements fields );
+      ]
+
+let element_type name body =
+  let children =
+    match body with
+    | Mtype.Record fields -> List.concat_map field_elements fields
+    | Mtype.Set inner ->
+        List.map
+          (fun el ->
+            match el with
+            | Xml.Element (tag, attrs, ch) ->
+                Xml.Element (tag, attrs @ [ ("occurs", "many") ], ch)
+            | other -> other)
+          (field_elements (Label.make "member", inner))
+    | Mtype.Atomic b ->
+        [ Xml.Element ("element", [ ("type", "#" ^ Mtype.atomic_name b) ], []) ]
+    | Mtype.Class c ->
+        [ Xml.Element ("attribute", [ ("range", "#" ^ Mtype.cname_name c) ], []) ]
+  in
+  Xml.Element ("elementType", [ ("id", name) ], children)
+
+let render_xml schema =
+  let classes =
+    List.map
+      (fun (c, body) -> element_type (Mtype.cname_name c) body)
+      (Mschema.classes schema)
+  in
+  let entry = element_type "database" (Mschema.dbtype schema) in
+  Xml.Element ("schema", [], entry :: classes)
+
+let render schema = Xml.to_string ~indent:true (render_xml schema)

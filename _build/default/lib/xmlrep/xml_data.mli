@@ -1,0 +1,15 @@
+(** Rendering schemas in the XML-Data-like notation of Section 1.
+
+    The paper sketches how a type would be written in XML-Data [19]:
+    [<elementType id="book"> <attribute name="author" range="#person"/>
+    ... </elementType>].  This module renders any M/M+ schema in that
+    style, closing the loop between the object-oriented formalization
+    and the XML surface syntax the paper starts from. *)
+
+val render : Schema.Mschema.t -> string
+(** One [<elementType>] element per class plus one for the database
+    entry point; class-valued fields become [<attribute range="#..."/>],
+    atomic fields become [<element type="#..."/>], set-valued fields are
+    marked [occurs="many"]. *)
+
+val render_xml : Schema.Mschema.t -> Xml.t

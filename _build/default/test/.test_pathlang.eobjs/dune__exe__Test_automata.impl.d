@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Automata List Pathlang Printf QCheck String Testutil

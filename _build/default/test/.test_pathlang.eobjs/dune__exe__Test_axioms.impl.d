@@ -1,0 +1,1 @@
+test/test_axioms.ml: Alcotest Core Format List Pathlang QCheck Random Result Schema Sgraph String Testutil

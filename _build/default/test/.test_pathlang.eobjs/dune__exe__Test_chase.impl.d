@@ -1,0 +1,1 @@
+test/test_chase.ml: Alcotest Core List Monoid Pathlang QCheck Sgraph Testutil Xmlrep

@@ -1,0 +1,1 @@
+test/test_encodings.ml: Alcotest Core List Monoid Pathlang QCheck Random Schema Sgraph String Testutil

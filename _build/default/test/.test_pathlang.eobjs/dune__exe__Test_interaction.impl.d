@@ -1,0 +1,1 @@
+test/test_interaction.ml: Alcotest Core Format Monoid Pathlang Schema String Testutil Xmlrep

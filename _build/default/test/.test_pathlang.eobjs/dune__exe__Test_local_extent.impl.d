@@ -1,0 +1,1 @@
+test/test_local_extent.ml: Alcotest Core List Option Pathlang QCheck Result Sgraph Testutil Xmlrep

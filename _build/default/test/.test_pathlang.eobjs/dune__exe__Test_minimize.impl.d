@@ -1,0 +1,1 @@
+test/test_minimize.ml: Alcotest Core List QCheck Sgraph Testutil

@@ -1,0 +1,1 @@
+test/test_monoid.ml: Alcotest Format List Monoid Pathlang QCheck Result Testutil

@@ -1,0 +1,1 @@
+test/test_parsers.ml: Alcotest Core List Monoid Pathlang Result Schema Sgraph Testutil Xmlrep

@@ -1,0 +1,1 @@
+test/test_pathlang.ml: Alcotest Fun List Option Pathlang QCheck Result String Testutil Xmlrep

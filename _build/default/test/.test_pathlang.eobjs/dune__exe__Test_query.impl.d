@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Core List Pathlang QCheck Schema Sgraph Testutil Xmlrep

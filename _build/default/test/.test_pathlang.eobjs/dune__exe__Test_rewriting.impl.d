@@ -1,0 +1,1 @@
+test/test_rewriting.ml: Alcotest Format List Monoid Pathlang QCheck Rewriting Testutil

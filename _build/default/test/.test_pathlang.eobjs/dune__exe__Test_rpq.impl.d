@@ -1,0 +1,1 @@
+test/test_rpq.ml: Alcotest Automata List Pathlang QCheck Result Rpq Sgraph Testutil Xmlrep

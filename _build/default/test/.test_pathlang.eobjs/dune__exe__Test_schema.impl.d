@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Core Format List Option Pathlang QCheck Random Result Schema Sgraph String Testutil

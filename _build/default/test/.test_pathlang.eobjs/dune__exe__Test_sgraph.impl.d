@@ -1,0 +1,1 @@
+test/test_sgraph.ml: Alcotest List Pathlang QCheck Sgraph String Testutil Xmlrep

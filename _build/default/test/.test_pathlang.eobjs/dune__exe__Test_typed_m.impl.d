@@ -1,0 +1,1 @@
+test/test_typed_m.ml: Alcotest Core List Pathlang QCheck Random Result Schema Sgraph String Testutil

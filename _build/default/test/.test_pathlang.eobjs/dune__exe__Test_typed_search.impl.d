@@ -1,0 +1,1 @@
+test/test_typed_search.ml: Alcotest Core List Monoid Pathlang QCheck Random Schema Sgraph String Testutil

@@ -1,0 +1,1 @@
+test/test_word_untyped.ml: Alcotest Core List Pathlang QCheck Sgraph Testutil Xmlrep

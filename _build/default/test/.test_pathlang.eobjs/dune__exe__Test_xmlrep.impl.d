@@ -1,0 +1,1 @@
+test/test_xmlrep.ml: Alcotest List Pathlang QCheck Result Schema Sgraph String Testutil Xmlrep

@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Format List Pathlang QCheck QCheck_alcotest Random Sgraph String

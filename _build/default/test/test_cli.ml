@@ -1,0 +1,245 @@
+(* End-to-end tests of the pathctl binary.
+
+   The test executable runs from _build/default/test, so the CLI binary
+   is at ../bin/pathctl.exe (declared as a dune dependency). *)
+
+open Testutil
+
+(* The test executable lives at _build/default/test/test_cli.exe, so the
+   CLI binary (a declared dune dependency) is in the sibling bin/
+   directory, regardless of the working directory dune chose. *)
+let pathctl =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    (Filename.concat "bin" "pathctl.exe")
+
+let write_temp suffix contents =
+  let file = Filename.temp_file "pathctl_test" suffix in
+  Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc contents);
+  file
+
+let run args =
+  let out_file = Filename.temp_file "pathctl_out" ".txt" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote pathctl) args
+      (Filename.quote out_file)
+  in
+  let code = Sys.command cmd in
+  let out = In_channel.with_open_text out_file In_channel.input_all in
+  Sys.remove out_file;
+  (code, String.trim out)
+
+let sigma_words =
+  write_temp ".constraints"
+    "book.author -> person\nperson.wrote -> book\nbook.ref -> book\n"
+
+let sigma_inverse =
+  write_temp ".constraints" "book : author <- wrote\nperson : wrote <- author\n"
+
+let sigma_xml =
+  write_temp ".xml"
+    {|<constraints>
+        <word lhs="book.author" rhs="person"/>
+        <word lhs="book.ref" rhs="book"/>
+      </constraints>|}
+
+let schema_file =
+  write_temp ".schema"
+    "kind M\n\
+     class Person = [ name: string; SSN: string; wrote: Book ]\n\
+     class Book = [ title: string; year: int; ref: Book; author: Person ]\n\
+     db = [ person: Person; book: Book ]\n"
+
+let graph_file = write_temp ".graph" "0 book 1\n1 author 2\n2 wrote 1\n0 person 2\n"
+
+let pres_file = write_temp ".pres" "gens a\na.a.a = eps\n"
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_implies () =
+  let code, out = run (Printf.sprintf "implies -s %s \"book.ref.author -> person\"" sigma_words) in
+  check_int "exit" 0 code;
+  check_string "answer" "true" out;
+  let code, out = run (Printf.sprintf "implies -s %s \"person -> book\"" sigma_words) in
+  check_int "exit" 0 code;
+  check_string "answer" "false" out
+
+let test_implies_proof () =
+  let code, out =
+    run (Printf.sprintf "implies --proof -s %s \"book.ref.ref.author -> person\"" sigma_words)
+  in
+  check_int "exit" 0 code;
+  check_bool "prints derivation" true (contains out "transitivity")
+
+let test_implies_xml_sigma () =
+  let code, out = run (Printf.sprintf "implies -s %s \"book.ref.author -> person\"" sigma_xml) in
+  check_int "exit" 0 code;
+  check_string "answer" "true" out
+
+let test_implies_rejects_non_word () =
+  let code, _ = run (Printf.sprintf "implies -s %s \"book -> person\"" sigma_inverse) in
+  check_bool "nonzero exit" true (code <> 0)
+
+let test_implies_typed_and_check_proof () =
+  let cert = Filename.temp_file "cert" ".sexp" in
+  let code, out =
+    run
+      (Printf.sprintf
+         "implies-typed -s %s --schema %s --emit-cert %s \"book.author.wrote -> book\""
+         sigma_inverse schema_file cert)
+  in
+  check_int "exit" 0 code;
+  check_string "answer" "true" out;
+  let code, out =
+    run
+      (Printf.sprintf "check-proof -s %s --proof %s \"book.author.wrote -> book\""
+         sigma_inverse cert)
+  in
+  check_int "verifier exit" 0 code;
+  check_bool "verifier accepts" true (contains out "certificate OK");
+  (* wrong goal is rejected *)
+  let code, _ =
+    run
+      (Printf.sprintf "check-proof -s %s --proof %s \"book -> person\""
+         sigma_inverse cert)
+  in
+  check_bool "verifier rejects" true (code <> 0);
+  Sys.remove cert
+
+let test_implies_local () =
+  let sigma0 =
+    write_temp ".constraints"
+      "MIT : book.author -> person\n\
+       MIT : person.wrote -> book\n\
+       Warner.book : author <- wrote\n\
+       Warner.person : wrote <- author\n"
+  in
+  let code, out =
+    run
+      (Printf.sprintf "implies-local -s %s -k MIT \"MIT : book.ref -> book\"" sigma0)
+  in
+  check_int "exit" 0 code;
+  check_string "answer" "false" out;
+  let code, out =
+    run
+      (Printf.sprintf
+         "implies-local -s %s -k MIT \"MIT : book.author -> person\"" sigma0)
+  in
+  check_int "exit" 0 code;
+  check_string "answer" "true" out;
+  Sys.remove sigma0
+
+let test_chase () =
+  let code, out =
+    run (Printf.sprintf "chase -s %s \"book : author <- wrote\"" sigma_inverse)
+  in
+  check_int "exit" 0 code;
+  check_string "answer" "implied" out;
+  let code, out =
+    run (Printf.sprintf "chase -s %s \"book.author.wrote -> book\"" sigma_inverse)
+  in
+  check_int "exit" 0 code;
+  check_bool "refuted with witness" true (contains out "refuted")
+
+let test_check_and_dot () =
+  let code, out = run (Printf.sprintf "check -g %s -s %s" graph_file sigma_words) in
+  ignore out;
+  check_int "constraints hold on the little graph" 0 code;
+  let code, out = run (Printf.sprintf "dot -g %s" graph_file) in
+  check_int "dot exit" 0 code;
+  check_bool "digraph output" true (contains out "digraph")
+
+let test_encode_and_word_problem () =
+  let code, out = run (Printf.sprintf "encode --presentation %s --reduction pwk" pres_file) in
+  check_int "exit" 0 code;
+  check_bool "has K constraints" true (contains out "K");
+  let code, out = run (Printf.sprintf "word-problem --presentation %s \"a.a.a = eps\"" pres_file) in
+  check_int "exit" 0 code;
+  check_bool "equal" true (contains out "equal");
+  let code, out = run (Printf.sprintf "word-problem --presentation %s \"a = eps\"" pres_file) in
+  check_int "exit" 0 code;
+  check_bool "separated" true (contains out "separated")
+
+let test_rpq_on_xml () =
+  let xml =
+    write_temp ".xml"
+      {|<bib>
+          <book id="b1" ref="#b2"><title>t1</title></book>
+          <book id="b2"><title>t2</title></book>
+        </bib>|}
+  in
+  let code, out = run (Printf.sprintf "rpq -g %s \"book.(ref)*.title\"" xml) in
+  check_int "exit" 0 code;
+  check_int "two titles" 2
+    (List.length (String.split_on_char '\n' out |> List.filter (( <> ) "")));
+  Sys.remove xml
+
+let test_compare () =
+  let code, out =
+    run
+      (Printf.sprintf "compare -s %s --schema %s \"book.author.wrote -> book\""
+         sigma_inverse schema_file)
+  in
+  check_int "exit" 0 code;
+  check_bool "chase row" true (contains out "refuted");
+  check_bool "typed row" true (contains out "implied")
+
+let test_odl () =
+  let odl =
+    write_temp ".odl"
+      "interface Book (extent book) {\n\
+      \  attribute String title;\n\
+      \  relationship set<Person> author inverse Person::wrote;\n\
+       };\n\
+       interface Person (extent person) {\n\
+      \  attribute String name;\n\
+      \  relationship set<Book> wrote inverse Book::author;\n\
+       };\n"
+  in
+  let code, out = run (Printf.sprintf "odl --odl %s" odl) in
+  check_int "exit" 0 code;
+  check_bool "schema part" true (contains out "kind M+");
+  check_bool "extent part" true (contains out "book.*.author.* -> person.*");
+  check_bool "inverse part" true (contains out "book.* : author.* <- wrote.*");
+  Sys.remove odl
+
+let test_index () =
+  let code, out = run (Printf.sprintf "index -g %s" graph_file) in
+  check_int "exit" 0 code;
+  check_bool "quotient row" true (contains out "bisimulation quotient");
+  check_bool "dataguide row" true (contains out "dataguide")
+
+let test_optimize () =
+  let code, out =
+    run (Printf.sprintf "optimize -s %s \"book.ref.author,person\"" sigma_words)
+  in
+  check_int "exit" 0 code;
+  check_string "pruned" "person" out
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "pathctl",
+        [
+          Alcotest.test_case "implies" `Quick test_implies;
+          Alcotest.test_case "implies --proof" `Quick test_implies_proof;
+          Alcotest.test_case "implies (xml sigma)" `Quick test_implies_xml_sigma;
+          Alcotest.test_case "implies rejects non-word" `Quick
+            test_implies_rejects_non_word;
+          Alcotest.test_case "implies-typed + check-proof" `Quick
+            test_implies_typed_and_check_proof;
+          Alcotest.test_case "implies-local" `Quick test_implies_local;
+          Alcotest.test_case "chase" `Quick test_chase;
+          Alcotest.test_case "check + dot" `Quick test_check_and_dot;
+          Alcotest.test_case "encode + word-problem" `Quick
+            test_encode_and_word_problem;
+          Alcotest.test_case "rpq on xml" `Quick test_rpq_on_xml;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "index" `Quick test_index;
+          Alcotest.test_case "odl" `Quick test_odl;
+          Alcotest.test_case "optimize" `Quick test_optimize;
+        ] );
+    ]

@@ -1,0 +1,213 @@
+open Testutil
+module Path = Pathlang.Path
+module Label = Pathlang.Label
+module Constr = Pathlang.Constr
+module Graph = Sgraph.Graph
+module Check = Sgraph.Check
+module LE = Core.Local_extent
+
+let k_mit = Label.make "MIT"
+let sigma0 = Xmlrep.Bib.sigma0 ()
+let phi0 = Xmlrep.Bib.phi0 ()
+
+(* --- the Section 2.2 instance ----------------------------------------------- *)
+
+let test_reduce_sigma0 () =
+  match LE.reduce ~alpha:Path.empty ~k:k_mit ~sigma:sigma0 ~phi:phi0 with
+  | Error e -> Alcotest.fail e
+  | Ok red ->
+      check_int "two local extent constraints" 2 (List.length red.LE.sigma2_k);
+      check_bool "all words after g2" true
+        (List.for_all Constr.is_word red.LE.sigma2_k);
+      Alcotest.check constr_testable "phi2" (c_word "book.ref" "book")
+        red.LE.phi2;
+      check_bool "sigma1_r keeps Warner constraints" true
+        (List.length red.LE.sigma1_r = 2)
+
+let test_sigma0_does_not_imply_phi0 () =
+  match LE.implies ~alpha:Path.empty ~k:k_mit ~sigma:sigma0 ~phi:phi0 with
+  | Ok b -> check_bool "Sigma_0 does not imply phi_0" false b
+  | Error e -> Alcotest.fail e
+
+let test_sigma0_with_ref_constraint_implies () =
+  (* adding the MIT-local book.ref -> book extent constraint makes phi0
+     implied *)
+  let extra =
+    Constr.forward ~prefix:(path "MIT") ~lhs:(path "book.ref")
+      ~rhs:(path "book")
+  in
+  match
+    LE.implies ~alpha:Path.empty ~k:k_mit ~sigma:(extra :: sigma0) ~phi:phi0
+  with
+  | Ok b -> check_bool "now implied" true b
+  | Error e -> Alcotest.fail e
+
+let test_derived_local_implication () =
+  (* MIT-local: book.author -> person and a test requiring the
+     composition through ref is not derivable, but through author it is *)
+  let phi =
+    Constr.forward ~prefix:(path "MIT")
+      ~lhs:(path "book.author")
+      ~rhs:(path "person")
+  in
+  match LE.implies ~alpha:Path.empty ~k:k_mit ~sigma:sigma0 ~phi with
+  | Ok b -> check_bool "axiom membership" true b
+  | Error e -> Alcotest.fail e
+
+let test_countermodel_verified () =
+  match
+    LE.countermodel ~alpha:Path.empty ~k:k_mit ~sigma:sigma0 ~phi:phi0
+      ~max_nodes:3
+  with
+  | Error e -> Alcotest.fail e
+  | Ok None -> Alcotest.fail "expected a countermodel"
+  | Ok (Some h) ->
+      (* Lemma 5.3: H is a model of the FULL Sigma_0 (including the
+         Warner constraints) and violates phi_0 *)
+      check_bool "H |= Sigma_0" true (Check.holds_all h sigma0);
+      check_bool "H |/= phi_0" false (Check.holds h phi0)
+
+(* --- deeper prefix ------------------------------------------------------------ *)
+
+let test_nonempty_alpha () =
+  (* bound by alpha = db.europe and K = MIT *)
+  let alpha = path "db.europe" in
+  let shift c = Constr.shift alpha c in
+  let sigma = List.map shift sigma0 in
+  let phi = shift phi0 in
+  (match LE.implies ~alpha ~k:k_mit ~sigma ~phi with
+  | Ok b -> check_bool "still not implied" false b
+  | Error e -> Alcotest.fail e);
+  match LE.countermodel ~alpha ~k:k_mit ~sigma ~phi ~max_nodes:3 with
+  | Ok (Some h) ->
+      check_bool "H |= Sigma" true (Check.holds_all h sigma);
+      check_bool "H |/= phi" false (Check.holds h phi)
+  | Ok None -> Alcotest.fail "expected a countermodel"
+  | Error e -> Alcotest.fail e
+
+let test_rejects_unbounded_phi () =
+  (* phi with empty lhs is not bounded *)
+  let phi =
+    Constr.forward ~prefix:(path "MIT") ~lhs:Path.empty ~rhs:(path "book")
+  in
+  check_bool "rejected" true
+    (Result.is_error (LE.implies ~alpha:Path.empty ~k:k_mit ~sigma:sigma0 ~phi))
+
+(* --- figure 3 lifts -------------------------------------------------------------- *)
+
+let test_lift_k_shape () =
+  let g = Graph.of_edges [ (0, "a", 1) ] in
+  let h = LE.lift_k g ~k:k_mit in
+  check_int "one new node" 3 (Graph.node_count h);
+  check_bool "K loop at root" true (Graph.has_edge h 0 k_mit 0);
+  check_bool "K edge to old root" true (Graph.has_edge h 0 k_mit 1);
+  check_bool "old edge preserved" true (Graph.has_edge h 1 (Label.make "a") 2)
+
+let test_lift_alpha_shape () =
+  let g = Graph.of_edges [ (0, "a", 1) ] in
+  let h = LE.lift_alpha g ~alpha:(path "x.y") in
+  check_bool "alpha path from new root" true
+    (not
+       (Graph.Node_set.is_empty
+          (Sgraph.Eval.eval h (path "x.y"))));
+  (* empty alpha is the identity *)
+  let h2 = LE.lift_alpha g ~alpha:Path.empty in
+  check_bool "eps lift is copy" true (Graph.equal g h2)
+
+(* --- random agreement with brute force ------------------------------------------- *)
+
+(* Random bounded instances: word constraints lifted under prefix K. *)
+let gen_bounded_instance =
+  QCheck.Gen.(
+    let open Pathlang in
+    pair (gen_sigma 4) gen_word_constraint >>= fun (sigma_w, phi_w) ->
+    let k = Label.make "K" in
+    let lift c =
+      Constr.forward ~prefix:(Path.singleton k) ~lhs:(Constr.lhs c)
+        ~rhs:(Constr.rhs c)
+    in
+    (* keep only liftable ones: lhs non-empty, K not a prefix (labels are
+       a..c so K never occurs) *)
+    return (List.map lift sigma_w, lift phi_w))
+
+let arb_bounded_instance =
+  QCheck.make gen_bounded_instance ~print:(fun (sigma, phi) ->
+      print_sigma sigma ^ " |- " ^ Pathlang.Constr.to_string phi)
+
+let prop_reduction_equals_word_implication =
+  q ~count:200 "reduction answer = word implication of the stripped instance"
+    arb_bounded_instance
+    (fun (sigma, phi) ->
+      let k = Label.make "K" in
+      match LE.implies ~alpha:Path.empty ~k ~sigma ~phi with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok answer ->
+          let strip c = Option.get (Constr.unshift (Path.singleton k) c) in
+          let expected =
+            Core.Word_untyped.implies_exn
+              ~sigma:(List.map strip sigma)
+              (strip phi)
+          in
+          answer = expected)
+
+let prop_lift_preserves_countermodels =
+  q ~count:60 "figure 3 lift turns word countermodels into full countermodels"
+    arb_bounded_instance
+    (fun (sigma, phi) ->
+      let k = Label.make "K" in
+      match LE.implies ~alpha:Path.empty ~k ~sigma ~phi with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok true -> QCheck.assume_fail ()
+      | Ok false -> (
+          match
+            LE.countermodel ~alpha:Path.empty ~k ~sigma ~phi ~max_nodes:2
+          with
+          | Ok (Some h) ->
+              Check.holds_all h sigma && not (Check.holds h phi)
+          | Ok None -> true (* countermodel bigger than the budget *)
+          | Error _ -> false))
+
+let prop_soundness_on_random_models =
+  q ~count:150 "implied bounded constraints hold in random models of sigma"
+    QCheck.(pair arb_bounded_instance (QCheck.make (gen_graph ~max_nodes:4 ())
+              ~print:print_graph))
+    (fun ((sigma, phi), g) ->
+      let k = Label.make "K" in
+      (* sprinkle some K edges so the premise is not vacuous *)
+      let g = Graph.copy g in
+      Graph.add_edge g 0 k 0;
+      if Graph.node_count g > 1 then Graph.add_edge g 0 k 1;
+      match LE.implies ~alpha:Path.empty ~k ~sigma ~phi with
+      | Ok true -> if Check.holds_all g sigma then Check.holds g phi else true
+      | _ -> true)
+
+let () =
+  Alcotest.run "local-extent"
+    [
+      ( "section-2.2",
+        [
+          Alcotest.test_case "reduction" `Quick test_reduce_sigma0;
+          Alcotest.test_case "sigma0 |/= phi0" `Quick
+            test_sigma0_does_not_imply_phi0;
+          Alcotest.test_case "with extra constraint" `Quick
+            test_sigma0_with_ref_constraint_implies;
+          Alcotest.test_case "axiom membership" `Quick
+            test_derived_local_implication;
+          Alcotest.test_case "countermodel verified" `Quick
+            test_countermodel_verified;
+          Alcotest.test_case "non-empty alpha" `Quick test_nonempty_alpha;
+          Alcotest.test_case "rejects unbounded phi" `Quick
+            test_rejects_unbounded_phi;
+        ] );
+      ( "figure-3",
+        [
+          Alcotest.test_case "lift_k" `Quick test_lift_k_shape;
+          Alcotest.test_case "lift_alpha" `Quick test_lift_alpha_shape;
+        ] );
+      ( "random",
+        [
+          prop_reduction_equals_word_implication;
+          prop_lift_preserves_countermodels;
+          prop_soundness_on_random_models;
+        ] );
+    ]

@@ -1,0 +1,181 @@
+open Testutil
+module Path = Pathlang.Path
+module Label = Pathlang.Label
+module FM = Monoid.Finite_monoid
+module Hom = Monoid.Hom
+module Presentation = Monoid.Presentation
+module WP = Monoid.Word_problem
+module Examples = Monoid.Examples
+
+(* --- finite monoids -------------------------------------------------------- *)
+
+let test_make_validates () =
+  check_bool "rejects non-associative" true
+    (Result.is_error
+       (FM.make ~one:0 [| [| 0; 1 |]; [| 1; 0 |] |] |> fun r ->
+        (* xor on {0,1} with identity 0 is associative, so use a broken
+           table instead *)
+        ignore r;
+        FM.make ~one:0 [| [| 0; 1 |]; [| 0; 0 |] |]));
+  check_bool "rejects bad identity" true
+    (Result.is_error (FM.make ~one:1 [| [| 0; 1 |]; [| 1; 0 |] |]));
+  check_bool "accepts Z2" true
+    (Result.is_ok (FM.make ~one:0 [| [| 0; 1 |]; [| 1; 0 |] |]))
+
+let test_cyclic () =
+  let m = FM.cyclic 4 in
+  check_int "size" 4 (FM.size m);
+  check_int "2+3 mod 4" 1 (FM.mul m 2 3);
+  check_int "pow" 2 (FM.pow m 3 2);
+  check_bool "commutative" true (FM.is_commutative m)
+
+let test_mul_word () =
+  let m = FM.cyclic 5 in
+  check_int "empty word" 0 (FM.mul_word m []);
+  check_int "sum" 4 (FM.mul_word m [ 1; 1; 2 ])
+
+let test_transformations () =
+  (* two constant maps on 2 points generate a 3-element monoid
+     {id, const0, const1} *)
+  let m, gens = FM.of_transformations ~points:2 [ [| 0; 0 |]; [| 1; 1 |] ] in
+  check_int "size" 3 (FM.size m);
+  check_int "two generators" 2 (List.length gens);
+  (* constants absorb on the left of our left-to-right convention:
+     x * const = const *)
+  List.iter
+    (fun g -> List.iter (fun x -> check_int "absorbing" g (FM.mul m x g)) (FM.elements m))
+    gens
+
+let test_transformations_symmetric () =
+  (* the two generators of S3: a transposition and a 3-cycle; the full
+     transformation closure is S3, size 6 *)
+  let m, _ = FM.of_transformations ~points:3 [ [| 1; 0; 2 |]; [| 1; 2; 0 |] ] in
+  check_int "S3 size" 6 (FM.size m);
+  check_bool "non-commutative" false (FM.is_commutative m)
+
+(* --- homomorphisms ----------------------------------------------------------- *)
+
+let test_hom_eval () =
+  let m = FM.cyclic 3 in
+  let h = Hom.make m [ (Label.make "a", 1) ] in
+  check_int "h(eps)" 0 (Hom.eval h Path.empty);
+  check_int "h(a^3)" 0 (Hom.eval h (path "a.a.a"));
+  check_int "h(a^4)" 1 (Hom.eval h (path "a.a.a.a"));
+  check_bool "respects cyclic3" true
+    (Hom.respects h (Presentation.relations (Examples.cyclic 3)));
+  check_bool "separates a, eps" true (Hom.separates h (path "a", Path.empty))
+
+(* --- word problem -------------------------------------------------------------- *)
+
+let test_wp_cyclic () =
+  let pres = Examples.cyclic 3 in
+  (match WP.decide pres (path "a.a.a", Path.empty) with
+  | WP.Equal -> ()
+  | _ -> Alcotest.fail "a^3 = eps should be Equal");
+  match WP.decide pres (path "a", Path.empty) with
+  | WP.Separated h ->
+      check_bool "witness respects" true
+        (Hom.respects h (Presentation.relations pres));
+      check_bool "witness separates" true
+        (Hom.separates h (path "a", Path.empty))
+  | _ -> Alcotest.fail "a <> eps should be Separated"
+
+let test_wp_commutative () =
+  let pres = Examples.free_commutative2 in
+  (match WP.decide pres (path "a.b.a", path "a.a.b") with
+  | WP.Equal -> ()
+  | _ -> Alcotest.fail "aba = aab");
+  match WP.decide pres (path "a", path "b") with
+  | WP.Separated h ->
+      check_bool "separating hom found" true (Hom.separates h (path "a", path "b"))
+  | _ -> Alcotest.fail "a <> b should be Separated"
+
+let test_wp_bicyclic () =
+  let pres = Examples.bicyclic in
+  (match WP.decide pres (path "a.b", Path.empty) with
+  | WP.Equal -> ()
+  | _ -> Alcotest.fail "ab = eps");
+  (* ba <> eps in the bicyclic monoid, but every finite quotient that
+     satisfies ab = eps forces b.a = eps as well (a finite injective map
+     is bijective), so the hom search must NOT separate it; completion
+     decides it as Distinct instead. *)
+  match WP.decide pres (path "b.a", Path.empty) with
+  | WP.Distinct -> ()
+  | WP.Separated _ -> Alcotest.fail "no finite monoid separates ba from eps"
+  | _ -> Alcotest.fail "expected Distinct"
+
+let test_wp_symmetric3 () =
+  let pres = Examples.symmetric3 in
+  (* aba = b^2 is an axiom; abab... derivations through completion *)
+  (match WP.decide pres (path "a.b.a", path "b.b") with
+  | WP.Equal -> ()
+  | _ -> Alcotest.fail "aba = b^2");
+  (* b and b^2 are distinct in S3: separated by S3 itself acting on 3
+     points *)
+  match WP.decide pres (path "b", path "b.b") with
+  | WP.Separated h ->
+      check_bool "respects" true (Hom.respects h (Presentation.relations pres))
+  | WP.Equal -> Alcotest.fail "b <> b^2 in S3"
+  | _ -> Alcotest.fail "expected separation"
+
+let test_wp_klein_four () =
+  let pres = Examples.klein_four in
+  (match WP.decide pres (path "a.b.a.b", Path.empty) with
+  | WP.Equal -> ()
+  | _ -> Alcotest.fail "(ab)^2 = eps in the Klein four-group");
+  match WP.decide pres (path "a.b", path "a") with
+  | WP.Separated _ -> ()
+  | _ -> Alcotest.fail "ab <> a"
+
+let test_equational_search () =
+  let pres = Examples.free_commutative2 in
+  check_bool "finds proof" true
+    (WP.equational_search pres (path "a.b.b", path "b.a.b") = Some true);
+  check_bool "exhausts finite class" true
+    (WP.equational_search pres (path "a.b", path "a") = Some false)
+
+let prop_separating_hom_valid =
+  q ~count:20 "found homomorphisms respect and separate"
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (oneofl [ Examples.cyclic 2; Examples.cyclic 3; Examples.free_commutative2 ])
+           (pair (gen_path_len 3) (gen_path_len 3)))
+       ~print:(fun (p, (u, v)) ->
+         Format.asprintf "%a |- %a = %a" Presentation.pp p Path.pp u Path.pp v))
+    (fun (pres, (u, v)) ->
+      let keep w =
+        Path.of_labels
+          (List.filter
+             (fun k -> List.exists (Label.equal k) (Presentation.gens pres))
+             (Path.to_labels w))
+      in
+      let u = keep u and v = keep v in
+      match WP.search_separating_hom pres (u, v) with
+      | Some h ->
+          Hom.respects h (Presentation.relations pres) && Hom.separates h (u, v)
+      | None -> true)
+
+let () =
+  Alcotest.run "monoid"
+    [
+      ( "finite-monoid",
+        [
+          Alcotest.test_case "validation" `Quick test_make_validates;
+          Alcotest.test_case "cyclic" `Quick test_cyclic;
+          Alcotest.test_case "mul_word" `Quick test_mul_word;
+          Alcotest.test_case "transformations" `Quick test_transformations;
+          Alcotest.test_case "S3" `Quick test_transformations_symmetric;
+        ] );
+      ("hom", [ Alcotest.test_case "eval" `Quick test_hom_eval ]);
+      ( "word-problem",
+        [
+          Alcotest.test_case "cyclic" `Quick test_wp_cyclic;
+          Alcotest.test_case "commutative" `Quick test_wp_commutative;
+          Alcotest.test_case "bicyclic" `Quick test_wp_bicyclic;
+          Alcotest.test_case "symmetric3" `Quick test_wp_symmetric3;
+          Alcotest.test_case "klein four" `Quick test_wp_klein_four;
+          Alcotest.test_case "equational search" `Quick test_equational_search;
+          prop_separating_hom_valid;
+        ] );
+    ]

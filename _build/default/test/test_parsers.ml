@@ -1,0 +1,140 @@
+open Testutil
+module Path = Pathlang.Path
+module Graph = Sgraph.Graph
+module Io = Sgraph.Io
+module SP = Schema.Schema_parser
+module Mschema = Schema.Mschema
+module Mtype = Schema.Mtype
+
+(* --- graph IO ------------------------------------------------------------- *)
+
+let test_io_roundtrip () =
+  let g = Xmlrep.Bib.figure1 () in
+  match Io.of_string (Io.to_string g) with
+  | Ok g' -> check_bool "equal" true (Graph.equal g g')
+  | Error e -> Alcotest.fail e
+
+let test_io_parse () =
+  (match Io.of_string "0 a 1\n1 b 2\n# comment\n\n2 a 0\n" with
+  | Ok g ->
+      check_int "nodes" 3 (Graph.node_count g);
+      check_int "edges" 3 (Graph.edge_count g)
+  | Error e -> Alcotest.fail e);
+  check_bool "bad id" true (Result.is_error (Io.of_string "x a 1"));
+  check_bool "bad arity" true (Result.is_error (Io.of_string "0 a"));
+  check_bool "negative" true (Result.is_error (Io.of_string "-1 a 0"))
+
+(* --- schema parser ------------------------------------------------------------ *)
+
+let bib_src =
+  {|# bibliography
+kind M
+class Person = [ name: string; SSN: string; wrote: Book ]
+class Book = [ title: string; year: int; ref: Book; author: Person ]
+db = [ person: Person; book: Book ]|}
+
+let test_schema_parse () =
+  match SP.of_string bib_src with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+      check_bool "kind" true (Mschema.kind s = Mschema.M);
+      check_int "classes" 2 (List.length (Mschema.classes s));
+      check_bool "same paths as builtin" true
+        (Schema.Schema_graph.in_paths s (path "book.author.wrote"))
+
+let test_schema_roundtrip () =
+  List.iter
+    (fun s ->
+      match SP.of_string (SP.to_string s) with
+      | Error e -> Alcotest.fail e
+      | Ok s' ->
+          check_bool "kind preserved" true (Mschema.kind s = Mschema.kind s');
+          check_int "classes preserved"
+            (List.length (Mschema.classes s))
+            (List.length (Mschema.classes s'));
+          check_bool "dbtype preserved" true
+            (Mtype.equal (Mschema.dbtype s) (Mschema.dbtype s')))
+    [
+      Mschema.bib_m;
+      Mschema.example_3_1;
+      (Core.Encode_mplus.encode (Monoid.Examples.cyclic 2)).Core.Encode_mplus.schema;
+    ]
+
+let test_schema_kind_inference () =
+  (* no kind line: M inferred when possible *)
+  let src = "class C = [ f: int ]\ndb = [ c: C ]" in
+  (match SP.of_string src with
+  | Ok s -> check_bool "inferred M" true (Mschema.kind s = Mschema.M)
+  | Error e -> Alcotest.fail e);
+  let src_plus = "class C = { int }\ndb = [ c: C ]" in
+  match SP.of_string src_plus with
+  | Ok s -> check_bool "inferred M+" true (Mschema.kind s = Mschema.M_plus)
+  | Error e -> Alcotest.fail e
+
+let test_schema_errors () =
+  let bad s = Result.is_error (SP.of_string s) in
+  check_bool "missing db" true (bad "class C = [ f: int ]");
+  check_bool "undeclared class ok as atomic" true
+    (* 'D' is parsed as an atomic type, which is legal *)
+    (Result.is_ok (SP.of_string "class C = [ f: D ]\ndb = [ c: C ]"));
+  check_bool "atomic class body" true (bad "class C = int\ndb = [ c: C ]");
+  check_bool "junk" true (bad "classy C = [ ]\ndb = [ c: C ]")
+
+let test_schema_mplus_kind_line () =
+  let src = "kind M+\nclass C = { int }\ndb = [ c: C ]" in
+  match SP.of_string src with
+  | Ok s -> check_bool "M+" true (Mschema.kind s = Mschema.M_plus)
+  | Error e -> Alcotest.fail e
+
+(* --- presentation parser -------------------------------------------------------- *)
+
+let test_presentation_parse () =
+  match Monoid.Presentation.parse "gens a b\na.b = b.a\na.a.a = eps\n" with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      check_int "gens" 2 (List.length (Monoid.Presentation.gens p));
+      check_int "relations" 2 (List.length (Monoid.Presentation.relations p))
+
+let test_presentation_roundtrip () =
+  List.iter
+    (fun (_, p) ->
+      match Monoid.Presentation.parse (Monoid.Presentation.print p) with
+      | Ok p' ->
+          check_int "gens"
+            (List.length (Monoid.Presentation.gens p))
+            (List.length (Monoid.Presentation.gens p'));
+          check_int "relations"
+            (List.length (Monoid.Presentation.relations p))
+            (List.length (Monoid.Presentation.relations p'))
+      | Error e -> Alcotest.fail e)
+    Monoid.Examples.catalog
+
+let test_presentation_errors () =
+  let bad s = Result.is_error (Monoid.Presentation.parse s) in
+  check_bool "foreign symbol" true (bad "gens a\na.b = a");
+  check_bool "no equals" true (bad "gens a\na.a");
+  check_bool "duplicate gens" true (bad "gens a a\n")
+
+let () =
+  Alcotest.run "parsers"
+    [
+      ( "graph-io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "parse" `Quick test_io_parse;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "parse" `Quick test_schema_parse;
+          Alcotest.test_case "roundtrip" `Quick test_schema_roundtrip;
+          Alcotest.test_case "kind inference" `Quick test_schema_kind_inference;
+          Alcotest.test_case "errors" `Quick test_schema_errors;
+          Alcotest.test_case "kind M+" `Quick test_schema_mplus_kind_line;
+        ] );
+      ( "presentation",
+        [
+          Alcotest.test_case "parse" `Quick test_presentation_parse;
+          Alcotest.test_case "roundtrip" `Quick test_presentation_roundtrip;
+          Alcotest.test_case "errors" `Quick test_presentation_errors;
+        ] );
+    ]

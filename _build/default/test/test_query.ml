@@ -1,0 +1,127 @@
+open Testutil
+module Path = Pathlang.Path
+module Constr = Pathlang.Constr
+module Graph = Sgraph.Graph
+module Query = Core.Query
+module NS = Graph.Node_set
+
+let sigma = Xmlrep.Bib.extent_constraints ()
+
+(* --- eval -------------------------------------------------------------- *)
+
+let test_eval_union () =
+  let g = Graph.of_edges [ (0, "a", 1); (0, "b", 2); (2, "a", 3) ] in
+  let q = [ path "a"; path "b.a" ] in
+  check_bool "union" true (NS.equal (Query.eval g q) (NS.of_list [ 1; 3 ]));
+  check_bool "empty query" true (NS.is_empty (Query.eval g []))
+
+(* --- containment --------------------------------------------------------- *)
+
+let test_containment () =
+  check_bool "book.author in person" true
+    (Query.contained ~sigma (path "book.author") (path "person"));
+  check_bool "not conversely" false
+    (Query.contained ~sigma (path "person") (path "book.author"));
+  check_bool "reflexive" true
+    (Query.contained ~sigma (path "book") (path "book"))
+
+let prop_containment_sound =
+  q ~count:150 "containment implies answer inclusion on models of sigma"
+    QCheck.(
+      triple arb_word_sigma (pair arb_path arb_path)
+        (QCheck.make (gen_graph ~max_nodes:4 ()) ~print:print_graph))
+    (fun (sigma, (a, b), g) ->
+      if Query.contained ~sigma a b && Sgraph.Check.holds_all g sigma then
+        NS.subset (Sgraph.Eval.eval g a) (Sgraph.Eval.eval g b)
+      else true)
+
+(* --- prune_union ------------------------------------------------------------ *)
+
+let test_prune () =
+  let q = [ path "book.ref.author"; path "person"; path "book.author" ] in
+  let q' = Query.prune_union ~sigma q in
+  check_int "only person survives" 1 (List.length q');
+  check_bool "person kept" true (List.exists (Path.equal (path "person")) q')
+
+let test_prune_mutual () =
+  (* two equivalent disjuncts: exactly one survives *)
+  let sigma = [ c_word "a" "b"; c_word "b" "a" ] in
+  let q' = Query.prune_union ~sigma [ path "a"; path "b" ] in
+  check_int "one survives" 1 (List.length q')
+
+let prop_prune_preserves_semantics =
+  q ~count:100 "pruning preserves answers on models of sigma"
+    QCheck.(
+      triple arb_word_sigma
+        (list_of_size (QCheck.Gen.int_range 1 4) arb_path)
+        (QCheck.make (gen_graph ~max_nodes:4 ()) ~print:print_graph))
+    (fun (sigma, query, g) ->
+      let pruned = Query.prune_union ~sigma query in
+      List.length pruned <= List.length query
+      && (if Sgraph.Check.holds_all g sigma then
+            NS.equal (Query.eval g query) (Query.eval g pruned)
+          else true))
+
+(* --- cheapest equivalent ------------------------------------------------------ *)
+
+let test_cheapest_untyped () =
+  let shortcut =
+    [
+      c_word "person.wrote" "m";
+      c_word "m" "person.wrote";
+    ]
+  in
+  let best = Query.cheapest_equivalent ~sigma:(shortcut @ sigma) (path "person.wrote.ref") in
+  Alcotest.check path_testable "materialized edge used" (path "m.ref") best;
+  (* without an equivalence nothing changes *)
+  Alcotest.check path_testable "no rewrite" (path "book.author")
+    (Query.cheapest_equivalent ~sigma (path "book.author"))
+
+let prop_cheapest_equivalent_sound =
+  q ~count:80 "cheapest path is provably equivalent and never longer"
+    QCheck.(pair arb_word_sigma arb_path)
+    (fun (sigma, p) ->
+      let best = Query.cheapest_equivalent ~sigma ~budget:200 p in
+      Path.length best <= Path.length p
+      && Query.equivalent ~sigma p best)
+
+let test_cheapest_typed () =
+  let schema = Schema.Mschema.bib_m in
+  let sigma =
+    [ Constr.backward ~prefix:(path "book") ~lhs:(path "author") ~rhs:(path "wrote") ]
+  in
+  (match Query.cheapest_equivalent_typed schema ~sigma (path "book.author.wrote") with
+  | Ok best -> Alcotest.check path_testable "collapses" (path "book") best
+  | Error e -> Alcotest.fail e);
+  (match
+     Query.cheapest_equivalent_typed schema ~sigma ~max_len:4
+       (path "book.author.wrote.title")
+   with
+  | Ok best -> Alcotest.check path_testable "field after collapse" (path "book.title") best
+  | Error e -> Alcotest.fail e);
+  match Query.cheapest_equivalent_typed schema ~sigma (path "zap") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "invalid path must be rejected"
+
+let () =
+  Alcotest.run "query"
+    [
+      ("eval", [ Alcotest.test_case "union" `Quick test_eval_union ]);
+      ( "containment",
+        [
+          Alcotest.test_case "bibliography" `Quick test_containment;
+          prop_containment_sound;
+        ] );
+      ( "prune",
+        [
+          Alcotest.test_case "bibliography" `Quick test_prune;
+          Alcotest.test_case "mutual" `Quick test_prune_mutual;
+          prop_prune_preserves_semantics;
+        ] );
+      ( "cheapest",
+        [
+          Alcotest.test_case "untyped" `Quick test_cheapest_untyped;
+          Alcotest.test_case "typed" `Quick test_cheapest_typed;
+          prop_cheapest_equivalent_sound;
+        ] );
+    ]

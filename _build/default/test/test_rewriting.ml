@@ -1,0 +1,170 @@
+open Testutil
+module Path = Pathlang.Path
+module Srs = Rewriting.Srs
+module Kb = Rewriting.Kb
+module Examples = Monoid.Examples
+module Presentation = Monoid.Presentation
+
+let rule l r = { Srs.lhs = path l; rhs = path r }
+
+(* --- orientation -------------------------------------------------------- *)
+
+let test_orient () =
+  (match Srs.orient (path "a.b", path "c") with
+  | Some r ->
+      Alcotest.check path_testable "longer side is lhs" (path "a.b") r.Srs.lhs
+  | None -> Alcotest.fail "orientable");
+  (match Srs.orient (path "b", path "a") with
+  | Some r -> Alcotest.check path_testable "lex tie-break" (path "b") r.Srs.lhs
+  | None -> Alcotest.fail "orientable");
+  check_bool "equal sides" true (Srs.orient (path "a", path "a") = None)
+
+(* --- rewriting ----------------------------------------------------------- *)
+
+let test_factor_at () =
+  check_bool "found" true (Srs.factor_at (path "b.c") (path "a.b.c.d") = Some 1);
+  check_bool "missing" true (Srs.factor_at (path "c.b") (path "a.b.c.d") = None);
+  check_bool "empty factor" true (Srs.factor_at Path.empty (path "a") = Some 0);
+  check_bool "at start" true (Srs.factor_at (path "a") (path "a.b") = Some 0)
+
+let test_rewrite () =
+  let rules = [ rule "a.a" "a" ] in
+  Alcotest.check path_testable "a^4 -> a" (path "a")
+    (Srs.normalize rules (path "a.a.a.a"));
+  Alcotest.check path_testable "normal form unchanged" (path "b.a.b")
+    (Srs.normalize rules (path "b.a.b"));
+  check_bool "joinable" true (Srs.joinable rules (path "a.a.a") (path "a"))
+
+let test_rewrite_inside () =
+  let rules = [ rule "b.a" "a.b" ] in
+  Alcotest.check path_testable "bubble sort" (path "a.a.b.b")
+    (Srs.normalize rules (path "b.a.b.a"))
+
+let test_normalize_rejects_increasing () =
+  Alcotest.check_raises "increasing rule" (Invalid_argument "")
+    (fun () ->
+      try ignore (Srs.normalize [ rule "a" "a.a" ] (path "a"))
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+(* --- critical pairs ------------------------------------------------------- *)
+
+let test_critical_pairs_overlap () =
+  (* a.b -> eps and b.a -> eps overlap on b (and on a) *)
+  let rules = [ rule "a.b" "eps"; rule "b.a" "eps" ] in
+  let cps = Srs.critical_pairs rules in
+  check_bool "has pairs" true (List.length cps > 0);
+  (* superposition a.b.a: reduces to a (via a.b->eps at front) and to a
+     (via b.a->eps at back): joinable *)
+  check_bool "locally confluent" true (Srs.is_locally_confluent rules)
+
+let test_critical_pairs_not_confluent () =
+  (* a.a -> b and a.a -> c : containment critical pair b = c, not joinable *)
+  let rules = [ rule "a.a" "b"; rule "a.a" "c" ] in
+  check_bool "not locally confluent" false (Srs.is_locally_confluent rules)
+
+(* --- Knuth-Bendix ----------------------------------------------------------- *)
+
+let complete_ok pres =
+  match Kb.complete (Presentation.relations pres) with
+  | Kb.Convergent rules -> rules
+  | Kb.Budget_exhausted _ -> Alcotest.fail "completion should converge"
+
+let test_kb_cyclic () =
+  let rules = complete_ok (Examples.cyclic 3) in
+  check_bool "decides a^3 = eps" true
+    (Kb.decides_equal rules (path "a.a.a") Path.empty);
+  check_bool "decides a^5 = a^2" true
+    (Kb.decides_equal rules (path "a.a.a.a.a") (path "a.a"));
+  check_bool "distinguishes a and eps" false
+    (Kb.decides_equal rules (path "a") Path.empty)
+
+let test_kb_commutative () =
+  let rules = complete_ok Examples.free_commutative2 in
+  check_bool "ab = ba" true (Kb.decides_equal rules (path "a.b") (path "b.a"));
+  check_bool "abab = aabb" true
+    (Kb.decides_equal rules (path "a.b.a.b") (path "a.a.b.b"));
+  check_bool "ab distinct from a" false
+    (Kb.decides_equal rules (path "a.b") (path "a"))
+
+let test_kb_bicyclic () =
+  let rules = complete_ok Examples.bicyclic in
+  check_bool "ab = eps" true (Kb.decides_equal rules (path "a.b") Path.empty);
+  check_bool "a.ab.b joins" true
+    (Kb.decides_equal rules (path "a.a.b.b") Path.empty);
+  check_bool "ba is irreducible" false
+    (Kb.decides_equal rules (path "b.a") Path.empty)
+
+let test_kb_idempotent () =
+  let rules = complete_ok Examples.idempotent2 in
+  check_bool "aa = a" true (Kb.decides_equal rules (path "a.a") (path "a"));
+  check_bool "abba = aba" true
+    (Kb.decides_equal rules (path "a.b.b.a") (path "a.b.a"))
+
+let test_kb_converged_is_confluent () =
+  List.iter
+    (fun (_, pres) ->
+      match Kb.complete (Presentation.relations pres) with
+      | Kb.Convergent rules ->
+          check_bool "confluent" true (Srs.is_locally_confluent rules)
+      | Kb.Budget_exhausted _ -> ())
+    Examples.catalog
+
+let prop_kb_sound =
+  (* joinability by a completed system implies provable equality: check
+     against bidirectional equational search *)
+  q ~count:30 "completed system is sound for the congruence"
+    (QCheck.make
+       QCheck.Gen.(pair (oneofl (List.map snd Examples.catalog)) (gen_path_len 4))
+       ~print:(fun (p, w) ->
+         Format.asprintf "%a @@ %a" Monoid.Presentation.pp p Path.pp w))
+    (fun (pres, w) ->
+      (* restrict the word to the presentation's generators *)
+      let gens = Presentation.gens pres in
+      let w =
+        Path.of_labels
+          (List.filter
+             (fun k -> List.exists (Pathlang.Label.equal k) gens)
+             (Path.to_labels w))
+      in
+      match Kb.complete (Presentation.relations pres) with
+      | Kb.Convergent rules ->
+          let nf = Srs.normalize rules w in
+          if Path.equal nf w then true
+          else (
+            match
+              Monoid.Word_problem.equational_search ~max_words:30_000 pres
+                (w, nf)
+            with
+            | Some eq -> eq
+            | None -> true (* budget; cannot refute *))
+      | Kb.Budget_exhausted _ -> true)
+
+let () =
+  Alcotest.run "rewriting"
+    [
+      ("orient", [ Alcotest.test_case "orientation" `Quick test_orient ]);
+      ( "rewrite",
+        [
+          Alcotest.test_case "factor_at" `Quick test_factor_at;
+          Alcotest.test_case "normalize" `Quick test_rewrite;
+          Alcotest.test_case "inside" `Quick test_rewrite_inside;
+          Alcotest.test_case "rejects increasing" `Quick
+            test_normalize_rejects_increasing;
+        ] );
+      ( "critical-pairs",
+        [
+          Alcotest.test_case "overlap" `Quick test_critical_pairs_overlap;
+          Alcotest.test_case "non-confluent" `Quick
+            test_critical_pairs_not_confluent;
+        ] );
+      ( "knuth-bendix",
+        [
+          Alcotest.test_case "cyclic" `Quick test_kb_cyclic;
+          Alcotest.test_case "commutative" `Quick test_kb_commutative;
+          Alcotest.test_case "bicyclic" `Quick test_kb_bicyclic;
+          Alcotest.test_case "idempotent" `Quick test_kb_idempotent;
+          Alcotest.test_case "convergent => confluent" `Quick
+            test_kb_converged_is_confluent;
+          prop_kb_sound;
+        ] );
+    ]

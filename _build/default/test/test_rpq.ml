@@ -1,0 +1,228 @@
+open Testutil
+module Path = Pathlang.Path
+module Label = Pathlang.Label
+module Graph = Sgraph.Graph
+module Regex = Rpq.Regex
+module Rpq_ = Rpq.Eval
+module NS = Graph.Node_set
+
+let parse s =
+  match Regex.parse s with Ok r -> r | Error e -> Alcotest.failf "parse %S: %s" s e
+
+(* --- parsing / printing ---------------------------------------------------- *)
+
+let test_parse () =
+  let roundtrip s = Regex.to_string (parse s) in
+  check_string "concat" "a.b" (roundtrip "a.b");
+  check_string "alt" "a|b" (roundtrip "a|b");
+  check_string "star" "a*" (roundtrip "a*");
+  check_string "grouping" "(a|b)*.c" (roundtrip "(a|b)*.c");
+  check_string "eps" "eps" (roundtrip "eps");
+  check_bool "plus desugars" true
+    (Regex.to_string (parse "a+") = "a.a*");
+  check_bool "opt desugars" true
+    (match parse "a?" with Regex.Alt (Regex.Eps, _) -> true | _ -> false);
+  check_bool "unbalanced rejected" true (Result.is_error (Regex.parse "(a"));
+  check_bool "trailing rejected" true (Result.is_error (Regex.parse "a)b"))
+
+let prop_parse_roundtrip =
+  let rec gen_regex depth =
+    QCheck.Gen.(
+      if depth = 0 then
+        oneof [ return Regex.Eps; map Regex.letter gen_label ]
+      else
+        frequency
+          [
+            (2, map Regex.letter gen_label);
+            (1, return Regex.Eps);
+            (2, map2 Regex.concat (gen_regex (depth - 1)) (gen_regex (depth - 1)));
+            (2, map2 Regex.alt (gen_regex (depth - 1)) (gen_regex (depth - 1)));
+            (1, map Regex.star (gen_regex (depth - 1)));
+          ])
+  in
+  q ~count:200 "parse . to_string = id (up to language)"
+    (QCheck.make (gen_regex 3) ~print:Regex.to_string)
+    (fun r ->
+      match Regex.parse (Regex.to_string r) with
+      | Ok r' -> Regex.equivalent r r'
+      | Error _ -> false)
+
+(* --- matching --------------------------------------------------------------- *)
+
+let test_matches () =
+  let r = parse "book.(ref)*.author" in
+  check_bool "no ref" true (Regex.matches r (path "book.author"));
+  check_bool "two refs" true (Regex.matches r (path "book.ref.ref.author"));
+  check_bool "missing author" false (Regex.matches r (path "book.ref"));
+  check_bool "eps regex" true (Regex.matches Regex.eps Path.empty);
+  check_bool "alt" true (Regex.matches (parse "a|b.c") (path "b.c"))
+
+let prop_of_path_matches =
+  q ~count:100 "of_path matches exactly its path" arb_path (fun p ->
+      Regex.matches (Regex.of_path p) p)
+
+(* --- language inclusion --------------------------------------------------------- *)
+
+let test_inclusion () =
+  check_bool "a in a|b" true (Regex.included (parse "a") (parse "a|b"));
+  check_bool "a.a* in a*" true (Regex.included (parse "a.a*") (parse "a*"));
+  check_bool "a* not in a.a*" false (Regex.included (parse "a*") (parse "a.a*"));
+  check_bool "equivalent stars" true
+    (Regex.equivalent (parse "(a|b)*") (parse "(a*.b*)*"));
+  check_bool "not equivalent" false (Regex.equivalent (parse "a.b") (parse "b.a"))
+
+let prop_inclusion_sound_on_words =
+  q ~count:100 "included implies membership transfer"
+    QCheck.(pair arb_path arb_path)
+    (fun (p1, p2) ->
+      let r1 = Regex.of_path p1 in
+      let r2 = Regex.alt (Regex.of_path p1) (Regex.of_path p2) in
+      Regex.included r1 r2 && Regex.matches r2 p1)
+
+let test_minimize () =
+  let to_min r =
+    let a, start = Regex.to_nfa (parse r) in
+    Automata.Dfa.minimize
+      (Automata.Dfa.of_nfa ~alphabet:labels a ~start)
+  in
+  (* (a|b)* needs exactly one state (plus none dead over this alphabet
+     minus c... c leads to a dead state, so two) *)
+  let d = to_min "(a|b)*" in
+  check_int "(a|b)* minimal size" 2 (Automata.Dfa.size d);
+  (* equivalent regexes minimize to the same number of states *)
+  check_int "canonical size" (Automata.Dfa.size (to_min "(a*.b*)*"))
+    (Automata.Dfa.size (to_min "(a|b)*"))
+
+let prop_minimize_preserves_language =
+  q ~count:100 "minimization preserves acceptance"
+    QCheck.(pair arb_path arb_path)
+    (fun (p1, p2) ->
+      let r = Regex.alt (Regex.of_path p1) (Regex.star (Regex.of_path p2)) in
+      let a, start = Regex.to_nfa r in
+      let d = Automata.Dfa.of_nfa ~alphabet:labels a ~start in
+      let m = Automata.Dfa.minimize d in
+      Automata.Dfa.size m <= Automata.Dfa.size d
+      && List.for_all
+           (fun w ->
+             Automata.Dfa.accepts d (Path.to_labels w)
+             = Automata.Dfa.accepts m (Path.to_labels w))
+           [ p1; p2; Path.concat p1 p2; Path.concat p2 p2; Path.empty ])
+
+let test_example_word () =
+  (match Regex.example_word (parse "a.a.b|c") with
+  | Some w -> check_bool "in language" true (Regex.matches (parse "a.a.b|c") w)
+  | None -> Alcotest.fail "non-empty language");
+  check_bool "eps language" true (Regex.example_word Regex.eps = Some Path.empty)
+
+(* --- graph evaluation ------------------------------------------------------------- *)
+
+let test_eval_figure1 () =
+  let g = Xmlrep.Bib.figure1 () in
+  (* all books reachable through arbitrarily many refs *)
+  let books = Rpq_.eval g (parse "book.(ref)*") in
+  let direct = Sgraph.Eval.eval g (path "book") in
+  check_bool "superset of direct" true (NS.subset direct books);
+  (* authors of any (possibly cited) book are persons *)
+  let authors = Rpq_.eval g (parse "book.(ref)*.author") in
+  let persons = Sgraph.Eval.eval g (path "person") in
+  check_bool "authors are persons" true (NS.subset authors persons)
+
+let test_eval_cycle () =
+  let g = Graph.of_edges [ (0, "a", 1); (1, "a", 0); (1, "b", 2) ] in
+  let r = parse "(a)*.b" in
+  check_bool "odd a-count works" true (NS.mem 2 (Rpq_.eval g r));
+  check_bool "star includes eps" true (NS.mem 0 (Rpq_.eval g (parse "(a)*")))
+
+let prop_eval_plain_path_agrees =
+  q ~count:100 "RPQ evaluation of a plain path equals Eval.eval"
+    QCheck.(pair arb_graph arb_path)
+    (fun (g, p) ->
+      NS.equal (Rpq_.eval g (Regex.of_path p)) (Sgraph.Eval.eval g p))
+
+let prop_eval_union_is_union =
+  q ~count:100 "RPQ of an alternation is the union"
+    QCheck.(triple arb_graph arb_path arb_path)
+    (fun (g, p1, p2) ->
+      NS.equal
+        (Rpq_.eval g (Regex.alt (Regex.of_path p1) (Regex.of_path p2)))
+        (NS.union (Sgraph.Eval.eval g p1) (Sgraph.Eval.eval g p2)))
+
+let test_witness () =
+  let g = Xmlrep.Bib.figure1 () in
+  let r = parse "book.(ref)*.author" in
+  let answers = Rpq_.eval g r in
+  NS.iter
+    (fun v ->
+      match Rpq_.witness g (Graph.root g) r v with
+      | Some w ->
+          check_bool "witness in language" true (Regex.matches r w);
+          check_bool "witness connects" true (Sgraph.Eval.holds_between g 0 w v)
+      | None -> Alcotest.fail "answer without witness")
+    answers
+
+(* --- regular word constraints -------------------------------------------------------- *)
+
+let test_regular_constraints () =
+  let g = Xmlrep.Bib.figure1 () in
+  (* the AV-style constraint: authors of transitively cited books are
+     persons *)
+  let c = { Rpq_.lhs = parse "book.(ref)*.author"; rhs = parse "person" } in
+  check_bool "holds on figure 1" true (Rpq_.holds g c);
+  check_bool "no violations" true (Rpq_.violations g c = []);
+  let bad = { Rpq_.lhs = parse "person"; rhs = parse "book" } in
+  check_bool "violated" false (Rpq_.holds g bad);
+  check_bool "violations reported" true (Rpq_.violations g bad <> [])
+
+let test_prune_union () =
+  let q' =
+    Rpq_.prune_union [ parse "a.b"; parse "a.(b|c)"; parse "a.c" ]
+  in
+  check_int "one survivor" 1 (List.length q');
+  check_bool "the general one" true
+    (Regex.equivalent (List.hd q') (parse "a.(b|c)"))
+
+let prop_prune_preserves_answers =
+  q ~count:60 "syntactic pruning preserves RPQ answers"
+    QCheck.(pair arb_graph (list_of_size (QCheck.Gen.int_range 1 3) arb_path))
+    (fun (g, paths) ->
+      let rs = List.map Regex.of_path paths in
+      let pruned = Rpq_.prune_union rs in
+      let eval_union rs =
+        List.fold_left (fun acc r -> NS.union acc (Rpq_.eval g r)) NS.empty rs
+      in
+      NS.equal (eval_union rs) (eval_union pruned))
+
+let () =
+  Alcotest.run "rpq"
+    [
+      ( "regex",
+        [
+          Alcotest.test_case "parse" `Quick test_parse;
+          prop_parse_roundtrip;
+          Alcotest.test_case "matches" `Quick test_matches;
+          prop_of_path_matches;
+        ] );
+      ( "language",
+        [
+          Alcotest.test_case "inclusion" `Quick test_inclusion;
+          prop_inclusion_sound_on_words;
+          Alcotest.test_case "minimize" `Quick test_minimize;
+          prop_minimize_preserves_language;
+          Alcotest.test_case "example word" `Quick test_example_word;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "figure 1" `Quick test_eval_figure1;
+          Alcotest.test_case "cycles" `Quick test_eval_cycle;
+          prop_eval_plain_path_agrees;
+          prop_eval_union_is_union;
+          Alcotest.test_case "witness" `Quick test_witness;
+        ] );
+      ( "constraints",
+        [
+          Alcotest.test_case "regular word constraints" `Quick
+            test_regular_constraints;
+          Alcotest.test_case "prune union" `Quick test_prune_union;
+          prop_prune_preserves_answers;
+        ] );
+    ]

@@ -1,0 +1,331 @@
+open Testutil
+module Path = Pathlang.Path
+module Constr = Pathlang.Constr
+module Mschema = Schema.Mschema
+module SG = Schema.Schema_graph
+module Typecheck = Schema.Typecheck
+module Check = Sgraph.Check
+module TM = Core.Typed_m
+module Axioms = Core.Axioms
+
+let bib = Mschema.bib_m
+
+let decide sigma phi =
+  match TM.decide bib ~sigma ~phi with
+  | Ok o -> o
+  | Error e -> Alcotest.fail e
+
+let check_implied_with_proof sigma phi =
+  match decide sigma phi with
+  | TM.Implied d ->
+      check_bool "derivation checks and proves phi" true
+        (Axioms.proves ~sigma ~goal:phi d)
+  | TM.Not_implied _ -> Alcotest.fail "expected implied"
+  | TM.Vacuous m -> Alcotest.failf "unexpected vacuity: %s" m
+
+let check_not_implied sigma phi =
+  match decide sigma phi with
+  | TM.Not_implied t ->
+      (match Typecheck.validate bib t with
+      | Ok () -> ()
+      | Error es ->
+          Alcotest.failf "countermodel not in U_f(Delta): %s"
+            (String.concat "; " es));
+      let g = t.Typecheck.graph in
+      check_bool "countermodel satisfies sigma" true (Check.holds_all g sigma);
+      check_bool "countermodel violates phi" false (Check.holds g phi)
+  | TM.Implied _ -> Alcotest.fail "expected not implied"
+  | TM.Vacuous m -> Alcotest.failf "unexpected vacuity: %s" m
+
+(* --- word equality translation (Lemmas 4.7 / 4.8) ---------------------------- *)
+
+let test_to_word_equality () =
+  let f = c_fwd "book" "author" "author" in
+  let u, v = TM.to_word_equality f in
+  Alcotest.check path_testable "fwd lhs" (path "book.author") u;
+  Alcotest.check path_testable "fwd rhs" (path "book.author") v;
+  let b = c_bwd "book" "author" "wrote" in
+  let u, v = TM.to_word_equality b in
+  Alcotest.check path_testable "bwd lhs" (path "book") u;
+  Alcotest.check path_testable "bwd rhs" (path "book.author.wrote") v
+
+(* --- hand instances -------------------------------------------------------------- *)
+
+let test_reflexive () = check_implied_with_proof [] (c_word "book" "book")
+
+let test_axiom_instance () =
+  let sigma = [ c_word "book" "book.ref" ] in
+  check_implied_with_proof sigma (c_word "book" "book.ref")
+
+let test_commutativity_over_m () =
+  (* over M, word implication is symmetric (commutativity rule) — in
+     stark contrast with the untyped world *)
+  let sigma = [ c_word "book" "book.ref" ] in
+  check_implied_with_proof sigma (c_word "book.ref" "book");
+  (* and the untyped procedure indeed refuses it *)
+  check_bool "untyped says no" false
+    (Core.Word_untyped.implies_exn ~sigma (c_word "book.ref" "book"))
+
+let test_congruence_over_m () =
+  let sigma = [ c_word "book" "book.ref" ] in
+  check_implied_with_proof sigma (c_word "book.author" "book.ref.author");
+  check_implied_with_proof sigma (c_word "book.ref.title" "book.title")
+
+let test_backward_to_word () =
+  (* inverse constraint: book : author <- wrote, equivalent over M to
+     book -> book.author.wrote *)
+  let sigma = [ c_bwd "book" "author" "wrote" ] in
+  check_implied_with_proof sigma (c_word "book" "book.author.wrote");
+  check_implied_with_proof sigma (c_word "book.author.wrote" "book");
+  (* and wrapped back into a backward constraint *)
+  check_implied_with_proof
+    [ c_word "book" "book.author.wrote" ]
+    (c_bwd "book" "author" "wrote")
+
+let test_forward_wrap () =
+  let sigma = [ c_word "book.author" "person" ] in
+  check_implied_with_proof sigma (c_fwd "book" "author" "author");
+  (* forward constraint with non-empty prefix out of a word equality *)
+  check_implied_with_proof sigma
+    (Constr.forward ~prefix:(path "book") ~lhs:(path "author")
+       ~rhs:(path "author"))
+
+let test_interplay_forward_backward () =
+  (* from the inverse pair derive that ref-following composed with the
+     inverse loops back:
+       sigma: book : author <- wrote   (book ~ book.author.wrote)
+              person : wrote <- author (person ~ person.wrote.author)
+     goal: book.author ~ book.author.wrote.author *)
+  let sigma =
+    [ c_bwd "book" "author" "wrote"; c_bwd "person" "wrote" "author" ] in
+  check_implied_with_proof sigma
+    (c_word "book.author.wrote.author" "book.author");
+  (* but book.author ~ person does NOT follow *)
+  check_not_implied sigma (c_word "book.author" "person")
+
+let test_not_implied_with_countermodel () =
+  check_not_implied [] (c_word "book" "book.ref");
+  check_not_implied
+    [ c_word "book" "book.ref" ]
+    (c_word "person" "person.wrote.author");
+  check_not_implied
+    [ c_word "book.author" "person" ]
+    (c_word "book.ref" "book")
+
+let test_vacuous () =
+  (* title is a string, year an int: forcing them equal is unsatisfiable
+     over U(Delta) *)
+  let sigma = [ c_word "book.title" "book.year" ] in
+  match TM.decide bib ~sigma ~phi:(c_word "book" "book.ref") with
+  | Ok (TM.Vacuous _) -> ()
+  | Ok _ -> Alcotest.fail "expected vacuous"
+  | Error e -> Alcotest.fail e
+
+let test_rejects_bad_paths () =
+  check_bool "path outside Paths(Delta)" true
+    (Result.is_error (TM.decide bib ~sigma:[] ~phi:(c_word "zap" "book")));
+  check_bool "M+ schema rejected" true
+    (Result.is_error
+       (TM.decide Mschema.example_3_1 ~sigma:[] ~phi:(c_word "book" "book")))
+
+(* --- transitive chains (stress the proof forest) -------------------------------- *)
+
+let test_long_chain () =
+  (* book ~ book.ref ~ book.ref.ref ~ ... all collapse *)
+  let sigma = [ c_word "book" "book.ref" ] in
+  check_implied_with_proof sigma (c_word "book" "book.ref.ref.ref.ref");
+  check_implied_with_proof sigma
+    (c_word "book.ref.ref.author" "book.ref.ref.ref.ref.author")
+
+let test_two_step_congruence_cascade () =
+  (* person.wrote ~ book and book.author ~ person force
+     person.wrote.author ~ book.author ~ person *)
+  let sigma = [ c_word "person.wrote" "book"; c_word "book.author" "person" ] in
+  check_implied_with_proof sigma (c_word "person.wrote.author" "person");
+  check_implied_with_proof sigma
+    (c_word "person.wrote.author.wrote" "person.wrote")
+
+(* --- satisfiability / consequence closure ------------------------------------------ *)
+
+let test_satisfiable () =
+  check_bool "empty sigma" true
+    (TM.satisfiable bib ~sigma:[] = Ok true);
+  check_bool "consistent sigma" true
+    (TM.satisfiable bib ~sigma:[ c_word "book" "book.ref" ] = Ok true);
+  check_bool "sort clash" true
+    (TM.satisfiable bib ~sigma:[ c_word "book.title" "book.year" ] = Ok false)
+
+let test_equivalence_classes () =
+  let sigma = [ c_word "book" "book.ref" ] in
+  match TM.equivalence_classes bib ~sigma ~max_len:2 with
+  | Error e -> Alcotest.fail e
+  | Ok classes ->
+      let class_of p =
+        List.find (fun cl -> List.exists (Path.equal p) cl) classes
+      in
+      check_bool "book ~ book.ref" true
+        (class_of (path "book") == class_of (path "book.ref"));
+      check_bool "book !~ person" true
+        (class_of (path "book") != class_of (path "person"));
+      (* classes partition the path universe *)
+      let total = List.fold_left (fun n cl -> n + List.length cl) 0 classes in
+      check_int "partition size" (List.length (SG.paths_up_to bib 2)) total;
+      (* membership in the same class = two-way implication *)
+      List.iter
+        (fun cl ->
+          match cl with
+          | p1 :: p2 :: _ ->
+              check_bool "two-way implied" true
+                (TM.implies bib ~sigma ~phi:(Constr.word ~lhs:p1 ~rhs:p2)
+                 = Ok true)
+          | _ -> ())
+        classes
+
+let test_canonical_model () =
+  let sigma =
+    [ c_word "book" "book.ref"; c_bwd "book" "author" "wrote" ]
+  in
+  match TM.canonical_model bib ~sigma with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      (match Typecheck.validate bib t with
+      | Ok () -> ()
+      | Error es -> Alcotest.fail (String.concat "; " es));
+      check_bool "satisfies sigma" true
+        (Check.holds_all t.Typecheck.graph sigma);
+      (* freeness: an unrelated equality does not hold *)
+      check_bool "free" false
+        (Check.holds t.Typecheck.graph (c_word "book.author" "person"));
+  (* unsatisfiable sigma is reported *)
+  match TM.canonical_model bib ~sigma:[ c_word "book.title" "book.year" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected unsatisfiable"
+
+(* --- random cross-validation ------------------------------------------------------ *)
+
+let arb_typed_instance =
+  let gen =
+    QCheck.Gen.(
+      int >>= fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let sigma = TM.random_constraints ~rng ~schema:bib ~count:4 ~max_len:3 in
+      let phi =
+        match TM.random_constraints ~rng ~schema:bib ~count:1 ~max_len:3 with
+        | [ c ] -> c
+        | _ -> c_word "book" "book"
+      in
+      return (sigma, phi))
+  in
+  QCheck.make gen ~print:(fun (sigma, phi) ->
+      print_sigma sigma ^ " |- " ^ Constr.to_string phi)
+
+let prop_outcome_always_valid =
+  q ~count:200 "decide outcomes carry valid evidence" arb_typed_instance
+    (fun (sigma, phi) ->
+      match TM.decide bib ~sigma ~phi with
+      | Error _ -> false
+      | Ok (TM.Implied d) -> Axioms.proves ~sigma ~goal:phi d
+      | Ok (TM.Not_implied t) ->
+          Typecheck.validate bib t = Ok ()
+          && Check.holds_all t.Typecheck.graph sigma
+          && not (Check.holds t.Typecheck.graph phi)
+      | Ok (TM.Vacuous _) -> true)
+
+let prop_untyped_implies_typed =
+  (* the typed theory extends the untyped one on word constraints *)
+  q ~count:100 "untyped word implication entails typed implication"
+    arb_typed_instance
+    (fun (sigma, phi) ->
+      let words = List.filter Constr.is_word sigma in
+      if not (Constr.is_word phi) then QCheck.assume_fail ()
+      else if Core.Word_untyped.implies_exn ~sigma:words phi then
+        match TM.implies bib ~sigma:words ~phi with
+        | Ok b -> b
+        | Error _ -> false
+      else true)
+
+let prop_monotone =
+  q ~count:100 "implication is monotone in sigma" arb_typed_instance
+    (fun (sigma, phi) ->
+      match (TM.implies bib ~sigma:[] ~phi, TM.implies bib ~sigma ~phi) with
+      | Ok true, Ok b -> b
+      | _ -> true)
+
+let prop_sigma_members_implied =
+  q ~count:100 "every member of sigma is implied" arb_typed_instance
+    (fun (sigma, _) ->
+      List.for_all
+        (fun c ->
+          match TM.implies bib ~sigma ~phi:c with Ok b -> b | Error _ -> false)
+        sigma)
+
+(* --- random schemas ----------------------------------------------------------------- *)
+
+let prop_random_schema_outcomes =
+  q ~count:60 "outcomes valid on random M schemas"
+    (QCheck.make
+       QCheck.Gen.(int_bound 1_000_000)
+       ~print:string_of_int)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let schema = Mschema.random_m ~rng ~classes:4 ~fields:2 ~atoms:1 in
+      let sigma = TM.random_constraints ~rng ~schema ~count:4 ~max_len:3 in
+      let phi =
+        match TM.random_constraints ~rng ~schema ~count:1 ~max_len:4 with
+        | [ c ] -> c
+        | _ -> QCheck.assume_fail ()
+      in
+      match TM.decide schema ~sigma ~phi with
+      | Error _ -> false
+      | Ok (TM.Implied d) -> Axioms.proves ~sigma ~goal:phi d
+      | Ok (TM.Not_implied t) ->
+          Typecheck.validate schema t = Ok ()
+          && Check.holds_all t.Typecheck.graph sigma
+          && not (Check.holds t.Typecheck.graph phi)
+      | Ok (TM.Vacuous _) -> true)
+
+let () =
+  Alcotest.run "typed-m"
+    [
+      ( "translation",
+        [ Alcotest.test_case "word equality" `Quick test_to_word_equality ] );
+      ( "implied",
+        [
+          Alcotest.test_case "reflexivity" `Quick test_reflexive;
+          Alcotest.test_case "axiom" `Quick test_axiom_instance;
+          Alcotest.test_case "commutativity over M" `Quick
+            test_commutativity_over_m;
+          Alcotest.test_case "right congruence" `Quick test_congruence_over_m;
+          Alcotest.test_case "backward/word" `Quick test_backward_to_word;
+          Alcotest.test_case "forward wrap" `Quick test_forward_wrap;
+          Alcotest.test_case "interplay" `Quick test_interplay_forward_backward;
+          Alcotest.test_case "long chains" `Quick test_long_chain;
+          Alcotest.test_case "congruence cascade" `Quick
+            test_two_step_congruence_cascade;
+        ] );
+      ( "not-implied",
+        [
+          Alcotest.test_case "countermodels" `Quick
+            test_not_implied_with_countermodel;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "vacuous" `Quick test_vacuous;
+          Alcotest.test_case "rejects bad input" `Quick test_rejects_bad_paths;
+        ] );
+      ( "closure",
+        [
+          Alcotest.test_case "satisfiable" `Quick test_satisfiable;
+          Alcotest.test_case "equivalence classes" `Quick
+            test_equivalence_classes;
+          Alcotest.test_case "canonical model" `Quick test_canonical_model;
+        ] );
+      ( "random",
+        [
+          prop_outcome_always_valid;
+          prop_untyped_implies_typed;
+          prop_monotone;
+          prop_sigma_members_implied;
+          prop_random_schema_outcomes;
+        ] );
+    ]

@@ -1,0 +1,244 @@
+open Testutil
+module Graph = Sgraph.Graph
+module Check = Sgraph.Check
+module Xml = Xmlrep.Xml
+module To_graph = Xmlrep.To_graph
+module Bib = Xmlrep.Bib
+
+let parse_ok s =
+  match Xml.parse s with Ok d -> d | Error e -> Alcotest.fail e
+
+(* --- XML parsing ------------------------------------------------------------ *)
+
+let test_parse_simple () =
+  let d = parse_ok "<a x=\"1\"><b/>text<c y='2'>t</c></a>" in
+  check_bool "name" true (Xml.name d = Some "a");
+  check_int "children" 3 (List.length (Xml.children d));
+  check_bool "attr" true (Xml.attrs d = [ ("x", "1") ]);
+  check_int "find_all c" 1 (List.length (Xml.find_all "c" d))
+
+let test_parse_entities () =
+  let d = parse_ok "<a>x &lt; y &amp; z</a>" in
+  check_string "decoded" "x < y & z" (Xml.text_content d)
+
+let test_parse_declaration_and_comments () =
+  let d = parse_ok "<?xml version=\"1.0\"?>\n<a><!-- note --><b/></a>" in
+  check_int "comment skipped" 1 (List.length (Xml.children d))
+
+let test_parse_errors () =
+  let bad s = match Xml.parse s with Ok _ -> false | Error _ -> true in
+  check_bool "mismatched" true (bad "<a></b>");
+  check_bool "unclosed" true (bad "<a><b></a>");
+  check_bool "trailing" true (bad "<a/><b/>");
+  check_bool "junk" true (bad "hello")
+
+let test_roundtrip () =
+  let d = parse_ok Bib.figure1_xml in
+  let d2 = parse_ok (Xml.to_string d) in
+  (* names and structure survive *)
+  let rec shape t =
+    match t with
+    | Xml.Text s -> "#" ^ String.trim s
+    | Xml.Element (n, attrs, ch) ->
+        n
+        ^ "("
+        ^ String.concat ","
+            (List.map (fun (k, v) -> k ^ "=" ^ v) attrs
+            @ List.map shape ch)
+        ^ ")"
+  in
+  check_string "same shape" (shape d) (shape d2)
+
+(* --- to graph ------------------------------------------------------------------ *)
+
+let test_graph_of_figure1_xml () =
+  match To_graph.graph_of_string Bib.figure1_xml with
+  | Error e -> Alcotest.fail e
+  | Ok (g, ids) ->
+      check_bool "ids recorded" true (List.length ids = 5);
+      (* the XML version satisfies the extent constraints *)
+      check_bool "extent constraints hold" true
+        (Check.holds_all g (Bib.extent_constraints ()));
+      (* wrote attributes only point to one book each in the XML, so the
+         person-side inverse fails but the book-side one needs wrote
+         back-edges: check the weaker property that author edges exist *)
+      check_bool "author edges shared" true
+        (not (Graph.Node_set.is_empty (Sgraph.Eval.eval g (path "book.author"))))
+
+let test_dangling_ref () =
+  match To_graph.graph_of_string "<a><b x=\"#nope\"/></a>" with
+  | Error e -> check_bool "dangling detected" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "should fail"
+
+let test_duplicate_id () =
+  match To_graph.graph_of_string "<a><b id=\"x\"/><c id=\"x\"/></a>" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "should fail"
+
+(* --- graph -> XML -> graph round trip ------------------------------------------------ *)
+
+let test_of_graph_roundtrip_figure1 () =
+  let g = Bib.figure1 () in
+  let xml = Xmlrep.Of_graph.to_string g in
+  match To_graph.graph_of_string xml with
+  | Error e -> Alcotest.fail e
+  | Ok (g', _) ->
+      check_int "nodes" (Graph.node_count g) (Graph.node_count g');
+      check_int "edges" (Graph.edge_count g) (Graph.edge_count g');
+      (* semantics preserved: same constraints hold *)
+      List.iter
+        (fun c ->
+          check_bool (Pathlang.Constr.to_string c) (Check.holds g c)
+            (Check.holds g' c))
+        (Bib.extent_constraints () @ Bib.inverse_constraints ())
+
+let prop_of_graph_roundtrip =
+  q ~count:80 "graph -> XML -> graph preserves reachable shape"
+    (QCheck.make (gen_graph ~max_nodes:6 ()) ~print:print_graph)
+    (fun g ->
+      let reachable = Sgraph.Eval.reachable g (Graph.root g) in
+      match To_graph.graph_of_string (Xmlrep.Of_graph.to_string g) with
+      | Error _ -> false
+      | Ok (g', _) ->
+          (* only the reachable part survives; compare path semantics *)
+          Graph.node_count g' = Graph.Node_set.cardinal reachable
+          && List.for_all
+               (fun p ->
+                 Graph.Node_set.cardinal (Sgraph.Eval.eval g p)
+                 = Graph.Node_set.cardinal (Sgraph.Eval.eval g' p))
+               (List.map path
+                  [ "a"; "b"; "a.a"; "a.b"; "b.a"; "a.b.c"; "c.c"; "b.b.b" ]))
+
+(* --- bib builders ----------------------------------------------------------------- *)
+
+let test_penn_bib () =
+  let g = Bib.penn_bib () in
+  (* local databases satisfy their local constraints *)
+  check_bool "MIT local constraints" true
+    (Check.holds_all g (Bib.local_constraints ~prefix:"MIT" ()));
+  check_bool "Warner local constraints" true
+    (Check.holds_all g (Bib.local_constraints ~prefix:"Warner" ()));
+  (* and the whole database satisfies Sigma_0 but not phi_0 (book 2 of
+     MIT-bib refs book 3, which is in MIT's extent, so actually phi_0
+     holds on this particular instance) *)
+  check_bool "Sigma_0 holds" true (Check.holds_all g (Bib.sigma0 ()))
+
+let test_synthetic_satisfies () =
+  let rng = rng () in
+  let g = Bib.synthetic ~rng ~books:60 ~persons:20 in
+  check_bool "extent constraints" true
+    (Check.holds_all g (Bib.extent_constraints ()));
+  check_bool "inverse constraints" true
+    (Check.holds_all g (Bib.inverse_constraints ()));
+  check_bool "size" true (Graph.node_count g > 200)
+
+let test_sigma0_phi0_semantics () =
+  (* phi_0 is not implied by Sigma_0, and a modified Penn-bib witnesses
+     it: make an MIT book reference an external book *)
+  let g = Bib.penn_bib () in
+  let mit = Sgraph.Eval.eval g (path "MIT") in
+  let mit_root = Graph.Node_set.choose mit in
+  let external_book = Graph.add_node g in
+  let some_mit_book =
+    Graph.Node_set.choose (Sgraph.Eval.eval_from g mit_root (path "book"))
+  in
+  Graph.add_edge g some_mit_book (Pathlang.Label.make "ref") external_book;
+  check_bool "still satisfies Sigma_0" true (Check.holds_all g (Bib.sigma0 ()));
+  check_bool "violates phi_0" false (Check.holds g (Bib.phi0 ()))
+
+(* --- constraints in XML syntax --------------------------------------------------------- *)
+
+let test_constraints_xml_roundtrip () =
+  let cs = Bib.extent_constraints () @ Bib.inverse_constraints () @ Bib.sigma0 () in
+  match Xmlrep.Constraints_xml.parse (Xmlrep.Constraints_xml.render cs) with
+  | Ok cs' ->
+      check_int "count" (List.length cs) (List.length cs');
+      List.iter2
+        (fun a b ->
+          check_bool (Pathlang.Constr.to_string a) true (Pathlang.Constr.equal a b))
+        cs cs'
+  | Error e -> Alcotest.fail e
+
+let test_constraints_xml_forms () =
+  let src =
+    {|<constraints>
+        <word lhs="book.author" rhs="person"/>
+        <forward prefix="MIT" lhs="book.ref" rhs="book"/>
+        <backward prefix="book" lhs="author" rhs="wrote"/>
+      </constraints>|}
+  in
+  match Xmlrep.Constraints_xml.parse src with
+  | Ok [ w; f; b ] ->
+      check_bool "word" true (Pathlang.Constr.is_word w);
+      check_bool "forward prefix" true
+        (Pathlang.Path.equal (Pathlang.Constr.prefix f) (path "MIT"));
+      check_bool "backward" true (Pathlang.Constr.kind b = Pathlang.Constr.Backward)
+  | Ok _ -> Alcotest.fail "expected three constraints"
+  | Error e -> Alcotest.fail e
+
+let test_constraints_xml_errors () =
+  let bad s = Result.is_error (Xmlrep.Constraints_xml.parse s) in
+  check_bool "unknown element" true (bad "<constraints><zap/></constraints>");
+  check_bool "missing lhs" true
+    (bad "<constraints><word rhs=\"a\"/></constraints>");
+  check_bool "word with prefix" true
+    (bad "<constraints><word prefix=\"p\" lhs=\"a\" rhs=\"b\"/></constraints>");
+  check_bool "wrong root" true (bad "<stuff/>")
+
+(* --- XML-Data rendering -------------------------------------------------------------- *)
+
+let test_xml_data_render () =
+  let s = Xmlrep.Xml_data.render Schema.Mschema.example_3_1 in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "elementType" true (contains "elementType");
+  check_bool "book class" true (contains "id=\"Book\"");
+  check_bool "author range" true (contains "range=\"#Person\"");
+  check_bool "occurs many for sets" true (contains "occurs=\"many\"");
+  (* output parses back as XML *)
+  match Xml.parse s with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "xmlrep"
+    [
+      ( "xml",
+        [
+          Alcotest.test_case "simple" `Quick test_parse_simple;
+          Alcotest.test_case "entities" `Quick test_parse_entities;
+          Alcotest.test_case "declaration/comments" `Quick
+            test_parse_declaration_and_comments;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        ] );
+      ( "to-graph",
+        [
+          Alcotest.test_case "figure 1 xml" `Quick test_graph_of_figure1_xml;
+          Alcotest.test_case "dangling ref" `Quick test_dangling_ref;
+          Alcotest.test_case "duplicate id" `Quick test_duplicate_id;
+        ] );
+      ( "of-graph",
+        [
+          Alcotest.test_case "figure 1 roundtrip" `Quick
+            test_of_graph_roundtrip_figure1;
+          prop_of_graph_roundtrip;
+        ] );
+      ( "bib",
+        [
+          Alcotest.test_case "penn bib" `Quick test_penn_bib;
+          Alcotest.test_case "synthetic" `Quick test_synthetic_satisfies;
+          Alcotest.test_case "sigma0/phi0" `Quick test_sigma0_phi0_semantics;
+        ] );
+      ( "constraints-xml",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_constraints_xml_roundtrip;
+          Alcotest.test_case "forms" `Quick test_constraints_xml_forms;
+          Alcotest.test_case "errors" `Quick test_constraints_xml_errors;
+        ] );
+      ( "xml-data",
+        [ Alcotest.test_case "render" `Quick test_xml_data_render ] );
+    ]

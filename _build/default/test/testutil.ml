@@ -1,0 +1,105 @@
+(* Shared helpers and QCheck generators for the test suites. *)
+
+module Label = Pathlang.Label
+module Path = Pathlang.Path
+module Constr = Pathlang.Constr
+module Graph = Sgraph.Graph
+
+let qcheck test = QCheck_alcotest.to_alcotest ~verbose:false test
+
+let q ?(count = 200) name arb law =
+  qcheck (QCheck.Test.make ~count ~name arb law)
+
+(* --- labels and paths ------------------------------------------------ *)
+
+let label_names = [ "a"; "b"; "c" ]
+let labels = List.map Label.make label_names
+
+let gen_label = QCheck.Gen.oneofl labels
+
+let gen_path_len max_len =
+  QCheck.Gen.(
+    int_bound max_len >>= fun n ->
+    map Path.of_labels (list_repeat n gen_label))
+
+let gen_path = gen_path_len 4
+
+let arb_path =
+  QCheck.make gen_path ~print:Path.to_string
+    ~shrink:(fun p ->
+      (* shrink by dropping labels *)
+      let labels = Path.to_labels p in
+      QCheck.Iter.map
+        (fun ls -> Path.of_labels ls)
+        (QCheck.Shrink.list labels))
+
+let gen_nonempty_path =
+  QCheck.Gen.(
+    map2 (fun k p -> Path.cons k p) gen_label (gen_path_len 3))
+
+(* --- constraints ----------------------------------------------------- *)
+
+let gen_word_constraint =
+  QCheck.Gen.(
+    map2
+      (fun lhs rhs -> Constr.word ~lhs ~rhs)
+      gen_nonempty_path gen_path)
+
+let arb_word_constraint = QCheck.make gen_word_constraint ~print:Constr.to_string
+
+let gen_constraint =
+  QCheck.Gen.(
+    int_bound 2 >>= fun kind ->
+    gen_path >>= fun prefix ->
+    gen_nonempty_path >>= fun lhs ->
+    gen_path >>= fun rhs ->
+    return
+      (match kind with
+      | 0 -> Constr.word ~lhs ~rhs
+      | 1 -> Constr.forward ~prefix ~lhs ~rhs
+      | _ -> Constr.backward ~prefix ~lhs ~rhs))
+
+let arb_constraint = QCheck.make gen_constraint ~print:Constr.to_string
+
+let gen_sigma n = QCheck.Gen.(list_size (int_bound n) gen_word_constraint)
+
+let print_sigma sigma =
+  String.concat "; " (List.map Constr.to_string sigma)
+
+let arb_word_sigma = QCheck.make (gen_sigma 5) ~print:print_sigma
+
+(* --- graphs ----------------------------------------------------------- *)
+
+let gen_graph ?(max_nodes = 5) () =
+  QCheck.Gen.(
+    int_range 1 max_nodes >>= fun n ->
+    list_size (int_bound (3 * n))
+      (triple (int_bound (n - 1)) gen_label (int_bound (n - 1)))
+    >>= fun edges ->
+    return
+      (let g = Graph.create () in
+       for _ = 2 to n do
+         ignore (Graph.add_node g)
+       done;
+       List.iter (fun (x, k, y) -> Graph.add_edge g x k y) edges;
+       g))
+
+let print_graph g = Format.asprintf "%a" Graph.pp g
+
+let arb_graph = QCheck.make (gen_graph ()) ~print:print_graph
+
+let rng () = Random.State.make [| 0xC0FFEE |]
+
+(* --- misc ------------------------------------------------------------- *)
+
+let path s = Path.of_string s
+let c_word l r = Constr.word ~lhs:(path l) ~rhs:(path r)
+let c_fwd p l r = Constr.forward ~prefix:(path p) ~lhs:(path l) ~rhs:(path r)
+let c_bwd p l r = Constr.backward ~prefix:(path p) ~lhs:(path l) ~rhs:(path r)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let constr_testable = Alcotest.testable Constr.pp Constr.equal
+let path_testable = Alcotest.testable Path.pp Path.equal
