@@ -1,0 +1,25 @@
+# Convenience wrapper around dune.
+
+.PHONY: all build test check bench fmt clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# the CI gate: everything compiles and every suite (incl. the hardening
+# fuzz/governance tests) passes
+check:
+	dune build && dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+fmt:
+	dune fmt
+
+clean:
+	dune clean

@@ -95,7 +95,7 @@ let rng () = Random.State.make [| 0xBEEF |]
    Evidence: the Lemma 4.5 reduction run on monoid instances whose word
    problem our solvers settle; both directions must agree. *)
 let cell_pwk_untyped () =
-  let budget = { Core.Chase.max_steps = 6000; max_nodes = 6000 } in
+  let budget = Core.Engine.Budget.steps_nodes 6000 6000 in
   let instances =
     List.concat_map
       (fun (name, pres) ->
@@ -160,17 +160,25 @@ let cell_pc_untyped () =
   in
   let verdicts =
     List.map
-      (fun phi -> Core.Semidecide.implies ~sigma phi)
+      (fun phi ->
+        let ctl = Core.Engine.start Core.Engine.Budget.default in
+        let v = Core.Semidecide.implies ~ctl ~sigma phi in
+        (v, Core.Engine.steps ctl, Core.Engine.elapsed_ns ctl))
       [
         Constr.backward ~prefix:(p "book") ~lhs:(p "author") ~rhs:(p "wrote");
         Constr.word ~lhs:(p "book.ref.author") ~rhs:(p "person");
         Constr.word ~lhs:(p "person") ~rhs:(p "book");
       ]
   in
-  let show = function
-    | Core.Verdict.Implied -> "implied"
-    | Core.Verdict.Refuted _ -> "refuted"
-    | Core.Verdict.Unknown -> "unknown"
+  let show (v, steps, elapsed) =
+    let verdict =
+      match v with
+      | Core.Verdict.Implied -> "implied"
+      | Core.Verdict.Refuted _ -> "refuted"
+      | Core.Verdict.Unknown _ -> "unknown"
+    in
+    Printf.sprintf "%s in %d steps, %s" verdict steps
+      (pp_ns (Int64.to_float elapsed))
   in
   Printf.sprintf
     "undecidable (Thm 4.1; P_w(K) is a fragment); chase semi-decides: [%s]"
@@ -256,16 +264,23 @@ let cell_mplus_row () =
      are PTIME-decidable (and refuted) before the type is imposed"
     !ok !total
 
+(* every cell reports its own wall-clock cost alongside its evidence *)
+let timed_cell f =
+  let t0 = Core.Engine.now_ns () in
+  let s = f () in
+  let dt = Int64.to_float (Int64.sub (Core.Engine.now_ns ()) t0) in
+  Printf.sprintf "%s [cell reproduced in %s]" s (pp_ns dt)
+
 let table1 () =
   section "Table 1: the main results of the paper, reproduced";
   Printf.printf
     "%-22s | %-18s | %-18s | %-18s\n" "" "P_w(K) / P_w(a)" "local extent" "P_c";
   Printf.printf "%s\n" (String.make 90 '-');
-  let pwk = cell_pwk_untyped () in
-  let le = cell_local_untyped () in
-  let pc = cell_pc_untyped () in
-  let m = cell_m_row () in
-  let mplus = cell_mplus_row () in
+  let pwk = timed_cell cell_pwk_untyped in
+  let le = timed_cell cell_local_untyped in
+  let pc = timed_cell cell_pc_untyped in
+  let m = timed_cell cell_m_row in
+  let mplus = timed_cell cell_mplus_row in
   Printf.printf "%-22s | %-18s | %-18s | %-18s\n" "semistructured"
     "undecidable" "PTIME" "undecidable";
   Printf.printf "%-22s | %-18s | %-18s | %-18s\n" "object model M"
@@ -323,7 +338,7 @@ let figures () =
   let sigma0 = Xmlrep.Bib.sigma0 () and phi0 = Xmlrep.Bib.phi0 () in
   (match
      Core.Local_extent.countermodel ~alpha:Path.empty ~k:(Label.make "MIT")
-       ~sigma:sigma0 ~phi:phi0 ~max_nodes:3
+       ~sigma:sigma0 ~phi:phi0 ~max_nodes:3 ()
    with
   | Ok (Some g3) ->
       Sgraph.Dot.write_file ~path:"figures/figure3.dot" ~name:"figure3" g3;
@@ -456,7 +471,7 @@ let timing () =
        (time_ns (fun () ->
             ignore
               (Core.Chase.implies
-                 ~budget:{ Core.Chase.max_steps = 200; max_nodes = 200 }
+                 ~ctl:(Core.Engine.start (Core.Engine.Budget.steps_nodes 200 200))
                  ~sigma phi))));
 
   sub "typed-M certificates: proof extraction and re-checking cost";
@@ -577,7 +592,7 @@ let raw () =
   let enc = Core.Encode_mplus.encode pres in
   let pwk_sigma = Core.Encode_pwk.encode pres in
   let pwk_phi, _ = Core.Encode_pwk.encode_test (p "a.a.a", Path.empty) in
-  let chase_budget = { Core.Chase.max_steps = 5000; max_nodes = 5000 } in
+  let chase_budget = Core.Engine.Budget.steps_nodes 5000 5000 in
   let tests =
     Test.make_grouped ~name:"pathcons"
       [
@@ -591,9 +606,11 @@ let raw () =
                     ~k:(Label.make "MIT") ~sigma:sigma0 ~phi:phi0)));
         Test.make ~name:"table1/untyped-pc-chase"
           (Staged.stage (fun () ->
+               (* controllers are single-use: start a fresh one per run *)
                ignore
-                 (Core.Chase.implies ~budget:chase_budget ~sigma:pwk_sigma
-                    pwk_phi)));
+                 (Core.Chase.implies
+                    ~ctl:(Core.Engine.start chase_budget)
+                    ~sigma:pwk_sigma pwk_phi)));
         Test.make ~name:"table1/m-cubic-certified"
           (Staged.stage (fun () ->
                ignore

@@ -68,7 +68,13 @@ let phi_arg =
 (* --- check ------------------------------------------------------------ *)
 
 let check_cmd =
-  let run graph_file sigma_file =
+  let max_violations_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "max-violations" ] ~docv:"N"
+          ~doc:"Print at most $(docv) violating pairs per failing constraint.")
+  in
+  let run graph_file sigma_file max_violations =
     match (load_graph graph_file, load_constraints sigma_file) with
     | Error m, _ | _, Error m -> die "%s" m
     | Ok g, Ok sigma ->
@@ -79,17 +85,23 @@ let check_cmd =
             if not holds then ok := false;
             Printf.printf "%-50s %s\n" (Pathlang.Constr.to_string c)
               (if holds then "holds" else "FAILS");
-            if not holds then
+            if not holds then begin
+              let violations = Sgraph.Check.violations g c in
               List.iteri
                 (fun i (x, y) ->
-                  if i < 3 then Printf.printf "    violated at (x=%d, y=%d)\n" x y)
-                (Sgraph.Check.violations g c))
+                  if i < max_violations then
+                    Printf.printf "    violated at (x=%d, y=%d)\n" x y)
+                violations;
+              let total = List.length violations in
+              if total > max_violations then
+                Printf.printf "    (… and %d more)\n" (total - max_violations)
+            end)
           sigma;
         if !ok then `Ok () else `Error (false, "some constraints fail")
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Model-check constraints against a graph")
-    Term.(ret (const run $ graph_arg $ sigma_arg))
+    Term.(ret (const run $ graph_arg $ sigma_arg $ max_violations_arg))
 
 (* --- implies (word, untyped) ------------------------------------------- *)
 
@@ -261,35 +273,76 @@ let chase_cmd =
   let steps_arg =
     Arg.(
       value & opt int 2000
-      & info [ "steps" ] ~docv:"N" ~doc:"Chase step budget.")
+      & info [ "max-steps"; "steps" ] ~docv:"N" ~doc:"Chase step budget.")
   in
-  let run sigma_file phi steps =
+  let nodes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:"Node cap for the chased model (default: the step budget).")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 10.
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:"Wall-clock deadline in seconds (default 10).")
+  in
+  let escalate_arg =
+    Arg.(
+      value & flag
+      & info [ "escalate" ]
+          ~doc:
+            "Iterative deepening: retry under geometrically growing \
+             step/node budgets (64, 256, ... up to ~1M) instead of one \
+             fixed shot; all rounds share the deadline.")
+  in
+  let run sigma_file phi steps nodes timeout escalate =
     match (load_constraints sigma_file, parse_constraint phi) with
     | Error m, _ | _, Error m -> die "%s" m
-    | Ok sigma, Ok phi -> (
-        match
-          Core.Semidecide.implies
-            ~chase_budget:{ Core.Chase.max_steps = steps; max_nodes = steps }
-            ~sigma phi
-        with
+    | Ok sigma, Ok phi ->
+        let cancel = Core.Engine.Cancel.create () in
+        let verdict =
+          Core.Engine.Cancel.with_sigint cancel (fun () ->
+              if escalate then
+                Core.Semidecide.implies_escalating ~timeout ~cancel ~sigma phi
+              else
+                let budget =
+                  Core.Engine.Budget.v ~max_steps:steps
+                    ~max_nodes:(Option.value nodes ~default:steps)
+                    ~timeout ~cancel ()
+                in
+                Core.Semidecide.implies ~ctl:(Core.Engine.start budget) ~sigma
+                  phi)
+        in
+        (* exit codes: 0 implied, 1 refuted, 2 unknown/exhausted,
+           130 interrupted (128 + SIGINT) *)
+        (match verdict with
         | Core.Verdict.Implied ->
-            Printf.printf "implied\n";
-            `Ok ()
+            print_endline "implied";
+            exit 0
         | Core.Verdict.Refuted g ->
             let g = Core.Minimize.countermodel g ~sigma ~phi in
             Printf.printf "refuted; minimal countermodel:\n%s"
               (Sgraph.Io.to_string g);
-            `Ok ()
-        | Core.Verdict.Unknown ->
-            Printf.printf "unknown (budget exhausted; the problem is undecidable)\n";
-            `Ok ())
+            exit 1
+        | Core.Verdict.Unknown e ->
+            Format.printf "unknown: %a@." Core.Verdict.pp_exhaustion e;
+            exit
+              (if e.Core.Verdict.reason = Core.Verdict.Cancelled then 130
+               else 2))
   in
   Cmd.v
     (Cmd.info "chase"
        ~doc:
          "Semi-decide general P_c implication on semistructured data \
-          (undecidable in general, Theorem 4.1; sound verdicts only)")
-    Term.(ret (const run $ sigma_arg $ phi_arg $ steps_arg))
+          (undecidable in general, Theorem 4.1; sound verdicts only). \
+          Exits 0 when implied, 1 when refuted, 2 when the budget was \
+          exhausted, 130 when interrupted.")
+    Term.(
+      ret
+        (const run $ sigma_arg $ phi_arg $ steps_arg $ nodes_arg $ timeout_arg
+       $ escalate_arg))
 
 (* --- encode ---------------------------------------------------------------------- *)
 

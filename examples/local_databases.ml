@@ -57,7 +57,7 @@ let () =
 
   section "An explicit countermodel (Figure 3 lift)";
   (match
-     LE.countermodel ~alpha:Path.empty ~k ~sigma:sigma0 ~phi:phi0 ~max_nodes:3
+     LE.countermodel ~alpha:Path.empty ~k ~sigma:sigma0 ~phi:phi0 ~max_nodes:3 ()
    with
   | Ok (Some h) ->
       Printf.printf "H has %d nodes; H |= Sigma_0: %b; H |= phi_0: %b\n"

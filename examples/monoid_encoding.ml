@@ -18,7 +18,7 @@ module Mplus = Core.Encode_mplus
 
 let section title = Printf.printf "\n=== %s ===\n" title
 
-let budget = { Core.Chase.max_steps = 5000; max_nodes = 5000 }
+let budget = Core.Engine.Budget.steps_nodes 5000 5000
 
 let run_instance pres name (u, v) =
   Printf.printf "\n--- %s: is %s = %s ? ---\n" name (Path.to_string u)
@@ -35,10 +35,10 @@ let run_instance pres name (u, v) =
   let sigma = Pwk.encode pres in
   let phi1, phi2 = Pwk.encode_test (u, v) in
   let verdict phi =
-    match Core.Chase.implies ~budget ~sigma phi with
+    match Core.Chase.implies ~ctl:(Core.Engine.start budget) ~sigma phi with
     | Core.Verdict.Implied -> "implied"
     | Core.Verdict.Refuted _ -> "refuted"
-    | Core.Verdict.Unknown -> "unknown (budget)"
+    | Core.Verdict.Unknown _ -> "unknown (budget)"
   in
   Printf.printf "P_w(K) encoding: phi(u,v) %s, phi(v,u) %s\n" (verdict phi1)
     (verdict phi2);

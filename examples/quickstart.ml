@@ -74,7 +74,8 @@ let () =
   | Core.Verdict.Refuted cm ->
       Printf.printf "  refuted by a countermodel with %d nodes\n"
         (Graph.node_count cm)
-  | Core.Verdict.Unknown -> Printf.printf "  unknown (budget)\n");
+  | Core.Verdict.Unknown e ->
+      Format.printf "  unknown (%a)@." Core.Verdict.pp_exhaustion e);
 
   section "Rendering";
   Printf.printf "%s\n" (Sgraph.Dot.to_dot ~name:"figure1" g)

@@ -86,7 +86,7 @@ let () =
       match Core.Semidecide.implies ~sigma phi with
       | Core.Verdict.Implied -> Printf.printf "  %-44s implied\n" q
       | Core.Verdict.Refuted _ -> Printf.printf "  %-44s refuted\n" q
-      | Core.Verdict.Unknown -> Printf.printf "  %-44s unknown\n" q)
+      | Core.Verdict.Unknown _ -> Printf.printf "  %-44s unknown\n" q)
     queries;
 
   section "Summary";

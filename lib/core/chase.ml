@@ -8,11 +8,7 @@ let src = Logs.Src.create "pathcons.chase" ~doc:"budgeted P_c chase"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-type budget = { max_steps : int; max_nodes : int }
-
-let default_budget = { max_steps = 2000; max_nodes = 2000 }
-
-type outcome = Fixpoint of Graph.t | Exhausted of Graph.t
+type outcome = Fixpoint of Graph.t | Exhausted of Graph.t * Verdict.exhaustion
 
 let merge g a b =
   if a = b then (Graph.copy g, fun n -> n)
@@ -81,10 +77,11 @@ let rotate sigma steps =
       in
       split 0 [] sigma
 
-let run ?(budget = default_budget) ?(tracked = []) g sigma =
+let run ?ctl ?(tracked = []) g sigma =
+  let ctl = match ctl with Some c -> c | None -> Engine.default () in
   let rec go steps g tracked =
-    if steps >= budget.max_steps || Graph.node_count g > budget.max_nodes then
-      (Exhausted g, tracked)
+    if not (Engine.tick ctl ~nodes:(Graph.node_count g) ()) then
+      (Exhausted (g, Engine.exhaustion ctl), tracked)
     else
       match repair g (rotate sigma steps) with
       | None -> (Fixpoint g, tracked)
@@ -97,15 +94,16 @@ let conclusion_holds g phi x y =
   | Constr.Forward -> Eval.holds_between g x (Constr.rhs phi) y
   | Constr.Backward -> Eval.holds_between g y (Constr.rhs phi) x
 
-let implies ?(budget = default_budget) ~sigma phi =
+let implies ?ctl ~sigma phi =
+  let ctl = match ctl with Some c -> c | None -> Engine.default () in
   (* Canonical database of phi's premise. *)
   let g = Graph.create () in
   let x = Graph.ensure_path g (Graph.root g) (Constr.prefix phi) in
   let y = Graph.ensure_path g x (Constr.lhs phi) in
   let rec go steps g x y =
     if conclusion_holds g phi x y then Verdict.Implied
-    else if steps >= budget.max_steps || Graph.node_count g > budget.max_nodes
-    then Verdict.Unknown
+    else if not (Engine.tick ctl ~nodes:(Graph.node_count g) ()) then
+      Verdict.Unknown (Engine.exhaustion ctl)
     else
       match repair g (rotate sigma steps) with
       | None -> Verdict.Refuted g

@@ -1,4 +1,4 @@
-(** A budgeted chase for P_c constraints.
+(** A budgeted chase for P_c constraints, governed by {!Engine}.
 
     Every P_c constraint is a tuple/equality-generating dependency over
     the binary signature: a forward constraint
@@ -12,20 +12,22 @@
       implied (each chase step is a logical consequence of [Sigma]);
     - if the chase reaches a fixpoint with the conclusion still false,
       the result is a finite model of [Sigma /\ not phi];
-    - otherwise the budget runs out ([Unknown]) — unavoidable, since
-      the problem is undecidable (Theorem 4.1). *)
+    - otherwise the governing engine trips ([Unknown] with structured
+      exhaustion diagnostics) — unavoidable, since the problem is
+      undecidable (Theorem 4.1).
 
-type budget = { max_steps : int; max_nodes : int }
-
-val default_budget : budget
-(** 2000 steps / 2000 nodes. *)
+    Every entry point takes a fresh [?ctl] controller (default:
+    [Engine.default ()], i.e. 2000 steps / 2000 nodes / 10 s); one chase
+    step consumes one engine step and reports the current node count. *)
 
 type outcome =
   | Fixpoint of Sgraph.Graph.t  (** all constraints hold *)
-  | Exhausted of Sgraph.Graph.t
+  | Exhausted of Sgraph.Graph.t * Verdict.exhaustion
+      (** the engine tripped; the partial chase result is returned
+          together with the diagnostics *)
 
 val run :
-  ?budget:budget ->
+  ?ctl:Engine.t ->
   ?tracked:Sgraph.Graph.node list ->
   Sgraph.Graph.t ->
   Pathlang.Constr.t list ->
@@ -34,7 +36,7 @@ val run :
     merges and returned re-addressed. *)
 
 val implies :
-  ?budget:budget ->
+  ?ctl:Engine.t ->
   sigma:Pathlang.Constr.t list ->
   Pathlang.Constr.t ->
   Verdict.t

@@ -83,10 +83,16 @@ let figure2 ?k hom =
     node_of;
   g
 
-let demo ?chase_budget pres (alpha, beta) =
+let demo ?(chase_budget = Engine.Budget.default) pres (alpha, beta) =
   let sigma = encode pres in
   let phi1, phi2 = encode_test (alpha, beta) in
   let monoid_verdict = Monoid.Word_problem.decide pres (alpha, beta) in
-  let v1 = Semidecide.implies ?chase_budget ~enum_nodes:0 ~sigma phi1 in
-  let v2 = Semidecide.implies ?chase_budget ~enum_nodes:0 ~sigma phi2 in
+  let v1 =
+    Semidecide.implies ~ctl:(Engine.start chase_budget) ~enum_nodes:0 ~sigma
+      phi1
+  in
+  let v2 =
+    Semidecide.implies ~ctl:(Engine.start chase_budget) ~enum_nodes:0 ~sigma
+      phi2
+  in
   (monoid_verdict, v1, v2)

@@ -1,0 +1,198 @@
+let src =
+  Logs.Src.create "pathcons.engine" ~doc:"resource-governed solver engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let now_ns = Monotonic_clock.now
+
+module Cancel = struct
+  type t = { mutable cancelled : bool }
+
+  let create () = { cancelled = false }
+  let cancel t = t.cancelled <- true
+  let is_cancelled t = t.cancelled
+
+  let with_sigint t f =
+    match Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> cancel t)) with
+    | prev -> Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigint prev) f
+    | exception (Invalid_argument _ | Sys_error _) ->
+        (* no signal support on this platform: run ungoverned *)
+        f ()
+end
+
+module Budget = struct
+  type t = {
+    max_steps : int option;
+    max_nodes : int option;
+    timeout : float option;
+    cancel : Cancel.t option;
+  }
+
+  let v ?max_steps ?max_nodes ?timeout ?cancel () =
+    { max_steps; max_nodes; timeout; cancel }
+
+  let default =
+    { max_steps = Some 2000; max_nodes = Some 2000;
+      timeout = Some 10.; cancel = None }
+
+  let unlimited =
+    { max_steps = None; max_nodes = None; timeout = None; cancel = None }
+
+  let steps_nodes s n = { default with max_steps = Some s; max_nodes = Some n }
+end
+
+type t = {
+  max_steps : int option;
+  max_nodes : int option;
+  deadline : int64 option;  (* absolute, monotonic ns *)
+  cancel : Cancel.t option;
+  started : int64;
+  mutable steps : int;
+  mutable peak_nodes : int;
+  mutable rounds : int;
+  mutable tripped : Verdict.reason option;
+  mutable rev_notes : string list;
+}
+
+let deadline_of ~started timeout =
+  Option.map (fun s -> Int64.add started (Int64.of_float (s *. 1e9))) timeout
+
+let start (b : Budget.t) =
+  let started = now_ns () in
+  {
+    max_steps = b.max_steps;
+    max_nodes = b.max_nodes;
+    deadline = deadline_of ~started b.timeout;
+    cancel = b.cancel;
+    started;
+    steps = 0;
+    peak_nodes = 0;
+    rounds = 1;
+    tripped = None;
+    rev_notes = [];
+  }
+
+let default () = start Budget.default
+
+(* Trips never downgrade: Cancelled > Deadline > Steps/Nodes (first wins
+   within the last tier). *)
+let trip t r =
+  match (t.tripped, r) with
+  | None, _ -> t.tripped <- Some r
+  | Some Verdict.Cancelled, _ -> ()
+  | Some _, Verdict.Cancelled -> t.tripped <- Some r
+  | Some Verdict.Deadline, _ -> ()
+  | Some (Verdict.Steps | Verdict.Nodes), Verdict.Deadline ->
+      t.tripped <- Some r
+  | Some (Verdict.Steps | Verdict.Nodes), (Verdict.Steps | Verdict.Nodes) -> ()
+
+(* Deadline and cancellation are live conditions: they apply to every
+   phase of a run, even after a step/node budget tripped. *)
+let ok t =
+  (match t.cancel with
+  | Some c when Cancel.is_cancelled c -> trip t Verdict.Cancelled
+  | _ -> ());
+  (match t.deadline with
+  | Some d when now_ns () >= d -> trip t Verdict.Deadline
+  | _ -> ());
+  match t.tripped with
+  | Some (Verdict.Cancelled | Verdict.Deadline) -> false
+  | Some (Verdict.Steps | Verdict.Nodes) | None -> true
+
+let interrupted t () = not (ok t)
+
+let tick t ?nodes () =
+  t.steps <- t.steps + 1;
+  (match nodes with
+  | Some n when n > t.peak_nodes -> t.peak_nodes <- n
+  | _ -> ());
+  if not (ok t) then false
+  else begin
+    (match t.max_steps with
+    | Some m when t.steps > m -> trip t Verdict.Steps
+    | _ -> ());
+    (match (nodes, t.max_nodes) with
+    | Some n, Some m when n > m -> trip t Verdict.Nodes
+    | _ -> ());
+    t.tripped = None
+  end
+
+let note t s =
+  if not (List.mem s t.rev_notes) then begin
+    Log.info (fun m -> m "%s" s);
+    t.rev_notes <- s :: t.rev_notes
+  end
+
+let steps t = t.steps
+let peak_nodes t = t.peak_nodes
+let elapsed_ns t = Int64.sub (now_ns ()) t.started
+let tripped t = t.tripped
+let notes t = List.rev t.rev_notes
+
+let exhaustion t =
+  {
+    Verdict.reason = Option.value ~default:Verdict.Steps t.tripped;
+    steps = t.steps;
+    nodes = t.peak_nodes;
+    elapsed_ns = elapsed_ns t;
+    rounds = t.rounds;
+    notes = notes t;
+  }
+
+let escalate ?(base_steps = 64) ?(base_nodes = 64) ?(factor = 4)
+    ?(max_rounds = 8) ?timeout ?cancel attempt =
+  let started = now_ns () in
+  let deadline = deadline_of ~started timeout in
+  let total_steps = ref 0 and peak = ref 0 and all_notes = ref [] in
+  let absorb ctl =
+    total_steps := !total_steps + ctl.steps;
+    if ctl.peak_nodes > !peak then peak := ctl.peak_nodes;
+    List.iter
+      (fun n -> if not (List.mem n !all_notes) then all_notes := n :: !all_notes)
+      ctl.rev_notes
+  in
+  let give_up reason round =
+    Verdict.Unknown
+      {
+        Verdict.reason;
+        steps = !total_steps;
+        nodes = !peak;
+        elapsed_ns = Int64.sub (now_ns ()) started;
+        rounds = round;
+        notes = List.rev !all_notes;
+      }
+  in
+  let grow n = if n > max_int / factor then n else n * factor in
+  let rec go round step_cap node_cap =
+    if round > max_rounds then give_up Verdict.Steps max_rounds
+    else begin
+      Log.debug (fun m ->
+          m "escalation round %d/%d: %d steps, %d nodes" round max_rounds
+            step_cap node_cap);
+      let ctl =
+        {
+          max_steps = Some step_cap;
+          max_nodes = Some node_cap;
+          deadline;
+          cancel;
+          started = now_ns ();
+          steps = 0;
+          peak_nodes = 0;
+          rounds = 1;
+          tripped = None;
+          rev_notes = [];
+        }
+      in
+      let v = attempt ctl in
+      absorb ctl;
+      match v with
+      | (Verdict.Implied | Verdict.Refuted _) as v -> v
+      | Verdict.Unknown ex -> (
+          match ex.Verdict.reason with
+          | Verdict.Deadline | Verdict.Cancelled ->
+              give_up ex.Verdict.reason round
+          | Verdict.Steps | Verdict.Nodes ->
+              go (round + 1) (grow step_cap) (grow node_cap))
+    end
+  in
+  go 1 base_steps base_nodes

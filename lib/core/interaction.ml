@@ -32,27 +32,44 @@ let try_local ~sigma phi =
       | Error _ -> None)
     (Bounded.infer_bound phi)
 
-let try_typed ?search_bounds schema ~sigma phi =
+let try_typed ~budget ?search_bounds schema ~sigma phi =
   match Mschema.kind schema with
   | Mschema.M -> (
       match Typed_m.decide schema ~sigma ~phi with
       | Ok outcome -> M_decided outcome
       | Error e -> Typed_error e)
   | Mschema.M_plus -> (
-      match Typed_search.find_countermodel ?bounds:search_bounds schema ~sigma ~phi with
+      (* the search has its own structure budget (bounds.max_structures);
+         the engine contributes the deadline and cancellation token *)
+      let ctl =
+        Engine.start
+          { budget with Engine.Budget.max_steps = None; max_nodes = None }
+      in
+      match
+        Typed_search.find_countermodel ~ctl ?bounds:search_bounds schema ~sigma
+          ~phi
+      with
       | Ok (Some t) -> Mplus_refuted t
-      | Ok None ->
-          Mplus_open
-            "no countermodel within the search bounds; M+ implication is \
-             undecidable (Theorem 5.2)"
+      | Ok None -> (
+          match Engine.tripped ctl with
+          | Some _ ->
+              Mplus_open
+                (Format.asprintf "search gave up: %a" Verdict.pp_exhaustion
+                   (Engine.exhaustion ctl))
+          | None ->
+              Mplus_open
+                "no countermodel within the search bounds; M+ implication is \
+                 undecidable (Theorem 5.2)")
       | Error e -> Typed_error e)
 
-let compare ?schema ?chase_budget ?search_bounds ~sigma phi =
+let compare ?schema ?(budget = Engine.Budget.default) ?search_bounds ~sigma phi
+    =
   {
     word_untyped = try_word ~sigma phi;
     local_extent = try_local ~sigma phi;
-    chase = Semidecide.implies ?chase_budget ~sigma phi;
-    typed = Option.map (fun s -> try_typed ?search_bounds s ~sigma phi) schema;
+    chase = Semidecide.implies ~ctl:(Engine.start budget) ~sigma phi;
+    typed =
+      Option.map (fun s -> try_typed ~budget ?search_bounds s ~sigma phi) schema;
   }
 
 let pp ppf r =

@@ -35,10 +35,14 @@ type report = {
 
 val compare :
   ?schema:Schema.Mschema.t ->
-  ?chase_budget:Chase.budget ->
+  ?budget:Engine.Budget.t ->
   ?search_bounds:Typed_search.bounds ->
   sigma:Pathlang.Constr.t list ->
   Pathlang.Constr.t ->
   report
+(** [budget] (default [Engine.Budget.default]) governs each budgeted
+    procedure — the chase/enumeration semi-decider and the bounded M+
+    search each get a fresh controller started from it, so every row is
+    deadline-bounded. *)
 
 val pp : Format.formatter -> report -> unit

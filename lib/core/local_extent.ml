@@ -75,7 +75,8 @@ let lift_alpha g ~alpha =
 
 let figure3 g ~alpha ~k = lift_alpha (lift_k g ~k) ~alpha
 
-let countermodel ~alpha ~k ~sigma ~phi ~max_nodes =
+let countermodel ?ctl ~alpha ~k ~sigma ~phi ~max_nodes () =
+  let ctl = match ctl with Some c -> c | None -> Engine.default () in
   match reduce ~alpha ~k ~sigma ~phi with
   | Error e -> Error e
   | Ok red ->
@@ -90,5 +91,6 @@ let countermodel ~alpha ~k ~sigma ~phi ~max_nodes =
       Ok
         (Option.map
            (fun g -> figure3 g ~alpha ~k)
-           (Sgraph.Enumerate.find_countermodel ~max_nodes ~labels
-              ~sigma:red.sigma2_k ~phi:red.phi2))
+           (Sgraph.Enumerate.find_countermodel
+              ~interrupt:(Engine.interrupted ctl) ~max_nodes ~labels
+              ~sigma:red.sigma2_k ~phi:red.phi2 ()))

@@ -69,12 +69,16 @@ val figure3 :
     countermodel for the original bounded instance. *)
 
 val countermodel :
+  ?ctl:Engine.t ->
   alpha:Pathlang.Path.t ->
   k:Pathlang.Label.t ->
   sigma:Pathlang.Constr.t list ->
   phi:Pathlang.Constr.t ->
   max_nodes:int ->
+  unit ->
   (Sgraph.Graph.t option, string) result
 (** When [implies] answers no, search (bounded enumeration at the word
     level, then {!figure3}) for an explicit finite countermodel of the
-    original instance. *)
+    original instance.  The enumeration honors [ctl]'s deadline and
+    cancellation token (default: a fresh [Engine.default ()], i.e. a
+    10 s deadline).  The trailing [unit] erases [?ctl] when omitted. *)

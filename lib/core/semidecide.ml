@@ -1,11 +1,18 @@
 module Constr = Pathlang.Constr
 module Label = Pathlang.Label
 
-let implies ?chase_budget ?(enum_nodes = 3) ~sigma phi =
-  match Chase.implies ?budget:chase_budget ~sigma phi with
+let src =
+  Logs.Src.create "pathcons.semidecide" ~doc:"chase + enumeration semi-decider"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let implies ?ctl ?(enum_nodes = 3) ~sigma phi =
+  let ctl = match ctl with Some c -> c | None -> Engine.default () in
+  match Chase.implies ~ctl ~sigma phi with
   | (Verdict.Implied | Verdict.Refuted _) as v -> v
-  | Verdict.Unknown ->
-      if enum_nodes <= 0 then Verdict.Unknown
+  | Verdict.Unknown _ ->
+      if enum_nodes <= 0 || not (Engine.ok ctl) then
+        Verdict.Unknown (Engine.exhaustion ctl)
       else begin
         let labels =
           Label.Set.elements
@@ -14,13 +21,39 @@ let implies ?chase_budget ?(enum_nodes = 3) ~sigma phi =
                (Constr.labels_used phi) sigma)
         in
         let labels = if labels = [] then [ Label.make "a" ] else labels in
-        (* Keep the brute-force search tractable. *)
+        (* Keep the brute-force search tractable — and say so: the cost
+           is 2^(L*n^2), so a third label forces the size cap down. *)
         let max_nodes =
-          if List.length labels > 2 then min enum_nodes 2 else enum_nodes
+          if List.length labels > 2 && enum_nodes > 2 then begin
+            let msg =
+              Printf.sprintf
+                "enumeration cap clamped from %d to 2 nodes (%d labels in \
+                 play, search cost 2^(L*n^2))"
+                enum_nodes (List.length labels)
+            in
+            Log.warn (fun m -> m "%s" msg);
+            Engine.note ctl msg;
+            2
+          end
+          else enum_nodes
         in
         match
-          Sgraph.Enumerate.find_countermodel ~max_nodes ~labels ~sigma ~phi
+          Sgraph.Enumerate.find_countermodel
+            ~interrupt:(Engine.interrupted ctl) ~max_nodes ~labels ~sigma ~phi
+            ()
         with
         | Some g -> Verdict.Refuted g
-        | None -> Verdict.Unknown
+        | None -> Verdict.Unknown (Engine.exhaustion ctl)
       end
+
+let implies_escalating ?base_steps ?base_nodes ?factor ?max_rounds ?timeout
+    ?cancel ?(enum_nodes = 3) ~sigma phi =
+  (* The enumeration space depends only on [enum_nodes] and the label
+     alphabet, not on the chase budget: searching it once (in the first
+     round) is enough. *)
+  let enum_done = ref false in
+  Engine.escalate ?base_steps ?base_nodes ?factor ?max_rounds ?timeout ?cancel
+    (fun ctl ->
+      let enum_nodes = if !enum_done then 0 else enum_nodes in
+      enum_done := true;
+      implies ~ctl ~enum_nodes ~sigma phi)

@@ -1,5 +1,5 @@
 (** Sound, budgeted semi-decision of P_c implication on semistructured
-    data.
+    data, governed by {!Engine}.
 
     The implication and finite implication problems for P_c (already for
     the fragment P_w(K)) are undecidable on untyped data (Theorems 4.1
@@ -12,13 +12,38 @@
 
     Positive answers are sound for implication and finite implication
     alike; [Refuted] answers are finite models, i.e. sound for both as
-    well. *)
+    well.
+
+    Both phases run under one controller: the chase consumes the
+    step/node budget, and the enumeration fallback — which has its own
+    size discipline — still honors the controller's deadline and
+    cancellation token.  When the label alphabet forces the enumeration
+    cap down (the search cost is [2^(L*n^2)]), the clamp is recorded in
+    the exhaustion diagnostics and logged, never applied invisibly. *)
 
 val implies :
-  ?chase_budget:Chase.budget ->
+  ?ctl:Engine.t ->
   ?enum_nodes:int ->
   sigma:Pathlang.Constr.t list ->
   Pathlang.Constr.t ->
   Verdict.t
-(** [enum_nodes] caps the exhaustive search (default 3; the search cost
-    is [2^(L*n^2)], keep it tiny). Set it to 0 to disable enumeration. *)
+(** [ctl] defaults to a fresh [Engine.default ()].  [enum_nodes] caps
+    the exhaustive search (default 3; clamped to 2 when more than 2
+    labels are in play — reported via diagnostics).  Set it to 0 to
+    disable enumeration. *)
+
+val implies_escalating :
+  ?base_steps:int ->
+  ?base_nodes:int ->
+  ?factor:int ->
+  ?max_rounds:int ->
+  ?timeout:float ->
+  ?cancel:Engine.Cancel.t ->
+  ?enum_nodes:int ->
+  sigma:Pathlang.Constr.t list ->
+  Pathlang.Constr.t ->
+  Verdict.t
+(** {!implies} under {!Engine.escalate}: retry with geometrically
+    growing step/node budgets (all rounds sharing one deadline and
+    cancellation token) instead of one fixed shot — turning many fixed
+    budget [Unknown]s into verdicts without risking divergence. *)

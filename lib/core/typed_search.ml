@@ -47,7 +47,7 @@ type slot =
 exception Found of Typecheck.t
 exception Budget
 
-let find_countermodel ?(bounds = default_bounds) schema ~sigma ~phi =
+let find_countermodel ?ctl ?(bounds = default_bounds) schema ~sigma ~phi =
   match supported schema with
   | Error _ as e -> e
   | Ok () ->
@@ -108,6 +108,9 @@ let find_countermodel ?(bounds = default_bounds) schema ~sigma ~phi =
           let build assignment =
             decr budget;
             if !budget < 0 then raise Budget;
+            (match ctl with
+            | Some c -> if not (Engine.tick c ()) then raise Budget
+            | None -> ());
             let g = Graph.create () in
             for _ = 2 to total do
               ignore (Graph.add_node g)

@@ -26,6 +26,7 @@ val default_bounds : bounds
 (** 2 per class, 1 per atomic sort, 200k structures. *)
 
 val find_countermodel :
+  ?ctl:Engine.t ->
   ?bounds:bounds ->
   Schema.Mschema.t ->
   sigma:Pathlang.Constr.t list ->
@@ -33,8 +34,14 @@ val find_countermodel :
   (Schema.Typecheck.t option, string) result
 (** [Ok (Some t)] is a verified member of [U_f(Delta)] satisfying
     [Sigma /\ not phi]; [Ok None] means the bounded space holds no
-    countermodel (or the budget ran out); [Error] on an unsupported
-    schema. *)
+    countermodel (or a budget ran out); [Error] on an unsupported
+    schema.
+
+    When a [ctl] controller is supplied, every candidate structure
+    consumes one engine step and the controller's step budget, deadline
+    and cancellation token all bound the search (on top of
+    [bounds.max_structures]); query [Engine.tripped ctl] afterwards to
+    distinguish an exhausted budget from an exhausted space. *)
 
 val count_structures :
   ?bounds:bounds -> Schema.Mschema.t -> (int, string) result

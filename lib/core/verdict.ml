@@ -1,11 +1,41 @@
-type t = Implied | Refuted of Sgraph.Graph.t | Unknown
+type reason = Steps | Nodes | Deadline | Cancelled
 
-let is_implied = function Implied -> true | Refuted _ | Unknown -> false
-let is_refuted = function Refuted _ -> true | Implied | Unknown -> false
+type exhaustion = {
+  reason : reason;
+  steps : int;
+  nodes : int;
+  elapsed_ns : int64;
+  rounds : int;
+  notes : string list;
+}
+
+type t = Implied | Refuted of Sgraph.Graph.t | Unknown of exhaustion
+
+let is_implied = function Implied -> true | Refuted _ | Unknown _ -> false
+let is_refuted = function Refuted _ -> true | Implied | Unknown _ -> false
+let is_unknown = function Unknown _ -> true | Implied | Refuted _ -> false
+
+let unknown_reason = function
+  | Unknown e -> Some e.reason
+  | Implied | Refuted _ -> None
+
+let elapsed_s e = Int64.to_float e.elapsed_ns /. 1e9
+
+let pp_reason ppf = function
+  | Steps -> Format.pp_print_string ppf "step budget exhausted"
+  | Nodes -> Format.pp_print_string ppf "node budget exhausted"
+  | Deadline -> Format.pp_print_string ppf "deadline reached"
+  | Cancelled -> Format.pp_print_string ppf "cancelled"
+
+let pp_exhaustion ppf e =
+  Format.fprintf ppf "%a after %d steps, %d nodes, %.3f s, %d round%s"
+    pp_reason e.reason e.steps e.nodes (elapsed_s e) e.rounds
+    (if e.rounds = 1 then "" else "s");
+  List.iter (fun n -> Format.fprintf ppf "; %s" n) e.notes
 
 let pp ppf = function
   | Implied -> Format.pp_print_string ppf "implied"
   | Refuted g ->
       Format.fprintf ppf "refuted (countermodel with %d nodes)"
         (Sgraph.Graph.node_count g)
-  | Unknown -> Format.pp_print_string ppf "unknown"
+  | Unknown e -> Format.fprintf ppf "unknown (%a)" pp_exhaustion e

@@ -3,7 +3,24 @@
     The implication problems for P_c and for P_w(K) on semistructured
     data are undecidable (Theorems 4.1/4.3), so procedures for them
     cannot always answer; both positive and negative answers carry
-    checkable evidence. *)
+    checkable evidence, and a non-answer carries a structured
+    explanation of which resource ran out. *)
+
+type reason =
+  | Steps  (** the step budget of the governing {!Engine} ran out *)
+  | Nodes  (** the constructed model outgrew the node budget *)
+  | Deadline  (** the wall-clock deadline passed *)
+  | Cancelled  (** cooperative cancellation (e.g. SIGINT) was requested *)
+
+type exhaustion = {
+  reason : reason;  (** why the search gave up *)
+  steps : int;  (** total steps consumed (across escalation rounds) *)
+  nodes : int;  (** peak model size reached *)
+  elapsed_ns : int64;  (** wall-clock time spent, monotonic nanoseconds *)
+  rounds : int;  (** escalation rounds attempted; 1 for a single shot *)
+  notes : string list;
+      (** extra diagnostics, e.g. silently clamped sub-budgets *)
+}
 
 type t =
   | Implied
@@ -13,9 +30,18 @@ type t =
       (** A finite model of Sigma /\ not phi: Sigma does not (finitely)
           imply phi.  The witness can be re-checked with
           [Sgraph.Check]. *)
-  | Unknown  (** Budget exhausted. *)
+  | Unknown of exhaustion  (** Budget exhausted; see {!exhaustion}. *)
 
 val is_implied : t -> bool
 val is_refuted : t -> bool
+val is_unknown : t -> bool
 
+val unknown_reason : t -> reason option
+(** [Some r] iff the verdict is [Unknown] with reason [r]. *)
+
+val elapsed_s : exhaustion -> float
+(** Elapsed wall-clock time in seconds. *)
+
+val pp_reason : Format.formatter -> reason -> unit
+val pp_exhaustion : Format.formatter -> exhaustion -> unit
 val pp : Format.formatter -> t -> unit

@@ -15,13 +15,15 @@ let count ~nodes ~labels =
   if bits >= 62 then invalid_arg "Enumerate.count: instance too large";
   1 lsl bits
 
-let iter ~nodes ~labels f =
+let no_interrupt () = false
+
+let iter ?(interrupt = no_interrupt) ~nodes ~labels f =
   let pes = Array.of_list (potential_edges ~nodes ~labels) in
   let bits = Array.length pes in
   if bits >= 62 then invalid_arg "Enumerate.iter: instance too large";
   let total = 1 lsl bits in
   let rec go mask =
-    if mask >= total then None
+    if mask >= total || interrupt () then None
     else begin
       let g = Graph.create () in
       for _ = 2 to nodes do
@@ -37,12 +39,13 @@ let iter ~nodes ~labels f =
   in
   go 0
 
-let find_countermodel ~max_nodes ~labels ~sigma ~phi =
+let find_countermodel ?(interrupt = no_interrupt) ~max_nodes ~labels ~sigma ~phi
+    () =
   let rec go n =
-    if n > max_nodes then None
+    if n > max_nodes || interrupt () then None
     else
       match
-        iter ~nodes:n ~labels (fun g ->
+        iter ~interrupt ~nodes:n ~labels (fun g ->
             (not (Check.holds g phi)) && Check.holds_all g sigma)
       with
       | Some g -> Some g

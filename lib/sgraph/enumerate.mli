@@ -3,9 +3,16 @@
     Used for brute-force refutation of finite implication on tiny
     signatures: the number of graphs is [2^(L * n^2)] for [n] nodes and
     [L] labels, so callers must keep [n] and [L] very small (the tests
-    use [n <= 3], [L <= 2]). *)
+    use [n <= 3], [L <= 2]).
+
+    Both entry points take a cooperative [?interrupt] hook, polled once
+    per candidate graph; when it returns [true] the search stops early
+    and reports [None].  [Core.Engine] wires its deadline/cancellation
+    checks into this hook, so enumeration under a governed solver can
+    never outlive its wall-clock budget. *)
 
 val iter :
+  ?interrupt:(unit -> bool) ->
   nodes:int ->
   labels:Pathlang.Label.t list ->
   (Graph.t -> bool) ->
@@ -15,13 +22,16 @@ val iter :
     stops and returns the first graph on which [f] returns [true]. *)
 
 val find_countermodel :
+  ?interrupt:(unit -> bool) ->
   max_nodes:int ->
   labels:Pathlang.Label.t list ->
   sigma:Pathlang.Constr.t list ->
   phi:Pathlang.Constr.t ->
+  unit ->
   Graph.t option
 (** Searches all graphs of size 1..[max_nodes] for a finite model of
-    [Sigma /\ not phi]; [Some g] refutes [Sigma |=_f phi]. *)
+    [Sigma /\ not phi]; [Some g] refutes [Sigma |=_f phi].  (The
+    trailing [unit] erases [?interrupt] when omitted.) *)
 
 val count : nodes:int -> labels:Pathlang.Label.t list -> int
 (** Number of graphs that {!iter} would enumerate. *)

@@ -1,3 +1,8 @@
+(* Graph.of_edges allocates every node up to the largest id mentioned, so
+   a one-line file saying "0 a 4611686018427387903" would loop for hours;
+   cap the ids at something a text file could plausibly mean. *)
+let max_node_id = 1_000_000
+
 let of_string s =
   let lines = String.split_on_char '\n' s in
   let rec parse n acc = function
@@ -9,8 +14,13 @@ let of_string s =
           match String.split_on_char ' ' t |> List.filter (fun x -> x <> "") with
           | [ src; label; dst ] -> (
               match (int_of_string_opt src, int_of_string_opt dst) with
-              | Some x, Some y when x >= 0 && y >= 0 ->
+              | Some x, Some y
+                when x >= 0 && y >= 0 && x <= max_node_id && y <= max_node_id ->
                   parse (n + 1) ((x, label, y) :: acc) rest
+              | Some x, Some y when x >= 0 && y >= 0 ->
+                  Error
+                    (Printf.sprintf "line %d: node id exceeds the cap of %d" n
+                       max_node_id)
               | _ -> Error (Printf.sprintf "line %d: bad node id" n))
           | _ -> Error (Printf.sprintf "line %d: expected 'src label dst'" n))
   in

@@ -107,7 +107,12 @@ let parse_attr cur =
   advance cur;
   (name, decode_entities value)
 
-let rec parse_element cur =
+(* The parser recurses once per nesting level, so adversarial input like
+   ["<a>" ^ ... ^ "<a>"] could otherwise blow the stack. *)
+let max_depth = 2048
+
+let rec parse_element depth cur =
+  if depth > max_depth then fail cur "maximum element depth exceeded";
   eat cur '<';
   let name = parse_name cur in
   let rec attrs acc =
@@ -119,14 +124,14 @@ let rec parse_element cur =
         Element (name, List.rev acc, [])
     | Some '>' ->
         advance cur;
-        let children = parse_children cur name in
+        let children = parse_children depth cur name in
         Element (name, List.rev acc, children)
     | Some c when is_name_char c -> attrs (parse_attr cur :: acc)
     | _ -> fail cur "malformed tag"
   in
   attrs []
 
-and parse_children cur parent =
+and parse_children depth cur parent =
   let items = ref [] in
   let rec go () =
     match peek cur with
@@ -158,7 +163,7 @@ and parse_children cur parent =
           | _ -> fail cur "unterminated comment"
         end
         else begin
-          items := parse_element cur :: !items;
+          items := parse_element (depth + 1) cur :: !items;
           go ()
         end
     | Some _ ->
@@ -193,7 +198,7 @@ let parse src =
       | None -> fail cur "unterminated declaration"
     end;
     skip_ws cur;
-    let root = parse_element cur in
+    let root = parse_element 0 cur in
     skip_ws cur;
     if cur.pos <> String.length src then fail cur "trailing content";
     Ok root

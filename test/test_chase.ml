@@ -5,6 +5,7 @@ module Graph = Sgraph.Graph
 module Check = Sgraph.Check
 module Chase = Core.Chase
 module Verdict = Core.Verdict
+module Engine = Core.Engine
 
 (* --- merge ---------------------------------------------------------------- *)
 
@@ -88,7 +89,7 @@ let test_backward_constraints () =
   | Verdict.Refuted g ->
       check_bool "sigma holds" true (Check.holds_all g sigma)
   | Verdict.Implied -> Alcotest.fail "author is not its own inverse"
-  | Verdict.Unknown -> () (* acceptable: budget *)
+  | Verdict.Unknown _ -> () (* acceptable: budget *)
 
 (* --- implies: EGD side -------------------------------------------------------------- *)
 
@@ -115,10 +116,10 @@ let test_egd_cyclic_monoid () =
   let sigma = Core.Encode_pwk.encode pres in
   let phi1, phi2 = Core.Encode_pwk.encode_test (path "a.a.a", Path.empty) in
   check_bool "a^3 -> eps implied" true
-    (Chase.implies ~budget:{ Chase.max_steps = 4000; max_nodes = 4000 } ~sigma phi1
+    (Chase.implies ~ctl:(Engine.start (Engine.Budget.steps_nodes 4000 4000)) ~sigma phi1
     = Verdict.Implied);
   check_bool "eps -> a^3 implied" true
-    (Chase.implies ~budget:{ Chase.max_steps = 4000; max_nodes = 4000 } ~sigma phi2
+    (Chase.implies ~ctl:(Engine.start (Engine.Budget.steps_nodes 4000 4000)) ~sigma phi2
     = Verdict.Implied)
 
 (* --- agreement with the decision procedure on word constraints --------------------- *)
@@ -143,7 +144,7 @@ let prop_agrees_with_word_procedure =
           (phi :: sigma)
       in
       match
-        Chase.implies ~budget:{ Chase.max_steps = 300; max_nodes = 300 } ~sigma
+        Chase.implies ~ctl:(Engine.start (Engine.Budget.steps_nodes 300 300)) ~sigma
           phi
       with
       | Verdict.Implied -> expected || not eps_free
@@ -151,7 +152,7 @@ let prop_agrees_with_word_procedure =
           (not expected)
           && Check.holds_all g sigma
           && not (Check.holds g phi)
-      | Verdict.Unknown -> true)
+      | Verdict.Unknown _ -> true)
 
 let test_eps_rhs_incompleteness_witness () =
   (* the concrete gap our cross-validation discovered: semantically
@@ -166,7 +167,7 @@ let test_eps_rhs_incompleteness_witness () =
   check_bool "no countermodel up to 3 nodes" true
     (Sgraph.Enumerate.find_countermodel ~max_nodes:3
        ~labels:[ Pathlang.Label.make "a"; Pathlang.Label.make "c" ]
-       ~sigma ~phi
+       ~sigma ~phi ()
     = None)
 
 let prop_refuted_always_verified =
@@ -177,12 +178,12 @@ let prop_refuted_always_verified =
          print_sigma s ^ " |- " ^ Pathlang.Constr.to_string p))
     (fun (sigma, phi) ->
       match
-        Chase.implies ~budget:{ Chase.max_steps = 200; max_nodes = 200 } ~sigma
+        Chase.implies ~ctl:(Engine.start (Engine.Budget.steps_nodes 200 200)) ~sigma
           phi
       with
       | Verdict.Refuted g ->
           Check.holds_all g sigma && not (Check.holds g phi)
-      | Verdict.Implied | Verdict.Unknown -> true)
+      | Verdict.Implied | Verdict.Unknown _ -> true)
 
 let () =
   Alcotest.run "chase"

@@ -141,8 +141,73 @@ let test_chase () =
   let code, out =
     run (Printf.sprintf "chase -s %s \"book.author.wrote -> book\"" sigma_inverse)
   in
-  check_int "exit" 0 code;
+  check_int "refuted exits 1" 1 code;
   check_bool "refuted with witness" true (contains out "refuted")
+
+(* a one-constraint set whose chase diverges (every repair creates a
+   fresh a-successor), so only the deadline can stop it *)
+let sigma_diverging = write_temp ".constraints" "a -> a.a\n"
+
+let test_chase_timeout () =
+  (* raise the step/node caps so only the wall clock can stop the run;
+     after a deadline trip the enumeration fallback is skipped, so the
+     verdict is Unknown {reason = Deadline} and the exit code is 2 *)
+  let t0 = Core.Engine.now_ns () in
+  let code, out =
+    run
+      (Printf.sprintf
+         "chase -s %s --timeout 1 --max-steps 100000000 --max-nodes \
+          100000000 \"a -> b\""
+         sigma_diverging)
+  in
+  let elapsed_s =
+    Int64.to_float (Int64.sub (Core.Engine.now_ns ()) t0) /. 1e9
+  in
+  check_int "deadline exits 2" 2 code;
+  check_bool "reports the deadline" true (contains out "deadline");
+  check_bool "honors the deadline promptly" true (elapsed_s < 1.5)
+
+let test_chase_escalate () =
+  (* under --escalate the diverging instance is still settled: round 1's
+     enumeration fallback finds the one-node countermodel *)
+  let code, out =
+    run (Printf.sprintf "chase -s %s --escalate \"a -> b\"" sigma_diverging)
+  in
+  check_int "escalate refutes" 1 code;
+  check_bool "countermodel printed" true (contains out "refuted")
+
+let test_chase_sigint () =
+  (* start a chase that can only end by deadline (60 s away), interrupt
+     it after 0.3 s: partial diagnostics, exit 130 *)
+  let out_file = Filename.temp_file "pathctl_sigint" ".txt" in
+  let code =
+    Sys.command
+      (Printf.sprintf
+         "%s chase -s %s --timeout 60 --max-steps 100000000 --max-nodes \
+          100000000 \"a -> b\" > %s 2>&1 & pid=$!; sleep 0.3; kill -INT \
+          $pid; wait $pid"
+         (Filename.quote pathctl)
+         (Filename.quote sigma_diverging)
+         (Filename.quote out_file))
+  in
+  let out = In_channel.with_open_text out_file In_channel.input_all in
+  Sys.remove out_file;
+  check_int "SIGINT exits 130" 130 code;
+  check_bool "partial diagnostics" true (contains out "cancelled")
+
+let test_check_violation_tail () =
+  let g = write_temp ".graph" "0 a 1\n0 a 2\n0 a 3\n0 a 4\n" in
+  let s = write_temp ".constraints" "a -> b\n" in
+  let code, out = run (Printf.sprintf "check -g %s -s %s" g s) in
+  check_bool "check fails" true (code <> 0);
+  check_bool "default tail" true (contains out "and 1 more");
+  let code, out =
+    run (Printf.sprintf "check -g %s -s %s --max-violations 1" g s)
+  in
+  check_bool "check fails" true (code <> 0);
+  check_bool "custom tail" true (contains out "and 3 more");
+  Sys.remove g;
+  Sys.remove s
 
 let test_check_and_dot () =
   let code, out = run (Printf.sprintf "check -g %s -s %s" graph_file sigma_words) in
@@ -233,6 +298,11 @@ let () =
             test_implies_typed_and_check_proof;
           Alcotest.test_case "implies-local" `Quick test_implies_local;
           Alcotest.test_case "chase" `Quick test_chase;
+          Alcotest.test_case "chase --timeout" `Quick test_chase_timeout;
+          Alcotest.test_case "chase --escalate" `Quick test_chase_escalate;
+          Alcotest.test_case "chase SIGINT" `Quick test_chase_sigint;
+          Alcotest.test_case "check --max-violations" `Quick
+            test_check_violation_tail;
           Alcotest.test_case "check + dot" `Quick test_check_and_dot;
           Alcotest.test_case "encode + word-problem" `Quick
             test_encode_and_word_problem;

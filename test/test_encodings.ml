@@ -14,8 +14,9 @@ module Mplus = Core.Encode_mplus
 module Pwa = Core.Encode_pwalpha
 module Chase = Core.Chase
 module Verdict = Core.Verdict
+module Engine = Core.Engine
 
-let big_budget = { Chase.max_steps = 5000; max_nodes = 5000 }
+let big_budget = Engine.Budget.steps_nodes 5000 5000
 
 (* cyclic-3 with the canonical homomorphism a |-> 1 into Z3 *)
 let cyclic3 = Examples.cyclic 3
@@ -62,9 +63,9 @@ let test_pwk_positive_side_by_chase () =
   let sigma = Pwk.encode cyclic3 in
   let phi1, phi2 = Pwk.encode_test (path "a.a.a", Path.empty) in
   check_bool "phi1 implied" true
-    (Chase.implies ~budget:big_budget ~sigma phi1 = Verdict.Implied);
+    (Chase.implies ~ctl:(Engine.start big_budget) ~sigma phi1 = Verdict.Implied);
   check_bool "phi2 implied" true
-    (Chase.implies ~budget:big_budget ~sigma phi2 = Verdict.Implied)
+    (Chase.implies ~ctl:(Engine.start big_budget) ~sigma phi2 = Verdict.Implied)
 
 let test_pwk_demo_agreement () =
   (* run the full demo on several instances of cyclic3 *)
@@ -97,12 +98,12 @@ let test_pwk_free_commutative () =
   (* ab = ba is an axiom instance *)
   let phi1, phi2 = Pwk.encode_test (path "a.b", path "b.a") in
   check_bool "ab=ba implied" true
-    (Chase.implies ~budget:big_budget ~sigma phi1 = Verdict.Implied
-    && Chase.implies ~budget:big_budget ~sigma phi2 = Verdict.Implied);
+    (Chase.implies ~ctl:(Engine.start big_budget) ~sigma phi1 = Verdict.Implied
+    && Chase.implies ~ctl:(Engine.start big_budget) ~sigma phi2 = Verdict.Implied);
   (* abb = bab needs one commutation step under the K prefix *)
   let phi1, _ = Pwk.encode_test (path "a.b.b", path "b.a.b") in
   check_bool "abb=bab implied" true
-    (Chase.implies ~budget:big_budget ~sigma phi1 = Verdict.Implied);
+    (Chase.implies ~ctl:(Engine.start big_budget) ~sigma phi1 = Verdict.Implied);
   (* a = b is separated: figure 2 over the separating hom refutes *)
   match WP.search_separating_hom pres (path "a", path "b") with
   | None -> Alcotest.fail "expected a separating hom"

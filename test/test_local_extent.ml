@@ -57,7 +57,7 @@ let test_derived_local_implication () =
 let test_countermodel_verified () =
   match
     LE.countermodel ~alpha:Path.empty ~k:k_mit ~sigma:sigma0 ~phi:phi0
-      ~max_nodes:3
+      ~max_nodes:3 ()
   with
   | Error e -> Alcotest.fail e
   | Ok None -> Alcotest.fail "expected a countermodel"
@@ -78,7 +78,7 @@ let test_nonempty_alpha () =
   (match LE.implies ~alpha ~k:k_mit ~sigma ~phi with
   | Ok b -> check_bool "still not implied" false b
   | Error e -> Alcotest.fail e);
-  match LE.countermodel ~alpha ~k:k_mit ~sigma ~phi ~max_nodes:3 with
+  match LE.countermodel ~alpha ~k:k_mit ~sigma ~phi ~max_nodes:3 () with
   | Ok (Some h) ->
       check_bool "H |= Sigma" true (Check.holds_all h sigma);
       check_bool "H |/= phi" false (Check.holds h phi)
@@ -160,7 +160,7 @@ let prop_lift_preserves_countermodels =
       | Ok true -> QCheck.assume_fail ()
       | Ok false -> (
           match
-            LE.countermodel ~alpha:Path.empty ~k ~sigma ~phi ~max_nodes:2
+            LE.countermodel ~alpha:Path.empty ~k ~sigma ~phi ~max_nodes:2 ()
           with
           | Ok (Some h) ->
               Check.holds_all h sigma && not (Check.holds h phi)

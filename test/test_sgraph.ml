@@ -158,7 +158,7 @@ let test_enumerate_finds_countermodel () =
   let labels = [ Label.make "a"; Label.make "b" ] in
   match
     Sgraph.Enumerate.find_countermodel ~max_nodes:2 ~labels ~sigma:[]
-      ~phi:(c_word "a" "b")
+      ~phi:(c_word "a" "b") ()
   with
   | Some g -> check_bool "is countermodel" false (Check.holds g (c_word "a" "b"))
   | None -> Alcotest.fail "countermodel exists at size 2"
@@ -167,7 +167,7 @@ let test_enumerate_respects_sigma () =
   let labels = [ Label.make "a"; Label.make "b" ] in
   check_bool "none found" true
     (Sgraph.Enumerate.find_countermodel ~max_nodes:2 ~labels
-       ~sigma:[ c_word "a" "b" ] ~phi:(c_word "a" "b")
+       ~sigma:[ c_word "a" "b" ] ~phi:(c_word "a" "b") ()
     = None)
 
 (* --- generators / dot ----------------------------------------------------- *)

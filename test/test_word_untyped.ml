@@ -99,7 +99,7 @@ let prop_completeness_small =
       else
         let labels = [ Pathlang.Label.make "a"; Pathlang.Label.make "b" ] in
         match
-          Sgraph.Enumerate.find_countermodel ~max_nodes:2 ~labels ~sigma ~phi
+          Sgraph.Enumerate.find_countermodel ~max_nodes:2 ~labels ~sigma ~phi ()
         with
         | Some _ ->
             (* a finite countermodel exists: the procedure must say no *)
