@@ -1,6 +1,6 @@
 # Convenience wrapper around dune.
 
-.PHONY: all build test check bench fmt clean
+.PHONY: all build test check bench fmt clean lint
 
 all: build
 
@@ -17,6 +17,15 @@ check:
 
 bench:
 	dune exec bench/main.exe
+
+# dogfood the static analyzer over the shipped examples (text report;
+# warnings are expected on the deliberately-bad lint fixtures, errors
+# are not tolerated outside them)
+lint: build
+	dune exec bin/pathctl.exe -- lint -s examples/data/bibliography.constraints \
+	  --schema examples/data/bibliography.schema
+	dune exec bin/pathctl.exe -- lint -s examples/data/sigma0.constraints
+	dune exec bin/pathctl.exe -- lint -s examples/data/constraints.xml
 
 fmt:
 	dune fmt

@@ -721,6 +721,96 @@ let index_cmd =
           1-index, strong DataGuide) for a graph")
     Term.(ret (const run $ graph_arg))
 
+(* --- lint ------------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let schema_opt_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "schema" ] ~docv:"FILE"
+          ~doc:
+            "Optional schema: enables the typed passes (vacuity, \
+             inconsistency, typed redundancy) and refines the Table 1 cell.")
+  in
+  let phi_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "phi" ] ~docv:"CONSTRAINT"
+          ~doc:
+            "Optional goal constraint; sharpens the fragment classification \
+             (prefix-boundedness is determined by the goal).")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: human-readable $(b,text), JSON lines ($(b,json)), \
+             or SARIF 2.1.0 ($(b,sarif)) for CI annotation.")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the report to $(docv) instead of standard output.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 5.
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Wall-clock deadline for the budgeted passes (best-effort \
+             redundancy); the exact passes are not affected.")
+  in
+  let steps_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:"Step/node budget per best-effort chase call.")
+  in
+  let run sigma_file schema_file phi format output timeout steps =
+    let cancel = Core.Engine.Cancel.create () in
+    let budget =
+      Core.Engine.Budget.v ~max_steps:steps ~max_nodes:steps ~timeout ~cancel
+        ()
+    in
+    let diags =
+      Core.Engine.Cancel.with_sigint cancel (fun () ->
+          Analysis.Lint.lint_paths ~budget ?schema_file ?phi ~sigma_file ())
+    in
+    let rendered =
+      match format with
+      | `Text -> Analysis.Diagnostic.render_text diags
+      | `Json -> Analysis.Diagnostic.render_json diags
+      | `Sarif -> Analysis.Diagnostic.render_sarif diags
+    in
+    (match output with
+    | None -> print_string rendered
+    | Some file ->
+        Out_channel.with_open_text file (fun oc ->
+            Out_channel.output_string oc rendered));
+    (* exit codes: 0 clean (warnings allowed), 1 some error-severity
+       diagnostic fired *)
+    exit (if Analysis.Diagnostic.has_errors diags then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze a constraint file (and optional schema): \
+          classify the instance into its Table 1 decidability cell, flag \
+          vacuous, redundant, inconsistent and unhygienic constraints, with \
+          stable diagnostic codes (PC001-PC504) in text, JSON, or SARIF \
+          form. Exits 1 iff an error-severity diagnostic fired.")
+    Term.(
+      ret
+        (const (fun a b c d e f g -> `Ok (run a b c d e f g))
+        $ sigma_arg $ schema_opt_arg $ phi_opt_arg $ format_arg $ output_arg
+        $ timeout_arg $ steps_arg))
+
 (* --- main ------------------------------------------------------------------------ *)
 
 let () =
@@ -749,4 +839,5 @@ let () =
             check_proof_cmd;
             index_cmd;
             odl_cmd;
+            lint_cmd;
           ]))

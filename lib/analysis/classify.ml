@@ -1,0 +1,301 @@
+module Path = Pathlang.Path
+module Label = Pathlang.Label
+module Constr = Pathlang.Constr
+module Fragment = Pathlang.Fragment
+module Bounded = Pathlang.Bounded
+module Mschema = Schema.Mschema
+module Mtype = Schema.Mtype
+
+type fragment =
+  | Word
+  | Prefix_bounded of Path.t * Label.t
+  | Word_prefixed of Path.t
+  | Full
+
+type model = Untyped | M | M_plus
+
+type procedure =
+  | Ptime_word
+  | Ptime_local
+  | Cubic_m
+  | Semidecision
+  | Bounded_refutation
+
+type cell = {
+  fragment : fragment;
+  model : model;
+  decidable : bool;
+  procedure : procedure;
+  provenance : string;
+}
+
+(* --- fragment ------------------------------------------------------------ *)
+
+let dedup_pairs pairs =
+  List.fold_left
+    (fun acc ((a, k) as p) ->
+      if
+        List.exists (fun (a', k') -> Path.equal a a' && Label.equal k k') acc
+      then acc
+      else p :: acc)
+    [] pairs
+  |> List.rev
+
+let prefix_bound ?phi sigma =
+  let candidates =
+    match phi with
+    | Some phi -> Bounded.infer_bound phi
+    | None -> dedup_pairs (List.concat_map Bounded.infer_bound sigma)
+  in
+  List.find_opt
+    (fun (alpha, k) -> Result.is_ok (Bounded.partition ~alpha ~k sigma))
+    candidates
+
+let word_prefix ?phi sigma =
+  let all = match phi with Some phi -> phi :: sigma | None -> sigma in
+  let nonempty_prefixes =
+    List.filter_map
+      (fun c ->
+        let p = Constr.prefix c in
+        if Path.is_empty p then None else Some p)
+      all
+  in
+  match nonempty_prefixes with
+  | [] -> None
+  | rho :: _ ->
+      if List.for_all (Fragment.in_pw_path ~rho) all then Some rho else None
+
+let fragment_of ?phi sigma =
+  let all = match phi with Some phi -> phi :: sigma | None -> sigma in
+  if List.for_all Fragment.in_pw all then Word
+  else
+    match prefix_bound ?phi sigma with
+    | Some (alpha, k) -> Prefix_bounded (alpha, k)
+    | None -> (
+        match word_prefix ?phi sigma with
+        | Some rho -> Word_prefixed rho
+        | None -> Full)
+
+(* --- the table ----------------------------------------------------------- *)
+
+let cell_of ?schema ?phi sigma =
+  let fragment = fragment_of ?phi sigma in
+  let model =
+    match schema with
+    | None -> Untyped
+    | Some s -> ( match Mschema.kind s with Mschema.M -> M | Mschema.M_plus -> M_plus)
+  in
+  match (model, fragment) with
+  | Untyped, Word ->
+      {
+        fragment;
+        model;
+        decidable = true;
+        procedure = Ptime_word;
+        provenance = "Abiteboul-Vianu, restated in Section 4.2";
+      }
+  | Untyped, Prefix_bounded _ ->
+      {
+        fragment;
+        model;
+        decidable = true;
+        procedure = Ptime_local;
+        provenance = "Theorem 5.1";
+      }
+  | Untyped, Word_prefixed rho ->
+      {
+        fragment;
+        model;
+        decidable = false;
+        procedure = Semidecision;
+        provenance =
+          (if Path.length rho = 1 then "Theorem 4.3" else "Theorem 6.1");
+      }
+  | Untyped, Full ->
+      {
+        fragment;
+        model;
+        decidable = false;
+        procedure = Semidecision;
+        provenance = "Theorem 4.1";
+      }
+  | M, _ ->
+      {
+        fragment;
+        model;
+        decidable = true;
+        procedure = Cubic_m;
+        provenance = "Theorem 4.2";
+      }
+  | M_plus, _ ->
+      {
+        fragment;
+        model;
+        decidable = false;
+        procedure = Bounded_refutation;
+        provenance = "Theorem 5.2";
+      }
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let fragment_to_string = function
+  | Word -> "P_w"
+  | Prefix_bounded (alpha, k) ->
+      Printf.sprintf "prefix-bounded by (%s, %s)" (Path.to_string alpha)
+        (Label.to_string k)
+  | Word_prefixed rho ->
+      if Path.length rho = 1 then
+        Printf.sprintf "P_w(%s)" (Path.to_string rho)
+      else Printf.sprintf "P_w(alpha) with alpha = %s" (Path.to_string rho)
+  | Full -> "full P_c"
+
+let model_to_string = function
+  | Untyped -> "untyped (semistructured)"
+  | M -> "schema of kind M"
+  | M_plus -> "schema of kind M+"
+
+let procedure_to_string = function
+  | Ptime_word -> "PTIME word procedure (pathctl implies)"
+  | Ptime_local -> "PTIME local-extent procedure (pathctl implies-local)"
+  | Cubic_m -> "cubic certified procedure (pathctl implies-typed)"
+  | Semidecision -> "budgeted chase semi-decision (pathctl chase)"
+  | Bounded_refutation -> "bounded countermodel search (pathctl compare)"
+
+let describe cell =
+  Printf.sprintf "fragment %s under %s: %s (%s); applicable procedure: %s"
+    (fragment_to_string cell.fragment)
+    (model_to_string cell.model)
+    (if cell.decidable then "decidable" else "undecidable")
+    cell.provenance
+    (procedure_to_string cell.procedure)
+
+(* --- hints --------------------------------------------------------------- *)
+
+(* why a class body violates the M restrictions (no sets anywhere, record
+   fields atomic or class only), if it does *)
+let rec m_violation = function
+  | Mtype.Set _ -> Some "contains a set type"
+  | Mtype.Record fields ->
+      List.find_map
+        (fun (_, t) ->
+          match t with
+          | Mtype.Atomic _ | Mtype.Class _ -> None
+          | Mtype.Set _ -> Some "contains a set type"
+          | Mtype.Record _ -> (
+              match m_violation t with
+              | Some _ as v -> v
+              | None -> Some "contains a nested record"))
+        fields
+  | Mtype.Atomic _ | Mtype.Class _ -> None
+
+let class_span spans name =
+  Option.bind spans (fun s ->
+      List.assoc_opt name s.Schema.Schema_parser.class_spans)
+
+let mplus_hints ~schema_file ~schema_spans schema =
+  let file = Option.value schema_file ~default:"<schema>" in
+  let class_hints =
+    List.filter_map
+      (fun (c, body) ->
+        let name = Mtype.cname_name c in
+        Option.map
+          (fun why ->
+            Diagnostic.make ~code:"PC103" ~severity:Diagnostic.Hint ~file
+              ?span:(class_span schema_spans name)
+              (Printf.sprintf
+                 "drop the set type at class %s (its body %s) to fall into M \
+                  and make implication decidable in cubic time (Theorem 4.2)"
+                 name why))
+          (m_violation body))
+      (Mschema.classes schema)
+  in
+  let db_hint =
+    match m_violation (Mschema.dbtype schema) with
+    | Some why ->
+        [
+          Diagnostic.make ~code:"PC103" ~severity:Diagnostic.Hint ~file
+            ?span:(Option.bind schema_spans (fun s -> s.Schema.Schema_parser.db_span))
+            (Printf.sprintf
+               "the db type %s; remove the set type to fall into M (Theorem \
+                4.2)"
+               why);
+        ]
+    | None -> []
+  in
+  class_hints @ db_hint
+
+let untyped_hints ~sigma_file ?phi sigma_spanned =
+  let sigma = List.map fst sigma_spanned in
+  let all = match phi with Some phi -> phi :: sigma | None -> sigma in
+  let hints = ref [] in
+  let add ?span msg =
+    hints :=
+      Diagnostic.make ~code:"PC103" ~severity:Diagnostic.Hint ~file:sigma_file
+        ?span msg
+      :: !hints
+  in
+  (* how far is the instance from plain P_w? *)
+  (match Fragment.errors_all Fragment.in_pw all with
+  | Ok () -> ()
+  | Error offenders ->
+      let n = List.length offenders and total = List.length all in
+      if n * 2 <= total then begin
+        let span =
+          List.find_map
+            (fun (c, sp) ->
+              if List.exists (Constr.equal c) offenders then Some sp else None)
+            sigma_spanned
+        in
+        add ?span
+          (Printf.sprintf
+             "%d of %d constraint(s) leave P_w (first flagged here): \
+              dropping or rewriting them enables the PTIME word procedure"
+             n total)
+      end);
+  (* would a schema help? *)
+  add
+    "supplying a schema of kind M (--schema) makes implication of full P_c \
+     decidable in cubic time (Theorem 4.2)";
+  (* is the instance close to prefix-bounded? *)
+  (match word_prefix ?phi sigma with
+  | Some rho when Path.length rho >= 1 ->
+      add
+        (Printf.sprintf
+           "all prefixes equal %s: restructuring the set to satisfy the \
+            Definition 2.3 side conditions (nonempty, bound-free lhs) would \
+            make it prefix-bounded and decidable in PTIME (Theorem 5.1)"
+           (Path.to_string rho))
+  | _ -> ());
+  List.rev !hints
+
+let run ~sigma_file ?schema ?schema_file ?schema_spans ?phi sigma_spanned =
+  let sigma = List.map fst sigma_spanned in
+  let cell = cell_of ?schema ?phi sigma in
+  let classified =
+    Diagnostic.make ~code:"PC100" ~severity:Diagnostic.Info ~file:sigma_file
+      ("classified: " ^ describe cell)
+  in
+  if cell.decidable then [ classified ]
+  else
+    match cell.model with
+    | M_plus ->
+        let schema = Option.get schema in
+        (classified
+        :: Diagnostic.make ~code:"PC102" ~severity:Diagnostic.Warning
+             ~file:sigma_file
+             (Printf.sprintf
+                "implication under an M+ schema is undecidable (%s); only \
+                 bounded refutation and the budgeted chase apply"
+                cell.provenance)
+        :: mplus_hints ~schema_file ~schema_spans schema)
+    | _ ->
+        (classified
+        :: Diagnostic.make ~code:"PC101" ~severity:Diagnostic.Warning
+             ~file:sigma_file
+             (Printf.sprintf
+                "implication for %s on untyped data is undecidable (%s); \
+                 pathctl chase gives sound verdicts only and may exhaust its \
+                 budget"
+                (fragment_to_string cell.fragment)
+                cell.provenance)
+        :: untyped_hints ~sigma_file ?phi sigma_spanned)

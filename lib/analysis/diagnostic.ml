@@ -1,0 +1,213 @@
+module Span = Pathlang.Span
+
+type severity = Error | Warning | Info | Hint
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+  | Hint -> "hint"
+
+type t = {
+  code : string;
+  severity : severity;
+  message : string;
+  file : string;
+  span : Span.t option;
+}
+
+let rules =
+  [
+    ("PC001", Error, "constraint file does not parse");
+    ("PC002", Error, "schema file does not parse");
+    ("PC100", Info, "instance classified into its Table 1 cell");
+    ("PC101", Warning, "implication is undecidable in this cell (untyped)");
+    ("PC102", Warning, "implication is undecidable in this cell (M+ schema)");
+    ("PC103", Hint, "nearest decidable route out of an undecidable cell");
+    ( "PC200",
+      Warning,
+      "constraint prefix unrealizable under the schema (vacuously satisfied)"
+    );
+    ("PC201", Warning, "constraint walks a path outside Paths(Delta)");
+    ("PC300", Warning, "constraint is implied by the rest of Sigma (redundant)");
+    ("PC301", Info, "suggested minimal cover of Sigma");
+    ("PC302", Hint, "redundancy analysis inconclusive (budget exhausted)");
+    ("PC400", Error, "Sigma is unsatisfiable under the schema");
+    ("PC401", Error, "directly contradictory constraints");
+    ("PC500", Warning, "duplicate constraint");
+    ("PC501", Warning, "label used in constraints but absent from the schema");
+    ("PC502", Info, "class declared in the schema but unreachable from db");
+    ( "PC503",
+      Hint,
+      "equality-generating constraint (empty-path conclusion) limits \
+       completeness" );
+    ("PC504", Info, "constraint is trivially true");
+  ]
+
+let make ~code ~severity ~file ?span message =
+  if not (List.exists (fun (c, _, _) -> c = code) rules) then
+    invalid_arg (Printf.sprintf "Diagnostic.make: unknown code %s" code);
+  { code; severity; message; file; span }
+
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let compare a b =
+  let pos d =
+    match d.span with
+    | None -> (0, 0)
+    | Some s -> (s.Span.line, s.Span.start_col)
+  in
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare (pos a) (pos b) in
+    if c <> 0 then c else String.compare a.code b.code
+
+let sorted ds = List.stable_sort compare ds
+
+(* --- text ---------------------------------------------------------------- *)
+
+let to_text d =
+  match d.span with
+  | Some s ->
+      Printf.sprintf "%s:%d:%d: %s[%s] %s" d.file s.Span.line s.Span.start_col
+        (severity_to_string d.severity)
+        d.code d.message
+  | None ->
+      Printf.sprintf "%s: %s[%s] %s" d.file
+        (severity_to_string d.severity)
+        d.code d.message
+
+let render_text ds =
+  let ds = sorted ds in
+  let count sev = List.length (List.filter (fun d -> d.severity = sev) ds) in
+  let summary =
+    Printf.sprintf "%d error(s), %d warning(s), %d info, %d hint(s)"
+      (count Error) (count Warning) (count Info) (count Hint)
+  in
+  String.concat "" (List.map (fun d -> to_text d ^ "\n") ds) ^ summary ^ "\n"
+
+(* --- JSON ---------------------------------------------------------------- *)
+
+(* A minimal JSON emitter; the repo deliberately has no JSON dependency. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+
+let jobj fields =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields)
+  ^ "}"
+
+let jarr items = "[" ^ String.concat "," items ^ "]"
+
+let json_of_diag d =
+  let base =
+    [
+      ("code", jstr d.code);
+      ("severity", jstr (severity_to_string d.severity));
+      ("file", jstr d.file);
+    ]
+  in
+  let pos =
+    match d.span with
+    | None -> []
+    | Some s ->
+        [
+          ("line", string_of_int s.Span.line);
+          ("startColumn", string_of_int s.Span.start_col);
+          ("endColumn", string_of_int s.Span.end_col);
+        ]
+  in
+  jobj (base @ pos @ [ ("message", jstr d.message) ])
+
+let render_json ds =
+  String.concat "" (List.map (fun d -> json_of_diag d ^ "\n") (sorted ds))
+
+(* --- SARIF 2.1.0 --------------------------------------------------------- *)
+
+let sarif_level = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info | Hint -> "note"
+
+let sarif_rule (code, severity, descr) =
+  jobj
+    [
+      ("id", jstr code);
+      ("shortDescription", jobj [ ("text", jstr descr) ]);
+      ( "defaultConfiguration",
+        jobj [ ("level", jstr (sarif_level severity)) ] );
+    ]
+
+let sarif_result d =
+  let location =
+    let region =
+      match d.span with
+      | Some s ->
+          [
+            ( "region",
+              jobj
+                [
+                  ("startLine", string_of_int s.Span.line);
+                  ("startColumn", string_of_int s.Span.start_col);
+                  ("endLine", string_of_int s.Span.line);
+                  ("endColumn", string_of_int s.Span.end_col);
+                ] );
+          ]
+      | None -> []
+    in
+    jobj
+      [
+        ( "physicalLocation",
+          jobj
+            ([ ("artifactLocation", jobj [ ("uri", jstr d.file) ]) ] @ region)
+        );
+      ]
+  in
+  jobj
+    [
+      ("ruleId", jstr d.code);
+      ("level", jstr (sarif_level d.severity));
+      ("message", jobj [ ("text", jstr d.message) ]);
+      ("locations", jarr [ location ]);
+    ]
+
+let render_sarif ds =
+  let driver =
+    jobj
+      [
+        ("name", jstr "pathctl");
+        ("informationUri", jstr "https://github.com/pathcons/pathcons");
+        ("version", jstr "1.0.0");
+        ("rules", jarr (List.map sarif_rule rules));
+      ]
+  in
+  let run =
+    jobj
+      [
+        ("tool", jobj [ ("driver", driver) ]);
+        ("results", jarr (List.map sarif_result (sorted ds)));
+      ]
+  in
+  jobj
+    [
+      ("$schema", jstr "https://json.schemastore.org/sarif-2.1.0.json");
+      ("version", jstr "2.1.0");
+      ("runs", jarr [ run ]);
+    ]
+  ^ "\n"

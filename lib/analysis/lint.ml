@@ -1,0 +1,125 @@
+module Span = Pathlang.Span
+module Parser = Pathlang.Parser
+
+type input = {
+  sigma_file : string;
+  sigma : (Pathlang.Constr.t * Span.t) list;
+  schema : Schema.Mschema.t option;
+  schema_file : string option;
+  schema_spans : Schema.Schema_parser.spans option;
+  phi : Pathlang.Constr.t option;
+}
+
+let run ?budget input =
+  let { sigma_file; sigma; schema; schema_file; schema_spans; phi } = input in
+  let classify =
+    Classify.run ~sigma_file ?schema ?schema_file ?schema_spans ?phi sigma
+  in
+  let vacuity =
+    match schema with
+    | Some schema -> Passes.vacuity ~sigma_file ~schema sigma
+    | None -> []
+  in
+  let inconsistency =
+    match schema with
+    | Some schema -> Passes.inconsistency ~sigma_file ~schema sigma
+    | None -> []
+  in
+  let redundancy =
+    (* an inconsistent Sigma implies everything: redundancy is noise there *)
+    if List.exists (fun d -> d.Diagnostic.code = "PC400") inconsistency then []
+    else Passes.redundancy ~sigma_file ?schema ?budget sigma
+  in
+  let hygiene =
+    Passes.hygiene ~sigma_file ?schema ?schema_file ?schema_spans sigma
+  in
+  List.stable_sort Diagnostic.compare
+    (classify @ vacuity @ inconsistency @ redundancy @ hygiene)
+
+(* --- file-level entry ------------------------------------------------------ *)
+
+let read_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> Ok s
+  | exception Sys_error m -> Error m
+
+let whole_file_span = Span.v ~line:1 ~start_col:1 ~end_col:1
+
+(* constraint files: line-oriented DSL, or the XML syntax when the
+   content starts with '<' (XML constraints carry no per-line spans) *)
+let load_sigma path =
+  match read_file path with
+  | Error m -> Error (Span.point ~line:1 ~col:1, "", m)
+  | Ok s ->
+      let t = String.trim s in
+      if String.length t > 0 && t.[0] = '<' then
+        match Xmlrep.Constraints_xml.parse s with
+        | Ok cs -> Ok (List.map (fun c -> (c, whole_file_span)) cs)
+        | Error m -> Error (Span.point ~line:1 ~col:1, "", m)
+      else
+        match Parser.constraints_of_string_spanned s with
+        | Ok cs -> Ok cs
+        | Error e ->
+            Error
+              ( Span.v ~line:e.Parser.line ~start_col:e.Parser.col
+                  ~end_col:(e.Parser.col + String.length e.Parser.token),
+                e.Parser.token,
+                e.Parser.reason )
+
+let lint_paths ?budget ?schema_file ?phi ~sigma_file () =
+  match load_sigma sigma_file with
+  | Error (span, token, reason) ->
+      [
+        Diagnostic.make ~code:"PC001" ~severity:Diagnostic.Error
+          ~file:sigma_file ~span
+          (if token = "" then reason
+           else Printf.sprintf "at %S: %s" token reason);
+      ]
+  | Ok sigma -> (
+      let schema_result =
+        match schema_file with
+        | None -> Ok None
+        | Some path -> (
+            match Schema.Schema_parser.load_spanned path with
+            | Ok (schema, spans) -> Ok (Some (schema, spans, path))
+            | Error e -> Error (path, e))
+      in
+      match schema_result with
+      | Error (path, e) ->
+          [
+            Diagnostic.make ~code:"PC002" ~severity:Diagnostic.Error ~file:path
+              ~span:
+                (Span.v ~line:e.Schema.Schema_parser.line
+                   ~start_col:e.Schema.Schema_parser.col
+                   ~end_col:
+                     (e.Schema.Schema_parser.col
+                     + String.length e.Schema.Schema_parser.token))
+              (if e.Schema.Schema_parser.token = "" then
+                 e.Schema.Schema_parser.reason
+               else
+                 Printf.sprintf "at %S: %s" e.Schema.Schema_parser.token
+                   e.Schema.Schema_parser.reason);
+          ]
+      | Ok schema_opt -> (
+          let phi_result =
+            match phi with
+            | None -> Ok None
+            | Some s -> (
+                match Parser.constraint_of_string s with
+                | Ok c -> Ok (Some c)
+                | Error m -> Error m)
+          in
+          match phi_result with
+          | Error m ->
+              [
+                Diagnostic.make ~code:"PC001" ~severity:Diagnostic.Error
+                  ~file:"<phi>" ("the goal constraint does not parse: " ^ m);
+              ]
+          | Ok phi ->
+              let schema, schema_spans, schema_file =
+                match schema_opt with
+                | None -> (None, None, None)
+                | Some (s, spans, path) -> (Some s, Some spans, Some path)
+              in
+              run ?budget
+                { sigma_file; sigma; schema; schema_file; schema_spans; phi }))

@@ -1,0 +1,36 @@
+(** The lint driver: staged diagnostic passes over one constraint file
+    (plus an optional schema and an optional goal constraint).
+
+    Stages, in order: classification (Table 1 cell, [PC1xx]), vacuity
+    ([PC2xx]), inconsistency ([PC4xx]), redundancy ([PC3xx] — skipped
+    when Sigma is already known inconsistent, since an inconsistent
+    theory implies everything), hygiene ([PC5xx]).  Parse failures
+    short-circuit into [PC001]/[PC002] diagnostics so CI consumers see
+    them in the same stream. *)
+
+type input = {
+  sigma_file : string;  (** display path for diagnostics *)
+  sigma : (Pathlang.Constr.t * Pathlang.Span.t) list;
+  schema : Schema.Mschema.t option;
+  schema_file : string option;
+  schema_spans : Schema.Schema_parser.spans option;
+  phi : Pathlang.Constr.t option;  (** optional goal, sharpens [PC1xx] *)
+}
+
+val run : ?budget:Core.Engine.Budget.t -> input -> Diagnostic.t list
+(** All passes over an already-parsed input; diagnostics in
+    {!Diagnostic.compare} order.  [budget] (default
+    [Core.Engine.Budget.default]) governs the best-effort redundancy
+    stage. *)
+
+val lint_paths :
+  ?budget:Core.Engine.Budget.t ->
+  ?schema_file:string ->
+  ?phi:string ->
+  sigma_file:string ->
+  unit ->
+  Diagnostic.t list
+(** Load the files and {!run}.  Constraint files may be the line DSL or
+    the XML syntax (XML constraints get whole-file spans).  I/O and
+    parse failures become [PC001]/[PC002] error diagnostics rather than
+    exceptions, so the caller can render them uniformly. *)

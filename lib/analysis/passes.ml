@@ -1,0 +1,382 @@
+module Path = Pathlang.Path
+module Label = Pathlang.Label
+module Constr = Pathlang.Constr
+module Fragment = Pathlang.Fragment
+module Mschema = Schema.Mschema
+module Mtype = Schema.Mtype
+module Schema_graph = Schema.Schema_graph
+module Engine = Core.Engine
+
+type spanned = (Constr.t * Pathlang.Span.t) list
+
+let diag ~file ?span code severity msg =
+  Diagnostic.make ~code ~severity ~file ?span msg
+
+(* --- vacuity -------------------------------------------------------------- *)
+
+let vacuity ~sigma_file ~schema sigma =
+  List.filter_map
+    (fun (c, span) ->
+      let prefix = Constr.prefix c in
+      if not (Schema_graph.in_paths schema prefix) then
+        Some
+          (diag ~file:sigma_file ~span "PC200" Diagnostic.Warning
+             (Printf.sprintf
+                "prefix %s is not in Paths(Delta): no structure in U(Delta) \
+                 realizes it, so the constraint is vacuously satisfied"
+                (Path.to_string prefix)))
+      else
+        match Schema_graph.check_constraint_paths schema c with
+        | Ok () -> None
+        | Error p ->
+            Some
+              (diag ~file:sigma_file ~span "PC201" Diagnostic.Warning
+                 (Printf.sprintf
+                    "walks the path %s, which is outside Paths(Delta): the \
+                     schema's type graph admits no such walk (the paper's \
+                     standing assumption on constraints)"
+                    (Path.to_string p))))
+    sigma
+
+(* --- shared deadline plumbing --------------------------------------------- *)
+
+type clock = { deadline : int64 option; cancel : Engine.Cancel.t option }
+
+let clock_of (budget : Engine.Budget.t) =
+  {
+    deadline =
+      Option.map
+        (fun t -> Int64.add (Engine.now_ns ()) (Int64.of_float (t *. 1e9)))
+        budget.Engine.Budget.timeout;
+    cancel = budget.Engine.Budget.cancel;
+  }
+
+let remaining_s clock =
+  match clock.deadline with
+  | None -> infinity
+  | Some d -> Int64.to_float (Int64.sub d (Engine.now_ns ())) /. 1e9
+
+let expired clock =
+  remaining_s clock <= 0.
+  ||
+  match clock.cancel with
+  | Some c -> Engine.Cancel.is_cancelled c
+  | None -> false
+
+(* --- redundancy ----------------------------------------------------------- *)
+
+type redundancy_report = {
+  removable : spanned;
+  cover : Constr.t list;
+  exact : bool;
+  gave_up : int;
+}
+
+type verdict3 = V_implied | V_not | V_unknown
+
+(* Pick the strongest sound procedure for the instance's cell:
+   - kind-M schema with all paths in Paths(Delta): the cubic typed-M
+     procedure (complete for the typed semantics);
+   - all constraints in P_w: the PTIME word procedure (complete
+     untyped; still sound under a schema, since U(Delta) structures are
+     a subclass of all structures);
+   - otherwise: the budgeted chase (sound only). *)
+let make_decider ?schema ~budget ~clock sigma_all =
+  match schema with
+  | Some s
+    when Mschema.kind s = Mschema.M
+         && List.for_all
+              (fun c ->
+                Result.is_ok (Schema_graph.check_constraint_paths s c))
+              sigma_all ->
+      let decide phi rest =
+        match Core.Typed_m.implies s ~sigma:rest ~phi with
+        | Ok true -> V_implied
+        | Ok false -> V_not
+        | Error _ -> V_unknown
+      in
+      (decide, true, "cubic typed-M procedure, Theorem 4.2")
+  | _ ->
+      if List.for_all Fragment.in_pw sigma_all then
+        let decide phi rest =
+          match Core.Word_untyped.implies ~sigma:rest phi with
+          | Ok true -> V_implied
+          | Ok false -> V_not
+          | Error _ -> V_unknown
+        in
+        let exact = schema = None in
+        (decide, exact, "PTIME word procedure")
+      else
+        let decide phi rest =
+          let per_call =
+            Engine.Budget.v
+              ?max_steps:budget.Engine.Budget.max_steps
+              ?max_nodes:budget.Engine.Budget.max_nodes
+              ~timeout:(Float.max 0.01 (Float.min 1.0 (remaining_s clock)))
+              ?cancel:clock.cancel ()
+          in
+          match
+            Core.Semidecide.implies ~ctl:(Engine.start per_call) ~sigma:rest
+              phi
+          with
+          | Core.Verdict.Implied -> V_implied
+          | Core.Verdict.Refuted _ -> V_not
+          | Core.Verdict.Unknown _ -> V_unknown
+        in
+        (decide, false, "budgeted chase, sound verdicts only")
+
+(* [sigma] minus the occurrence at position [i] *)
+let drop_nth i l = List.filteri (fun j _ -> j <> i) l
+
+let redundancy_report ?schema ?(budget = Engine.Budget.default) sigma =
+  let clock = clock_of budget in
+  let constrs = List.map fst sigma in
+  let decide, exact, _ = make_decider ?schema ~budget ~clock constrs in
+  (* inconsistent Sigma makes every constraint "redundant"; leave that
+     to the inconsistency pass *)
+  let unsat =
+    match schema with
+    | Some s when Mschema.kind s = Mschema.M -> (
+        match Core.Typed_m.satisfiable s ~sigma:constrs with
+        | Ok false -> true
+        | _ -> false)
+    | _ -> false
+  in
+  if unsat then { removable = []; cover = constrs; exact; gave_up = 0 }
+  else begin
+    let removable = ref [] in
+    let gave_up = ref 0 in
+    List.iteri
+      (fun i (c, span) ->
+        if expired clock then incr gave_up
+        else if decide c (drop_nth i constrs) = V_implied then
+          removable := (c, span) :: !removable)
+      sigma;
+    (* greedy minimal cover: drop constraints (in input order) that stay
+       implied by what is kept *)
+    let cover = ref constrs in
+    if not (expired clock) then
+      List.iter
+        (fun c ->
+          if not (expired clock) then begin
+            let rest =
+              (* remove one occurrence of [c] from the current cover *)
+              let dropped = ref false in
+              List.filter
+                (fun c' ->
+                  if (not !dropped) && Constr.equal c c' then begin
+                    dropped := true;
+                    false
+                  end
+                  else true)
+                !cover
+            in
+            if List.length rest < List.length !cover
+               && decide c rest = V_implied
+            then cover := rest
+          end)
+        constrs;
+    {
+      removable = List.rev !removable;
+      cover = !cover;
+      exact;
+      gave_up = !gave_up;
+    }
+  end
+
+let redundancy ~sigma_file ?schema ?(budget = Engine.Budget.default) sigma =
+  let n = List.length sigma in
+  if n <= 1 then []
+  else begin
+    let _, exact, how = make_decider ?schema ~budget ~clock:(clock_of budget)
+                          (List.map fst sigma) in
+    let report = redundancy_report ?schema ~budget sigma in
+    let per_constraint =
+      List.map
+        (fun (_, span) ->
+          diag ~file:sigma_file ~span "PC300" Diagnostic.Warning
+            (Printf.sprintf
+               "implied by the rest of Sigma (%s)%s: removing it preserves \
+                the constraint theory"
+               how
+               (if exact then "" else " — best-effort, sound")))
+        report.removable
+    in
+    let cover_diag =
+      if report.removable <> [] && List.length report.cover < n then
+        [
+          diag ~file:sigma_file "PC301" Diagnostic.Info
+            (Printf.sprintf "a minimal cover keeps %d of %d constraint(s): %s"
+               (List.length report.cover)
+               n
+               (String.concat "; " (List.map Constr.to_string report.cover)));
+        ]
+      else []
+    in
+    let gave_up_diag =
+      if report.gave_up > 0 then
+        [
+          diag ~file:sigma_file "PC302" Diagnostic.Hint
+            (Printf.sprintf
+               "redundancy analysis gave up on %d constraint(s) (budget \
+                exhausted); rerun with a larger --timeout"
+               report.gave_up);
+        ]
+      else []
+    in
+    per_constraint @ cover_diag @ gave_up_diag
+  end
+
+(* --- inconsistency --------------------------------------------------------- *)
+
+let pairwise_cap = 50
+
+let inconsistency ~sigma_file ~schema sigma =
+  if Mschema.kind schema <> Mschema.M then []
+  else begin
+    (* constraints with paths outside Paths(Delta) are vacuity findings;
+       the typed closure rejects them, so analyze the clean remainder *)
+    let clean =
+      List.filter
+        (fun (c, _) ->
+          Result.is_ok (Schema_graph.check_constraint_paths schema c))
+        sigma
+    in
+    let constrs = List.map fst clean in
+    match Core.Typed_m.satisfiable schema ~sigma:constrs with
+    | Ok true | Error _ -> []
+    | Ok false ->
+        let n = List.length clean in
+        let summary =
+          diag ~file:sigma_file "PC400" Diagnostic.Error
+            (Printf.sprintf
+               "Sigma is unsatisfiable over U(Delta): the congruence closure \
+                forces two paths of different sorts together; every \
+                implication from it holds vacuously%s"
+               (if n > pairwise_cap then
+                  " (too many constraints to isolate a contradictory pair)"
+                else ""))
+        in
+        let sat cs =
+          match Core.Typed_m.satisfiable schema ~sigma:cs with
+          | Ok b -> b
+          | Error _ -> true
+        in
+        let pinpointed =
+          if n > pairwise_cap then []
+          else begin
+            let found = ref [] in
+            let arr = Array.of_list clean in
+            for i = 0 to n - 1 do
+              let ci, _ = arr.(i) in
+              if not (sat [ ci ]) then
+                found :=
+                  diag ~file:sigma_file
+                    ~span:(snd arr.(i))
+                    "PC401" Diagnostic.Error
+                    "unsatisfiable on its own: it forces two paths of \
+                     different sorts to meet"
+                  :: !found
+              else
+                for j = i + 1 to n - 1 do
+                  let cj, spanj = arr.(j) in
+                  if sat [ cj ] && not (sat [ ci; cj ]) then
+                    found :=
+                      diag ~file:sigma_file ~span:spanj "PC401"
+                        Diagnostic.Error
+                        (Printf.sprintf
+                           "contradicts the constraint at line %d (%s): no \
+                            structure in U(Delta) satisfies both"
+                           (snd arr.(i)).Pathlang.Span.line
+                           (Constr.to_string ci))
+                      :: !found
+                done
+            done;
+            List.rev !found
+          end
+        in
+        summary :: pinpointed
+  end
+
+(* --- hygiene --------------------------------------------------------------- *)
+
+let hygiene ~sigma_file ?schema ?schema_file ?schema_spans sigma =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  (* duplicates *)
+  let seen = ref [] in
+  List.iter
+    (fun (c, span) ->
+      match List.find_opt (fun (c', _) -> Constr.equal c c') !seen with
+      | Some (_, first_span) ->
+          add
+            (diag ~file:sigma_file ~span "PC500" Diagnostic.Warning
+               (Printf.sprintf "duplicate of the constraint at line %d"
+                  first_span.Pathlang.Span.line))
+      | None -> seen := (c, span) :: !seen)
+    sigma;
+  (* eps-path edge cases and tautologies *)
+  List.iter
+    (fun (c, span) ->
+      if Path.is_empty (Constr.rhs c) && not (Path.is_empty (Constr.lhs c))
+      then
+        add
+          (diag ~file:sigma_file ~span "PC503" Diagnostic.Hint
+             "the conclusion is the empty path: an equality-generating \
+              constraint; the PTIME word procedure is incomplete for these \
+              (the budgeted chase handles them soundly)");
+      if
+        Constr.kind c = Constr.Forward
+        && Path.equal (Constr.lhs c) (Constr.rhs c)
+      then
+        add
+          (diag ~file:sigma_file ~span "PC504" Diagnostic.Info
+             "trivially true: the premise and conclusion paths coincide \
+              (reflexivity)"))
+    sigma;
+  (* schema-aware checks *)
+  (match schema with
+  | None -> ()
+  | Some schema ->
+      let schema_labels = Schema_graph.labels schema in
+      let reported = ref Label.Set.empty in
+      List.iter
+        (fun (c, span) ->
+          Label.Set.iter
+            (fun l ->
+              if
+                (not (Label.Set.mem l schema_labels))
+                && not (Label.Set.mem l !reported)
+              then begin
+                reported := Label.Set.add l !reported;
+                add
+                  (diag ~file:sigma_file ~span "PC501" Diagnostic.Warning
+                     (Printf.sprintf
+                        "label %s does not occur in the schema's type graph"
+                        (Label.to_string l)))
+              end)
+            (Constr.labels_used c))
+        sigma;
+      (* unused classes *)
+      let reachable =
+        List.filter_map
+          (function Mtype.Class c -> Some (Mtype.cname_name c) | _ -> None)
+          (Schema_graph.sorts schema)
+      in
+      let sfile = Option.value schema_file ~default:"<schema>" in
+      List.iter
+        (fun (c, _) ->
+          let name = Mtype.cname_name c in
+          if not (List.mem name reachable) then
+            let span =
+              Option.bind schema_spans (fun s ->
+                  List.assoc_opt name s.Schema.Schema_parser.class_spans)
+            in
+            add
+              (diag ~file:sfile ?span "PC502" Diagnostic.Info
+                 (Printf.sprintf
+                    "class %s is declared but unreachable from the db type; \
+                     no constraint over Paths(Delta) can mention it"
+                    name)))
+        (Mschema.classes schema));
+  List.rev !out

@@ -15,3 +15,8 @@ let check_all member sigma =
   match List.find_opt (fun phi -> not (member phi)) sigma with
   | None -> Ok ()
   | Some phi -> Error phi
+
+let errors_all member sigma =
+  match List.filter (fun phi -> not (member phi)) sigma with
+  | [] -> Ok ()
+  | offenders -> Error offenders

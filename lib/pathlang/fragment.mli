@@ -29,3 +29,9 @@ val check_all :
 (** [check_all member sigma] is [Ok ()] when every constraint satisfies
     the membership predicate, and [Error phi] naming the first member
     outside the fragment otherwise. *)
+
+val errors_all :
+  (Constr.t -> bool) -> Constr.t list -> (unit, Constr.t list) result
+(** Like {!check_all} but [Error] carries {e every} member outside the
+    fragment (in input order), so a linter can report all fragment
+    violations in one run. *)

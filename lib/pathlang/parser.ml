@@ -1,54 +1,137 @@
+type error = {
+  line : int;
+  col : int;
+  token : string;
+  reason : string;
+}
+
+let error_to_string e =
+  if e.token = "" then
+    Printf.sprintf "line %d, column %d: %s" e.line e.col e.reason
+  else
+    Printf.sprintf "line %d, column %d: at %S: %s" e.line e.col e.token e.reason
+
+let is_ws c = c = ' ' || c = '\t' || c = '\r'
+
+(* Find the first occurrence of the token [tok] in [s] within [i, j);
+   tokens never occur inside labels (Label.make forbids their
+   characters). *)
+let find_sub tok s i j =
+  let tlen = String.length tok in
+  let rec find i =
+    if i + tlen > j then None
+    else if String.sub s i tlen = tok then Some i
+    else find (i + 1)
+  in
+  find i
+
+(* Trim the bounds [i, j) of [s] to the enclosed non-whitespace region. *)
+let trim_bounds s i j =
+  let i = ref i and j = ref j in
+  while !i < !j && is_ws s.[!i] do incr i done;
+  while !j > !i && is_ws s.[!j - 1] do decr j done;
+  (!i, !j)
+
+(* Parse the substring [i, j) of [line] as a path, reporting the exact
+   column and text of the offending label on failure. *)
+let path_at ~line_no line i j =
+  let i, j = trim_bounds line i j in
+  let s = String.sub line i (j - i) in
+  if s = "" || s = "eps" then Ok Path.empty
+  else begin
+    (* split on '.' by hand, keeping each label's offset in [line] *)
+    let rec go start acc =
+      let stop =
+        match String.index_from_opt line start '.' with
+        | Some d when d < j -> d
+        | _ -> j
+      in
+      let tok = String.sub line start (stop - start) in
+      match Label.make tok with
+      | l ->
+          let acc = l :: acc in
+          if stop < j then go (stop + 1) acc else Ok (Path.of_labels (List.rev acc))
+      | exception Invalid_argument m ->
+          Error { line = line_no; col = start + 1; token = tok; reason = m }
+    in
+    go i []
+  end
+
+(* Parse one constraint from [line] (which must contain one); [line_no]
+   is its 1-based position in the enclosing document. *)
+let constraint_of_line ~line_no line =
+  let s0, e0 = trim_bounds line 0 (String.length line) in
+  let span = Span.v ~line:line_no ~start_col:(s0 + 1) ~end_col:(e0 + 1) in
+  let whole = String.sub line s0 (e0 - s0) in
+  if s0 = e0 then
+    Error { line = line_no; col = 1; token = ""; reason = "empty constraint" }
+  else
+    (* [prefix :] body, where body is [lhs -> rhs] or [lhs <- rhs] *)
+    let pstart, pstop, bstart =
+      match find_sub ":" line s0 e0 with
+      | Some i -> (s0, i, i + 1)
+      | None -> (s0, s0, s0)
+    in
+    let kind, lstart, lstop, rstart =
+      match find_sub "->" line bstart e0 with
+      | Some i -> (Some Constr.Forward, bstart, i, i + 2)
+      | None -> (
+          match find_sub "<-" line bstart e0 with
+          | Some i -> (Some Constr.Backward, bstart, i, i + 2)
+          | None -> (None, bstart, bstart, bstart))
+    in
+    match kind with
+    | None ->
+        Error
+          {
+            line = line_no;
+            col = s0 + 1;
+            token = whole;
+            reason = "no '->' or '<-' found";
+          }
+    | Some kind -> (
+        match
+          ( path_at ~line_no line pstart pstop,
+            path_at ~line_no line lstart lstop,
+            path_at ~line_no line rstart e0 )
+        with
+        | Ok prefix, Ok lhs, Ok rhs ->
+            Ok (Constr.make kind ~prefix ~lhs ~rhs, span)
+        | (Error _ as e), _, _ | _, (Error _ as e), _ | _, _, (Error _ as e) ->
+            e)
+
+let constraint_of_string_spanned line = constraint_of_line ~line_no:1 line
+
+let is_blank line =
+  let t = String.trim line in
+  t = "" || t.[0] = '#'
+
+let constraints_of_string_spanned doc =
+  let lines = String.split_on_char '\n' doc in
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        if is_blank line then go (n + 1) acc rest
+        else (
+          match constraint_of_line ~line_no:n line with
+          | Ok cs -> go (n + 1) (cs :: acc) rest
+          | Error e -> Error e)
+  in
+  go 1 [] lines
+
+(* --- legacy string-error wrappers ------------------------------------- *)
+
 let path_of_string s =
   match Path.of_string s with
   | p -> Ok p
   | exception Invalid_argument msg -> Error msg
 
-(* Split [s] at the first occurrence of the token [tok]; tokens never occur
-   inside labels (Label.make forbids their characters). *)
-let split_once tok s =
-  let len = String.length s and tlen = String.length tok in
-  let rec find i =
-    if i + tlen > len then None
-    else if String.sub s i tlen = tok then
-      Some (String.sub s 0 i, String.sub s (i + tlen) (len - i - tlen))
-    else find (i + 1)
-  in
-  find 0
-
 let constraint_of_string line =
-  let line = String.trim line in
-  let prefix_part, body =
-    match split_once ":" line with
-    | Some (p, rest) -> (String.trim p, String.trim rest)
-    | None -> ("eps", line)
-  in
-  let kind, lhs_s, rhs_s =
-    match split_once "->" body with
-    | Some (l, r) -> (Constr.Forward, String.trim l, String.trim r)
-    | None -> (
-        match split_once "<-" body with
-        | Some (l, r) -> (Constr.Backward, String.trim l, String.trim r)
-        | None -> (Constr.Forward, "", ""))
-  in
-  if lhs_s = "" && rhs_s = "" then
-    Error (Printf.sprintf "no '->' or '<-' found in %S" line)
-  else
-    match (path_of_string prefix_part, path_of_string lhs_s, path_of_string rhs_s)
-    with
-    | Ok prefix, Ok lhs, Ok rhs -> Ok (Constr.make kind ~prefix ~lhs ~rhs)
-    | Error m, _, _ | _, Error m, _ | _, _, Error m ->
-        Error (Printf.sprintf "in %S: %s" line m)
+  match constraint_of_string_spanned line with
+  | Ok (c, _) -> Ok c
+  | Error e -> Error (error_to_string e)
 
 let constraints_of_string doc =
-  let lines = String.split_on_char '\n' doc in
-  let rec go n acc = function
-    | [] -> Ok (List.rev acc)
-    | line :: rest ->
-        let t = String.trim line in
-        if t = "" || t.[0] = '#' then go (n + 1) acc rest
-        else (
-          match constraint_of_string t with
-          | Ok c -> go (n + 1) (c :: acc) rest
-          | Error m -> Error (Printf.sprintf "line %d: %s" n m))
-  in
-  go 1 [] lines
+  match constraints_of_string_spanned doc with
+  | Ok cs -> Ok (List.map fst cs)
+  | Error e -> Error (error_to_string e)

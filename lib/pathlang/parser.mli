@@ -13,12 +13,34 @@
     v}
     Blank lines and lines starting with [#] are ignored. *)
 
+type error = {
+  line : int;  (** 1-based line of the offending token *)
+  col : int;  (** 1-based column of the offending token *)
+  token : string;  (** the offending token ([""] when not token-shaped) *)
+  reason : string;  (** what is wrong, without position information *)
+}
+(** A structured parse error, precise enough for editor/CI diagnostics. *)
+
+val error_to_string : error -> string
+(** ["line L, column C: at \"tok\": reason"]. *)
+
+val constraint_of_string_spanned :
+  string -> (Constr.t * Span.t, error) result
+(** Parses a single constraint, returning the span of its text (the
+    input is treated as line 1). *)
+
+val constraints_of_string_spanned :
+  string -> ((Constr.t * Span.t) list, error) result
+(** Parses a whole document (one constraint per line), attaching to each
+    constraint the span of the line region it was parsed from. *)
+
 val constraint_of_string : string -> (Constr.t, string) result
-(** Parses a single constraint. *)
+(** Parses a single constraint; [constraint_of_string_spanned] with the
+    error rendered by {!error_to_string}. *)
 
 val constraints_of_string : string -> (Constr.t list, string) result
 (** Parses a whole document (one constraint per line); the error message
-    carries the 1-based line number. *)
+    carries the 1-based line number, column, and the offending token. *)
 
 val path_of_string : string -> (Path.t, string) result
 (** Parses a dotted path or [eps]. *)

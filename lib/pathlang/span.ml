@@ -1,0 +1,27 @@
+type t = { line : int; start_col : int; end_col : int }
+
+let v ~line ~start_col ~end_col =
+  let line = max 1 line in
+  let start_col = max 1 start_col in
+  let end_col = max start_col end_col in
+  { line; start_col; end_col }
+
+let point ~line ~col = v ~line ~start_col:col ~end_col:(col + 1)
+
+let of_offset src pos =
+  let pos = min (max 0 pos) (String.length src) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to pos - 1 do
+    if src.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, pos - !bol + 1)
+
+let pp ppf t =
+  if t.end_col <= t.start_col + 1 then
+    Format.fprintf ppf "%d:%d" t.line t.start_col
+  else Format.fprintf ppf "%d:%d-%d" t.line t.start_col (t.end_col - 1)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -12,6 +12,10 @@ type spec = {
 
 type token = Ident of string | Punct of string
 
+let tok_text = function Ident s -> s | Punct p -> p
+
+(* each token is paired with its start offset in the source, so parse
+   errors can report a line/column position *)
 let tokenize src =
   let n = String.length src in
   let toks = ref [] in
@@ -33,14 +37,14 @@ let tokenize src =
       while !i < n && is_ident src.[!i] do
         incr i
       done;
-      toks := Ident (String.sub src start (!i - start)) :: !toks
+      toks := (Ident (String.sub src start (!i - start)), start) :: !toks
     end
     else if c = ':' && !i + 1 < n && src.[!i + 1] = ':' then begin
-      toks := Punct "::" :: !toks;
+      toks := (Punct "::", !i) :: !toks;
       i := !i + 2
     end
     else begin
-      toks := Punct (String.make 1 c) :: !toks;
+      toks := (Punct (String.make 1 c), !i) :: !toks;
       incr i
     end
   done;
@@ -49,6 +53,9 @@ let tokenize src =
 (* --- parser ------------------------------------------------------------- *)
 
 exception Err of string
+
+exception Err_at of int * string * string
+(** (offset, offending token, reason) *)
 
 type member =
   | Attr of string * string  (** type name, field *)
@@ -61,43 +68,45 @@ type member =
 
 type iface = { name : string; extent : string option; members : member list }
 
-let parse_interfaces toks =
+let parse_interfaces ~eof toks =
   let toks = ref toks in
-  let peek () = match !toks with t :: _ -> Some t | [] -> None in
-  let next () =
+  let peek () = match !toks with (t, _) :: _ -> Some t | [] -> None in
+  let next_at () =
     match !toks with
     | t :: rest ->
         toks := rest;
         t
-    | [] -> raise (Err "unexpected end of input")
+    | [] -> raise (Err_at (eof, "", "unexpected end of input"))
   in
+  let next () = fst (next_at ()) in
   let expect_punct p =
-    match next () with
-    | Punct p' when p' = p -> ()
-    | _ -> raise (Err (Printf.sprintf "expected '%s'" p))
+    match next_at () with
+    | Punct p', _ when p' = p -> ()
+    | t, pos -> raise (Err_at (pos, tok_text t, Printf.sprintf "expected '%s'" p))
   in
   let expect_ident () =
-    match next () with
-    | Ident s -> s
-    | Punct p -> raise (Err (Printf.sprintf "expected identifier, got '%s'" p))
+    match next_at () with
+    | Ident s, _ -> s
+    | Punct p, pos -> raise (Err_at (pos, p, "expected an identifier"))
   in
   let parse_member () =
-    match next () with
-    | Ident "attribute" ->
+    match next_at () with
+    | Ident "attribute", _ ->
         let ty = expect_ident () in
         let field = expect_ident () in
         expect_punct ";";
         Attr (ty, field)
-    | Ident "relationship" ->
+    | Ident "relationship", _ ->
         let set, target =
-          match next () with
-          | Ident "set" ->
+          match next_at () with
+          | Ident "set", _ ->
               expect_punct "<";
               let t = expect_ident () in
               expect_punct ">";
               (true, t)
-          | Ident t -> (false, t)
-          | Punct p -> raise (Err ("unexpected '" ^ p ^ "' after relationship"))
+          | Ident t, _ -> (false, t)
+          | Punct p, pos ->
+              raise (Err_at (pos, p, "unexpected punctuation after relationship"))
         in
         let field = expect_ident () in
         let inverse =
@@ -112,21 +121,21 @@ let parse_interfaces toks =
         in
         expect_punct ";";
         Rel { set; target; field; inverse }
-    | Ident other -> raise (Err ("unknown member kind " ^ other))
-    | Punct p -> raise (Err ("unexpected '" ^ p ^ "'"))
+    | Ident other, pos -> raise (Err_at (pos, other, "unknown member kind"))
+    | Punct p, pos -> raise (Err_at (pos, p, "unexpected punctuation"))
   in
   let parse_iface () =
-    (match next () with
-    | Ident "interface" -> ()
-    | _ -> raise (Err "expected 'interface'"));
+    (match next_at () with
+    | Ident "interface", _ -> ()
+    | t, pos -> raise (Err_at (pos, tok_text t, "expected 'interface'")));
     let name = expect_ident () in
     let extent =
       match peek () with
       | Some (Punct "(") ->
           ignore (next ());
-          (match next () with
-          | Ident "extent" -> ()
-          | _ -> raise (Err "expected 'extent'"));
+          (match next_at () with
+          | Ident "extent", _ -> ()
+          | t, pos -> raise (Err_at (pos, tok_text t, "expected 'extent'")));
           let e = expect_ident () in
           expect_punct ")";
           Some e
@@ -145,7 +154,7 @@ let parse_interfaces toks =
       | Some _ ->
           members := parse_member () :: !members;
           members_loop ()
-      | None -> raise (Err "unterminated interface")
+      | None -> raise (Err_at (eof, "", "unterminated interface"))
     in
     members_loop ();
     { name; extent; members = List.rev !members }
@@ -258,9 +267,16 @@ let build ifaces =
   { schema; extent_constraints; inverse_constraints }
 
 let parse src =
-  match build (parse_interfaces (tokenize src)) with
+  match build (parse_interfaces ~eof:(String.length src) (tokenize src)) with
   | spec -> Ok spec
   | exception Err m -> Error m
+  | exception Err_at (pos, token, reason) ->
+      let line, col = Pathlang.Span.of_offset src pos in
+      if token = "" then
+        Error (Printf.sprintf "line %d, column %d: %s" line col reason)
+      else
+        Error
+          (Printf.sprintf "line %d, column %d: at %S: %s" line col token reason)
 
 (* --- rendering --------------------------------------------------------------- *)
 

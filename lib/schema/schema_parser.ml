@@ -1,15 +1,39 @@
 (* Hand-rolled recursive descent over a cursor, mirroring Xmlrep.Xml. *)
 
+module Span = Pathlang.Span
+
+type error = { line : int; col : int; token : string; reason : string }
+
+let error_to_string e =
+  if e.token = "" then
+    Printf.sprintf "line %d, column %d: %s" e.line e.col e.reason
+  else
+    Printf.sprintf "line %d, column %d: at %S: %s" e.line e.col e.token e.reason
+
+type spans = {
+  class_spans : (string * Span.t) list;
+  db_span : Span.t option;
+}
+
 type cursor = { src : string; mutable pos : int }
 
-exception Err of string
+exception Err of error
 
-let fail cur msg = raise (Err (Printf.sprintf "at offset %d: %s" cur.pos msg))
+let error_at src pos token reason =
+  let line, col = Span.of_offset src pos in
+  { line; col; token; reason }
+
+let fail_at cur pos token reason = raise (Err (error_at cur.src pos token reason))
 
 let peek cur =
   if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
 
 let advance cur = cur.pos <- cur.pos + 1
+
+(* failure at the cursor: the offending token is the next character *)
+let fail cur msg =
+  let token = match peek cur with Some c -> String.make 1 c | None -> "" in
+  fail_at cur cur.pos token msg
 
 let skip_ws cur =
   let rec go () =
@@ -38,7 +62,8 @@ let is_ident_char c =
   || (c >= '0' && c <= '9')
   || c = '_' || c = '\''
 
-let ident cur =
+(* an identifier together with its start offset *)
+let ident_at cur =
   skip_ws cur;
   let start = cur.pos in
   let rec go () =
@@ -50,7 +75,14 @@ let ident cur =
   in
   go ();
   if cur.pos = start then fail cur "expected an identifier";
-  String.sub cur.src start (cur.pos - start)
+  (String.sub cur.src start (cur.pos - start), start)
+
+let ident cur = fst (ident_at cur)
+
+(* idents never span lines, so the span is one line wide *)
+let span_of_token cur start text =
+  let line, col = Span.of_offset cur.src start in
+  Span.v ~line ~start_col:col ~end_col:(col + String.length text)
 
 let expect cur c =
   skip_ws cur;
@@ -104,43 +136,53 @@ let rec resolve class_names = function
            (fun (l, t) -> (Pathlang.Label.make l, resolve class_names t))
            fields)
 
-let of_string src =
+(* schema-level validation errors from [Mschema.make] carry no source
+   position; anchor them at the start of the document *)
+let no_position reason = { line = 1; col = 1; token = ""; reason }
+
+let of_string_spanned src =
   let cur = { src; pos = 0 } in
   try
     let kind = ref None in
     let classes = ref [] in
     let db = ref None in
+    let class_spans = ref [] in
+    let db_span = ref None in
     let rec loop () =
       skip_ws cur;
       if peek cur = None then ()
       else begin
-        let kw = ident cur in
+        let kw, kw_start = ident_at cur in
         (match kw with
         | "kind" -> (
-            match ident cur with
+            let k, k_start = ident_at cur in
+            match k with
             | "M" ->
                 (* the ident parser stops at '+', so "M+" arrives as "M"
                    followed by a '+' character *)
                 if accept cur '+' then kind := Some Mschema.M_plus
                 else kind := Some Mschema.M
             | "Mplus" | "M_plus" -> kind := Some Mschema.M_plus
-            | k -> fail cur ("unknown kind " ^ k))
+            | k -> fail_at cur k_start k "unknown kind")
         | "class" ->
-            let name = ident cur in
+            let name, name_start = ident_at cur in
+            class_spans :=
+              (name, span_of_token cur name_start name) :: !class_spans;
             expect cur '=';
             let t = parse_type cur in
             classes := (name, t) :: !classes
         | "db" ->
+            db_span := Some (span_of_token cur kw_start kw);
             expect cur '=';
             db := Some (parse_type cur)
-        | other -> fail cur ("unknown directive " ^ other));
+        | other -> fail_at cur kw_start other "unknown directive");
         loop ()
       end
     in
     loop ();
     match !db with
-    | None -> Error "missing 'db = ...' line"
-    | Some raw_db ->
+    | None -> Error (no_position "missing 'db = ...' line")
+    | Some raw_db -> (
         let class_names = List.map fst !classes in
         let resolved_classes =
           List.rev_map
@@ -151,18 +193,35 @@ let of_string src =
         let try_kind k =
           Mschema.make ~kind:k ~classes:resolved_classes ~dbtype
         in
-        (match !kind with
-        | Some k -> try_kind k
+        let spans =
+          { class_spans = List.rev !class_spans; db_span = !db_span }
+        in
+        let finish = function
+          | Ok s -> Ok (s, spans)
+          | Error m -> Error (no_position m)
+        in
+        match !kind with
+        | Some k -> finish (try_kind k)
         | None -> (
             match try_kind Mschema.M with
-            | Ok s -> Ok s
-            | Error _ -> try_kind Mschema.M_plus))
-  with Err m -> Error m
+            | Ok s -> Ok (s, spans)
+            | Error _ -> finish (try_kind Mschema.M_plus)))
+  with Err e -> Error e
+
+let of_string src =
+  match of_string_spanned src with
+  | Ok (s, _) -> Ok s
+  | Error e -> Error (error_to_string e)
+
+let load_spanned path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> of_string_spanned s
+  | exception Sys_error m -> Error (no_position m)
 
 let load path =
-  match In_channel.with_open_text path In_channel.input_all with
-  | s -> of_string s
-  | exception Sys_error m -> Error m
+  match load_spanned path with
+  | Ok (s, _) -> Ok s
+  | Error e -> Error (error_to_string e)
 
 let rec type_to_string = function
   | Mtype.Atomic b -> Mtype.atomic_name b

@@ -14,6 +14,30 @@
     is optional; when omitted the kind is inferred ([M] when the schema
     satisfies the M restrictions, [M+] otherwise). *)
 
+type error = {
+  line : int;  (** 1-based line of the offending token *)
+  col : int;  (** 1-based column of the offending token *)
+  token : string;  (** the offending token ([""] when not token-shaped) *)
+  reason : string;  (** what is wrong, without position information *)
+}
+(** A structured parse error.  Schema-level validation failures (from
+    [Mschema.make]) carry no source position and are anchored at 1:1. *)
+
+val error_to_string : error -> string
+(** ["line L, column C: at \"tok\": reason"]. *)
+
+type spans = {
+  class_spans : (string * Pathlang.Span.t) list;
+      (** each declared class name and the span of its name token, in
+          declaration order *)
+  db_span : Pathlang.Span.t option;  (** span of the [db] keyword *)
+}
+(** Source locations of the declarations, for diagnostics. *)
+
+val of_string_spanned : string -> (Mschema.t * spans, error) result
+
+val load_spanned : string -> (Mschema.t * spans, error) result
+
 val of_string : string -> (Mschema.t, string) result
 
 val load : string -> (Mschema.t, string) result

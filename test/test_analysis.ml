@@ -1,0 +1,599 @@
+(* Tests of the static-analysis library (lib/analysis) and the pathctl
+   lint subcommand: golden outputs per pass in text and JSON form, SARIF
+   structure, redundancy cross-checked against the decision procedures,
+   and budget hardening. *)
+
+module Diagnostic = Analysis.Diagnostic
+module Classify = Analysis.Classify
+module Lint = Analysis.Lint
+module Parser = Pathlang.Parser
+module Fragment = Pathlang.Fragment
+module Span = Pathlang.Span
+
+(* The test executable lives at _build/default/test/..., so the CLI
+   binary and the copied examples tree are under the sibling build
+   root. *)
+let build_root = Filename.dirname (Filename.dirname Sys.executable_name)
+let pathctl = Filename.concat build_root (Filename.concat "bin" "pathctl.exe")
+let fixture f = Filename.concat build_root (Filename.concat "examples/data/lint" f)
+let example f = Filename.concat build_root (Filename.concat "examples/data" f)
+
+let write_temp suffix contents =
+  let file = Filename.temp_file "pathctl_lint" suffix in
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc contents);
+  file
+
+let run args =
+  let out_file = Filename.temp_file "pathctl_out" ".txt" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote pathctl) args
+      (Filename.quote out_file)
+  in
+  let code = Sys.command cmd in
+  let out = In_channel.with_open_text out_file In_channel.input_all in
+  Sys.remove out_file;
+  (code, out)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let check_contains out sub =
+  Alcotest.(check bool) (Printf.sprintf "output contains %S" sub) true
+    (contains out sub)
+
+(* occurrences of each diagnostic code in a rendered report *)
+let code_counts out =
+  let codes =
+    [ "PC001"; "PC002"; "PC100"; "PC101"; "PC102"; "PC103"; "PC200";
+      "PC201"; "PC300"; "PC301"; "PC302"; "PC400"; "PC401"; "PC500";
+      "PC501"; "PC502"; "PC503"; "PC504" ]
+  in
+  List.filter_map
+    (fun code ->
+      let tag = "[" ^ code ^ "]" in
+      let n = String.length out and m = String.length tag in
+      let rec count i acc =
+        if i + m > n then acc
+        else if String.sub out i m = tag then count (i + 1) (acc + 1)
+        else count (i + 1) acc
+      in
+      match count 0 0 with 0 -> None | k -> Some (code, k))
+    codes
+
+let check_codes name out expected =
+  Alcotest.(check (list (pair string int))) name expected (code_counts out)
+
+let mschema_of_string s =
+  match Schema.Schema_parser.of_string s with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "schema fixture does not parse: %s" e
+
+let constraints_of_string s =
+  match Parser.constraints_of_string s with
+  | Ok cs -> cs
+  | Error e -> Alcotest.failf "constraint fixture does not parse: %s" e
+
+let m_schema =
+  "kind M\n\
+   class Person = [ name: string; wrote: Book ]\n\
+   class Book = [ title: string; year: int; ref: Book; author: Person ]\n\
+   db = [ person: Person; book: Book ]\n"
+
+let mplus_schema =
+  "kind M+\n\
+   class Person = [ name: string; wrote: {Book} ]\n\
+   class Book = [ title: string; year: int; ref: Book; author: Person ]\n\
+   db = [ person: Person; book: Book ]\n"
+
+(* --- satellite: parser errors carry line / column / token ---------------- *)
+
+let test_parser_error_spans () =
+  (match Parser.constraint_of_string_spanned "book..author -> person" with
+  | Ok _ -> Alcotest.fail "empty label should not parse"
+  | Error e ->
+      Alcotest.(check int) "line" 1 e.Parser.line;
+      Alcotest.(check int) "col" 6 e.Parser.col);
+  (match Parser.constraints_of_string_spanned "a.b -> c\n\nx : y -> z ->" with
+  | Ok _ -> Alcotest.fail "double arrow should not parse"
+  | Error e ->
+      Alcotest.(check int) "error on line 3" 3 e.Parser.line;
+      Alcotest.(check bool) "column is positive" true (e.Parser.col >= 1));
+  match Parser.constraint_of_string "book..author -> person" with
+  | Ok _ -> Alcotest.fail "empty label should not parse"
+  | Error msg ->
+      Alcotest.(check bool) "legacy message names the column" true
+        (contains msg "column 6")
+
+let test_schema_parser_error_spans () =
+  match Schema.Schema_parser.of_string_spanned
+          "kind M\nclass Person = [ name string ]\ndb = [ p: Person ]\n"
+  with
+  | Ok _ -> Alcotest.fail "missing colon should not parse"
+  | Error e ->
+      Alcotest.(check int) "line" 2 e.Schema.Schema_parser.line;
+      Alcotest.(check bool) "column is positive" true
+        (e.Schema.Schema_parser.col >= 1);
+      Alcotest.(check bool) "token is reported" true
+        (String.length e.Schema.Schema_parser.token > 0)
+
+let test_spanned_parse_roundtrip () =
+  match
+    Parser.constraints_of_string_spanned
+      "# comment\nbook.author -> person\n\nperson : wrote <- author\n"
+  with
+  | Error e -> Alcotest.failf "parse: %s" (Parser.error_to_string e)
+  | Ok spanned ->
+      Alcotest.(check int) "two constraints" 2 (List.length spanned);
+      let lines = List.map (fun (_, s) -> s.Span.line) spanned in
+      Alcotest.(check (list int)) "1-based physical lines" [ 2; 4 ] lines
+
+(* --- satellite: Fragment.errors_all -------------------------------------- *)
+
+let test_errors_all () =
+  let sigma =
+    constraints_of_string
+      "book.author -> person\nbook : author <- wrote\nperson : wrote <- author\n"
+  in
+  (match Fragment.errors_all Fragment.in_pw sigma with
+  | Ok () -> Alcotest.fail "backward constraints are not in P_w"
+  | Error offenders ->
+      Alcotest.(check int) "both offenders returned" 2 (List.length offenders));
+  let words = constraints_of_string "book.author -> person\n" in
+  match Fragment.errors_all Fragment.in_pw words with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "word constraints are in P_w"
+
+(* --- classifier: the Table 1 matrix -------------------------------------- *)
+
+let test_classifier_cells () =
+  let words = constraints_of_string "book.author -> person\nperson.wrote -> book\n" in
+  let full =
+    constraints_of_string
+      "book.author -> person\nbook : author <- wrote\nWarner.person : wrote <- author\n"
+  in
+  let m = mschema_of_string m_schema in
+  let mplus = mschema_of_string mplus_schema in
+  let cell = Classify.cell_of words in
+  Alcotest.(check bool) "P_w / untyped decidable" true cell.Classify.decidable;
+  Alcotest.(check bool) "word fragment" true (cell.Classify.fragment = Classify.Word);
+  Alcotest.(check bool) "PTIME word procedure" true
+    (cell.Classify.procedure = Classify.Ptime_word);
+  let cell = Classify.cell_of full in
+  Alcotest.(check bool) "full P_c / untyped undecidable" false
+    cell.Classify.decidable;
+  let cell = Classify.cell_of ~schema:m full in
+  Alcotest.(check bool) "full P_c / M decidable" true cell.Classify.decidable;
+  Alcotest.(check bool) "cubic procedure" true
+    (cell.Classify.procedure = Classify.Cubic_m);
+  let cell = Classify.cell_of ~schema:mplus words in
+  Alcotest.(check bool) "P_w / M+ undecidable" false cell.Classify.decidable;
+  (* the Section 2.2 instance is prefix-bounded, hence decidable *)
+  let sigma0 =
+    constraints_of_string
+      "MIT : book.author -> person\nMIT : person.wrote -> book\n\
+       Warner.book : author <- wrote\nWarner.person : wrote <- author\n"
+  in
+  let phi =
+    match Parser.constraint_of_string "MIT : book.ref -> book" with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "phi: %s" e
+  in
+  let cell = Classify.cell_of ~phi sigma0 in
+  Alcotest.(check bool) "prefix-bounded decidable (Theorem 5.1)" true
+    cell.Classify.decidable;
+  match cell.Classify.fragment with
+  | Classify.Prefix_bounded _ -> ()
+  | f -> Alcotest.failf "expected prefix-bounded, got %s" (Classify.fragment_to_string f)
+
+(* --- golden outputs per pass --------------------------------------------- *)
+
+let test_golden_redundant_text () =
+  let p = fixture "redundant.constraints" in
+  let code, out = run (Printf.sprintf "lint -s %s" (Filename.quote p)) in
+  Alcotest.(check int) "exit 0 (warnings only)" 0 code;
+  let expected =
+    p
+    ^ ": info[PC100] classified: fragment P_w under untyped \
+       (semistructured): decidable (Abiteboul-Vianu, restated in Section \
+       4.2); applicable procedure: PTIME word procedure (pathctl implies)\n"
+    ^ p
+    ^ ": info[PC301] a minimal cover keeps 2 of 3 constraint(s): \
+       book.author -> person; person.wrote -> book\n"
+    ^ p
+    ^ ":6:1: warning[PC300] implied by the rest of Sigma (PTIME word \
+       procedure): removing it preserves the constraint theory\n"
+    ^ "0 error(s), 1 warning(s), 2 info, 0 hint(s)\n"
+  in
+  Alcotest.(check string) "golden text report" expected out
+
+let test_golden_redundant_json () =
+  let p = fixture "redundant.constraints" in
+  let code, out =
+    run (Printf.sprintf "lint -s %s --format json" (Filename.quote p))
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  let expected =
+    Printf.sprintf
+      "{\"code\":\"PC100\",\"severity\":\"info\",\"file\":%S,\"message\":\"classified: \
+       fragment P_w under untyped (semistructured): decidable \
+       (Abiteboul-Vianu, restated in Section 4.2); applicable procedure: \
+       PTIME word procedure (pathctl implies)\"}\n\
+       {\"code\":\"PC301\",\"severity\":\"info\",\"file\":%S,\"message\":\"a minimal \
+       cover keeps 2 of 3 constraint(s): book.author -> person; \
+       person.wrote -> book\"}\n\
+       {\"code\":\"PC300\",\"severity\":\"warning\",\"file\":%S,\"line\":6,\"startColumn\":1,\"endColumn\":26,\"message\":\"implied \
+       by the rest of Sigma (PTIME word procedure): removing it preserves \
+       the constraint theory\"}\n"
+      p p p
+  in
+  Alcotest.(check string) "golden JSON lines" expected out
+
+let test_golden_contradictory_text () =
+  let p = fixture "contradictory.constraints" in
+  let s = fixture "lint.schema" in
+  let code, out =
+    run
+      (Printf.sprintf "lint -s %s --schema %s" (Filename.quote p)
+         (Filename.quote s))
+  in
+  Alcotest.(check int) "exit 1 (errors fired)" 1 code;
+  let expected =
+    p
+    ^ ": info[PC100] classified: fragment P_w under schema of kind M: \
+       decidable (Theorem 4.2); applicable procedure: cubic certified \
+       procedure (pathctl implies-typed)\n"
+    ^ p
+    ^ ": error[PC400] Sigma is unsatisfiable over U(Delta): the congruence \
+       closure forces two paths of different sorts together; every \
+       implication from it holds vacuously\n"
+    ^ p
+    ^ ":4:1: error[PC401] unsatisfiable on its own: it forces two paths of \
+       different sorts to meet\n"
+    ^ "2 error(s), 0 warning(s), 1 info, 0 hint(s)\n"
+  in
+  Alcotest.(check string) "golden text report" expected out
+
+let test_vacuity_codes () =
+  let p = fixture "vacuous.constraints" in
+  let s = fixture "lint.schema" in
+  let code, out =
+    run
+      (Printf.sprintf "lint -s %s --schema %s" (Filename.quote p)
+         (Filename.quote s))
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_codes "vacuity + hygiene codes" out
+    [ ("PC100", 1); ("PC200", 1); ("PC201", 1); ("PC501", 1) ]
+
+let test_duplicates_codes () =
+  let p = fixture "duplicates.constraints" in
+  let code, out = run (Printf.sprintf "lint -s %s" (Filename.quote p)) in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_codes "hygiene codes" out
+    [ ("PC100", 1); ("PC300", 3); ("PC301", 1); ("PC500", 1); ("PC503", 1);
+      ("PC504", 1) ];
+  check_contains out "duplicate of the constraint at line 4"
+
+let test_undecidable_codes () =
+  let p = fixture "undecidable.constraints" in
+  let code, out = run (Printf.sprintf "lint -s %s" (Filename.quote p)) in
+  Alcotest.(check int) "exit 0 (undecidability is a warning)" 0 code;
+  check_contains out "[PC101]";
+  check_contains out "undecidable (Theorem 4.1)";
+  check_contains out "[PC103]";
+  check_contains out "supplying a schema of kind M"
+
+let test_mplus_codes () =
+  let p = fixture "redundant.constraints" in
+  let s = fixture "mplus.schema" in
+  let code, out =
+    run
+      (Printf.sprintf "lint -s %s --schema %s" (Filename.quote p)
+         (Filename.quote s))
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out "[PC102]";
+  check_contains out "(Theorem 5.2)";
+  check_contains out "[PC103]";
+  check_contains out "drop the set type at class Person"
+
+(* --- SARIF ---------------------------------------------------------------- *)
+
+let test_sarif_structure () =
+  let p = fixture "contradictory.constraints" in
+  let s = fixture "lint.schema" in
+  let code, out =
+    run
+      (Printf.sprintf "lint -s %s --schema %s --format sarif"
+         (Filename.quote p) (Filename.quote s))
+  in
+  Alcotest.(check int) "exit 1 in sarif mode too" 1 code;
+  check_contains out "\"version\":\"2.1.0\"";
+  check_contains out "https://json.schemastore.org/sarif-2.1.0.json";
+  check_contains out "\"name\":\"pathctl\"";
+  check_contains out "\"ruleId\":\"PC400\"";
+  check_contains out "\"ruleId\":\"PC401\"";
+  check_contains out "\"level\":\"error\"";
+  check_contains out "\"startLine\":4";
+  check_contains out "physicalLocation";
+  (* every rule of the table is declared exactly once in the driver *)
+  List.iter
+    (fun (code, _, _) -> check_contains out (Printf.sprintf "\"id\":%S" code))
+    Diagnostic.rules
+
+let test_sarif_via_output_flag () =
+  let p = fixture "redundant.constraints" in
+  let out_file = Filename.temp_file "lint" ".sarif" in
+  let code, stdout_text =
+    run
+      (Printf.sprintf "lint -s %s --format sarif -o %s" (Filename.quote p)
+         (Filename.quote out_file))
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check string) "nothing on stdout" "" stdout_text;
+  let out = In_channel.with_open_text out_file In_channel.input_all in
+  Sys.remove out_file;
+  check_contains out "\"ruleId\":\"PC300\"";
+  check_contains out "\"level\":\"warning\""
+
+(* --- redundancy cross-checked against the decision procedures ------------- *)
+
+let drop_nth n l = List.filteri (fun i _ -> i <> n) l
+
+let pc300_lines diags =
+  List.filter_map
+    (fun d ->
+      if d.Diagnostic.code = "PC300" then
+        Option.map (fun s -> s.Span.line) d.Diagnostic.span
+      else None)
+    diags
+
+let test_redundancy_cross_check_untyped () =
+  let p = fixture "redundant.constraints" in
+  let diags = Lint.lint_paths ~sigma_file:p () in
+  let flagged = pc300_lines diags in
+  Alcotest.(check (list int)) "exactly line 6 flagged" [ 6 ] flagged;
+  let spanned =
+    match
+      Parser.constraints_of_string_spanned
+        (In_channel.with_open_text p In_channel.input_all)
+    with
+    | Ok cs -> cs
+    | Error e -> Alcotest.failf "parse: %s" (Parser.error_to_string e)
+  in
+  (* every flagged constraint really is implied by the others, per the
+     independent PTIME word procedure *)
+  List.iter
+    (fun line ->
+      let i =
+        match
+          List.find_index (fun (_, s) -> s.Span.line = line) spanned
+        with
+        | Some i -> i
+        | None -> Alcotest.failf "no constraint on line %d" line
+      in
+      let phi = fst (List.nth spanned i) in
+      let rest = List.map fst (drop_nth i spanned) in
+      match Core.Word_untyped.implies ~sigma:rest phi with
+      | Ok true -> ()
+      | Ok false ->
+          Alcotest.failf "line %d flagged but not implied" line
+      | Error _ -> Alcotest.fail "not a word instance")
+    flagged;
+  (* and the unflagged ones are not removable *)
+  List.iteri
+    (fun i (phi, s) ->
+      if not (List.mem s.Span.line flagged) then
+        match
+          Core.Word_untyped.implies ~sigma:(List.map fst (drop_nth i spanned))
+            phi
+        with
+        | Ok false -> ()
+        | Ok true -> Alcotest.failf "line %d removable but not flagged" s.Span.line
+        | Error _ -> Alcotest.fail "not a word instance")
+    spanned
+
+let test_redundancy_cross_check_typed () =
+  (* the bibliography instance under its M schema: lint's typed
+     redundancy verdicts must agree with Core.Typed_m.implies *)
+  let p = example "bibliography.constraints" in
+  let s = example "bibliography.schema" in
+  let diags = Lint.lint_paths ~schema_file:s ~sigma_file:p () in
+  let flagged = pc300_lines diags in
+  Alcotest.(check bool) "some redundancy found" true (flagged <> []);
+  let schema =
+    mschema_of_string (In_channel.with_open_text s In_channel.input_all)
+  in
+  let spanned =
+    match
+      Parser.constraints_of_string_spanned
+        (In_channel.with_open_text p In_channel.input_all)
+    with
+    | Ok cs -> cs
+    | Error e -> Alcotest.failf "parse: %s" (Parser.error_to_string e)
+  in
+  List.iteri
+    (fun i (phi, sp) ->
+      let rest = List.map fst (drop_nth i spanned) in
+      match Core.Typed_m.implies schema ~sigma:rest ~phi with
+      | Ok expected ->
+          Alcotest.(check bool)
+            (Printf.sprintf "line %d agrees with Typed_m" sp.Span.line)
+            expected
+            (List.mem sp.Span.line flagged)
+      | Error e -> Alcotest.failf "Typed_m: %s" e)
+    spanned
+
+(* --- hardening: lint respects its budget ---------------------------------- *)
+
+let test_timeout_respected () =
+  (* a full-P_c instance (backward constraints force the budgeted chase
+     for redundancy) with a tiny deadline: lint must return promptly and
+     cleanly rather than chase to completion *)
+  let lines =
+    List.init 8 (fun i ->
+        Printf.sprintf "book%d.author -> person%d\nbook%d : author <- wrote\n"
+          i i i)
+  in
+  let sigma = write_temp ".constraints" (String.concat "" lines) in
+  let t0 = Core.Engine.now_ns () in
+  let code, out =
+    run
+      (Printf.sprintf "lint -s %s --timeout 0.2 --max-steps 64"
+         (Filename.quote sigma))
+  in
+  let elapsed_s =
+    Int64.to_float (Int64.sub (Core.Engine.now_ns ()) t0) /. 1e9
+  in
+  Sys.remove sigma;
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out "[PC100]";
+  (* generous bound: well under the unbudgeted cost of 16 chase calls,
+     but tolerant of slow CI machines *)
+  Alcotest.(check bool)
+    (Printf.sprintf "terminates promptly (%.1fs)" elapsed_s)
+    true (elapsed_s < 30.)
+
+(* --- parse errors surface as diagnostics ---------------------------------- *)
+
+let test_parse_error_diagnostics () =
+  let bad = write_temp ".constraints" "book..author -> person\n" in
+  let code, out = run (Printf.sprintf "lint -s %s" (Filename.quote bad)) in
+  Alcotest.(check int) "exit 1" 1 code;
+  check_contains out ":1:6: error[PC001]";
+  let code, out =
+    run (Printf.sprintf "lint -s %s --format json" (Filename.quote bad))
+  in
+  Alcotest.(check int) "exit 1 in json mode" 1 code;
+  check_contains out "\"code\":\"PC001\"";
+  check_contains out "\"severity\":\"error\"";
+  Sys.remove bad;
+  let bad_schema = write_temp ".schema" "kind Q\nclass A = [ x: int ]\n" in
+  let good = write_temp ".constraints" "a.b -> c\n" in
+  let code, out =
+    run
+      (Printf.sprintf "lint -s %s --schema %s" (Filename.quote good)
+         (Filename.quote bad_schema))
+  in
+  Alcotest.(check int) "schema error exits 1" 1 code;
+  check_contains out "[PC002]";
+  Sys.remove bad_schema;
+  Sys.remove good
+
+(* --- acceptance: clean on the pre-existing example inputs ------------------ *)
+
+let test_clean_on_existing_examples () =
+  let check_clean args =
+    let code, out = run ("lint " ^ args) in
+    Alcotest.(check int) (Printf.sprintf "lint %s exits 0" args) 0 code;
+    check_contains out "0 error(s)"
+  in
+  check_clean (Printf.sprintf "-s %s" (Filename.quote (example "bibliography.constraints")));
+  check_clean
+    (Printf.sprintf "-s %s --schema %s"
+       (Filename.quote (example "bibliography.constraints"))
+       (Filename.quote (example "bibliography.schema")));
+  check_clean (Printf.sprintf "-s %s" (Filename.quote (example "sigma0.constraints")));
+  check_clean (Printf.sprintf "-s %s" (Filename.quote (example "constraints.xml")))
+
+(* --- diagnostics core ------------------------------------------------------ *)
+
+let test_render_ordering_and_summary () =
+  let d1 =
+    Diagnostic.make ~code:"PC300" ~severity:Diagnostic.Warning ~file:"f"
+      ~span:(Span.v ~line:3 ~start_col:1 ~end_col:5)
+      "later line"
+  in
+  let d2 =
+    Diagnostic.make ~code:"PC100" ~severity:Diagnostic.Info ~file:"f"
+      "file-level first"
+  in
+  let d3 =
+    Diagnostic.make ~code:"PC500" ~severity:Diagnostic.Warning ~file:"f"
+      ~span:(Span.v ~line:2 ~start_col:4 ~end_col:9)
+      "earlier line"
+  in
+  let expected =
+    "f: info[PC100] file-level first\n\
+     f:2:4: warning[PC500] earlier line\n\
+     f:3:1: warning[PC300] later line\n\
+     0 error(s), 2 warning(s), 1 info, 0 hint(s)\n"
+  in
+  Alcotest.(check string) "sorted text render" expected
+    (Diagnostic.render_text [ d1; d2; d3 ]);
+  Alcotest.(check bool) "no errors" false
+    (Diagnostic.has_errors [ d1; d2; d3 ]);
+  let json = Diagnostic.render_json [ d3 ] in
+  Alcotest.(check string) "json line"
+    "{\"code\":\"PC500\",\"severity\":\"warning\",\"file\":\"f\",\"line\":2,\"startColumn\":4,\"endColumn\":9,\"message\":\"earlier line\"}\n"
+    json;
+  Alcotest.check_raises "unknown codes are rejected"
+    (Invalid_argument "Diagnostic.make: unknown code PC999") (fun () ->
+      ignore
+        (Diagnostic.make ~code:"PC999" ~severity:Diagnostic.Error ~file:"f"
+           "nope"))
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "parser errors carry line/col/token" `Quick
+            test_parser_error_spans;
+          Alcotest.test_case "schema parser errors carry line/col/token" `Quick
+            test_schema_parser_error_spans;
+          Alcotest.test_case "spanned parse keeps physical lines" `Quick
+            test_spanned_parse_roundtrip;
+        ] );
+      ( "fragment",
+        [
+          Alcotest.test_case "errors_all returns every offender" `Quick
+            test_errors_all;
+          Alcotest.test_case "Table 1 cells" `Quick test_classifier_cells;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "redundant fixture, text" `Quick
+            test_golden_redundant_text;
+          Alcotest.test_case "redundant fixture, json" `Quick
+            test_golden_redundant_json;
+          Alcotest.test_case "contradictory fixture, text" `Quick
+            test_golden_contradictory_text;
+          Alcotest.test_case "vacuous fixture codes" `Quick test_vacuity_codes;
+          Alcotest.test_case "duplicates fixture codes" `Quick
+            test_duplicates_codes;
+          Alcotest.test_case "undecidable fixture codes" `Quick
+            test_undecidable_codes;
+          Alcotest.test_case "M+ fixture codes" `Quick test_mplus_codes;
+        ] );
+      ( "sarif",
+        [
+          Alcotest.test_case "document structure" `Quick test_sarif_structure;
+          Alcotest.test_case "-o writes the report" `Quick
+            test_sarif_via_output_flag;
+        ] );
+      ( "redundancy",
+        [
+          Alcotest.test_case "cross-check vs word procedure" `Quick
+            test_redundancy_cross_check_untyped;
+          Alcotest.test_case "cross-check vs typed-M procedure" `Quick
+            test_redundancy_cross_check_typed;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "lint respects --timeout" `Quick
+            test_timeout_respected;
+          Alcotest.test_case "parse errors become diagnostics" `Quick
+            test_parse_error_diagnostics;
+          Alcotest.test_case "clean on the shipped examples" `Quick
+            test_clean_on_existing_examples;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "ordering, summary, json, validation" `Quick
+            test_render_ordering_and_summary;
+        ] );
+    ]
