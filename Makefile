@@ -1,6 +1,6 @@
 # Convenience wrapper around dune.
 
-.PHONY: all build test check bench fmt clean lint
+.PHONY: all build test check bench bench-check profile fmt clean lint
 
 all: build
 
@@ -17,6 +17,18 @@ check:
 
 bench:
 	dune exec bench/main.exe
+
+# the CI bench gate, locally: quick timing sweep -> BENCH_table1.json,
+# validated and compared against the checked-in baseline
+bench-check:
+	dune exec bench/main.exe -- timing --quick -o BENCH_table1.json
+	dune exec bench/check_bench.exe -- BENCH_table1.json bench/baseline_table1.json
+
+# span/counter attribution for the chase on the shipped bibliography
+# example (see DESIGN.md section 9)
+profile: build
+	dune exec bin/pathctl.exe -- profile --workload chase \
+	  -s examples/data/sigma0.constraints "book.ref.author -> person" -n 20
 
 # dogfood the static analyzer over the shipped examples (text report;
 # warnings are expected on the deliberately-bad lint fixtures, errors

@@ -35,29 +35,56 @@ let sub title = Printf.printf "\n-- %s --\n" title
 (* Timing helpers (bechamel)                                            *)
 (* ------------------------------------------------------------------ *)
 
-let time_ns ?(quota = 0.3) fn =
+(* --quick (CI) shrinks the measurement quota and the sweep sizes;
+   -o/--output picks where [timing] writes its machine-readable table *)
+let quick = ref false
+let out_path = ref "BENCH_table1.json"
+
+type measured = { wall_ns : float; minor_words : float }
+
+(* One bechamel run measuring wall-clock and minor-heap allocation
+   together; each estimate is the OLS slope against the iteration
+   count. *)
+let measure ?(quota = 0.3) fn =
   let open Bechamel in
+  let quota = if !quick then Float.min quota 0.05 else quota in
   let test = Test.make ~name:"t" (Staged.stage fn) in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None ()
   in
   let results =
-    Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test
+    Benchmark.all cfg
+      Toolkit.Instance.[ monotonic_clock; minor_allocated ]
+      test
   in
-  let ols =
-    Analyze.all
-      (Analyze.ols ~r_square:false ~bootstrap:0
-         ~predictors:[| Measure.run |])
-      Toolkit.Instance.monotonic_clock results
+  let est instance =
+    let ols =
+      Analyze.all
+        (Analyze.ols ~r_square:false ~bootstrap:0
+           ~predictors:[| Measure.run |])
+        instance results
+    in
+    let acc = ref nan in
+    Hashtbl.iter
+      (fun _ v ->
+        match Analyze.OLS.estimates v with
+        | Some [ e ] -> acc := e
+        | _ -> ())
+      ols;
+    !acc
   in
-  let acc = ref nan in
-  Hashtbl.iter
-    (fun _ v ->
-      match Analyze.OLS.estimates v with
-      | Some [ e ] -> acc := e
-      | _ -> ())
-    ols;
-  !acc
+  {
+    wall_ns = est Toolkit.Instance.monotonic_clock;
+    minor_words = est Toolkit.Instance.minor_allocated;
+  }
+
+let time_ns ?quota fn = (measure ?quota fn).wall_ns
+
+let pp_words w =
+  if Float.is_nan w then "n/a"
+  else if w < 1e3 then Printf.sprintf "%.0f w" w
+  else if w < 1e6 then Printf.sprintf "%.1f kw" (w /. 1e3)
+  else Printf.sprintf "%.2f Mw" (w /. 1e6)
 
 let pp_ns ns =
   if Float.is_nan ns then "n/a"
@@ -374,20 +401,90 @@ let sweep name sizes f =
   let points =
     List.map
       (fun n ->
-        let t = f n in
-        Printf.printf "  n = %4d   %s\n" n (pp_ns t);
-        (n, t))
+        let m = f n in
+        Printf.printf "  n = %4d   %10s   %12s allocated\n" n (pp_ns m.wall_ns)
+          (pp_words m.minor_words);
+        (n, m))
       sizes
   in
-  Printf.printf "  empirical exponent (log-log slope): %.2f\n"
-    (fitted_exponent points)
+  let exponent =
+    fitted_exponent (List.map (fun (n, m) -> (n, m.wall_ns)) points)
+  in
+  Printf.printf "  empirical exponent (log-log slope): %.2f\n" exponent;
+  (points, exponent)
+
+(* --- machine-readable Table 1 cells (BENCH_table1.json) ----------------- *)
+
+type cell = {
+  cell_name : string;  (** stable id, matched by the regression gate *)
+  claim : string;  (** the complexity claim from the paper's Table 1 *)
+  points : (int * measured) list;
+  exponent : float;
+  counters : (string * int) list;
+}
+
+let cells : cell list ref = ref []
+
+(* A decidable-cell sweep: counters on and zeroed around the sweep so the
+   cell record carries total procedure work alongside wall-clock. *)
+let record_cell ~cell_name ~claim name sizes f =
+  let was_enabled = Obs.enabled () in
+  Obs.enable ();
+  Obs.reset ();
+  let points, exponent = sweep name sizes f in
+  let counters = Obs.Counter.snapshot () in
+  Obs.reset ();
+  if not was_enabled then Obs.disable ();
+  cells := { cell_name; claim; points; exponent; counters } :: !cells
+
+let cell_json c =
+  Obs.Json.Obj
+    [
+      ("cell", Obs.Json.String c.cell_name);
+      ("claim", Obs.Json.String c.claim);
+      ( "sizes",
+        Obs.Json.List (List.map (fun (n, _) -> Obs.Json.Int n) c.points) );
+      ( "wall_ns",
+        Obs.Json.List
+          (List.map (fun (_, m) -> Obs.Json.Float m.wall_ns) c.points) );
+      ( "minor_words",
+        (* OLS can estimate epsilon-negative slopes on alloc-free runs *)
+        Obs.Json.List
+          (List.map
+             (fun (_, m) -> Obs.Json.Float (Float.max 0. m.minor_words))
+             c.points) );
+      ("exponent", Obs.Json.Float c.exponent);
+      ( "counters",
+        Obs.Json.Obj
+          (List.map (fun (k, v) -> (k, Obs.Json.Int v)) c.counters) );
+    ]
+
+let write_table1_json path =
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema_version", Obs.Json.Int 1);
+        ("quick", Obs.Json.Bool !quick);
+        ("cells", Obs.Json.List (List.rev_map cell_json !cells));
+      ]
+  in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Obs.Json.to_string doc);
+      Out_channel.output_char oc '\n');
+  Printf.printf "\nwrote %s (%d cells)\n" path (List.length !cells)
 
 let timing () =
   section "Timing: complexity shapes of the decidable cells";
   let rng0 = rng () in
+  let shrink sizes =
+    if !quick then
+      List.filteri (fun i _ -> i < 3) sizes
+    else sizes
+  in
 
-  sweep "word constraint implication (PTIME claim), |Sigma| = n"
-    [ 4; 8; 16; 32; 64 ]
+  record_cell ~cell_name:"untyped-word-ptime" ~claim:"PTIME"
+    "word constraint implication (PTIME claim), |Sigma| = n"
+    (shrink [ 4; 8; 16; 32; 64 ])
     (fun n ->
       let labels = Sgraph.Gen.alphabet 4 in
       let sigma =
@@ -401,10 +498,11 @@ let timing () =
         | [ c ] -> c
         | _ -> assert false
       in
-      time_ns (fun () -> ignore (Core.Word_untyped.implies ~sigma phi)));
+      measure (fun () -> ignore (Core.Word_untyped.implies ~sigma phi)));
 
-  sweep "P_c implication under M (cubic claim), |Sigma| = n"
-    [ 4; 8; 16; 32; 64 ]
+  record_cell ~cell_name:"m-cubic-certified" ~claim:"cubic"
+    "P_c implication under M (cubic claim), |Sigma| = n"
+    (shrink [ 4; 8; 16; 32; 64 ])
     (fun n ->
       let schema = Mschema.random_m ~rng:rng0 ~classes:6 ~fields:3 ~atoms:2 in
       let sigma =
@@ -417,10 +515,11 @@ let timing () =
         | [ c ] -> c
         | _ -> assert false
       in
-      time_ns (fun () -> ignore (Core.Typed_m.decide schema ~sigma ~phi)));
+      measure (fun () -> ignore (Core.Typed_m.decide schema ~sigma ~phi)));
 
-  sweep "local extent implication (PTIME claim), |Sigma_K| = n"
-    [ 4; 8; 16; 32 ]
+  record_cell ~cell_name:"untyped-local-extent" ~claim:"PTIME"
+    "local extent implication (PTIME claim), |Sigma_K| = n"
+    (shrink [ 4; 8; 16; 32 ])
     (fun n ->
       let labels = Sgraph.Gen.alphabet 4 in
       let k = Label.make "K" in
@@ -439,7 +538,7 @@ let timing () =
              (Sgraph.Gen.random_word_constraints ~rng:rng0 ~count:1 ~max_len:4
                 ~labels))
       in
-      time_ns (fun () ->
+      measure (fun () ->
           ignore (Core.Local_extent.implies ~alpha:Path.empty ~k ~sigma ~phi)));
 
   section "Ablations";
@@ -501,28 +600,38 @@ let timing () =
   Printf.printf "  figure4 (|M| = 5)    : %s\n"
     (pp_ns (time_ns (fun () -> ignore (Core.Encode_mplus.figure4 enc h))));
 
-  sweep "figure 2 construction, |M| = n (cyclic groups)" [ 3; 7; 15; 31 ]
-    (fun n ->
-      let h = Hom.make (Monoid.Finite_monoid.cyclic n) [ (Label.make "a", 1) ] in
-      time_ns (fun () -> ignore (Core.Encode_pwk.figure2 h)));
+  ignore
+    (sweep "figure 2 construction, |M| = n (cyclic groups)"
+       (shrink [ 3; 7; 15; 31 ])
+       (fun n ->
+         let h =
+           Hom.make (Monoid.Finite_monoid.cyclic n) [ (Label.make "a", 1) ]
+         in
+         measure (fun () -> ignore (Core.Encode_pwk.figure2 h))));
 
-  sweep "figure 4 construction + validation, |M| = n" [ 3; 7; 15; 31 ]
-    (fun n ->
-      let h = Hom.make (Monoid.Finite_monoid.cyclic n) [ (Label.make "a", 1) ] in
-      let enc_n = Core.Encode_mplus.encode (Monoid.Examples.cyclic n) in
-      time_ns (fun () ->
-          let t = Core.Encode_mplus.figure4 enc_n h in
-          ignore (Typecheck.validate enc_n.Core.Encode_mplus.schema t)));
+  ignore
+    (sweep "figure 4 construction + validation, |M| = n"
+       (shrink [ 3; 7; 15; 31 ])
+       (fun n ->
+         let h =
+           Hom.make (Monoid.Finite_monoid.cyclic n) [ (Label.make "a", 1) ]
+         in
+         let enc_n = Core.Encode_mplus.encode (Monoid.Examples.cyclic n) in
+         measure (fun () ->
+             let t = Core.Encode_mplus.figure4 enc_n h in
+             ignore (Typecheck.validate enc_n.Core.Encode_mplus.schema t))));
 
-  sweep "model checking all 5 Section-1 constraints, n books" [ 100; 400; 1600 ]
-    (fun n ->
-      let g =
-        Xmlrep.Bib.synthetic ~rng:rng0 ~books:n ~persons:(max 1 (n / 3))
-      in
-      let cs =
-        Xmlrep.Bib.extent_constraints () @ Xmlrep.Bib.inverse_constraints ()
-      in
-      time_ns (fun () -> ignore (Check.holds_all g cs)));
+  ignore
+    (sweep "model checking all 5 Section-1 constraints, n books"
+       (if !quick then [ 100; 200 ] else [ 100; 400; 1600 ])
+       (fun n ->
+         let g =
+           Xmlrep.Bib.synthetic ~rng:rng0 ~books:n ~persons:(max 1 (n / 3))
+         in
+         let cs =
+           Xmlrep.Bib.extent_constraints () @ Xmlrep.Bib.inverse_constraints ()
+         in
+         measure (fun () -> ignore (Check.holds_all g cs))));
 
   sub "path indexes on Penn-bib (build time and size)";
   let penn = Xmlrep.Bib.penn_bib () in
@@ -571,7 +680,9 @@ let timing () =
     (pp_ns (time_ns (fun () -> ignore (Core.Word_untyped.implies ~sigma:d_sigma d_phi))));
   Printf.printf "  decide + certificate : %s\n"
     (pp_ns
-       (time_ns (fun () -> ignore (Core.Word_untyped.derivation ~sigma:d_sigma d_phi))))
+       (time_ns (fun () -> ignore (Core.Word_untyped.derivation ~sigma:d_sigma d_phi))));
+
+  write_table1_json !out_path
 
 (* ------------------------------------------------------------------ *)
 (* Raw bechamel suite: one Test.make per reproduced artifact           *)
@@ -663,15 +774,31 @@ let raw () =
     (List.sort compare rows)
 
 let () =
-  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  (match what with
-  | "table1" -> table1 ()
-  | "figures" -> figures ()
-  | "timing" -> timing ()
-  | "raw" -> raw ()
-  | "all" | _ ->
-      table1 ();
-      figures ();
-      timing ();
-      raw ());
+  let rec parse sections = function
+    | [] -> List.rev sections
+    | "--quick" :: rest ->
+        quick := true;
+        parse sections rest
+    | ("-o" | "--output") :: path :: rest ->
+        out_path := path;
+        parse sections rest
+    | s :: rest -> parse (s :: sections) rest
+  in
+  let sections =
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> [ "all" ]
+    | l -> l
+  in
+  List.iter
+    (function
+      | "table1" -> table1 ()
+      | "figures" -> figures ()
+      | "timing" -> timing ()
+      | "raw" -> raw ()
+      | "all" | _ ->
+          table1 ();
+          figures ();
+          timing ();
+          raw ())
+    sections;
   Printf.printf "\ndone.\n"

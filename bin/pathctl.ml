@@ -43,6 +43,53 @@ let load_graph path =
 
 let parse_constraint s = Pathlang.Parser.constraint_of_string s
 
+(* --- observability ---------------------------------------------------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON trace of this run to $(docv); \
+           load it in chrome://tracing or Perfetto (ui.perfetto.dev).")
+
+let stats_fmt = Arg.enum [ ("text", `Text); ("json", `Json) ]
+
+let stats_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some `Text) (some stats_fmt) None
+    & info [ "stats" ] ~docv:"FMT"
+        ~doc:
+          "Print counters and per-span timing to standard error after the \
+           run: an aligned $(b,text) table (the default) or one $(b,json) \
+           object.")
+
+(* Instrumentation bracket: enable the requested observability, run [f]
+   under a root span, then flush the trace file and the stats before
+   handing back [f]'s result.  Commands that want a non-zero exit status
+   return it from [f] — calling [exit] inside would skip the flush.
+   [always] keeps counters on even without --stats, so that exhaustion
+   diagnostics can report what the budget was spent on. *)
+let with_obs ~cmd ?(always = false) ~trace ~stats f =
+  if trace <> None then Obs.enable_tracing ()
+  else if always || stats <> None then Obs.enable ();
+  let finish () =
+    Option.iter Obs.Trace.write_chrome trace;
+    match stats with
+    | Some `Text -> prerr_string (Obs.Stats.to_text ())
+    | Some `Json -> prerr_endline (Obs.Json.to_string (Obs.Stats.to_json ()))
+    | None -> ()
+  in
+  match Obs.Span.with_ ("pathctl." ^ cmd) f with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
 (* --- common arguments ------------------------------------------------ *)
 
 let graph_arg =
@@ -74,34 +121,39 @@ let check_cmd =
       & info [ "max-violations" ] ~docv:"N"
           ~doc:"Print at most $(docv) violating pairs per failing constraint.")
   in
-  let run graph_file sigma_file max_violations =
+  let run graph_file sigma_file max_violations trace stats =
     match (load_graph graph_file, load_constraints sigma_file) with
     | Error m, _ | _, Error m -> die "%s" m
     | Ok g, Ok sigma ->
-        let ok = ref true in
-        List.iter
-          (fun c ->
-            let holds = Sgraph.Check.holds g c in
-            if not holds then ok := false;
-            Printf.printf "%-50s %s\n" (Pathlang.Constr.to_string c)
-              (if holds then "holds" else "FAILS");
-            if not holds then begin
-              let violations = Sgraph.Check.violations g c in
-              List.iteri
-                (fun i (x, y) ->
-                  if i < max_violations then
-                    Printf.printf "    violated at (x=%d, y=%d)\n" x y)
-                violations;
-              let total = List.length violations in
-              if total > max_violations then
-                Printf.printf "    (… and %d more)\n" (total - max_violations)
-            end)
-          sigma;
-        if !ok then `Ok () else `Error (false, "some constraints fail")
+        with_obs ~cmd:"check" ~trace ~stats (fun () ->
+            let ok = ref true in
+            List.iter
+              (fun c ->
+                let holds = Sgraph.Check.holds g c in
+                if not holds then ok := false;
+                Printf.printf "%-50s %s\n" (Pathlang.Constr.to_string c)
+                  (if holds then "holds" else "FAILS");
+                if not holds then begin
+                  let violations = Sgraph.Check.violations g c in
+                  List.iteri
+                    (fun i (x, y) ->
+                      if i < max_violations then
+                        Printf.printf "    violated at (x=%d, y=%d)\n" x y)
+                    violations;
+                  let total = List.length violations in
+                  if total > max_violations then
+                    Printf.printf "    (… and %d more)\n"
+                      (total - max_violations)
+                end)
+              sigma;
+            if !ok then `Ok () else `Error (false, "some constraints fail"))
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Model-check constraints against a graph")
-    Term.(ret (const run $ graph_arg $ sigma_arg $ max_violations_arg))
+    Term.(
+      ret
+        (const run $ graph_arg $ sigma_arg $ max_violations_arg $ trace_arg
+       $ stats_arg))
 
 (* --- implies (word, untyped) ------------------------------------------- *)
 
@@ -297,40 +349,46 @@ let chase_cmd =
              step/node budgets (64, 256, ... up to ~1M) instead of one \
              fixed shot; all rounds share the deadline.")
   in
-  let run sigma_file phi steps nodes timeout escalate =
+  let run sigma_file phi steps nodes timeout escalate trace stats =
     match (load_constraints sigma_file, parse_constraint phi) with
     | Error m, _ | _, Error m -> die "%s" m
     | Ok sigma, Ok phi ->
-        let cancel = Core.Engine.Cancel.create () in
-        let verdict =
-          Core.Engine.Cancel.with_sigint cancel (fun () ->
-              if escalate then
-                Core.Semidecide.implies_escalating ~timeout ~cancel ~sigma phi
-              else
-                let budget =
-                  Core.Engine.Budget.v ~max_steps:steps
-                    ~max_nodes:(Option.value nodes ~default:steps)
-                    ~timeout ~cancel ()
-                in
-                Core.Semidecide.implies ~ctl:(Core.Engine.start budget) ~sigma
-                  phi)
+        (* counters stay on even without --stats so an Unknown verdict
+           can say what the budget was spent on *)
+        let code =
+          with_obs ~cmd:"chase" ~always:true ~trace ~stats (fun () ->
+              let cancel = Core.Engine.Cancel.create () in
+              let verdict =
+                Core.Engine.Cancel.with_sigint cancel (fun () ->
+                    if escalate then
+                      Core.Semidecide.implies_escalating ~timeout ~cancel
+                        ~sigma phi
+                    else
+                      let budget =
+                        Core.Engine.Budget.v ~max_steps:steps
+                          ~max_nodes:(Option.value nodes ~default:steps)
+                          ~timeout ~cancel ()
+                      in
+                      Core.Semidecide.implies ~ctl:(Core.Engine.start budget)
+                        ~sigma phi)
+              in
+              (* exit codes: 0 implied, 1 refuted, 2 unknown/exhausted,
+                 130 interrupted (128 + SIGINT) *)
+              match verdict with
+              | Core.Verdict.Implied ->
+                  print_endline "implied";
+                  0
+              | Core.Verdict.Refuted g ->
+                  let g = Core.Minimize.countermodel g ~sigma ~phi in
+                  Printf.printf "refuted; minimal countermodel:\n%s"
+                    (Sgraph.Io.to_string g);
+                  1
+              | Core.Verdict.Unknown e ->
+                  Format.printf "unknown: %a@." Core.Verdict.pp_exhaustion e;
+                  if e.Core.Verdict.reason = Core.Verdict.Cancelled then 130
+                  else 2)
         in
-        (* exit codes: 0 implied, 1 refuted, 2 unknown/exhausted,
-           130 interrupted (128 + SIGINT) *)
-        (match verdict with
-        | Core.Verdict.Implied ->
-            print_endline "implied";
-            exit 0
-        | Core.Verdict.Refuted g ->
-            let g = Core.Minimize.countermodel g ~sigma ~phi in
-            Printf.printf "refuted; minimal countermodel:\n%s"
-              (Sgraph.Io.to_string g);
-            exit 1
-        | Core.Verdict.Unknown e ->
-            Format.printf "unknown: %a@." Core.Verdict.pp_exhaustion e;
-            exit
-              (if e.Core.Verdict.reason = Core.Verdict.Cancelled then 130
-               else 2))
+        exit code
   in
   Cmd.v
     (Cmd.info "chase"
@@ -342,7 +400,7 @@ let chase_cmd =
     Term.(
       ret
         (const run $ sigma_arg $ phi_arg $ steps_arg $ nodes_arg $ timeout_arg
-       $ escalate_arg))
+       $ escalate_arg $ trace_arg $ stats_arg))
 
 (* --- encode ---------------------------------------------------------------------- *)
 
@@ -772,30 +830,44 @@ let lint_cmd =
       & info [ "max-steps" ] ~docv:"N"
           ~doc:"Step/node budget per best-effort chase call.")
   in
-  let run sigma_file schema_file phi format output timeout steps =
-    let cancel = Core.Engine.Cancel.create () in
-    let budget =
-      Core.Engine.Budget.v ~max_steps:steps ~max_nodes:steps ~timeout ~cancel
-        ()
+  let run sigma_file schema_file phi format output timeout steps trace stats =
+    let code =
+      with_obs ~cmd:"lint" ~always:true ~trace ~stats (fun () ->
+          let cancel = Core.Engine.Cancel.create () in
+          let budget =
+            Core.Engine.Budget.v ~max_steps:steps ~max_nodes:steps ~timeout
+              ~cancel ()
+          in
+          let diags =
+            Core.Engine.Cancel.with_sigint cancel (fun () ->
+                Analysis.Lint.lint_paths ~budget ?schema_file ?phi ~sigma_file
+                  ())
+          in
+          let rendered =
+            match format with
+            | `Text -> Analysis.Diagnostic.render_text diags
+            | `Json -> Analysis.Diagnostic.render_json diags
+            | `Sarif -> Analysis.Diagnostic.render_sarif diags
+          in
+          (match output with
+          | None -> print_string rendered
+          | Some file ->
+              Out_channel.with_open_text file (fun oc ->
+                  Out_channel.output_string oc rendered));
+          if
+            stats <> None
+            && List.exists
+                 (fun d -> d.Analysis.Diagnostic.code = "PC302")
+                 diags
+          then
+            prerr_endline
+              "lint: warning: the redundancy pass was truncated by its \
+               budget (PC302); its timings below are a lower bound";
+          (* exit codes: 0 clean (warnings allowed), 1 some error-severity
+             diagnostic fired *)
+          if Analysis.Diagnostic.has_errors diags then 1 else 0)
     in
-    let diags =
-      Core.Engine.Cancel.with_sigint cancel (fun () ->
-          Analysis.Lint.lint_paths ~budget ?schema_file ?phi ~sigma_file ())
-    in
-    let rendered =
-      match format with
-      | `Text -> Analysis.Diagnostic.render_text diags
-      | `Json -> Analysis.Diagnostic.render_json diags
-      | `Sarif -> Analysis.Diagnostic.render_sarif diags
-    in
-    (match output with
-    | None -> print_string rendered
-    | Some file ->
-        Out_channel.with_open_text file (fun oc ->
-            Out_channel.output_string oc rendered));
-    (* exit codes: 0 clean (warnings allowed), 1 some error-severity
-       diagnostic fired *)
-    exit (if Analysis.Diagnostic.has_errors diags then 1 else 0)
+    exit code
   in
   Cmd.v
     (Cmd.info "lint"
@@ -807,9 +879,154 @@ let lint_cmd =
           form. Exits 1 iff an error-severity diagnostic fired.")
     Term.(
       ret
-        (const (fun a b c d e f g -> `Ok (run a b c d e f g))
+        (const (fun a b c d e f g h i -> `Ok (run a b c d e f g h i))
         $ sigma_arg $ schema_opt_arg $ phi_opt_arg $ format_arg $ output_arg
-        $ timeout_arg $ steps_arg))
+        $ timeout_arg $ steps_arg $ trace_arg $ stats_arg))
+
+(* --- profile --------------------------------------------------------------------- *)
+
+let profile_cmd =
+  let runs_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "runs"; "n" ] ~docv:"N"
+          ~doc:"Number of repetitions (default 10).")
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("chase", `Chase);
+               ("word", `Word);
+               ("lint", `Lint);
+               ("compare", `Compare);
+             ])
+          `Chase
+      & info [ "workload" ] ~docv:"KIND"
+          ~doc:
+            "What to run: the budgeted $(b,chase), the PTIME $(b,word) \
+             procedure, the $(b,lint) analysis, or $(b,compare) (every \
+             applicable procedure).")
+  in
+  let schema_opt_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "schema" ] ~docv:"FILE"
+          ~doc:"Optional schema, used by the lint and compare workloads.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt stats_fmt `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Report format: $(b,text) (default) or $(b,json).")
+  in
+  let phi_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"PHI"
+          ~doc:
+            "The goal constraint, in concrete syntax (optional for the lint \
+             workload).")
+  in
+  let run sigma_file phi_src schema_file runs workload format trace =
+    if runs <= 0 then die "--runs must be positive"
+    else
+      let phi_result =
+        (* lint profiles the whole file; the other workloads decide one
+           implication and need a goal *)
+        match (workload, phi_src) with
+        | `Lint, _ -> Ok None
+        | _, None ->
+            Error
+              "this workload needs a goal constraint PHI (only the lint \
+               workload runs without one)"
+        | _, Some src -> Result.map Option.some (parse_constraint src)
+      in
+      match (load_constraints sigma_file, phi_result) with
+      | Error m, _ | _, Error m -> die "%s" m
+      | Ok sigma, Ok phi_opt -> (
+          let phi () = Option.get phi_opt in
+          let schema_result =
+            match schema_file with
+            | None -> Ok None
+            | Some f -> Result.map Option.some (Schema.Schema_parser.load f)
+          in
+          match schema_result with
+          | Error m -> die "%s" m
+          | Ok schema -> (
+              let job_result =
+                match workload with
+                | `Chase ->
+                    let phi = phi () in
+                    Ok
+                      (fun () ->
+                        ignore
+                          (Core.Semidecide.implies
+                             ~ctl:
+                               (Core.Engine.start Core.Engine.Budget.default)
+                             ~sigma phi))
+                | `Word -> (
+                    let phi = phi () in
+                    match Core.Word_untyped.implies ~sigma phi with
+                    | Error (Core.Word_untyped.Not_word_constraint c) ->
+                        Error
+                          (Format.asprintf
+                             "not a word constraint: %a (pick another \
+                              --workload)"
+                             Pathlang.Constr.pp c)
+                    | Ok _ ->
+                        Ok
+                          (fun () ->
+                            ignore (Core.Word_untyped.implies ~sigma phi)))
+                | `Compare ->
+                    let phi = phi () in
+                    Ok
+                      (fun () ->
+                        ignore (Core.Interaction.compare ?schema ~sigma phi))
+                | `Lint ->
+                    Ok
+                      (fun () ->
+                        ignore
+                          (Analysis.Lint.lint_paths ?schema_file ?phi:phi_src
+                             ~sigma_file ()))
+              in
+              match job_result with
+              | Error m -> die "%s" m
+              | Ok job ->
+                  if trace <> None then Obs.enable_tracing ()
+                  else Obs.enable ();
+                  Obs.reset ();
+                  for i = 1 to runs do
+                    Obs.Span.with_ "pathctl.profile.run"
+                      ~args:[ ("run", string_of_int i) ]
+                      job
+                  done;
+                  Option.iter Obs.Trace.write_chrome trace;
+                  (match format with
+                  | `Text ->
+                      Printf.printf "profile: %d run(s)\n\n" runs;
+                      print_string (Obs.Stats.to_text ())
+                  | `Json ->
+                      print_endline
+                        (Obs.Json.to_string (Obs.Stats.to_json ())));
+                  `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one implication workload N times under full instrumentation \
+          and print a phase-attribution table (per-span wall-clock and self \
+          time, counters); --trace additionally captures a Chrome trace of \
+          all runs.")
+    Term.(
+      ret
+        (const run $ sigma_arg $ phi_opt_arg $ schema_opt_arg $ runs_arg
+       $ workload_arg $ format_arg $ trace_arg))
 
 (* --- main ------------------------------------------------------------------------ *)
 
@@ -840,4 +1057,5 @@ let () =
             index_cmd;
             odl_cmd;
             lint_cmd;
+            profile_cmd;
           ]))

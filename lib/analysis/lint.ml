@@ -12,29 +12,49 @@ type input = {
 
 let run ?budget input =
   let { sigma_file; sigma; schema; schema_file; schema_spans; phi } = input in
+  let pass name f = Obs.Span.with_ ("lint." ^ name) f in
   let classify =
-    Classify.run ~sigma_file ?schema ?schema_file ?schema_spans ?phi sigma
+    pass "classify" (fun () ->
+        Classify.run ~sigma_file ?schema ?schema_file ?schema_spans ?phi sigma)
   in
   let vacuity =
-    match schema with
-    | Some schema -> Passes.vacuity ~sigma_file ~schema sigma
-    | None -> []
+    pass "vacuity" (fun () ->
+        match schema with
+        | Some schema -> Passes.vacuity ~sigma_file ~schema sigma
+        | None -> [])
   in
   let inconsistency =
-    match schema with
-    | Some schema -> Passes.inconsistency ~sigma_file ~schema sigma
-    | None -> []
+    pass "inconsistency" (fun () ->
+        match schema with
+        | Some schema -> Passes.inconsistency ~sigma_file ~schema sigma
+        | None -> [])
   in
   let redundancy =
     (* an inconsistent Sigma implies everything: redundancy is noise there *)
-    if List.exists (fun d -> d.Diagnostic.code = "PC400") inconsistency then []
-    else Passes.redundancy ~sigma_file ?schema ?budget sigma
+    pass "redundancy" (fun () ->
+        if List.exists (fun d -> d.Diagnostic.code = "PC400") inconsistency
+        then []
+        else Passes.redundancy ~sigma_file ?schema ?budget sigma)
   in
   let hygiene =
-    Passes.hygiene ~sigma_file ?schema ?schema_file ?schema_spans sigma
+    pass "hygiene" (fun () ->
+        Passes.hygiene ~sigma_file ?schema ?schema_file ?schema_spans sigma)
   in
-  List.stable_sort Diagnostic.compare
-    (classify @ vacuity @ inconsistency @ redundancy @ hygiene)
+  let all =
+    List.stable_sort Diagnostic.compare
+      (classify @ vacuity @ inconsistency @ redundancy @ hygiene)
+  in
+  (* per-family tallies (PC2xx vacuity, PC3xx redundancy, ...) so that
+     --stats output attributes diagnostics as well as time to passes *)
+  List.iter
+    (fun d ->
+      let code = d.Diagnostic.code in
+      let family =
+        if String.length code >= 3 then String.sub code 0 3 ^ "xx" else code
+      in
+      Obs.Counter.incr (Obs.Counter.make ~unit_:"diagnostics" ("lint.diags." ^ family)))
+    all;
+  all
 
 (* --- file-level entry ------------------------------------------------------ *)
 

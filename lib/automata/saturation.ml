@@ -1,11 +1,17 @@
 module Label = Pathlang.Label
 
+let c_trans = Obs.Counter.make ~unit_:"transitions" "saturation.trans_added"
+
+let c_frontier =
+  Obs.Counter.make ~unit_:"transitions" "saturation.frontier_peak"
+
 let check_states (pds : Pds.t) (a : Nfa.t) =
   if Nfa.state_count a < pds.control_count then
     invalid_arg "Saturation: automaton is missing control states"
 
 let pre_star (pds : Pds.t) a =
   check_states pds a;
+  Obs.Span.with_ "saturation.pre_star" (fun () ->
   let a = Nfa.copy a in
   let changed = ref true in
   while !changed do
@@ -17,12 +23,13 @@ let pre_star (pds : Pds.t) a =
           (fun s ->
             if not (Nfa.mem_trans a r.p r.gamma s) then begin
               Nfa.add_trans a r.p r.gamma s;
+              Obs.Counter.incr c_trans;
               changed := true
             end)
           targets)
       pds.rules
   done;
-  a
+  a)
 
 (* Esparza-Hansel-Rossmanith-Schwoon pre*: process every transition once.
    rel: transitions already added; delta2: for rules <p,g> -> <q,g' g''>,
@@ -35,12 +42,15 @@ let pre_star_worklist (pds : Pds.t) a =
       if List.length r.push > 2 then
         invalid_arg "Saturation.pre_star_worklist: PDS not normalized")
     pds.rules;
+  Obs.Span.with_ "saturation.pre_star_worklist" (fun () ->
   let a = Nfa.copy a in
   let worklist = Queue.create () in
   let enqueue (p, g, s) =
     if not (Nfa.mem_trans a p g s) then begin
       Nfa.add_trans a p g s;
-      Queue.add (p, g, s) worklist
+      Obs.Counter.incr c_trans;
+      Queue.add (p, g, s) worklist;
+      Obs.Counter.set_max c_frontier (Queue.length worklist)
     end
   in
   (* existing transitions seed the worklist *)
@@ -74,7 +84,7 @@ let pre_star_worklist (pds : Pds.t) a =
         | _ -> ())
       pds.rules
   done;
-  a
+  a)
 
 let post_star (pds : Pds.t) a =
   check_states pds a;
@@ -83,6 +93,7 @@ let post_star (pds : Pds.t) a =
       if List.length r.push > 2 then
         invalid_arg "Saturation.post_star: PDS not normalized")
     pds.rules;
+  Obs.Span.with_ "saturation.post_star" (fun () ->
   let a = Nfa.copy a in
   (* One helper state per push-2 rule. *)
   let helper =
@@ -111,6 +122,7 @@ let post_star (pds : Pds.t) a =
                 if not (Nfa.State_set.mem s (Nfa.eps_closure a (Nfa.State_set.singleton r.q)))
                 then begin
                   Nfa.add_eps a r.q s;
+                  Obs.Counter.incr c_trans;
                   changed := true
                 end)
               sources
@@ -119,6 +131,7 @@ let post_star (pds : Pds.t) a =
               (fun s ->
                 if not (Nfa.mem_trans a r.q g' s) then begin
                   Nfa.add_trans a r.q g' s;
+                  Obs.Counter.incr c_trans;
                   changed := true
                 end)
               sources
@@ -126,19 +139,21 @@ let post_star (pds : Pds.t) a =
             let h = find_helper r in
             if not (Nfa.mem_trans a r.q g' h) then begin
               Nfa.add_trans a r.q g' h;
+              Obs.Counter.incr c_trans;
               changed := true
             end;
             Nfa.State_set.iter
               (fun s ->
                 if not (Nfa.mem_trans a h g'' s) then begin
                   Nfa.add_trans a h g'' s;
+                  Obs.Counter.incr c_trans;
                   changed := true
                 end)
               sources
         | _ -> assert false)
       pds.rules
   done;
-  a
+  a)
 
 let accepts_config a p w = Nfa.accepts_from a p w
 

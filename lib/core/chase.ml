@@ -8,6 +8,10 @@ let src = Logs.Src.create "pathcons.chase" ~doc:"budgeted P_c chase"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+let c_steps = Obs.Counter.make ~unit_:"repairs" "chase.steps"
+let c_egd = Obs.Counter.make ~unit_:"merges" "chase.egd_merges"
+let c_tgd = Obs.Counter.make ~unit_:"paths added" "chase.tgd_firings"
+
 type outcome = Fixpoint of Graph.t | Exhausted of Graph.t * Verdict.exhaustion
 
 let merge g a b =
@@ -52,12 +56,14 @@ let repair g sigma =
         | `Merge (a, b) ->
             Log.debug (fun m ->
                 m "EGD repair for %a: merge %d and %d" Constr.pp c a b);
+            Obs.Counter.incr c_egd;
             let g', rename = merge g a b in
             (g', rename)
         | `Add (node_src, rho, dst) ->
             Log.debug (fun m ->
                 m "TGD repair for %a: add %a-path %d ~> %d" Constr.pp c Path.pp
                   rho node_src dst);
+            Obs.Counter.incr c_tgd;
             let g' = Graph.copy g in
             Graph.add_path g' node_src rho dst;
             (g', fun n -> n))
@@ -85,9 +91,13 @@ let run ?ctl ?(tracked = []) g sigma =
     else
       match repair g (rotate sigma steps) with
       | None -> (Fixpoint g, tracked)
-      | Some (g', rename) -> go (steps + 1) g' (List.map rename tracked)
+      | Some (g', rename) ->
+          Obs.Counter.incr c_steps;
+          go (steps + 1) g' (List.map rename tracked)
   in
-  go 0 (Graph.copy g) tracked
+  Obs.Span.with_ "chase.run"
+    ~args:[ ("sigma", string_of_int (List.length sigma)) ]
+    (fun () -> go 0 (Graph.copy g) tracked)
 
 let conclusion_holds g phi x y =
   match Constr.kind phi with
@@ -107,6 +117,10 @@ let implies ?ctl ~sigma phi =
     else
       match repair g (rotate sigma steps) with
       | None -> Verdict.Refuted g
-      | Some (g', rename) -> go (steps + 1) g' (rename x) (rename y)
+      | Some (g', rename) ->
+          Obs.Counter.incr c_steps;
+          go (steps + 1) g' (rename x) (rename y)
   in
-  go 0 g x y
+  Obs.Span.with_ "chase.implies"
+    ~args:[ ("sigma", string_of_int (List.length sigma)) ]
+    (fun () -> go 0 g x y)

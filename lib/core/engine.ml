@@ -5,6 +5,19 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 let now_ns = Monotonic_clock.now
 
+(* observability: each governed call is accounted here; the exhaustion
+   snapshot picks these (and every other module's counters) up *)
+let c_ticks = Obs.Counter.make ~unit_:"steps" "engine.ticks"
+let c_trips = Obs.Counter.make ~unit_:"trips" "engine.trips"
+let c_rounds = Obs.Counter.make ~unit_:"rounds" "engine.escalation_rounds"
+let c_peak_nodes = Obs.Counter.make ~unit_:"nodes" "engine.peak_nodes"
+
+let reason_str = function
+  | Verdict.Steps -> "steps"
+  | Verdict.Nodes -> "nodes"
+  | Verdict.Deadline -> "deadline"
+  | Verdict.Cancelled -> "cancelled"
+
 module Cancel = struct
   type t = { mutable cancelled : bool }
 
@@ -78,7 +91,11 @@ let default () = start Budget.default
    within the last tier). *)
 let trip t r =
   match (t.tripped, r) with
-  | None, _ -> t.tripped <- Some r
+  | None, _ ->
+      Obs.Counter.incr c_trips;
+      Obs.Span.event "engine.trip"
+        ~args:[ ("reason", reason_str r); ("steps", string_of_int t.steps) ];
+      t.tripped <- Some r
   | Some Verdict.Cancelled, _ -> ()
   | Some _, Verdict.Cancelled -> t.tripped <- Some r
   | Some Verdict.Deadline, _ -> ()
@@ -103,8 +120,12 @@ let interrupted t () = not (ok t)
 
 let tick t ?nodes () =
   t.steps <- t.steps + 1;
+  Obs.Counter.incr c_ticks;
+  Obs.Span.event "engine.tick";
   (match nodes with
-  | Some n when n > t.peak_nodes -> t.peak_nodes <- n
+  | Some n when n > t.peak_nodes ->
+      t.peak_nodes <- n;
+      Obs.Counter.set_max c_peak_nodes n
   | _ -> ());
   if not (ok t) then false
   else begin
@@ -129,6 +150,25 @@ let elapsed_ns t = Int64.sub (now_ns ()) t.started
 let tripped t = t.tripped
 let notes t = List.rev t.rev_notes
 
+(* What the budget was spent doing: the synthetic consumed/remaining
+   entries plus every instrumented module's live counters.  Only
+   collected when the observability layer is on, so disabled-mode
+   diagnostics are byte-identical to the uninstrumented ones. *)
+let counters_snapshot t =
+  if not (Obs.enabled ()) then []
+  else begin
+    let used_rem tag used cap =
+      (Printf.sprintf "engine.budget.%s_used" tag, used)
+      ::
+      (match cap with
+      | None -> []
+      | Some m -> [ (Printf.sprintf "engine.budget.%s_remaining" tag, max 0 (m - used)) ])
+    in
+    used_rem "steps" t.steps t.max_steps
+    @ used_rem "nodes" t.peak_nodes t.max_nodes
+    @ Obs.Counter.snapshot ()
+  end
+
 let exhaustion t =
   {
     Verdict.reason = Option.value ~default:Verdict.Steps t.tripped;
@@ -137,6 +177,7 @@ let exhaustion t =
     elapsed_ns = elapsed_ns t;
     rounds = t.rounds;
     notes = notes t;
+    counters = counters_snapshot t;
   }
 
 let escalate ?(base_steps = 64) ?(base_nodes = 64) ?(factor = 4)
@@ -160,6 +201,7 @@ let escalate ?(base_steps = 64) ?(base_nodes = 64) ?(factor = 4)
         elapsed_ns = Int64.sub (now_ns ()) started;
         rounds = round;
         notes = List.rev !all_notes;
+        counters = (if Obs.enabled () then Obs.Counter.snapshot () else []);
       }
   in
   let grow n = if n > max_int / factor then n else n * factor in
@@ -169,6 +211,14 @@ let escalate ?(base_steps = 64) ?(base_nodes = 64) ?(factor = 4)
       Log.debug (fun m ->
           m "escalation round %d/%d: %d steps, %d nodes" round max_rounds
             step_cap node_cap);
+      Obs.Counter.incr c_rounds;
+      Obs.Span.event "engine.escalate.round"
+        ~args:
+          [
+            ("round", string_of_int round);
+            ("step_cap", string_of_int step_cap);
+            ("node_cap", string_of_int node_cap);
+          ];
       let ctl =
         {
           max_steps = Some step_cap;
@@ -195,4 +245,4 @@ let escalate ?(base_steps = 64) ?(base_nodes = 64) ?(factor = 4)
               go (round + 1) (grow step_cap) (grow node_cap))
     end
   in
-  go 1 base_steps base_nodes
+  Obs.Span.with_ "engine.escalate" (fun () -> go 1 base_steps base_nodes)

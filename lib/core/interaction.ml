@@ -64,13 +64,22 @@ let try_typed ~budget ?search_bounds schema ~sigma phi =
 
 let compare ?schema ?(budget = Engine.Budget.default) ?search_bounds ~sigma phi
     =
-  {
-    word_untyped = try_word ~sigma phi;
-    local_extent = try_local ~sigma phi;
-    chase = Semidecide.implies ~ctl:(Engine.start budget) ~sigma phi;
-    typed =
-      Option.map (fun s -> try_typed ~budget ?search_bounds s ~sigma phi) schema;
-  }
+  Obs.Span.with_ "interaction.compare" (fun () ->
+      {
+        word_untyped =
+          Obs.Span.with_ "interaction.word" (fun () -> try_word ~sigma phi);
+        local_extent =
+          Obs.Span.with_ "interaction.local" (fun () -> try_local ~sigma phi);
+        chase =
+          Obs.Span.with_ "interaction.chase" (fun () ->
+              Semidecide.implies ~ctl:(Engine.start budget) ~sigma phi);
+        typed =
+          Option.map
+            (fun s ->
+              Obs.Span.with_ "interaction.typed" (fun () ->
+                  try_typed ~budget ?search_bounds s ~sigma phi))
+            schema;
+      })
 
 let pp ppf r =
   Format.fprintf ppf "@[<v>";

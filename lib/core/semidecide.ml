@@ -6,8 +6,12 @@ let src =
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+let c_enum_fallbacks =
+  Obs.Counter.make ~unit_:"calls" "semidecide.enum_fallbacks"
+
 let implies ?ctl ?(enum_nodes = 3) ~sigma phi =
   let ctl = match ctl with Some c -> c | None -> Engine.default () in
+  Obs.Span.with_ "semidecide.implies" (fun () ->
   match Chase.implies ~ctl ~sigma phi with
   | (Verdict.Implied | Verdict.Refuted _) as v -> v
   | Verdict.Unknown _ ->
@@ -37,14 +41,18 @@ let implies ?ctl ?(enum_nodes = 3) ~sigma phi =
           end
           else enum_nodes
         in
+        Obs.Counter.incr c_enum_fallbacks;
         match
-          Sgraph.Enumerate.find_countermodel
-            ~interrupt:(Engine.interrupted ctl) ~max_nodes ~labels ~sigma ~phi
-            ()
+          Obs.Span.with_ "semidecide.enumerate"
+            ~args:[ ("max_nodes", string_of_int max_nodes) ]
+            (fun () ->
+              Sgraph.Enumerate.find_countermodel
+                ~interrupt:(Engine.interrupted ctl) ~max_nodes ~labels ~sigma
+                ~phi ())
         with
         | Some g -> Verdict.Refuted g
         | None -> Verdict.Unknown (Engine.exhaustion ctl)
-      end
+      end)
 
 let implies_escalating ?base_steps ?base_nodes ?factor ?max_rounds ?timeout
     ?cancel ?(enum_nodes = 3) ~sigma phi =

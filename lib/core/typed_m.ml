@@ -25,6 +25,11 @@ let to_word_equality c =
    with a proof forest for I_r certificate extraction.                 *)
 (* ------------------------------------------------------------------ *)
 
+let c_unions = Obs.Counter.make ~unit_:"merges" "typed_m.unions"
+let c_congruences =
+  Obs.Counter.make ~unit_:"propagations" "typed_m.congruence_propagations"
+let c_classes = Obs.Counter.make ~unit_:"paths" "typed_m.closure_paths"
+
 type reason = By_input of Axioms.t | By_congruence of int * int * Label.t
 
 type forest_edge = { other : int; reason : reason; stamp : int }
@@ -67,6 +72,10 @@ let forest_add st a b reason =
 let rec union st a b reason =
   let ra = find st a and rb = find st b in
   if ra <> rb then begin
+    Obs.Counter.incr c_unions;
+    (match reason with
+    | By_congruence _ -> Obs.Counter.incr c_congruences
+    | By_input _ -> ());
     if not (Mtype.equal st.sorts.(ra) st.sorts.(rb)) then
       raise
         (Clash
@@ -289,16 +298,20 @@ let run_closure schema ~sigma ~extra_paths =
           Path.empty :: extra_paths
           @ List.concat_map (fun ((u, v), _) -> [ u; v ]) inputs
         in
-        let st, ids = build_state schema all_paths in
-        let node p = Path.Map.find p ids in
-        let run () =
-          List.iter
-            (fun ((u, v), d) -> union st (node u) (node v) (By_input d))
-            inputs
-        in
-        (match run () with
-        | () -> Ok (`Closed (st, node))
-        | exception Clash msg -> Ok (`Clash msg))
+        Obs.Span.with_ "typed_m.closure"
+          ~args:[ ("sigma", string_of_int (List.length sigma)) ]
+          (fun () ->
+            let st, ids = build_state schema all_paths in
+            Obs.Counter.add c_classes (Array.length st.paths);
+            let node p = Path.Map.find p ids in
+            let run () =
+              List.iter
+                (fun ((u, v), d) -> union st (node u) (node v) (By_input d))
+                inputs
+            in
+            match run () with
+            | () -> Ok (`Closed (st, node))
+            | exception Clash msg -> Ok (`Clash msg))
 
 let decide schema ~sigma ~phi =
   match SG.check_constraint_paths schema phi with
@@ -307,6 +320,7 @@ let decide schema ~sigma ~phi =
         (Format.asprintf "constraint %a mentions %a, not in Paths(Delta)"
            Constr.pp phi Path.pp rho)
   | Ok () -> (
+      Obs.Span.with_ "typed_m.decide" (fun () ->
       let s_path, t_path = to_word_equality phi in
       match run_closure schema ~sigma ~extra_paths:[ s_path; t_path ] with
       | Error _ as e -> e
@@ -314,10 +328,17 @@ let decide schema ~sigma ~phi =
       | Ok (`Closed (st, node)) ->
           let s = node s_path and t = node t_path in
           if find st s = find st t then begin
-            let d = explain st ~before:max_int s t in
+            let d =
+              Obs.Span.with_ "typed_m.explain" (fun () ->
+                  explain st ~before:max_int s t)
+            in
             Ok (Implied (wrap_for phi d))
           end
-          else Ok (Not_implied (countermodel schema st)))
+          else
+            Ok
+              (Not_implied
+                 (Obs.Span.with_ "typed_m.countermodel" (fun () ->
+                      countermodel schema st)))))
 
 let implies schema ~sigma ~phi =
   match decide schema ~sigma ~phi with

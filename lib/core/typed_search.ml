@@ -47,7 +47,10 @@ type slot =
 exception Found of Typecheck.t
 exception Budget
 
-let find_countermodel ?ctl ?(bounds = default_bounds) schema ~sigma ~phi =
+let c_structures =
+  Obs.Counter.make ~unit_:"structures" "typed_search.structures_built"
+
+let find_countermodel_inner ?ctl ~bounds schema ~sigma ~phi =
   match supported schema with
   | Error _ as e -> e
   | Ok () ->
@@ -106,6 +109,7 @@ let find_countermodel ?ctl ?(bounds = default_bounds) schema ~sigma ~phi =
         then ()
         else begin
           let build assignment =
+            Obs.Counter.incr c_structures;
             decr budget;
             if !budget < 0 then raise Budget;
             (match ctl with
@@ -157,6 +161,10 @@ let find_countermodel ?ctl ?(bounds = default_bounds) schema ~sigma ~phi =
        with
       | Found t -> Ok (Some t)
       | Budget -> Ok None)
+
+let find_countermodel ?ctl ?(bounds = default_bounds) schema ~sigma ~phi =
+  Obs.Span.with_ "typed_search.find_countermodel" (fun () ->
+      find_countermodel_inner ?ctl ~bounds schema ~sigma ~phi)
 
 let count_structures ?(bounds = default_bounds) schema =
   match supported schema with

@@ -7,6 +7,7 @@ type exhaustion = {
   elapsed_ns : int64;
   rounds : int;
   notes : string list;
+  counters : (string * int) list;
 }
 
 type t = Implied | Refuted of Sgraph.Graph.t | Unknown of exhaustion
@@ -31,7 +32,13 @@ let pp_exhaustion ppf e =
   Format.fprintf ppf "%a after %d steps, %d nodes, %.3f s, %d round%s"
     pp_reason e.reason e.steps e.nodes (elapsed_s e) e.rounds
     (if e.rounds = 1 then "" else "s");
-  List.iter (fun n -> Format.fprintf ppf "; %s" n) e.notes
+  List.iter (fun n -> Format.fprintf ppf "; %s" n) e.notes;
+  match e.counters with
+  | [] -> ()
+  | cs ->
+      Format.fprintf ppf "; spent on: %s"
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) cs))
 
 let pp ppf = function
   | Implied -> Format.pp_print_string ppf "implied"

@@ -20,6 +20,11 @@ type exhaustion = {
   rounds : int;  (** escalation rounds attempted; 1 for a single shot *)
   notes : string list;
       (** extra diagnostics, e.g. silently clamped sub-budgets *)
+  counters : (string * int) list;
+      (** snapshot of the non-zero {!Obs.Counter}s at exhaustion time
+          (chase steps, EGD/TGD firings, enumeration nodes, …), so an
+          exhausted run says what the budget was spent doing.  Empty
+          when the observability layer is disabled. *)
 }
 
 type t =

@@ -5,12 +5,15 @@ module PR = Automata.Prefix_rewrite
 
 type error = Not_word_constraint of Pathlang.Constr.t
 
+let c_systems = Obs.Counter.make ~unit_:"compilations" "word.systems_compiled"
+
 let check_word sigma =
   match List.find_opt (fun c -> not (Constr.is_word c)) sigma with
   | Some c -> Error (Not_word_constraint c)
   | None -> Ok ()
 
 let system_of ~sigma ~extra =
+  Obs.Counter.incr c_systems;
   let rules =
     List.map (fun c -> { PR.lhs = Constr.lhs c; rhs = Constr.rhs c }) sigma
   in
@@ -26,8 +29,11 @@ let with_word_instance ~sigma phi f =
   match check_word (phi :: sigma) with
   | Error _ as e -> e
   | Ok () ->
-      let system = system_of ~sigma ~extra:(Constr.labels_used phi) in
-      Ok (f system (Constr.lhs phi) (Constr.rhs phi))
+      Obs.Span.with_ "word.instance"
+        ~args:[ ("sigma", string_of_int (List.length sigma)) ]
+        (fun () ->
+          let system = system_of ~sigma ~extra:(Constr.labels_used phi) in
+          Ok (f system (Constr.lhs phi) (Constr.rhs phi)))
 
 let implies ~sigma phi = with_word_instance ~sigma phi PR.derives
 

@@ -1,0 +1,497 @@
+module Json = Json
+
+let now_ns = Monotonic_clock.now
+
+(* Global switches.  [on] gates all bookkeeping; [trace_on] additionally
+   buffers begin/end/instant events for export.  Both default to off so
+   the instrumented hot paths pay one load+branch. *)
+let on = ref false
+let trace_on = ref false
+let epoch = ref (now_ns ())
+
+let enable () = on := true
+
+let enable_tracing () =
+  on := true;
+  trace_on := true
+
+let disable () =
+  on := false;
+  trace_on := false
+
+let enabled () = !on
+let tracing () = !trace_on
+
+(* --- counters --------------------------------------------------------- *)
+
+module Counter = struct
+  type t = { cname : string; cunit : string; mutable v : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+  let make ?(unit_ = "") cname =
+    match Hashtbl.find_opt registry cname with
+    | Some c -> c
+    | None ->
+        let c = { cname; cunit = unit_; v = 0 } in
+        Hashtbl.add registry cname c;
+        c
+
+  let[@inline] incr c = if !on then c.v <- c.v + 1
+  let[@inline] add c n = if !on && n > 0 then c.v <- c.v + n
+  let[@inline] set_max c n = if !on && n > c.v then c.v <- n
+  let value c = c.v
+  let name c = c.cname
+  let unit_ c = c.cunit
+
+  let snapshot () =
+    Hashtbl.fold (fun _ c acc -> if c.v <> 0 then c :: acc else acc) registry []
+    |> List.sort (fun a b -> compare a.cname b.cname)
+    |> List.map (fun c -> (c.cname, c.v))
+
+  let all () =
+    Hashtbl.fold (fun _ c acc -> if c.v <> 0 then c :: acc else acc) registry []
+    |> List.sort (fun a b -> compare a.cname b.cname)
+
+  let reset () = Hashtbl.iter (fun _ c -> c.v <- 0) registry
+end
+
+(* --- histograms ------------------------------------------------------- *)
+
+module Histogram = struct
+  let max_samples = 4096
+
+  type t = {
+    hname : string;
+    hunit : string;
+    mutable hcount : int;
+    mutable hsum : float;
+    mutable hmin : float;
+    mutable hmax : float;
+    samples : float array;  (* first [max_samples] observations *)
+  }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+  let make ?(unit_ = "") hname =
+    match Hashtbl.find_opt registry hname with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            hname;
+            hunit = unit_;
+            hcount = 0;
+            hsum = 0.;
+            hmin = infinity;
+            hmax = neg_infinity;
+            samples = Array.make max_samples 0.;
+          }
+        in
+        Hashtbl.add registry hname h;
+        h
+
+  let observe h x =
+    if !on then begin
+      if h.hcount < max_samples then h.samples.(h.hcount) <- x;
+      h.hcount <- h.hcount + 1;
+      h.hsum <- h.hsum +. x;
+      if x < h.hmin then h.hmin <- x;
+      if x > h.hmax then h.hmax <- x
+    end
+
+  let count h = h.hcount
+  let sum h = h.hsum
+  let mean h = if h.hcount = 0 then nan else h.hsum /. float_of_int h.hcount
+
+  let percentile h p =
+    let n = min h.hcount max_samples in
+    if n = 0 then nan
+    else begin
+      let a = Array.sub h.samples 0 n in
+      Array.sort compare a;
+      let idx = int_of_float (p *. float_of_int (n - 1)) in
+      a.(max 0 (min (n - 1) idx))
+    end
+
+  let all () =
+    Hashtbl.fold (fun _ h acc -> if h.hcount > 0 then h :: acc else acc)
+      registry []
+    |> List.sort (fun a b -> compare a.hname b.hname)
+
+  let reset () =
+    Hashtbl.iter
+      (fun _ h ->
+        h.hcount <- 0;
+        h.hsum <- 0.;
+        h.hmin <- infinity;
+        h.hmax <- neg_infinity)
+      registry
+end
+
+(* --- trace buffer ----------------------------------------------------- *)
+
+module Trace_buffer = struct
+  type phase = Begin | End | Instant
+
+  type event = {
+    name : string;
+    ph : phase;
+    ts_ns : int64;
+    args : (string * string) list;
+  }
+
+  let capacity = 1 lsl 18
+  let buf : event option array ref = ref (Array.make 1024 None)
+  let len = ref 0
+  let dropped = ref 0
+
+  let push e =
+    if !len >= capacity then incr dropped
+    else begin
+      if !len >= Array.length !buf then begin
+        let bigger =
+          Array.make (min capacity (2 * Array.length !buf)) None
+        in
+        Array.blit !buf 0 bigger 0 !len;
+        buf := bigger
+      end;
+      !buf.(!len) <- Some e;
+      incr len
+    end
+
+  let events () =
+    List.init !len (fun i ->
+        match !buf.(i) with Some e -> e | None -> assert false)
+
+  let reset () =
+    buf := Array.make 1024 None;
+    len := 0;
+    dropped := 0
+end
+
+(* --- span stack and aggregates ---------------------------------------- *)
+
+type span_agg = {
+  mutable acount : int;
+  mutable atotal_ns : int64;
+  mutable aself_ns : int64;
+}
+
+let span_aggs : (string, span_agg) Hashtbl.t = Hashtbl.create 64
+
+let agg_of name =
+  match Hashtbl.find_opt span_aggs name with
+  | Some a -> a
+  | None ->
+      let a = { acount = 0; atotal_ns = 0L; aself_ns = 0L } in
+      Hashtbl.add span_aggs name a;
+      a
+
+module Span = struct
+  type frame = {
+    sname : string;
+    start_ns : int64;
+    mutable child_ns : int64;
+    mutable closed : bool;
+  }
+
+  type t = frame option
+
+  let null = None
+  let stack : frame list ref = ref []
+  let depth () = List.length !stack
+
+  let rel ts = Int64.sub ts !epoch
+
+  let start ?(args = []) sname =
+    if not !on then None
+    else begin
+      let ts = now_ns () in
+      if !trace_on then
+        Trace_buffer.push
+          { Trace_buffer.name = sname; ph = Begin; ts_ns = rel ts; args };
+      let f = { sname; start_ns = ts; child_ns = 0L; closed = false } in
+      stack := f :: !stack;
+      Some f
+    end
+
+  (* Close [f]: emit the end event, fold the duration into the per-name
+     aggregate, and charge it to the parent's child time. *)
+  let close ?(args = []) f =
+    if not f.closed then begin
+      f.closed <- true;
+      let ts = now_ns () in
+      let dur = Int64.sub ts f.start_ns in
+      if !trace_on then
+        Trace_buffer.push
+          { Trace_buffer.name = f.sname; ph = End; ts_ns = rel ts; args };
+      let a = agg_of f.sname in
+      a.acount <- a.acount + 1;
+      a.atotal_ns <- Int64.add a.atotal_ns dur;
+      a.aself_ns <- Int64.add a.aself_ns (Int64.sub dur f.child_ns);
+      match !stack with
+      | parent :: _ -> parent.child_ns <- Int64.add parent.child_ns dur
+      | [] -> ()
+    end
+
+  let stop ?(args = []) t =
+    match t with
+    | None -> ()
+    | Some f ->
+        if (not f.closed) && List.memq f !stack then begin
+          (* auto-close anything opened inside [f] that was left open,
+             innermost first, so the trace stays properly nested *)
+          let rec unwind () =
+            match !stack with
+            | top :: rest ->
+                stack := rest;
+                if top == f then close ~args f
+                else begin
+                  close top;
+                  unwind ()
+                end
+            | [] -> ()
+          in
+          unwind ()
+        end
+
+  (* the disabled path must not pay the Fun.protect closure + handler *)
+  let with_ ?args sname f =
+    if not !on then f ()
+    else
+      let s = start ?args sname in
+      Fun.protect ~finally:(fun () -> stop s) f
+
+  let event ?(args = []) name =
+    if !on && !trace_on then
+      Trace_buffer.push
+        { Trace_buffer.name; ph = Instant; ts_ns = rel (now_ns ()); args }
+end
+
+let reset () =
+  Counter.reset ();
+  Histogram.reset ();
+  Trace_buffer.reset ();
+  Hashtbl.reset span_aggs;
+  Span.stack := [];
+  epoch := now_ns ()
+
+(* --- trace export ------------------------------------------------------ *)
+
+module Trace = struct
+  type phase = Trace_buffer.phase = Begin | End | Instant
+  type event = Trace_buffer.event = {
+    name : string;
+    ph : phase;
+    ts_ns : int64;
+    args : (string * string) list;
+  }
+
+  let events = Trace_buffer.events
+  let dropped () = !Trace_buffer.dropped
+
+  (* Events for the still-open spans, innermost last opened first, so a
+     partial trace (e.g. after a cancellation) remains balanced. *)
+  let synthetic_ends () =
+    let ts = Int64.sub (now_ns ()) !epoch in
+    List.map
+      (fun (f : Span.frame) ->
+        {
+          name = f.Span.sname;
+          ph = End;
+          ts_ns = ts;
+          args = [ ("synthetic", "open-at-export") ];
+        })
+      !Span.stack
+
+  let json_of_event e =
+    let ph, extra =
+      match e.ph with
+      | Begin -> ("B", [])
+      | End -> ("E", [])
+      | Instant -> ("i", [ ("s", Json.String "t") ])
+    in
+    Json.Obj
+      ([
+         ("name", Json.String e.name);
+         ("cat", Json.String "pathcons");
+         ("ph", Json.String ph);
+         (* Chrome's ts unit is microseconds *)
+         ("ts", Json.Float (Int64.to_float e.ts_ns /. 1e3));
+         ("pid", Json.Int 1);
+         ("tid", Json.Int 1);
+       ]
+      @ extra
+      @
+      match e.args with
+      | [] -> []
+      | args ->
+          [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) args)) ])
+
+  let to_chrome_json () =
+    Json.to_string
+      (Json.Obj
+         [
+           ( "traceEvents",
+             Json.List (List.map json_of_event (events () @ synthetic_ends ()))
+           );
+           ("displayTimeUnit", Json.String "ns");
+           ("otherData", Json.Obj [ ("producer", Json.String "pathcons/obs") ]);
+         ])
+
+  let jsonl_of_event e =
+    Json.to_string
+      (Json.Obj
+         ([
+            ("name", Json.String e.name);
+            ( "ph",
+              Json.String
+                (match e.ph with Begin -> "B" | End -> "E" | Instant -> "i") );
+            ("ts_ns", Json.Int (Int64.to_int e.ts_ns));
+          ]
+         @
+         match e.args with
+         | [] -> []
+         | args ->
+             [
+               ( "args",
+                 Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) args) );
+             ]))
+
+  let to_jsonl () =
+    String.concat "\n" (List.map jsonl_of_event (events ())) ^ "\n"
+
+  let write_chrome path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (to_chrome_json ());
+        output_string oc "\n")
+end
+
+(* --- stats ------------------------------------------------------------- *)
+
+module Stats = struct
+  type span_stat = { count : int; total_ns : int64; self_ns : int64 }
+
+  let spans () =
+    Hashtbl.fold
+      (fun name (a : span_agg) acc ->
+        ( name,
+          { count = a.acount; total_ns = a.atotal_ns; self_ns = a.aself_ns } )
+        :: acc)
+      span_aggs []
+    |> List.sort (fun (_, a) (_, b) -> Int64.compare b.total_ns a.total_ns)
+
+  let pp_ns ns =
+    if Float.is_nan ns then "n/a"
+    else if ns < 1e3 then Printf.sprintf "%.0f ns" ns
+    else if ns < 1e6 then Printf.sprintf "%.1f us" (ns /. 1e3)
+    else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else Printf.sprintf "%.2f s" (ns /. 1e9)
+
+  let to_json () =
+    let counters =
+      Json.Obj
+        (List.map
+           (fun c -> (Counter.name c, Json.Int (Counter.value c)))
+           (Counter.all ()))
+    in
+    let histograms =
+      Json.Obj
+        (List.map
+           (fun (h : Histogram.t) ->
+             ( h.Histogram.hname,
+               Json.Obj
+                 [
+                   ("unit", Json.String h.Histogram.hunit);
+                   ("count", Json.Int h.Histogram.hcount);
+                   ("sum", Json.Float h.Histogram.hsum);
+                   ("min", Json.Float h.Histogram.hmin);
+                   ("max", Json.Float h.Histogram.hmax);
+                   ("mean", Json.Float (Histogram.mean h));
+                   ("p50", Json.Float (Histogram.percentile h 0.5));
+                   ("p90", Json.Float (Histogram.percentile h 0.9));
+                 ] ))
+           (Histogram.all ()))
+    in
+    let spans_json =
+      Json.Obj
+        (List.map
+           (fun (name, s) ->
+             ( name,
+               Json.Obj
+                 [
+                   ("count", Json.Int s.count);
+                   ("total_ns", Json.Int (Int64.to_int s.total_ns));
+                   ("self_ns", Json.Int (Int64.to_int s.self_ns));
+                 ] ))
+           (spans ()))
+    in
+    Json.Obj
+      [
+        ("counters", counters);
+        ("spans", spans_json);
+        ("histograms", histograms);
+        ("dropped_events", Json.Int (Trace.dropped ()));
+      ]
+
+  let to_text () =
+    let b = Buffer.create 1024 in
+    let counters = Counter.all () in
+    if counters <> [] then begin
+      Buffer.add_string b "counters:\n";
+      List.iter
+        (fun c ->
+          Buffer.add_string b
+            (Printf.sprintf "  %-42s %12d%s\n" (Counter.name c)
+               (Counter.value c)
+               (if Counter.unit_ c = "" then ""
+                else " " ^ Counter.unit_ c)))
+        counters
+    end;
+    let sps = spans () in
+    if sps <> [] then begin
+      (* share is relative to the busiest span (normally the root) *)
+      let wall =
+        List.fold_left
+          (fun acc (_, s) -> Int64.max acc s.total_ns)
+          1L sps
+      in
+      Buffer.add_string b "spans:\n";
+      Buffer.add_string b
+        (Printf.sprintf "  %-34s %8s %12s %12s %7s\n" "name" "count" "total"
+           "self" "share");
+      List.iter
+        (fun (name, s) ->
+          Buffer.add_string b
+            (Printf.sprintf "  %-34s %8d %12s %12s %6.1f%%\n" name s.count
+               (pp_ns (Int64.to_float s.total_ns))
+               (pp_ns (Int64.to_float s.self_ns))
+               (100. *. Int64.to_float s.total_ns /. Int64.to_float wall)))
+        sps
+    end;
+    let hs = Histogram.all () in
+    if hs <> [] then begin
+      Buffer.add_string b "histograms:\n";
+      List.iter
+        (fun (h : Histogram.t) ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "  %-34s count %d  mean %.1f  p50 %.1f  p90 %.1f  max %.1f%s\n"
+               h.Histogram.hname h.Histogram.hcount (Histogram.mean h)
+               (Histogram.percentile h 0.5)
+               (Histogram.percentile h 0.9)
+               h.Histogram.hmax
+               (if h.Histogram.hunit = "" then ""
+                else " (" ^ h.Histogram.hunit ^ ")")))
+        hs
+    end;
+    if Trace.dropped () > 0 then
+      Buffer.add_string b
+        (Printf.sprintf "trace buffer: %d event(s) dropped (capacity %d)\n"
+           (Trace.dropped ()) Trace_buffer.capacity);
+    Buffer.contents b
+  end

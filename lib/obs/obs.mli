@@ -1,0 +1,155 @@
+(** Zero-dependency observability core: counters, histograms, and
+    nested spans over a monotonic clock.
+
+    Every decision procedure in this repository carries a complexity
+    claim from the paper's Table 1 (PTIME local-extent checking, the
+    cubic typed-M procedure of Theorems 4.2/4.9); this module is how
+    those claims become measurable.  Instrumented modules create their
+    counters and span names once at module initialization; the hot
+    paths then pay a single flag test per operation while disabled
+    ([incr] compiles to a load, a branch and a store), so the default
+    state is a near-zero-cost no-op.
+
+    The layer is process-global and single-threaded, matching the
+    solvers it instruments.  Enable metrics with {!enable}, buffer
+    span events for export with {!enable_tracing}, and read results
+    through {!Stats} (aggregates) or {!Trace} (the event stream, as
+    Chrome [trace_event] JSON or JSON-lines). *)
+
+module Json = Json
+
+val enable : unit -> unit
+(** Turn on counters, histograms and span aggregation. *)
+
+val enable_tracing : unit -> unit
+(** Additionally buffer every span begin/end and instant event for
+    {!Trace} export.  Implies {!enable}. *)
+
+val disable : unit -> unit
+(** Back to the no-op default (buffered data is kept until {!reset}). *)
+
+val enabled : unit -> bool
+val tracing : unit -> bool
+
+val reset : unit -> unit
+(** Zero every counter and histogram, drop all buffered events and
+    aggregates, abandon any open spans, and restart the trace clock.
+    Does not change the enabled/tracing flags. *)
+
+val now_ns : unit -> int64
+(** The monotonic clock (nanoseconds; only differences mean anything). *)
+
+(** Named monotonic counters.  [make] registers the counter in a
+    process-global registry keyed by name; calling it twice with the
+    same name returns the same counter. *)
+module Counter : sig
+  type t
+
+  val make : ?unit_:string -> string -> t
+  (** [unit_] is documentation carried into stats output (e.g.
+      ["steps"], ["nodes"], ["rules"]). *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  (** [add] with a negative value is ignored: counters only go up. *)
+
+  val set_max : t -> int -> unit
+  (** High-water-mark semantics: the counter keeps the max value ever
+      offered (e.g. peak frontier size, peak model size). *)
+
+  val value : t -> int
+  val name : t -> string
+
+  val snapshot : unit -> (string * int) list
+  (** All registered counters with non-zero values, sorted by name. *)
+end
+
+(** Named histograms of [float] observations.  Tracks count, sum, min,
+    max exactly and percentiles over the first 4096 samples. *)
+module Histogram : sig
+  type t
+
+  val make : ?unit_:string -> string -> t
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+  val percentile : t -> float -> float
+  (** [percentile h 0.5] is the median of the retained samples; [nan]
+      when empty. *)
+end
+
+(** Nested spans.  Spans form a stack per process (the solvers are
+    single-threaded); [stop]ping a span that is not innermost first
+    auto-closes the spans opened inside it, so the exported trace is
+    always properly nested — no orphan parents. *)
+module Span : sig
+  type t
+
+  val null : t
+  (** The disabled span; stopping it is a no-op.  [start] returns it
+      whenever the layer is disabled. *)
+
+  val start : ?args:(string * string) list -> string -> t
+
+  val stop : ?args:(string * string) list -> t -> unit
+  (** Extra [args] given at stop time are merged into the span's end
+      event.  Stopping a span that was already stopped is a no-op. *)
+
+  val with_ : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+  (** [with_ name f] runs [f] inside a span; the span is closed even if
+      [f] raises. *)
+
+  val event : ?args:(string * string) list -> string -> unit
+  (** An instant event (Chrome phase ["i"]), e.g. one escalation round
+      or a budget trip. *)
+
+  val depth : unit -> int
+  (** Number of currently open spans (0 when balanced). *)
+end
+
+(** The buffered event stream (populated only under {!enable_tracing}). *)
+module Trace : sig
+  type phase = Begin | End | Instant
+
+  type event = {
+    name : string;
+    ph : phase;
+    ts_ns : int64;  (** relative to the trace epoch (the last {!reset}) *)
+    args : (string * string) list;
+  }
+
+  val events : unit -> event list
+  (** In emission order.  The buffer is capped (2^18 events); beyond
+      that, events are dropped and counted. *)
+
+  val dropped : unit -> int
+
+  val to_chrome_json : unit -> string
+  (** A complete Chrome [trace_event]-format document (JSON object with
+      a [traceEvents] array of B/E/i events, microsecond timestamps),
+      loadable in [chrome://tracing] and Perfetto.  Spans still open at
+      export time are closed synthetically at the current clock so the
+      file is always well-formed. *)
+
+  val to_jsonl : unit -> string
+  (** One JSON object per event per line, nanosecond timestamps. *)
+
+  val write_chrome : string -> unit
+  (** [to_chrome_json] to a file. *)
+end
+
+(** Aggregated statistics: every counter, histogram, and per-span-name
+    totals (count, total wall-clock, self time = total minus time spent
+    in child spans). *)
+module Stats : sig
+  type span_stat = { count : int; total_ns : int64; self_ns : int64 }
+
+  val spans : unit -> (string * span_stat) list
+  (** Sorted by total time, descending. *)
+
+  val to_json : unit -> Json.t
+  val to_text : unit -> string
+  (** Human-readable tables: counters, span attribution (count, total,
+      self, share of the busiest root span), histograms. *)
+end

@@ -4,6 +4,10 @@ type outcome =
   | Convergent of Srs.rule list
   | Budget_exhausted of Srs.rule list
 
+let c_passes = Obs.Counter.make ~unit_:"passes" "kb.completion_passes"
+let c_cps = Obs.Counter.make ~unit_:"pairs" "kb.critical_pairs"
+let c_rules = Obs.Counter.make ~unit_:"rules" "kb.rules_peak"
+
 (* Keep the rule set inter-reduced: every rule's sides are normal with
    respect to the other rules.  Rules whose lhs becomes reducible are
    turned back into equations. *)
@@ -20,6 +24,9 @@ let simplify rules =
   go [] [] rules
 
 let complete ?(max_rules = 512) ?(max_passes = 64) equations =
+  Obs.Span.with_ "kb.complete"
+    ~args:[ ("equations", string_of_int (List.length equations)) ]
+    (fun () ->
   (* A global fuel counter guards against pathological simplify/reopen
      cycles; completion is inherently a semi-algorithm. *)
   let fuel = ref (1000 * max_rules) in
@@ -39,24 +46,28 @@ let complete ?(max_rules = 512) ?(max_passes = 64) equations =
                 if List.length rules >= max_rules then Error rules
                 else
                   let rules, reopened = simplify (r :: rules) in
+                  Obs.Counter.set_max c_rules (List.length rules);
                   add_equations rules (reopened @ pending))
   in
   let rec passes n rules =
     if n > max_passes then Budget_exhausted rules
-    else
+    else begin
+      Obs.Counter.incr c_passes;
       let cps =
         List.filter
           (fun (u, v) -> not (Srs.joinable rules u v))
           (Srs.critical_pairs rules)
       in
+      Obs.Counter.add c_cps (List.length cps);
       if cps = [] then Convergent rules
       else
         match add_equations rules cps with
         | Ok rules' -> passes (n + 1) rules'
         | Error rules' -> Budget_exhausted rules'
+    end
   in
   match add_equations [] equations with
   | Ok rules -> passes 1 rules
-  | Error rules -> Budget_exhausted rules
+  | Error rules -> Budget_exhausted rules)
 
 let decides_equal rules u v = Srs.joinable rules u v

@@ -1,6 +1,8 @@
 module Constr = Pathlang.Constr
 module NS = Graph.Node_set
 
+let c_checks = Obs.Counter.make ~unit_:"checks" "check.constraint_checks"
+
 let violations g c =
   let xs = Eval.eval g (Constr.prefix c) in
   NS.fold
@@ -19,6 +21,7 @@ let violations g c =
     xs []
 
 let holds g c =
+  Obs.Counter.incr c_checks;
   let xs = Eval.eval g (Constr.prefix c) in
   NS.for_all
     (fun x ->

@@ -17,6 +17,8 @@ let count ~nodes ~labels =
 
 let no_interrupt () = false
 
+let c_graphs = Obs.Counter.make ~unit_:"graphs" "enumerate.graphs_visited"
+
 let iter ?(interrupt = no_interrupt) ~nodes ~labels f =
   let pes = Array.of_list (potential_edges ~nodes ~labels) in
   let bits = Array.length pes in
@@ -25,6 +27,7 @@ let iter ?(interrupt = no_interrupt) ~nodes ~labels f =
   let rec go mask =
     if mask >= total || interrupt () then None
     else begin
+      Obs.Counter.incr c_graphs;
       let g = Graph.create () in
       for _ = 2 to nodes do
         ignore (Graph.add_node g)
@@ -41,14 +44,17 @@ let iter ?(interrupt = no_interrupt) ~nodes ~labels f =
 
 let find_countermodel ?(interrupt = no_interrupt) ~max_nodes ~labels ~sigma ~phi
     () =
-  let rec go n =
-    if n > max_nodes || interrupt () then None
-    else
-      match
-        iter ~interrupt ~nodes:n ~labels (fun g ->
-            (not (Check.holds g phi)) && Check.holds_all g sigma)
-      with
-      | Some g -> Some g
-      | None -> go (n + 1)
-  in
-  go 1
+  Obs.Span.with_ "enumerate.find_countermodel"
+    ~args:[ ("max_nodes", string_of_int max_nodes) ]
+    (fun () ->
+      let rec go n =
+        if n > max_nodes || interrupt () then None
+        else
+          match
+            iter ~interrupt ~nodes:n ~labels (fun g ->
+                (not (Check.holds g phi)) && Check.holds_all g sigma)
+          with
+          | Some g -> Some g
+          | None -> go (n + 1)
+      in
+      go 1)

@@ -1,0 +1,335 @@
+(* The observability layer: span nesting, counter semantics, Chrome
+   trace export, the disabled-mode no-op guarantee, and a golden
+   --stats json fixture for a small chase run through the CLI. *)
+
+open Testutil
+
+let pathctl =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    (Filename.concat "bin" "pathctl.exe")
+
+let write_temp suffix contents =
+  let file = Filename.temp_file "obs_test" suffix in
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc contents);
+  file
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* run a little work so spans have non-zero width *)
+let spin () =
+  let acc = ref 0 in
+  for i = 1 to 10_000 do
+    acc := !acc + i
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+(* --- spans ----------------------------------------------------------- *)
+
+let test_span_nesting () =
+  Obs.enable ();
+  Obs.reset ();
+  Obs.Span.with_ "outer" (fun () ->
+      spin ();
+      Obs.Span.with_ "inner" (fun () -> spin ());
+      Obs.Span.with_ "inner" (fun () -> spin ()));
+  check_int "balanced afterwards" 0 (Obs.Span.depth ());
+  let spans = Obs.Stats.spans () in
+  let stat name = List.assoc name spans in
+  let outer = stat "outer" and inner = stat "inner" in
+  check_int "outer ran once" 1 outer.Obs.Stats.count;
+  check_int "inner ran twice" 2 inner.Obs.Stats.count;
+  check_bool "totals are positive" true (outer.Obs.Stats.total_ns > 0L);
+  check_bool "outer contains inner" true
+    (outer.Obs.Stats.total_ns >= inner.Obs.Stats.total_ns);
+  (* self = total - child time, so outer.self < outer.total strictly
+     once the children have width *)
+  check_bool "outer self excludes child time" true
+    (outer.Obs.Stats.self_ns
+     <= Int64.sub outer.Obs.Stats.total_ns inner.Obs.Stats.total_ns);
+  (* a leaf's self time is its total *)
+  check_bool "leaf self = total" true
+    (inner.Obs.Stats.self_ns = inner.Obs.Stats.total_ns);
+  Obs.disable ()
+
+let test_span_auto_close () =
+  Obs.enable_tracing ();
+  Obs.reset ();
+  let a = Obs.Span.start "a" in
+  let _b = Obs.Span.start "b" in
+  let _c = Obs.Span.start "c" in
+  check_int "three open" 3 (Obs.Span.depth ());
+  (* stopping the outermost unwinds (auto-closes) b and c first *)
+  Obs.Span.stop a;
+  check_int "all closed" 0 (Obs.Span.depth ());
+  let spans = Obs.Stats.spans () in
+  List.iter
+    (fun name ->
+      check_int (name ^ " closed once") 1
+        (List.assoc name spans).Obs.Stats.count)
+    [ "a"; "b"; "c" ];
+  (* double stop is a no-op *)
+  Obs.Span.stop a;
+  check_int "a still closed once" 1
+    (List.assoc "a" (Obs.Stats.spans ())).Obs.Stats.count;
+  Obs.disable ()
+
+let test_span_exception_safety () =
+  Obs.enable ();
+  Obs.reset ();
+  (try Obs.Span.with_ "boom" (fun () -> failwith "no") with Failure _ -> ());
+  check_int "balanced after raise" 0 (Obs.Span.depth ());
+  check_int "span still aggregated" 1
+    (List.assoc "boom" (Obs.Stats.spans ())).Obs.Stats.count;
+  Obs.disable ()
+
+(* --- counters --------------------------------------------------------- *)
+
+let test_counter_monotonic () =
+  Obs.enable ();
+  Obs.reset ();
+  let c = Obs.Counter.make ~unit_:"things" "test.monotonic" in
+  check_int "starts at zero" 0 (Obs.Counter.value c);
+  Obs.Counter.incr c;
+  Obs.Counter.add c 4;
+  check_int "incr + add" 5 (Obs.Counter.value c);
+  Obs.Counter.add c (-3);
+  check_int "negative add ignored" 5 (Obs.Counter.value c);
+  Obs.Counter.set_max c 2;
+  check_int "set_max below keeps the max" 5 (Obs.Counter.value c);
+  Obs.Counter.set_max c 9;
+  check_int "set_max above raises" 9 (Obs.Counter.value c);
+  (* make is idempotent: same registry slot by name *)
+  let c' = Obs.Counter.make "test.monotonic" in
+  Obs.Counter.incr c';
+  check_int "same counter by name" 10 (Obs.Counter.value c);
+  (* snapshot lists non-zero counters sorted by name *)
+  let c2 = Obs.Counter.make "test.another" in
+  Obs.Counter.incr c2;
+  ignore (Obs.Counter.make "test.zero");
+  let snap = Obs.Counter.snapshot () in
+  check_bool "zero counters omitted" false
+    (List.mem_assoc "test.zero" snap);
+  check_int "snapshot value" 10 (List.assoc "test.monotonic" snap);
+  let names = List.map fst snap in
+  check_bool "snapshot sorted" true (List.sort compare names = names);
+  Obs.disable ()
+
+let test_histogram () =
+  Obs.enable ();
+  Obs.reset ();
+  let h = Obs.Histogram.make ~unit_:"ms" "test.hist" in
+  List.iter (Obs.Histogram.observe h) [ 1.; 2.; 3.; 4. ];
+  check_int "count" 4 (Obs.Histogram.count h);
+  check_bool "sum" true (Obs.Histogram.sum h = 10.);
+  check_bool "mean" true (Obs.Histogram.mean h = 2.5);
+  check_bool "median in range" true
+    (let m = Obs.Histogram.percentile h 0.5 in
+     m >= 2. && m <= 3.);
+  Obs.disable ()
+
+(* --- Chrome trace export ---------------------------------------------- *)
+
+(* Replay the B/E events against a stack: names must match LIFO and
+   timestamps must be monotone. *)
+let validate_chrome_doc json =
+  let events =
+    match Option.bind (Obs.Json.member "traceEvents" json) Obs.Json.as_list with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  check_bool "trace has events" true (events <> []);
+  let stack = ref [] in
+  let last_ts = ref neg_infinity in
+  List.iter
+    (fun e ->
+      let f name as_ty =
+        match Option.bind (Obs.Json.member name e) as_ty with
+        | Some v -> v
+        | None -> Alcotest.fail ("event missing field " ^ name)
+      in
+      let name = f "name" Obs.Json.as_string in
+      let ph = f "ph" Obs.Json.as_string in
+      let ts = f "ts" Obs.Json.as_float in
+      ignore (f "pid" Obs.Json.as_int);
+      ignore (f "tid" Obs.Json.as_int);
+      check_bool "timestamps monotone" true (ts >= !last_ts);
+      last_ts := ts;
+      match ph with
+      | "B" -> stack := name :: !stack
+      | "E" -> (
+          match !stack with
+          | top :: rest ->
+              check_string "E matches innermost B" top name;
+              stack := rest
+          | [] -> Alcotest.fail "E event with empty stack")
+      | "i" -> ()
+      | _ -> Alcotest.fail ("unexpected phase " ^ ph))
+    events;
+  check_bool "all spans closed" true (!stack = [])
+
+let test_chrome_roundtrip () =
+  Obs.enable_tracing ();
+  Obs.reset ();
+  Obs.Span.with_ "outer" (fun () ->
+      Obs.Span.event ~args:[ ("k", "v") ] "tick";
+      Obs.Span.with_ "inner" (fun () -> spin ()));
+  (* an open span at export time gets a synthetic end *)
+  let dangling = Obs.Span.start "dangling" in
+  let doc = Obs.Trace.to_chrome_json () in
+  Obs.Span.stop dangling;
+  (match Obs.Json.parse doc with
+  | Ok json -> validate_chrome_doc json
+  | Error m -> Alcotest.fail ("chrome json does not parse: " ^ m));
+  Obs.disable ()
+
+let test_chrome_via_chase () =
+  Obs.enable_tracing ();
+  Obs.reset ();
+  let sigma = [ c_bwd "eps" "a" "b"; c_bwd "eps" "b" "a" ] in
+  let phi = c_word "a.b" "eps" in
+  ignore (Core.Semidecide.implies ~sigma phi);
+  (match Obs.Json.parse (Obs.Trace.to_chrome_json ()) with
+  | Ok json -> validate_chrome_doc json
+  | Error m -> Alcotest.fail ("chrome json does not parse: " ^ m));
+  (* the solver spans are in the stream *)
+  let names = List.map (fun e -> e.Obs.Trace.name) (Obs.Trace.events ()) in
+  check_bool "chase span present" true (List.mem "chase.implies" names);
+  check_bool "semidecide span present" true
+    (List.mem "semidecide.implies" names);
+  Obs.disable ()
+
+(* --- disabled mode is side-effect-free -------------------------------- *)
+
+let test_disabled_noop () =
+  Obs.disable ();
+  Obs.reset ();
+  let sigma = [ c_bwd "eps" "a" "b" ] in
+  ignore (Core.Semidecide.implies ~sigma (c_word "a.b" "eps"));
+  let s = Obs.Span.start "ignored" in
+  Obs.Span.stop s;
+  Obs.Span.event "ignored";
+  let c = Obs.Counter.make "test.disabled" in
+  Obs.Counter.incr c;
+  check_bool "no counters recorded" true (Obs.Counter.snapshot () = []);
+  check_bool "no events buffered" true (Obs.Trace.events () = []);
+  check_bool "no span aggregates" true (Obs.Stats.spans () = []);
+  check_int "no open spans" 0 (Obs.Span.depth ())
+
+(* --- golden --stats json fixture through the CLI ----------------------- *)
+
+let run_stderr args =
+  let out_file = Filename.temp_file "obs_cli_out" ".txt" in
+  let err_file = Filename.temp_file "obs_cli_err" ".txt" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2> %s" (Filename.quote pathctl) args
+      (Filename.quote out_file) (Filename.quote err_file)
+  in
+  let code = Sys.command cmd in
+  let err = In_channel.with_open_text err_file In_channel.input_all in
+  Sys.remove out_file;
+  Sys.remove err_file;
+  (code, err)
+
+let test_golden_stats_json () =
+  let sigma =
+    write_temp ".constraints"
+      "book : author <- wrote\nperson : wrote <- author\n"
+  in
+  let code, err =
+    run_stderr
+      (Printf.sprintf "chase -s %s \"book.author.wrote -> book\" --stats json"
+         sigma)
+  in
+  Sys.remove sigma;
+  check_int "refuted exits 1" 1 code;
+  let json =
+    match Obs.Json.parse (String.trim err) with
+    | Ok j -> j
+    | Error m -> Alcotest.fail ("--stats json does not parse: " ^ m)
+  in
+  (* the chase on this fixture is deterministic: one TGD repair builds
+     the countermodel, minimization then model-checks candidates *)
+  let counters =
+    match Option.bind (Obs.Json.member "counters" json) Obs.Json.as_obj with
+    | Some o -> o
+    | None -> Alcotest.fail "no counters object"
+  in
+  List.iter
+    (fun (name, expected) ->
+      match List.assoc_opt name counters with
+      | Some (Obs.Json.Int v) -> check_int name expected v
+      | _ -> Alcotest.fail ("missing counter " ^ name))
+    [
+      ("chase.steps", 1);
+      ("chase.tgd_firings", 1);
+      ("check.constraint_checks", 25);
+      ("engine.peak_nodes", 4);
+      ("engine.ticks", 2);
+    ];
+  (* span attribution covers the whole command under one root *)
+  let spans =
+    match Option.bind (Obs.Json.member "spans" json) Obs.Json.as_obj with
+    | Some o -> o
+    | None -> Alcotest.fail "no spans object"
+  in
+  check_bool "root span present" true (List.mem_assoc "pathctl.chase" spans);
+  check_bool "solver span present" true
+    (List.mem_assoc "semidecide.implies" spans)
+
+let test_trace_flag_writes_valid_file () =
+  let sigma =
+    write_temp ".constraints"
+      "book : author <- wrote\nperson : wrote <- author\n"
+  in
+  let trace_file = Filename.temp_file "obs_trace" ".json" in
+  let code, _ =
+    run_stderr
+      (Printf.sprintf "chase -s %s \"book : author <- wrote\" --trace %s"
+         sigma (Filename.quote trace_file))
+  in
+  Sys.remove sigma;
+  check_int "implied exits 0" 0 code;
+  let doc = In_channel.with_open_text trace_file In_channel.input_all in
+  Sys.remove trace_file;
+  (match Obs.Json.parse doc with
+  | Ok json -> validate_chrome_doc json
+  | Error m -> Alcotest.fail ("trace file does not parse: " ^ m));
+  check_bool "root span in file" true (contains doc "pathctl.chase")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting + aggregates" `Quick test_span_nesting;
+          Alcotest.test_case "auto-close unwinding" `Quick
+            test_span_auto_close;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_exception_safety;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter monotonicity" `Quick
+            test_counter_monotonic;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "chrome round-trip" `Quick test_chrome_roundtrip;
+          Alcotest.test_case "chrome via chase" `Quick test_chrome_via_chase;
+        ] );
+      ( "modes",
+        [ Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop ] );
+      ( "cli",
+        [
+          Alcotest.test_case "golden --stats json" `Quick
+            test_golden_stats_json;
+          Alcotest.test_case "--trace writes valid chrome json" `Quick
+            test_trace_flag_writes_valid_file;
+        ] );
+    ]
