@@ -1,6 +1,6 @@
 # Convenience wrapper around dune.
 
-.PHONY: all build test check bench bench-check profile fmt clean lint
+.PHONY: all build test check bench bench-check bench-chase profile fmt clean lint
 
 all: build
 
@@ -23,6 +23,12 @@ bench:
 bench-check:
 	dune exec bench/main.exe -- timing --quick -o BENCH_table1.json
 	dune exec bench/check_bench.exe -- BENCH_table1.json bench/baseline_table1.json
+
+# the chase engine scaling sweep only: incremental in-place engine vs
+# the retained copy-per-step reference, same workload, with the speedup
+# at the largest sweep size printed and the cells written as JSON
+bench-chase:
+	dune exec bench/main.exe -- chase -o BENCH_chase.json
 
 # span/counter attribution for the chase on the shipped bibliography
 # example (see DESIGN.md section 9)

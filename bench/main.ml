@@ -413,6 +413,10 @@ let sweep name sizes f =
   Printf.printf "  empirical exponent (log-log slope): %.2f\n" exponent;
   (points, exponent)
 
+(* --quick shrinks every sweep to its first three sizes *)
+let shrink sizes =
+  if !quick then List.filteri (fun i _ -> i < 3) sizes else sizes
+
 (* --- machine-readable Table 1 cells (BENCH_table1.json) ----------------- *)
 
 type cell = {
@@ -473,14 +477,96 @@ let write_table1_json path =
       Out_channel.output_char oc '\n');
   Printf.printf "\nwrote %s (%d cells)\n" path (List.length !cells)
 
+(* --- chase engine scaling (incremental in-place vs copy-per-step) ------ *)
+
+(* Deterministic fixpoint workload exercising both repair kinds on a
+   graph whose bulk the constraints never touch:
+     - a TGD chain [x_i -> x_{i+1}] over the root: n-1 edge additions,
+     - an EGD star [forall x (b(r,x) -> forall y (c(x,y) -> x = y))]
+       collapsing n spoke nodes into their hub: n merges,
+     - an untouched a-chain of length n standing in for the data bulk.
+   Both engines perform the same 2n-1 repairs in the same order; the
+   reference engine pays a whole-graph copy (TGD) or rebuild (EGD) per
+   repair while the incremental engine splices in place, so the sweep
+   isolates exactly the cost the in-place engine removes. *)
+let chase_workload n =
+  let g = Graph.create () in
+  let la = Label.make "a" and lb = Label.make "b" and lc = Label.make "c" in
+  let prev = ref (Graph.root g) in
+  for _ = 1 to n do
+    let v = Graph.add_node g in
+    Graph.add_edge g !prev la v;
+    prev := v
+  done;
+  let hub = Graph.add_node g in
+  Graph.add_edge g (Graph.root g) lb hub;
+  for _ = 1 to n do
+    let s = Graph.add_node g in
+    Graph.add_edge g hub lc s
+  done;
+  let w = Graph.add_node g in
+  let x i = Label.make (Printf.sprintf "x%d" i) in
+  Graph.add_edge g (Graph.root g) (x 0) w;
+  let tgds =
+    List.init (n - 1) (fun i ->
+        Constr.word ~lhs:(Path.singleton (x i))
+          ~rhs:(Path.singleton (x (i + 1))))
+  in
+  let egd =
+    Constr.forward ~prefix:(Path.singleton lb) ~lhs:(Path.singleton lc)
+      ~rhs:Path.empty
+  in
+  (g, tgds @ [ egd ])
+
+let chase_fixpoint which n =
+  let g, sigma = chase_workload n in
+  let budget =
+    Core.Engine.Budget.v ~max_steps:((4 * n) + 32) ~max_nodes:((8 * n) + 32) ()
+  in
+  fun () ->
+    let ctl = Core.Engine.start budget in
+    let outcome =
+      match which with
+      | `Incremental -> fst (Core.Chase.run ~ctl g sigma)
+      | `Reference -> fst (Core.Chase.run_reference ~ctl g sigma)
+    in
+    match outcome with
+    | Core.Chase.Fixpoint _ -> ()
+    | Core.Chase.Exhausted _ ->
+        failwith "chase bench workload must reach fixpoint"
+
+let chase_cells () =
+  record_cell ~cell_name:"pc-chase-incremental"
+    ~claim:"semi-decision (Thm 4.1); in-place engine, spliced repairs"
+    "incremental chase to fixpoint, 2n-1 repairs on a ~3n-node graph"
+    (shrink [ 16; 32; 64; 128; 256 ])
+    (fun n -> measure (chase_fixpoint `Incremental n));
+  record_cell ~cell_name:"pc-chase-reference"
+    ~claim:"semi-decision (Thm 4.1); copy-per-step engine (pre-rewrite)"
+    "reference chase to fixpoint, same workload and repair sequence"
+    (shrink [ 16; 32; 64; 128; 256 ])
+    (fun n -> measure (chase_fixpoint `Reference n));
+  (* headline ratio at the largest common size, from the recorded points *)
+  match
+    ( List.find_opt (fun c -> c.cell_name = "pc-chase-incremental") !cells,
+      List.find_opt (fun c -> c.cell_name = "pc-chase-reference") !cells )
+  with
+  | Some inc, Some refc -> (
+      let common =
+        List.filter (fun (n, _) -> List.mem_assoc n refc.points) inc.points
+      in
+      match List.rev common with
+      | (n, mi) :: _ ->
+          let mr = List.assoc n refc.points in
+          Printf.printf
+            "  incremental engine speedup at n = %d: %.1fx (%s -> %s)\n" n
+            (mr.wall_ns /. mi.wall_ns) (pp_ns mr.wall_ns) (pp_ns mi.wall_ns)
+      | [] -> ())
+  | _ -> ()
+
 let timing () =
   section "Timing: complexity shapes of the decidable cells";
   let rng0 = rng () in
-  let shrink sizes =
-    if !quick then
-      List.filteri (fun i _ -> i < 3) sizes
-    else sizes
-  in
 
   record_cell ~cell_name:"untyped-word-ptime" ~claim:"PTIME"
     "word constraint implication (PTIME claim), |Sigma| = n"
@@ -540,6 +626,8 @@ let timing () =
       in
       measure (fun () ->
           ignore (Core.Local_extent.implies ~alpha:Path.empty ~k ~sigma ~phi)));
+
+  chase_cells ();
 
   section "Ablations";
 
@@ -794,6 +882,10 @@ let () =
       | "table1" -> table1 ()
       | "figures" -> figures ()
       | "timing" -> timing ()
+      | "chase" ->
+          section "Chase engine scaling (incremental vs reference)";
+          chase_cells ();
+          write_table1_json !out_path
       | "raw" -> raw ()
       | "all" | _ ->
           table1 ();

@@ -1,10 +1,12 @@
 module Constr = Pathlang.Constr
 module Path = Pathlang.Path
+module Label = Pathlang.Label
 module Graph = Sgraph.Graph
+module Mg = Sgraph.Merge_graph
 module Check = Sgraph.Check
 module Eval = Sgraph.Eval
 
-let src = Logs.Src.create "pathcons.chase" ~doc:"budgeted P_c chase"
+let src = Logs.Src.create "pathcons.chase" ~doc:"budgeted incremental P_c chase"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
@@ -12,7 +14,186 @@ let c_steps = Obs.Counter.make ~unit_:"repairs" "chase.steps"
 let c_egd = Obs.Counter.make ~unit_:"merges" "chase.egd_merges"
 let c_tgd = Obs.Counter.make ~unit_:"paths added" "chase.tgd_firings"
 
+let c_hits = Obs.Counter.make ~unit_:"violations found" "chase.worklist_hits"
+
+let c_skips =
+  Obs.Counter.make ~unit_:"clean constraints skipped" "chase.worklist_skips"
+
+let c_settled =
+  Obs.Counter.make ~unit_:"dirty checks come back clean" "chase.worklist_settled"
+
 type outcome = Fixpoint of Graph.t | Exhausted of Graph.t * Verdict.exhaustion
+
+let conclusion_holds g phi x y =
+  match Constr.kind phi with
+  | Constr.Forward -> Eval.holds_between g x (Constr.rhs phi) y
+  | Constr.Backward -> Eval.holds_between g y (Constr.rhs phi) x
+
+(* ------------------------------------------------------------------ *)
+(* Incremental engine                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The chase state: the union-find graph plus a dirty-constraint
+   worklist.
+
+   Invariant: every constraint whose dirty flag is unset holds in the
+   current graph.  Repairs only ever add connectivity (TGDs add edges,
+   EGD merges splice — they never remove reachability), so a satisfied
+   constraint can only become violated again through a path that uses
+   the repair's new connectivity: for a TGD, one of the freshly added
+   edges (labels of the added path); for an EGD, a path entering or
+   leaving the merged class (labels incident to it).  Re-dirtying
+   exactly the constraints whose label footprint meets those touched
+   labels therefore preserves the invariant; everything else is skipped
+   without re-evaluation.  A constraint with an empty footprint has all
+   three paths empty and is trivially satisfied forever once checked.
+
+   Fairness: repairs scan the constraint array round-robin from
+   [steps mod n] (an array cursor, replacing the historical O(|Sigma|)
+   [rotate] list surgery), so a diverging dependency cannot starve the
+   others — each full cycle the scan origin advances one slot, exactly
+   like the rotation it replaces. *)
+type state = {
+  mg : Mg.t;
+  sigma : Constr.t array;
+  by_label : (Label.t, int list) Hashtbl.t;
+  dirty : bool array;
+  mutable steps : int;  (** successful repairs so far; drives the cursor *)
+}
+
+let make_state mg sigma_list =
+  let sigma = Array.of_list sigma_list in
+  let by_label = Hashtbl.create 16 in
+  Array.iteri
+    (fun i c ->
+      Label.Set.iter
+        (fun k ->
+          let l = Option.value ~default:[] (Hashtbl.find_opt by_label k) in
+          Hashtbl.replace by_label k (i :: l))
+        (Constr.labels_used c))
+    sigma;
+  { mg; sigma; by_label; dirty = Array.make (Array.length sigma) true; steps = 0 }
+
+let mark_dirty st touched =
+  Label.Set.iter
+    (fun k ->
+      List.iter
+        (fun i -> st.dirty.(i) <- true)
+        (Option.value ~default:[] (Hashtbl.find_opt st.by_label k)))
+    touched
+
+(* One repair: scan from the cursor for a dirty constraint that is
+   actually violated, fix its first violation in place, and re-dirty
+   the constraints its new connectivity can affect.  [`Fixpoint] when
+   the scan completes a full cycle without finding any violation. *)
+let step st =
+  let n = Array.length st.sigma in
+  let g = Mg.graph st.mg in
+  let rec scan i remaining =
+    if remaining = 0 then `Fixpoint
+    else if not st.dirty.(i) then begin
+      Obs.Counter.incr c_skips;
+      scan (if i + 1 = n then 0 else i + 1) (remaining - 1)
+    end
+    else
+      let c = st.sigma.(i) in
+      match Check.first_violation g c with
+      | None ->
+          st.dirty.(i) <- false;
+          Obs.Counter.incr c_settled;
+          scan (if i + 1 = n then 0 else i + 1) (remaining - 1)
+      | Some (x, y) ->
+          Obs.Counter.incr c_hits;
+          let rhs = Constr.rhs c in
+          let touched =
+            match (Constr.kind c, Path.is_empty rhs) with
+            | Constr.Forward, true ->
+                Log.debug (fun m ->
+                    m "EGD repair for %a: merge %d and %d" Constr.pp c x y);
+                Obs.Counter.incr c_egd;
+                ignore (Mg.union st.mg x y);
+                Mg.incident_labels st.mg x
+            | Constr.Backward, true ->
+                Log.debug (fun m ->
+                    m "EGD repair for %a: merge %d and %d" Constr.pp c y x);
+                Obs.Counter.incr c_egd;
+                ignore (Mg.union st.mg y x);
+                Mg.incident_labels st.mg x
+            | Constr.Forward, false ->
+                Log.debug (fun m ->
+                    m "TGD repair for %a: add %a-path %d ~> %d" Constr.pp c
+                      Path.pp rhs x y);
+                Obs.Counter.incr c_tgd;
+                Mg.add_path st.mg x rhs y;
+                Path.labels_used rhs
+            | Constr.Backward, false ->
+                Log.debug (fun m ->
+                    m "TGD repair for %a: add %a-path %d ~> %d" Constr.pp c
+                      Path.pp rhs y x);
+                Obs.Counter.incr c_tgd;
+                Mg.add_path st.mg y rhs x;
+                Path.labels_used rhs
+          in
+          mark_dirty st touched;
+          Obs.Counter.incr c_steps;
+          st.steps <- st.steps + 1;
+          `Repaired
+  in
+  if n = 0 then `Fixpoint else scan (st.steps mod n) n
+
+let run ?ctl ?(tracked = []) g sigma =
+  let ctl = match ctl with Some c -> c | None -> Engine.default () in
+  let st = make_state (Mg.of_graph (Graph.copy g)) sigma in
+  let finish outcome =
+    let h, rename = Mg.compact st.mg in
+    (outcome h, List.map rename tracked)
+  in
+  let rec go () =
+    if not (Engine.tick ctl ~nodes:(Mg.live_count st.mg) ()) then
+      finish (fun h -> Exhausted (h, Engine.exhaustion ctl))
+    else
+      match step st with
+      | `Fixpoint -> finish (fun h -> Fixpoint h)
+      | `Repaired -> go ()
+  in
+  Obs.Span.with_ "chase.run"
+    ~args:[ ("sigma", string_of_int (List.length sigma)) ]
+    (fun () -> go ())
+
+let implies ?ctl ~sigma phi =
+  let ctl = match ctl with Some c -> c | None -> Engine.default () in
+  (* Canonical database of phi's premise. *)
+  let g = Graph.create () in
+  let x = Graph.ensure_path g (Graph.root g) (Constr.prefix phi) in
+  let y = Graph.ensure_path g x (Constr.lhs phi) in
+  let st = make_state (Mg.of_graph g) sigma in
+  let rec go () =
+    if
+      conclusion_holds (Mg.graph st.mg) phi (Mg.find st.mg x) (Mg.find st.mg y)
+    then Verdict.Implied
+    else if not (Engine.tick ctl ~nodes:(Mg.live_count st.mg) ()) then
+      Verdict.Unknown (Engine.exhaustion ctl)
+    else
+      match step st with
+      | `Fixpoint -> Verdict.Refuted (fst (Mg.compact st.mg))
+      | `Repaired -> go ()
+  in
+  Obs.Span.with_ "chase.implies"
+    ~args:[ ("sigma", string_of_int (List.length sigma)) ]
+    (fun () -> go ())
+
+(* ------------------------------------------------------------------ *)
+(* Reference engine                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The historical copy-per-step chase, retained verbatim as the
+   differential-testing oracle (see test/test_chase_incremental.ml):
+   every repair rebuilds the graph with renumbered ids, every step
+   rescans all of Sigma.  Both engines pick repairs with
+   [Check.first_violation], and the incremental [union] absorbs into
+   the smaller id exactly like [merge] does here, so a run of either
+   engine performs the same repair sequence and their results are
+   isomorphic via the order-preserving renaming. *)
 
 let merge g a b =
   if a = b then (Graph.copy g, fun n -> n)
@@ -27,18 +208,18 @@ let merge g a b =
     for _ = 2 to Graph.node_count g - 1 do
       ignore (Graph.add_node h)
     done;
-    List.iter (fun (x, k, y) -> Graph.add_edge h (rename x) k (rename y)) (Graph.edges g);
+    Graph.iter_edges g (fun x k y -> Graph.add_edge h (rename x) k (rename y));
     (h, rename)
   end
 
 (* One repair for the first violation found; [None] when G |= Sigma. *)
-let repair g sigma =
+let repair_reference g sigma =
   let rec find = function
     | [] -> None
     | c :: rest -> (
-        match Check.violations g c with
-        | [] -> find rest
-        | (x, y) :: _ -> Some (c, x, y))
+        match Check.first_violation g c with
+        | None -> find rest
+        | Some (x, y) -> Some (c, x, y))
   in
   match find sigma with
   | None -> None
@@ -54,16 +235,9 @@ let repair g sigma =
       Some
         (match merged_or_added with
         | `Merge (a, b) ->
-            Log.debug (fun m ->
-                m "EGD repair for %a: merge %d and %d" Constr.pp c a b);
-            Obs.Counter.incr c_egd;
             let g', rename = merge g a b in
             (g', rename)
         | `Add (node_src, rho, dst) ->
-            Log.debug (fun m ->
-                m "TGD repair for %a: add %a-path %d ~> %d" Constr.pp c Path.pp
-                  rho node_src dst);
-            Obs.Counter.incr c_tgd;
             let g' = Graph.copy g in
             Graph.add_path g' node_src rho dst;
             (g', fun n -> n))
@@ -83,30 +257,20 @@ let rotate sigma steps =
       in
       split 0 [] sigma
 
-let run ?ctl ?(tracked = []) g sigma =
+let run_reference ?ctl ?(tracked = []) g sigma =
   let ctl = match ctl with Some c -> c | None -> Engine.default () in
   let rec go steps g tracked =
     if not (Engine.tick ctl ~nodes:(Graph.node_count g) ()) then
       (Exhausted (g, Engine.exhaustion ctl), tracked)
     else
-      match repair g (rotate sigma steps) with
+      match repair_reference g (rotate sigma steps) with
       | None -> (Fixpoint g, tracked)
-      | Some (g', rename) ->
-          Obs.Counter.incr c_steps;
-          go (steps + 1) g' (List.map rename tracked)
+      | Some (g', rename) -> go (steps + 1) g' (List.map rename tracked)
   in
-  Obs.Span.with_ "chase.run"
-    ~args:[ ("sigma", string_of_int (List.length sigma)) ]
-    (fun () -> go 0 (Graph.copy g) tracked)
+  go 0 (Graph.copy g) tracked
 
-let conclusion_holds g phi x y =
-  match Constr.kind phi with
-  | Constr.Forward -> Eval.holds_between g x (Constr.rhs phi) y
-  | Constr.Backward -> Eval.holds_between g y (Constr.rhs phi) x
-
-let implies ?ctl ~sigma phi =
+let implies_reference ?ctl ~sigma phi =
   let ctl = match ctl with Some c -> c | None -> Engine.default () in
-  (* Canonical database of phi's premise. *)
   let g = Graph.create () in
   let x = Graph.ensure_path g (Graph.root g) (Constr.prefix phi) in
   let y = Graph.ensure_path g x (Constr.lhs phi) in
@@ -115,12 +279,8 @@ let implies ?ctl ~sigma phi =
     else if not (Engine.tick ctl ~nodes:(Graph.node_count g) ()) then
       Verdict.Unknown (Engine.exhaustion ctl)
     else
-      match repair g (rotate sigma steps) with
+      match repair_reference g (rotate sigma steps) with
       | None -> Verdict.Refuted g
-      | Some (g', rename) ->
-          Obs.Counter.incr c_steps;
-          go (steps + 1) g' (rename x) (rename y)
+      | Some (g', rename) -> go (steps + 1) g' (rename x) (rename y)
   in
-  Obs.Span.with_ "chase.implies"
-    ~args:[ ("sigma", string_of_int (List.length sigma)) ]
-    (fun () -> go 0 g x y)
+  go 0 g x y

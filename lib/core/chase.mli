@@ -18,7 +18,18 @@
 
     Every entry point takes a fresh [?ctl] controller (default:
     [Engine.default ()], i.e. 2000 steps / 2000 nodes / 10 s); one chase
-    step consumes one engine step and reports the current node count. *)
+    step consumes one engine step and reports the current node count.
+
+    The default engine is {e incremental}: the chased graph lives in a
+    {!Sgraph.Merge_graph} (union-find node identity, so EGD repairs are
+    adjacency splices instead of whole-graph rebuilds) and violation
+    detection runs off a dirty-constraint worklist indexed by label
+    footprint, so each repair re-checks only the constraints its new
+    connectivity can affect.  {!run_reference}/{!implies_reference}
+    retain the historical copy-per-step engine as a differential-testing
+    oracle; both engines perform the same repair sequence, so their
+    results agree up to the order-preserving renaming (see DESIGN.md
+    section 10). *)
 
 type outcome =
   | Fixpoint of Sgraph.Graph.t  (** all constraints hold *)
@@ -46,3 +57,21 @@ val merge : Sgraph.Graph.t -> Sgraph.Graph.node -> Sgraph.Graph.node
 (** [merge g a b] identifies the two nodes (the root stays the root) and
     returns the contracted graph with the renaming.  Exposed for the
     typed-countermodel builders and tests. *)
+
+val run_reference :
+  ?ctl:Engine.t ->
+  ?tracked:Sgraph.Graph.node list ->
+  Sgraph.Graph.t ->
+  Pathlang.Constr.t list ->
+  outcome * Sgraph.Graph.node list
+(** {!run} on the retained copy-per-step engine: every EGD rebuilds and
+    renumbers the graph, every step rescans all of Sigma.  Kept as the
+    differential-testing oracle for the incremental engine; performs
+    the same repair sequence as {!run}. *)
+
+val implies_reference :
+  ?ctl:Engine.t ->
+  sigma:Pathlang.Constr.t list ->
+  Pathlang.Constr.t ->
+  Verdict.t
+(** {!implies} on the reference engine. *)

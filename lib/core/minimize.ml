@@ -8,10 +8,8 @@ let drop_node g victim =
   for _ = 2 to Graph.node_count g - 1 do
     ignore (Graph.add_node h)
   done;
-  List.iter
-    (fun (x, k, y) ->
-      if x <> victim && y <> victim then Graph.add_edge h (rename x) k (rename y))
-    (Graph.edges g);
+  Graph.iter_edges g (fun x k y ->
+      if x <> victim && y <> victim then Graph.add_edge h (rename x) k (rename y));
   h
 
 let drop_edge g (x, k, y) =
@@ -19,11 +17,9 @@ let drop_edge g (x, k, y) =
   for _ = 2 to Graph.node_count g do
     ignore (Graph.add_node h)
   done;
-  List.iter
-    (fun (x', k', y') ->
+  Graph.iter_edges g (fun x' k' y' ->
       if not (x = x' && y = y' && Pathlang.Label.equal k k') then
-        Graph.add_edge h x' k' y')
-    (Graph.edges g);
+        Graph.add_edge h x' k' y');
   h
 
 let is_countermodel g ~sigma ~phi =

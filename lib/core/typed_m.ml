@@ -213,11 +213,9 @@ let build_state schema all_paths =
   in
   Array.iteri
     (fun i p ->
-      match Path.to_labels p with
-      | [] -> ()
-      | labels ->
-          let l = List.nth labels (List.length labels - 1) in
-          let parent_path = Path.of_labels (List.filteri (fun j _ -> j < List.length labels - 1) labels) in
+      match Path.split_last p with
+      | None -> ()
+      | Some (parent_path, l) ->
           let pi = Path.Map.find parent_path ids in
           Hashtbl.replace st.succ pi (Label.Map.add l (i, pi) (succ_map st pi)))
     paths;

@@ -19,6 +19,14 @@ let rec last = function
   | [ k ] -> Some k
   | _ :: p -> last p
 
+let split_last p =
+  let rec go acc = function
+    | [] -> None
+    | [ k ] -> Some (List.rev acc, k)
+    | k :: rest -> go (k :: acc) rest
+  in
+  go [] p
+
 let rec is_prefix p q =
   match (p, q) with
   | [], _ -> true

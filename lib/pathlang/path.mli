@@ -41,6 +41,10 @@ val uncons : t -> (Label.t * t) option
 
 val last : t -> Label.t option
 
+val split_last : t -> (t * Label.t) option
+(** [split_last rho] is [Some (rho', k)] with [rho = rho' . k], computed
+    in one pass; [None] for epsilon. *)
+
 val is_prefix : t -> t -> bool
 (** [is_prefix rho tau] is true iff [rho <=_p tau], i.e. there is a path
     [rho'] with [tau = rho . rho'] (Section 2.1). *)

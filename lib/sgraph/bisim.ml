@@ -48,9 +48,8 @@ let quotient g =
   for _ = 2 to n_classes do
     ignore (Graph.add_node h)
   done;
-  List.iter
-    (fun (x, k, y) -> Graph.add_edge h (renum classes.(x)) k (renum classes.(y)))
-    (Graph.edges g);
+  Graph.iter_edges g (fun x k y ->
+      Graph.add_edge h (renum classes.(x)) k (renum classes.(y)));
   (h, fun v -> renum classes.(v))
 
 let bisimilar g v w =

@@ -20,6 +20,34 @@ let violations g c =
             ys acc)
     xs []
 
+exception Found of (Graph.node * Graph.node)
+
+(* First violation in ascending (x, y) order, short-circuiting: the
+   chase engines repair one violation per step, so materializing the
+   full list is wasted work.  Both the incremental and the reference
+   chase use this same selection rule — that shared determinism is what
+   makes their runs comparable repair-for-repair. *)
+let first_violation g c =
+  Obs.Counter.incr c_checks;
+  let xs = Eval.eval g (Constr.prefix c) in
+  try
+    NS.iter
+      (fun x ->
+        let ys = Eval.eval_from g x (Constr.lhs c) in
+        match Constr.kind c with
+        | Constr.Forward ->
+            let zs = Eval.eval_from g x (Constr.rhs c) in
+            NS.iter (fun y -> if not (NS.mem y zs) then raise (Found (x, y))) ys
+        | Constr.Backward ->
+            NS.iter
+              (fun y ->
+                if not (Eval.holds_between g y (Constr.rhs c) x) then
+                  raise (Found (x, y)))
+              ys)
+      xs;
+    None
+  with Found v -> Some v
+
 let holds g c =
   Obs.Counter.incr c_checks;
   let xs = Eval.eval g (Constr.prefix c) in

@@ -13,5 +13,11 @@ val violations :
 (** The witness pairs [(x, y)] at which the constraint fails; empty iff
     the constraint holds. *)
 
+val first_violation :
+  Graph.t -> Pathlang.Constr.t -> (Graph.node * Graph.node) option
+(** The ascending-order-first witness pair, short-circuiting as soon as
+    one is found.  This is the chase's repair-selection primitive; both
+    chase engines share it so their repair sequences coincide. *)
+
 val first_violated :
   Graph.t -> Pathlang.Constr.t list -> Pathlang.Constr.t option

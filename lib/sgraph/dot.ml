@@ -15,12 +15,10 @@ let to_dot ?(name = "G") ?node_label g =
       Buffer.add_string buf
         (Printf.sprintf "  n%d [label=\"%s\"%s];\n" n (escape (label n)) shape))
     (Graph.nodes g);
-  List.iter
-    (fun (x, k, y) ->
+  Graph.iter_edges g (fun x k y ->
       Buffer.add_string buf
         (Printf.sprintf "  n%d -> n%d [label=\"%s\"];\n" x y
-           (escape (Pathlang.Label.to_string k))))
-    (Graph.edges g);
+           (escape (Pathlang.Label.to_string k))));
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 

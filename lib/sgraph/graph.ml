@@ -9,6 +9,7 @@ type t = {
   mutable size : int;
   adj : (node * Label.t, node list) Hashtbl.t;
   radj : (node * Label.t, node list) Hashtbl.t;
+  mem : (node * Label.t * node, unit) Hashtbl.t;
   outl : (node, Label.Set.t) Hashtbl.t;
   inl : (node, Label.Set.t) Hashtbl.t;
   mutable all_labels : Label.Set.t;
@@ -20,6 +21,7 @@ let create () =
     size = 1;
     adj = Hashtbl.create 64;
     radj = Hashtbl.create 64;
+    mem = Hashtbl.create 64;
     outl = Hashtbl.create 64;
     inl = Hashtbl.create 64;
     all_labels = Label.Set.empty;
@@ -38,22 +40,54 @@ let mem_node g n = n >= 0 && n < g.size
 let succ g x k = Option.value ~default:[] (Hashtbl.find_opt g.adj (x, k))
 let pred g y k = Option.value ~default:[] (Hashtbl.find_opt g.radj (y, k))
 
-let has_edge g x k y = List.mem y (succ g x k)
+let has_edge g x k y = Hashtbl.mem g.mem (x, k, y)
 
 let add_label_index tbl n k =
   let set = Option.value ~default:Label.Set.empty (Hashtbl.find_opt tbl n) in
   Hashtbl.replace tbl n (Label.Set.add k set)
 
+let remove_label_index tbl n k =
+  match Hashtbl.find_opt tbl n with
+  | None -> ()
+  | Some set ->
+      let set = Label.Set.remove k set in
+      if Label.Set.is_empty set then Hashtbl.remove tbl n
+      else Hashtbl.replace tbl n set
+
 let add_edge g x k y =
   if not (mem_node g x && mem_node g y) then
     invalid_arg "Graph.add_edge: unknown node";
   if not (has_edge g x k y) then begin
+    Hashtbl.replace g.mem (x, k, y) ();
     Hashtbl.replace g.adj (x, k) (y :: succ g x k);
     Hashtbl.replace g.radj (y, k) (x :: pred g y k);
     add_label_index g.outl x k;
     add_label_index g.inl y k;
     g.all_labels <- Label.Set.add k g.all_labels;
     g.edge_count <- g.edge_count + 1
+  end
+
+let remove_from_bucket tbl key n =
+  match Hashtbl.find_opt tbl key with
+  | None -> []
+  | Some l -> (
+      match List.filter (fun m -> m <> n) l with
+      | [] ->
+          Hashtbl.remove tbl key;
+          []
+      | l' ->
+          Hashtbl.replace tbl key l';
+          l')
+
+let remove_edge g x k y =
+  if has_edge g x k y then begin
+    Hashtbl.remove g.mem (x, k, y);
+    if remove_from_bucket g.adj (x, k) y = [] then remove_label_index g.outl x k;
+    if remove_from_bucket g.radj (y, k) x = [] then remove_label_index g.inl y k;
+    g.edge_count <- g.edge_count - 1
+    (* [all_labels] is deliberately left alone: it stays an over-
+       approximation of the labels in use, which is all its clients
+       (alphabet choices) need. *)
   end
 
 let add_path g x rho y =
@@ -84,6 +118,7 @@ let ensure_path g x rho =
   go x (Path.to_labels rho)
 
 let out_labels g n = Option.value ~default:Label.Set.empty (Hashtbl.find_opt g.outl n)
+let in_labels g n = Option.value ~default:Label.Set.empty (Hashtbl.find_opt g.inl n)
 
 let succ_all g n =
   Label.Set.fold
@@ -95,10 +130,19 @@ let edge_count g = g.edge_count
 
 let nodes g = List.init g.size (fun i -> i)
 
-let edges g =
-  List.concat_map
-    (fun x -> List.map (fun (k, y) -> (x, k, y)) (succ_all g x))
-    (nodes g)
+let iter_edges g f =
+  for x = 0 to g.size - 1 do
+    Label.Set.iter
+      (fun k -> List.iter (fun y -> f x k y) (succ g x k))
+      (out_labels g x)
+  done
+
+let fold_edges g f acc =
+  let acc = ref acc in
+  iter_edges g (fun x k y -> acc := f !acc x k y);
+  !acc
+
+let edges g = List.rev (fold_edges g (fun acc x k y -> (x, k, y) :: acc) [])
 
 let labels g = g.all_labels
 
@@ -107,6 +151,7 @@ let copy g =
     size = g.size;
     adj = Hashtbl.copy g.adj;
     radj = Hashtbl.copy g.radj;
+    mem = Hashtbl.copy g.mem;
     outl = Hashtbl.copy g.outl;
     inl = Hashtbl.copy g.inl;
     all_labels = g.all_labels;
@@ -130,18 +175,17 @@ let union_disjoint g h =
   for _ = 1 to h.size do
     ignore (add_node g)
   done;
-  List.iter (fun (x, k, y) -> add_edge g (rename x) k (rename y)) (edges h);
+  iter_edges h (fun x k y -> add_edge g (rename x) k (rename y));
   rename
 
 let sorted_edges g =
   List.sort compare
-    (List.map (fun (x, k, y) -> (x, Label.to_string k, y)) (edges g))
+    (fold_edges g (fun acc x k y -> (x, Label.to_string k, y) :: acc) [])
 
 let equal g h = g.size = h.size && sorted_edges g = sorted_edges h
 
 let pp ppf g =
   Format.fprintf ppf "@[<v>graph: %d nodes, %d edges@," g.size g.edge_count;
-  List.iter
-    (fun (x, k, y) -> Format.fprintf ppf "  %d -%a-> %d@," x Label.pp k y)
-    (edges g);
+  iter_edges g
+    (fun x k y -> Format.fprintf ppf "  %d -%a-> %d@," x Label.pp k y);
   Format.fprintf ppf "@]"

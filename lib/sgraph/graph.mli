@@ -36,17 +36,40 @@ val ensure_path : t -> node -> Pathlang.Path.t -> node
     reusing existing edges greedily and adding fresh nodes for the
     missing suffix. *)
 
+val remove_edge : t -> node -> Pathlang.Label.t -> node -> unit
+(** Removes an edge if present (the node itself stays).  The label
+    indexes and {!edge_count} are kept exact; {!labels} may keep
+    reporting a label whose last edge was removed (it is documented as
+    an over-approximation). *)
+
 val has_edge : t -> node -> Pathlang.Label.t -> node -> bool
+(** O(1): edge membership is backed by a hash table, not an adjacency
+    scan. *)
+
 val succ : t -> node -> Pathlang.Label.t -> node list
 val succ_all : t -> node -> (Pathlang.Label.t * node) list
 val pred : t -> node -> Pathlang.Label.t -> node list
 val out_labels : t -> node -> Pathlang.Label.Set.t
 
+val in_labels : t -> node -> Pathlang.Label.Set.t
+(** Labels appearing on incoming edges of the node. *)
+
 val node_count : t -> int
 val edge_count : t -> int
 val nodes : t -> node list
+
+val iter_edges : t -> (node -> Pathlang.Label.t -> node -> unit) -> unit
+(** Iterates every edge without materializing a list; edges are visited
+    grouped by source node in increasing node order. *)
+
+val fold_edges : t -> ('a -> node -> Pathlang.Label.t -> node -> 'a) -> 'a -> 'a
+
 val edges : t -> (node * Pathlang.Label.t * node) list
+(** Materializes {!iter_edges}; prefer the iterator on hot paths. *)
+
 val labels : t -> Pathlang.Label.Set.t
+(** Every label ever added to the graph (an over-approximation after
+    {!remove_edge}). *)
 
 val mem_node : t -> node -> bool
 

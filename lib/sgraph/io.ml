@@ -32,11 +32,11 @@ let of_string s =
       | exception Invalid_argument m -> Error m)
 
 let to_string g =
-  String.concat ""
-    (List.map
-       (fun (x, k, y) ->
-         Printf.sprintf "%d %s %d\n" x (Pathlang.Label.to_string k) y)
-       (Graph.edges g))
+  let buf = Buffer.create 256 in
+  Graph.iter_edges g (fun x k y ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %s %d\n" x (Pathlang.Label.to_string k) y));
+  Buffer.contents buf
 
 let load path =
   match In_channel.with_open_text path In_channel.input_all with

@@ -1,0 +1,128 @@
+module Label = Pathlang.Label
+module Path = Pathlang.Path
+
+let c_unions = Obs.Counter.make ~unit_:"unions" "merge_graph.unions"
+let c_splices = Obs.Counter.make ~unit_:"edges moved" "merge_graph.splices"
+
+type t = {
+  g : Graph.t;
+  mutable parent : int array;
+  mutable live : int;
+}
+
+let of_graph g =
+  let n = Graph.node_count g in
+  { g; parent = Array.init (max n 16) Fun.id; live = n }
+
+let graph t = t.g
+
+let rec find t n =
+  let p = t.parent.(n) in
+  if p = n then n
+  else begin
+    (* path halving *)
+    let gp = t.parent.(p) in
+    t.parent.(n) <- gp;
+    find t gp
+  end
+
+let live_count t = t.live
+
+let grow t n =
+  if n >= Array.length t.parent then begin
+    let cap = max (2 * Array.length t.parent) (n + 1) in
+    let parent = Array.init cap Fun.id in
+    Array.blit t.parent 0 parent 0 (Array.length t.parent);
+    t.parent <- parent
+  end
+
+let add_node t =
+  let n = Graph.add_node t.g in
+  grow t n;
+  t.parent.(n) <- n;
+  t.live <- t.live + 1;
+  n
+
+let add_edge t x k y = Graph.add_edge t.g (find t x) k (find t y)
+
+let add_path t x rho y =
+  match Path.to_labels rho with
+  | [] ->
+      if find t x <> find t y then
+        invalid_arg "Merge_graph.add_path: empty path between distinct nodes"
+  | labels ->
+      let rec go src = function
+        | [] -> assert false
+        | [ k ] -> Graph.add_edge t.g src k (find t y)
+        | k :: rest ->
+            let mid = add_node t in
+            Graph.add_edge t.g src k mid;
+            go mid rest
+      in
+      go (find t x) labels
+
+let incident_labels t n =
+  let n = find t n in
+  Label.Set.union (Graph.out_labels t.g n) (Graph.in_labels t.g n)
+
+(* Move every edge incident to [victim] onto [target].  Both are
+   representatives and [parent.(victim)] already points at [target], so
+   the only non-representative endpoint that can appear is [victim]
+   itself (self loops). *)
+let splice t ~target ~victim =
+  Label.Set.iter
+    (fun k ->
+      List.iter
+        (fun y ->
+          Graph.remove_edge t.g victim k y;
+          let y = if y = victim then target else y in
+          Graph.add_edge t.g target k y;
+          Obs.Counter.incr c_splices)
+        (Graph.succ t.g victim k))
+    (Graph.out_labels t.g victim);
+  Label.Set.iter
+    (fun k ->
+      List.iter
+        (fun x ->
+          Graph.remove_edge t.g x k victim;
+          let x = if x = victim then target else x in
+          Graph.add_edge t.g x k target;
+          Obs.Counter.incr c_splices)
+        (Graph.pred t.g victim k))
+    (Graph.in_labels t.g victim)
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then None
+  else begin
+    (* The smaller id absorbs.  Two invariants ride on this choice: the
+       root's class is always represented by node 0 (0 is minimal), so
+       evaluation from [Graph.root] keeps working on the physical graph;
+       and the surviving-id order matches the reference chase's
+       renumbering order, which is what makes incremental and reference
+       fixpoints isomorphic via the order bijection. *)
+    let target = min ra rb and victim = max ra rb in
+    t.parent.(victim) <- target;
+    t.live <- t.live - 1;
+    Obs.Counter.incr c_unions;
+    splice t ~target ~victim;
+    Some (target, victim)
+  end
+
+let compact t =
+  let size = Graph.node_count t.g in
+  let dense = Array.make size (-1) in
+  let next = ref 0 in
+  for n = 0 to size - 1 do
+    if find t n = n then begin
+      dense.(n) <- !next;
+      incr next
+    end
+  done;
+  let h = Graph.create () in
+  for _ = 2 to !next do
+    ignore (Graph.add_node h)
+  done;
+  (* all edges connect representatives, see [splice] *)
+  Graph.iter_edges t.g (fun x k y -> Graph.add_edge h dense.(x) k dense.(y));
+  (h, fun n -> dense.(find t n))

@@ -1,0 +1,293 @@
+(* Differential tests for the incremental chase: the in-place
+   union-find + dirty-worklist engine (Chase.run/implies) must agree
+   with the retained copy-per-step reference engine
+   (Chase.run_reference/implies_reference) — same verdicts, and
+   fixpoints isomorphic up to node renaming — plus governance tests:
+   cancellation mid-chase leaves a well-formed graph and correct
+   exhaustion diagnostics. *)
+
+open Testutil
+module Label = Pathlang.Label
+module Path = Pathlang.Path
+module Constr = Pathlang.Constr
+module Graph = Sgraph.Graph
+module Mg = Sgraph.Merge_graph
+module Check = Sgraph.Check
+module Eval = Sgraph.Eval
+module Chase = Core.Chase
+module Verdict = Core.Verdict
+module Engine = Core.Engine
+
+(* --- rooted isomorphism up to renaming --------------------------------- *)
+
+(* Backtracking search for a root-preserving bijection that carries
+   every edge of [g] onto an edge of [h]; with equal edge counts that
+   is a labeled-graph isomorphism.  Candidates are pruned by in/out
+   label signatures.  The engines are designed to produce identically
+   numbered graphs, so the search almost always succeeds on its first
+   branch; the full search keeps the test honest if that ever drifts. *)
+let isomorphic g h =
+  let n = Graph.node_count g in
+  n = Graph.node_count h
+  && Graph.edge_count g = Graph.edge_count h
+  &&
+  let signature gr v =
+    ( Label.Set.elements (Graph.out_labels gr v),
+      Label.Set.elements (Graph.in_labels gr v),
+      List.length (Graph.succ_all gr v) )
+  in
+  let sig_g = Array.init n (signature g) and sig_h = Array.init n (signature h) in
+  let mapping = Array.make n (-1) in
+  let used = Array.make n false in
+  let edges_ok v w =
+    Label.Set.for_all
+      (fun k ->
+        List.for_all
+          (fun y -> mapping.(y) = -1 || Graph.has_edge h w k mapping.(y))
+          (Graph.succ g v k))
+      (Graph.out_labels g v)
+    && Label.Set.for_all
+         (fun k ->
+           List.for_all
+             (fun x -> mapping.(x) = -1 || Graph.has_edge h mapping.(x) k w)
+             (Graph.pred g v k))
+         (Graph.in_labels g v)
+  in
+  let rec assign v =
+    if v = n then true
+    else
+      let rec try_candidate w =
+        if w = n then false
+        else if (not used.(w)) && sig_g.(v) = sig_h.(w) then begin
+          mapping.(v) <- w;
+          used.(w) <- true;
+          if edges_ok v w && assign (v + 1) then true
+          else begin
+            mapping.(v) <- -1;
+            used.(w) <- false;
+            try_candidate (w + 1)
+          end
+        end
+        else try_candidate (w + 1)
+      in
+      try_candidate 0
+  in
+  (* the root must map to the root *)
+  mapping.(0) <- 0;
+  used.(0) <- true;
+  sig_g.(0) = sig_h.(0) && edges_ok 0 0 && assign 1
+
+let equivalent g h = Graph.equal g h || isomorphic g h
+
+(* deterministic budgets: no wall-clock deadline, so verdicts cannot
+   depend on machine speed *)
+let budget () = Engine.Budget.v ~max_steps:200 ~max_nodes:200 ()
+
+(* --- properties: incremental vs reference ------------------------------ *)
+
+let arb_instance =
+  QCheck.make
+    QCheck.Gen.(pair (list_size (int_bound 5) gen_constraint) (gen_graph ()))
+    ~print:(fun (sigma, g) -> print_sigma sigma ^ " on " ^ print_graph g)
+
+let prop_run_equivalent =
+  q ~count:150 "incremental and reference chase agree on run"
+    arb_instance
+    (fun (sigma, g) ->
+      let tracked = Graph.nodes g in
+      let out_i, tr_i =
+        Chase.run ~ctl:(Engine.start (budget ())) ~tracked g sigma
+      in
+      let out_r, tr_r =
+        Chase.run_reference ~ctl:(Engine.start (budget ())) ~tracked g sigma
+      in
+      match (out_i, out_r) with
+      | Chase.Fixpoint gi, Chase.Fixpoint gr ->
+          Check.holds_all gi sigma && equivalent gi gr && tr_i = tr_r
+      | Chase.Exhausted (gi, ei), Chase.Exhausted (gr, er) ->
+          ei.Verdict.reason = er.Verdict.reason
+          && ei.Verdict.steps = er.Verdict.steps
+          && equivalent gi gr && tr_i = tr_r
+      | _ -> false)
+
+let arb_implies_instance =
+  QCheck.make
+    QCheck.Gen.(pair (list_size (int_bound 5) gen_constraint) gen_constraint)
+    ~print:(fun (sigma, phi) ->
+      print_sigma sigma ^ " |- " ^ Constr.to_string phi)
+
+let prop_implies_equivalent =
+  q ~count:200 "incremental and reference chase agree on implies"
+    arb_implies_instance
+    (fun (sigma, phi) ->
+      match
+        ( Chase.implies ~ctl:(Engine.start (budget ())) ~sigma phi,
+          Chase.implies_reference ~ctl:(Engine.start (budget ())) ~sigma phi )
+      with
+      | Verdict.Implied, Verdict.Implied -> true
+      | Verdict.Refuted gi, Verdict.Refuted gr ->
+          Check.holds_all gi sigma
+          && (not (Check.holds gi phi))
+          && equivalent gi gr
+      | Verdict.Unknown ei, Verdict.Unknown er ->
+          ei.Verdict.reason = er.Verdict.reason
+          && ei.Verdict.steps = er.Verdict.steps
+      | _ -> false)
+
+(* merge-heavy fixed instance: the cyclic-3 monoid encoding drives long
+   EGD cascades through the union-find path *)
+let test_cyclic_monoid_equivalent () =
+  let pres = Monoid.Examples.cyclic 3 in
+  let sigma = Core.Encode_pwk.encode pres in
+  let phi1, phi2 = Core.Encode_pwk.encode_test (path "a.a.a", Path.empty) in
+  List.iter
+    (fun phi ->
+      let big () = Engine.start (Engine.Budget.steps_nodes 4000 4000) in
+      let vi = Chase.implies ~ctl:(big ()) ~sigma phi in
+      let vr = Chase.implies_reference ~ctl:(big ()) ~sigma phi in
+      check_bool "incremental implied" true (vi = Verdict.Implied);
+      check_bool "reference agrees" true (vr = Verdict.Implied))
+    [ phi1; phi2 ]
+
+(* --- merge graph unit coverage ----------------------------------------- *)
+
+let la = Label.make "a" and lb = Label.make "b"
+
+let test_merge_graph_union () =
+  let mg = Mg.of_graph (Graph.of_edges [ (0, "a", 1); (1, "b", 2); (0, "b", 2) ]) in
+  (match Mg.union mg 1 2 with
+  | Some (target, victim) ->
+      check_int "smaller id absorbs" 1 target;
+      check_int "victim" 2 victim
+  | None -> Alcotest.fail "distinct classes must merge");
+  check_int "canonical id" 1 (Mg.find mg 2);
+  check_int "two classes gone to" 2 (Mg.live_count mg);
+  let g = Mg.graph mg in
+  check_bool "spliced b self loop" true (Graph.has_edge g 1 lb 1);
+  check_bool "spliced root edge" true (Graph.has_edge g 0 lb 1);
+  check_bool "victim isolated" true
+    (Label.Set.is_empty (Graph.out_labels g 2)
+    && Label.Set.is_empty (Graph.in_labels g 2));
+  check_bool "incident labels of class" true
+    (Label.Set.equal (Mg.incident_labels mg 2) (Label.Set.of_list [ la; lb ]))
+
+let test_merge_graph_root_survives () =
+  let mg = Mg.of_graph (Graph.of_edges [ (0, "a", 1) ]) in
+  ignore (Mg.union mg 1 0);
+  check_int "root is canonical" 0 (Mg.find mg 1);
+  check_bool "self loop at root" true (Graph.has_edge (Mg.graph mg) 0 la 0)
+
+let test_merge_graph_compact () =
+  let mg =
+    Mg.of_graph (Graph.of_edges [ (0, "a", 1); (1, "a", 2); (2, "b", 3) ])
+  in
+  ignore (Mg.union mg 1 2);
+  (* add through the union-find layer: endpoints canonicalize *)
+  Mg.add_edge mg 2 lb 3;
+  let h, rename = Mg.compact mg in
+  check_int "dense nodes" 3 (Graph.node_count h);
+  check_int "root fixed" 0 (rename 0);
+  check_int "classes agree" (rename 1) (rename 2);
+  check_bool "edge carried over" true (Graph.has_edge h (rename 1) lb (rename 3));
+  check_bool "self loop carried over" true
+    (Graph.has_edge h (rename 1) la (rename 1));
+  check_int "edges preserved" (Graph.edge_count (Mg.graph mg)) (Graph.edge_count h)
+
+(* --- governance: exhaustion and cancellation mid-chase ------------------ *)
+
+(* a -> a.a diverges: each repair adds a longer a-chain *)
+let diverging_sigma = [ c_word "a" "a.a" ]
+
+let well_formed g =
+  Graph.fold_edges g
+    (fun acc x _ y -> acc && Graph.mem_node g x && Graph.mem_node g y)
+    true
+  && Sgraph.Graph.Node_set.cardinal (Eval.reachable g (Graph.root g))
+     = Graph.node_count g
+
+let test_steps_exhaustion_mid_chase () =
+  let g = Graph.of_edges [ (0, "a", 1) ] in
+  let ctl = Engine.start (Engine.Budget.v ~max_steps:40 ~max_nodes:100000 ()) in
+  match Chase.run ~ctl g diverging_sigma with
+  | Chase.Exhausted (h, e), _ ->
+      check_bool "reason is steps" true (e.Verdict.reason = Verdict.Steps);
+      check_int "spent exactly the budget + 1" 41 e.Verdict.steps;
+      check_bool "partial graph is well-formed" true (well_formed h);
+      check_bool "peak nodes recorded" true (e.Verdict.nodes = Graph.node_count h)
+  | Chase.Fixpoint _, _ -> Alcotest.fail "diverging sigma cannot reach fixpoint"
+
+let test_cancellation_mid_chase () =
+  let cancel = Engine.Cancel.create () in
+  (* fire an async SIGALRM shortly after the chase starts; the handler
+     cancels the token, which the engine polls at every tick *)
+  let old = Sys.signal Sys.sigalrm
+      (Sys.Signal_handle (fun _ -> Engine.Cancel.cancel cancel))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL
+           { Unix.it_value = 0.0; it_interval = 0.0 });
+      Sys.set_signal Sys.sigalrm old)
+    (fun () ->
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL
+           { Unix.it_value = 0.05; it_interval = 0.0 });
+      (* no step/node caps: only cancellation (or the 10 s safety
+         deadline, on a pathologically slow machine) can stop this *)
+      let ctl =
+        Engine.start (Engine.Budget.v ~timeout:10.0 ~cancel ())
+      in
+      let g = Graph.of_edges [ (0, "a", 1) ] in
+      match Chase.run ~ctl g diverging_sigma with
+      | Chase.Exhausted (h, e), _ ->
+          check_bool "reason is cancelled" true
+            (e.Verdict.reason = Verdict.Cancelled);
+          check_bool "made progress before cancellation" true
+            (e.Verdict.steps > 0);
+          check_bool "partial graph is well-formed" true (well_formed h);
+          check_bool "partial graph still model-checks" true
+            (not (Check.holds_all h diverging_sigma))
+      | Chase.Fixpoint _, _ ->
+          Alcotest.fail "diverging sigma cannot reach fixpoint")
+
+let test_precancelled_is_noop () =
+  let cancel = Engine.Cancel.create () in
+  Engine.Cancel.cancel cancel;
+  let ctl = Engine.start (Engine.Budget.v ~cancel ()) in
+  let g = Graph.of_edges [ (0, "a", 1); (1, "b", 2) ] in
+  match Chase.run ~ctl g diverging_sigma with
+  | Chase.Exhausted (h, e), _ ->
+      check_bool "reason is cancelled" true (e.Verdict.reason = Verdict.Cancelled);
+      (* the first tick trips, so exactly one attempt and zero repairs *)
+      check_int "tripped on the first tick" 1 e.Verdict.steps;
+      check_bool "graph returned unchanged" true (Graph.equal g h)
+  | Chase.Fixpoint _, _ -> Alcotest.fail "cancelled run cannot claim fixpoint"
+
+let () =
+  Alcotest.run "chase-incremental"
+    [
+      ( "equivalence",
+        [
+          prop_run_equivalent;
+          prop_implies_equivalent;
+          Alcotest.test_case "cyclic monoid (merge-heavy)" `Quick
+            test_cyclic_monoid_equivalent;
+        ] );
+      ( "merge-graph",
+        [
+          Alcotest.test_case "union splices" `Quick test_merge_graph_union;
+          Alcotest.test_case "root survives" `Quick
+            test_merge_graph_root_survives;
+          Alcotest.test_case "compact" `Quick test_merge_graph_compact;
+        ] );
+      ( "governance",
+        [
+          Alcotest.test_case "steps exhaustion mid-chase" `Quick
+            test_steps_exhaustion_mid_chase;
+          Alcotest.test_case "cancellation mid-chase" `Quick
+            test_cancellation_mid_chase;
+          Alcotest.test_case "pre-cancelled is a no-op" `Quick
+            test_precancelled_is_noop;
+        ] );
+    ]
