@@ -41,9 +41,12 @@ profile: build
 # are not tolerated outside them)
 lint: build
 	dune exec bin/pathctl.exe -- lint -s examples/data/bibliography.constraints \
-	  --schema examples/data/bibliography.schema
-	dune exec bin/pathctl.exe -- lint -s examples/data/sigma0.constraints
-	dune exec bin/pathctl.exe -- lint -s examples/data/constraints.xml
+	  --schema examples/data/bibliography.schema \
+	  --config examples/data/lint/pathctl.toml
+	dune exec bin/pathctl.exe -- lint -s examples/data/sigma0.constraints \
+	  --config examples/data/lint/pathctl.toml
+	dune exec bin/pathctl.exe -- lint -s examples/data/constraints.xml \
+	  --config examples/data/lint/pathctl.toml
 
 fmt:
 	dune fmt

@@ -564,6 +564,44 @@ let chase_cells () =
       | [] -> ())
   | _ -> ()
 
+(* --- analyzer: the lint pipeline as a measured cell --------------------- *)
+
+(* Deterministic synthetic Sigma over the bibliography labels: the
+   cyclic pattern yields a mix of live, dead and mutually-implied word
+   constraints, so every pass (classify, typeflow, vacuity,
+   inconsistency, redundancy, hygiene) has real work at every size. *)
+let lint_workload n =
+  let labels = [| "book"; "ref"; "author"; "wrote"; "person"; "name" |] in
+  let line i =
+    let l k = labels.((i + k) mod Array.length labels) in
+    Printf.sprintf "%s.%s -> %s" (l 0) (l 1) (l 2)
+  in
+  let src = String.concat "\n" (List.init n line) ^ "\n" in
+  match Pathlang.Parser.document_of_string src with
+  | Ok doc ->
+      {
+        Analysis.Lint.sigma_file = "<bench>";
+        sigma = doc.Pathlang.Parser.constraints;
+        pragmas = doc.Pathlang.Parser.pragmas;
+        schema = Some Mschema.bib_m;
+        schema_file = None;
+        schema_spans = None;
+        phi = None;
+        config = Analysis.Config.default;
+        explain = false;
+      }
+  | Error _ -> failwith "bench lint workload must parse"
+
+let analyzer_cell () =
+  record_cell ~cell_name:"analyzer-lint"
+    ~claim:"static passes are low-polynomial in |Sigma| (word procedure \
+            dominates)"
+    "full lint pipeline (classify..hygiene) under the M schema, |Sigma| = n"
+    (shrink [ 8; 16; 32; 64 ])
+    (fun n ->
+      let input = lint_workload n in
+      measure (fun () -> ignore (Analysis.Lint.run input)))
+
 let timing () =
   section "Timing: complexity shapes of the decidable cells";
   let rng0 = rng () in
@@ -628,6 +666,7 @@ let timing () =
           ignore (Core.Local_extent.implies ~alpha:Path.empty ~k ~sigma ~phi)));
 
   chase_cells ();
+  analyzer_cell ();
 
   section "Ablations";
 
@@ -885,6 +924,10 @@ let () =
       | "chase" ->
           section "Chase engine scaling (incremental vs reference)";
           chase_cells ();
+          write_table1_json !out_path
+      | "lint" ->
+          section "Analyzer: lint pipeline scaling";
+          analyzer_cell ();
           write_table1_json !out_path
       | "raw" -> raw ()
       | "all" | _ ->

@@ -830,7 +830,56 @@ let lint_cmd =
       & info [ "max-steps" ] ~docv:"N"
           ~doc:"Step/node budget per best-effort chase call.")
   in
-  let run sigma_file schema_file phi format output timeout steps trace stats =
+  let config_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "config" ] ~docv:"FILE"
+          ~doc:
+            "Analyzer configuration (a small TOML subset): per-code severity \
+             overrides, pass selection, and defaults for --explain, --cache \
+             and --max-warnings.  Explicit flags win over the file.")
+  in
+  let fix_arg =
+    Arg.(
+      value & flag
+      & info [ "fix" ]
+          ~doc:
+            "Apply safe textual autofixes in place: delete duplicate \
+             (PC500), prefix-subsumed (PC505) and trivially-true (PC504) \
+             constraints, comment out eps-conclusion EGDs (PC503); then \
+             re-lint and report what remains.  Idempotent; line DSL only.")
+  in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "With a schema: print the inferred sort (class set) at each \
+             step of every constraint's walks as PC602 diagnostics.")
+  in
+  let max_warnings_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-warnings" ] ~docv:"N"
+          ~doc:
+            "Exit 1 when more than $(docv) warning-severity diagnostics \
+             fire (errors always exit 1), so CI can gate on warnings \
+             without parsing SARIF.")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Content-hash result cache: re-running on unchanged inputs \
+             skips every pass (hits/misses appear in --stats as \
+             lint.cache.*).  The directory is created on demand.")
+  in
+  let run sigma_file schema_file phi config fix explain max_warnings cache
+      format output timeout steps trace stats =
     let code =
       with_obs ~cmd:"lint" ~always:true ~trace ~stats (fun () ->
           let cancel = Core.Engine.Cancel.create () in
@@ -838,34 +887,63 @@ let lint_cmd =
             Core.Engine.Budget.v ~max_steps:steps ~max_nodes:steps ~timeout
               ~cancel ()
           in
-          let diags =
-            Core.Engine.Cancel.with_sigint cancel (fun () ->
-                Analysis.Lint.lint_paths ~budget ?schema_file ?phi ~sigma_file
-                  ())
+          (* the warning threshold may come from the config file; the
+             explicit flag wins *)
+          let max_warnings =
+            match max_warnings with
+            | Some _ -> max_warnings
+            | None -> (
+                match config with
+                | None -> None
+                | Some path -> (
+                    match Analysis.Config.load path with
+                    | Ok c -> c.Analysis.Config.max_warnings
+                    | Error _ -> None))
           in
-          let rendered =
-            match format with
-            | `Text -> Analysis.Diagnostic.render_text diags
-            | `Json -> Analysis.Diagnostic.render_json diags
-            | `Sarif -> Analysis.Diagnostic.render_sarif diags
+          let finish diags =
+            let rendered =
+              match format with
+              | `Text -> Analysis.Diagnostic.render_text diags
+              | `Json -> Analysis.Diagnostic.render_json diags
+              | `Sarif -> Analysis.Diagnostic.render_sarif diags
+            in
+            (match output with
+            | None -> print_string rendered
+            | Some file ->
+                Out_channel.with_open_text file (fun oc ->
+                    Out_channel.output_string oc rendered));
+            if
+              stats <> None
+              && List.exists
+                   (fun d -> d.Analysis.Diagnostic.code = "PC302")
+                   diags
+            then
+              prerr_endline
+                "lint: warning: the redundancy pass was truncated by its \
+                 budget (PC302); its timings below are a lower bound";
+            (* exit codes: 0 clean (warnings under the threshold allowed),
+               1 an error-severity diagnostic or too many warnings *)
+            Analysis.Lint.exit_code ?max_warnings diags
           in
-          (match output with
-          | None -> print_string rendered
-          | Some file ->
-              Out_channel.with_open_text file (fun oc ->
-                  Out_channel.output_string oc rendered));
-          if
-            stats <> None
-            && List.exists
-                 (fun d -> d.Analysis.Diagnostic.code = "PC302")
-                 diags
-          then
-            prerr_endline
-              "lint: warning: the redundancy pass was truncated by its \
-               budget (PC302); its timings below are a lower bound";
-          (* exit codes: 0 clean (warnings allowed), 1 some error-severity
-             diagnostic fired *)
-          if Analysis.Diagnostic.has_errors diags then 1 else 0)
+          Core.Engine.Cancel.with_sigint cancel (fun () ->
+              if fix then
+                match
+                  Analysis.Fix.fix_file ~budget ?schema_file ?phi
+                    ?config_file:config ~explain ~sigma_file ()
+                with
+                | Error m ->
+                    prerr_endline ("lint: error: " ^ m);
+                    2
+                | Ok (n, diags) ->
+                    if n > 0 then
+                      Printf.eprintf "lint: applied %d autofix(es) to %s\n%!"
+                        n sigma_file;
+                    finish diags
+              else
+                finish
+                  (Analysis.Lint.lint_paths ~budget ?schema_file ?phi
+                     ?config_file:config ?cache_dir:cache ~explain ~sigma_file
+                     ())))
     in
     exit code
   in
@@ -873,15 +951,22 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "Statically analyze a constraint file (and optional schema): \
-          classify the instance into its Table 1 decidability cell, flag \
-          vacuous, redundant, inconsistent and unhygienic constraints, with \
-          stable diagnostic codes (PC001-PC504) in text, JSON, or SARIF \
-          form. Exits 1 iff an error-severity diagnostic fired.")
+          classify the instance into its Table 1 decidability cell, type \
+          every constraint's walks against the schema graph (dead paths, \
+          M+ undecidability triggers, --explain annotations), and flag \
+          vacuous, redundant, inconsistent and unhygienic constraints, \
+          with stable diagnostic codes (PC001-PC602) in text, JSON, or \
+          SARIF form.  Suppression pragmas (# pathctl-disable CODE), a \
+          --config file, --fix autofixes and a --cache result cache make \
+          it suitable for per-commit CI.  Exits 1 iff an error-severity \
+          diagnostic fired or --max-warnings was exceeded.")
     Term.(
       ret
-        (const (fun a b c d e f g h i -> `Ok (run a b c d e f g h i))
-        $ sigma_arg $ schema_opt_arg $ phi_opt_arg $ format_arg $ output_arg
-        $ timeout_arg $ steps_arg $ trace_arg $ stats_arg))
+        (const (fun a b c d e f g h i j k l m n ->
+             `Ok (run a b c d e f g h i j k l m n))
+        $ sigma_arg $ schema_opt_arg $ phi_opt_arg $ config_arg $ fix_arg
+        $ explain_arg $ max_warnings_arg $ cache_arg $ format_arg
+        $ output_arg $ timeout_arg $ steps_arg $ trace_arg $ stats_arg))
 
 (* --- profile --------------------------------------------------------------------- *)
 

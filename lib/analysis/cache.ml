@@ -1,0 +1,131 @@
+(* Content-addressed result cache for whole lint runs.
+
+   The key digests everything a run's output depends on: the analyzer
+   version and rule table, the constraint/schema/config file paths and
+   contents, the goal constraint, the explain flag and the budget.  A
+   hit therefore implies bit-identical diagnostics, so on a hit every
+   pass is skipped — the cache-hit test asserts the pass counter stays
+   at zero.  Entries are JSON files named by the hex digest; any
+   malformed, unreadable or version-skewed entry is a miss. *)
+
+module Json = Obs.Json
+
+let hits = Obs.Counter.make ~unit_:"lookups" "lint.cache.hits"
+let misses = Obs.Counter.make ~unit_:"lookups" "lint.cache.misses"
+let stores = Obs.Counter.make ~unit_:"entries" "lint.cache.stores"
+
+let version = 2
+
+let rules_fingerprint =
+  lazy
+    (String.concat ";"
+       (List.map
+          (fun (code, sev, descr) ->
+            code ^ "=" ^ Diagnostic.severity_to_string sev ^ ":" ^ descr)
+          Diagnostic.rules))
+
+(* Length-framed concatenation: no part boundary ambiguity. *)
+let key ~parts =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (string_of_int (String.length p));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf p)
+    (string_of_int version :: Lazy.force rules_fingerprint :: parts);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* --- serialization -------------------------------------------------------- *)
+
+let severity_of_string = function
+  | "error" -> Some Diagnostic.Error
+  | "warning" -> Some Diagnostic.Warning
+  | "info" -> Some Diagnostic.Info
+  | "hint" -> Some Diagnostic.Hint
+  | _ -> None
+
+let diag_to_json (d : Diagnostic.t) =
+  Json.Obj
+    ([
+       ("code", Json.String d.Diagnostic.code);
+       ( "severity",
+         Json.String (Diagnostic.severity_to_string d.Diagnostic.severity) );
+       ("file", Json.String d.Diagnostic.file);
+       ("message", Json.String d.Diagnostic.message);
+     ]
+    @
+    match d.Diagnostic.span with
+    | None -> []
+    | Some s ->
+        [
+          ("line", Json.Int s.Pathlang.Span.line);
+          ("startColumn", Json.Int s.Pathlang.Span.start_col);
+          ("endColumn", Json.Int s.Pathlang.Span.end_col);
+        ])
+
+let diag_of_json j =
+  let str k = Option.bind (Json.member k j) Json.as_string in
+  let int k = Option.bind (Json.member k j) Json.as_int in
+  match (str "code", str "severity", str "file", str "message") with
+  | Some code, Some sev, Some file, Some message -> (
+      match severity_of_string sev with
+      | None -> None
+      | Some severity -> (
+          let span =
+            match (int "line", int "startColumn", int "endColumn") with
+            | Some line, Some start_col, Some end_col ->
+                Some (Pathlang.Span.v ~line ~start_col ~end_col)
+            | _ -> None
+          in
+          match Diagnostic.make ~code ~severity ~file ?span message with
+          | d -> Some d
+          | exception Invalid_argument _ -> None))
+  | _ -> None
+
+let to_entry diags = Json.Obj [ ("diagnostics", Json.List (List.map diag_to_json diags)) ]
+
+let of_entry j =
+  match Option.bind (Json.member "diagnostics" j) Json.as_list with
+  | None -> None
+  | Some items ->
+      let diags = List.map diag_of_json items in
+      if List.for_all Option.is_some diags then
+        Some (List.filter_map Fun.id diags)
+      else None
+
+(* --- the store ------------------------------------------------------------ *)
+
+let entry_path ~dir ~key = Filename.concat dir (key ^ ".json")
+
+let lookup ~dir ~key =
+  let result =
+    match
+      In_channel.with_open_text (entry_path ~dir ~key) In_channel.input_all
+    with
+    | src -> (
+        match Json.parse src with Ok j -> of_entry j | Error _ -> None)
+    | exception Sys_error _ -> None
+  in
+  (match result with
+  | Some _ -> Obs.Counter.incr hits
+  | None -> Obs.Counter.incr misses);
+  result
+
+let rec mkdir_p dir =
+  if dir = "" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let store ~dir ~key diags =
+  try
+    mkdir_p dir;
+    let path = entry_path ~dir ~key in
+    let tmp = path ^ ".tmp" in
+    Out_channel.with_open_text tmp (fun oc ->
+        Out_channel.output_string oc (Json.to_string (to_entry diags));
+        Out_channel.output_char oc '\n');
+    Sys.rename tmp path;
+    Obs.Counter.incr stores
+  with Sys_error _ -> ()

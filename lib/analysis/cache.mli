@@ -1,0 +1,28 @@
+(** Content-hash incremental cache for whole lint runs.
+
+    The key digests the analyzer version, the {!Diagnostic.rules} table,
+    and every input the diagnostics depend on (file paths and contents,
+    goal constraint, configuration, budget, explain flag); a hit
+    therefore returns bit-identical diagnostics and skips every pass.
+    Lookups and stores are observable through the [lint.cache.hits],
+    [lint.cache.misses] and [lint.cache.stores] counters of [lib/obs].
+
+    The store is a directory of [<hex-digest>.json] files, written via
+    rename for atomicity; malformed or version-skewed entries read as
+    misses, and storage failures are silent (a cache must never turn a
+    working lint into a failing one). *)
+
+val version : int
+(** Bumped whenever the entry format or diagnostic semantics change;
+    part of every key, so stale stores depopulate themselves. *)
+
+val key : parts:string list -> string
+(** Hex digest of the length-framed parts (prefixed with {!version} and
+    a fingerprint of {!Diagnostic.rules}). *)
+
+val lookup : dir:string -> key:string -> Diagnostic.t list option
+(** [Some diags] on a well-formed entry, [None] otherwise; bumps the
+    hit/miss counters. *)
+
+val store : dir:string -> key:string -> Diagnostic.t list -> unit
+(** Creates [dir] if needed; never raises. *)

@@ -1,0 +1,48 @@
+(** Analyzer configuration: a small, strict TOML subset.
+
+    {v
+    [severity]
+    PC300 = "info"        # re-rank a code
+    PC502 = "ignore"      # drop a code entirely
+
+    [passes]
+    redundancy = false    # skip a pass wholesale
+
+    [lint]
+    max-warnings = 50     # exit 1 above this many warnings
+    explain = true        # emit PC602 type-flow annotations
+    cache = ".pathctl-cache"
+    v}
+
+    Unknown sections, keys, codes, passes or values are parse errors
+    ([PC003] in the lint stream): silently ignoring a typoed key would
+    hide the misconfiguration.  Severities of the input-error codes
+    [PC001]/[PC002]/[PC003] cannot be overridden. *)
+
+type t = {
+  severity : (string * Diagnostic.severity option) list;
+      (** per-code overrides; [None] means the code is dropped *)
+  passes : (string * bool) list;  (** pass selection; absent = enabled *)
+  max_warnings : int option;
+  explain : bool;
+  cache_dir : string option;
+}
+
+val default : t
+(** Everything enabled, no overrides, no cache. *)
+
+val pass_names : string list
+(** The pass identifiers accepted in [[passes]]: [classify], [typeflow],
+    [vacuity], [redundancy], [inconsistency], [hygiene]. *)
+
+val pass_enabled : t -> string -> bool
+
+val severity_override : t -> string -> Diagnostic.severity option option
+(** [None]: no override; [Some None]: the code is ignored; [Some (Some
+    sev)]: re-ranked to [sev]. *)
+
+val parse : string -> (t, string) result
+(** The error message carries the 1-based line number. *)
+
+val load : string -> (t, string) result
+(** Read and {!parse}; I/O failures become [Error]. *)

@@ -20,6 +20,7 @@ let rules =
   [
     ("PC001", Error, "constraint file does not parse");
     ("PC002", Error, "schema file does not parse");
+    ("PC003", Error, "analyzer configuration file does not parse");
     ("PC100", Info, "instance classified into its Table 1 cell");
     ("PC101", Warning, "implication is undecidable in this cell (untyped)");
     ("PC102", Warning, "implication is undecidable in this cell (M+ schema)");
@@ -42,6 +43,19 @@ let rules =
       "equality-generating constraint (empty-path conclusion) limits \
        completeness" );
     ("PC504", Info, "constraint is trivially true");
+    ( "PC505",
+      Warning,
+      "constraint subsumed by a shorter one (right congruence of path \
+       containment)" );
+    ("PC510", Warning, "suppression pragma never matched a diagnostic");
+    ( "PC600",
+      Warning,
+      "dead path: a constraint walk types to the empty set under the schema"
+    );
+    ( "PC601",
+      Warning,
+      "set-valued step placing the instance in the undecidable M+ cell" );
+    ("PC602", Info, "inferred type annotations along a constraint's walks");
   ]
 
 let make ~code ~severity ~file ?span message =

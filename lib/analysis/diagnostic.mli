@@ -12,7 +12,9 @@
     {- [PC2xx] vacuity under the schema,}
     {- [PC3xx] redundancy,}
     {- [PC4xx] inconsistency,}
-    {- [PC5xx] hygiene.}} *)
+    {- [PC5xx] hygiene (including [PC510], unused suppressions),}
+    {- [PC6xx] schema-aware type flow (dead paths, M+ undecidability
+       triggers, inferred type annotations).}} *)
 
 type severity = Error | Warning | Info | Hint
 

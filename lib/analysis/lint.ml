@@ -3,30 +3,72 @@ module Parser = Pathlang.Parser
 
 type input = {
   sigma_file : string;
-  sigma : (Pathlang.Constr.t * Span.t) list;
+  sigma : Parser.located list;
+  pragmas : Parser.pragma list;
   schema : Schema.Mschema.t option;
   schema_file : string option;
   schema_spans : Schema.Schema_parser.spans option;
   phi : Pathlang.Constr.t option;
+  config : Config.t;
+  explain : bool;
 }
 
+let passes_run = Obs.Counter.make ~unit_:"passes" "lint.passes.run"
+
+let apply_severity config diags =
+  List.filter_map
+    (fun d ->
+      match Config.severity_override config d.Diagnostic.code with
+      | None -> Some d
+      | Some None -> None
+      | Some (Some severity) -> Some { d with Diagnostic.severity })
+    diags
+
 let run ?budget input =
-  let { sigma_file; sigma; schema; schema_file; schema_spans; phi } = input in
-  let pass name f = Obs.Span.with_ ("lint." ^ name) f in
+  let {
+    sigma_file;
+    sigma;
+    pragmas;
+    schema;
+    schema_file;
+    schema_spans;
+    phi;
+    config;
+    explain;
+  } =
+    input
+  in
+  let spanned =
+    List.map (fun l -> (l.Parser.constr, l.Parser.span)) sigma
+  in
+  let pass name f =
+    if Config.pass_enabled config name then
+      Obs.Span.with_ ("lint." ^ name) (fun () ->
+          Obs.Counter.incr passes_run;
+          f ())
+    else []
+  in
   let classify =
     pass "classify" (fun () ->
-        Classify.run ~sigma_file ?schema ?schema_file ?schema_spans ?phi sigma)
+        Classify.run ~sigma_file ?schema ?schema_file ?schema_spans ?phi
+          spanned)
+  in
+  let typeflow =
+    pass "typeflow" (fun () ->
+        match schema with
+        | Some schema -> Typeflow.pass ~sigma_file ~schema ~explain sigma
+        | None -> [])
   in
   let vacuity =
     pass "vacuity" (fun () ->
         match schema with
-        | Some schema -> Passes.vacuity ~sigma_file ~schema sigma
+        | Some schema -> Passes.vacuity ~sigma_file ~schema spanned
         | None -> [])
   in
   let inconsistency =
     pass "inconsistency" (fun () ->
         match schema with
-        | Some schema -> Passes.inconsistency ~sigma_file ~schema sigma
+        | Some schema -> Passes.inconsistency ~sigma_file ~schema spanned
         | None -> [])
   in
   let redundancy =
@@ -34,16 +76,18 @@ let run ?budget input =
     pass "redundancy" (fun () ->
         if List.exists (fun d -> d.Diagnostic.code = "PC400") inconsistency
         then []
-        else Passes.redundancy ~sigma_file ?schema ?budget sigma)
+        else Passes.redundancy ~sigma_file ?schema ?budget spanned)
   in
   let hygiene =
     pass "hygiene" (fun () ->
-        Passes.hygiene ~sigma_file ?schema ?schema_file ?schema_spans sigma)
+        Passes.hygiene ~sigma_file ?schema ?schema_file ?schema_spans spanned)
   in
   let all =
-    List.stable_sort Diagnostic.compare
-      (classify @ vacuity @ inconsistency @ redundancy @ hygiene)
+    classify @ typeflow @ vacuity @ inconsistency @ redundancy @ hygiene
   in
+  let all = Suppress.apply ~sigma_file pragmas all in
+  let all = apply_severity config all in
+  let all = List.stable_sort Diagnostic.compare all in
   (* per-family tallies (PC2xx vacuity, PC3xx redundancy, ...) so that
      --stats output attributes diagnostics as well as time to passes *)
   List.iter
@@ -56,6 +100,22 @@ let run ?budget input =
     all;
   all
 
+(* --- exit-code policy ------------------------------------------------------ *)
+
+let exit_code ?max_warnings diags =
+  if Diagnostic.has_errors diags then 1
+  else
+    match max_warnings with
+    | None -> 0
+    | Some n ->
+        let warnings =
+          List.length
+            (List.filter
+               (fun d -> d.Diagnostic.severity = Diagnostic.Warning)
+               diags)
+        in
+        if warnings > n then 1 else 0
+
 (* --- file-level entry ------------------------------------------------------ *)
 
 let read_file path =
@@ -66,80 +126,185 @@ let read_file path =
 let whole_file_span = Span.v ~line:1 ~start_col:1 ~end_col:1
 
 (* constraint files: line-oriented DSL, or the XML syntax when the
-   content starts with '<' (XML constraints carry no per-line spans) *)
-let load_sigma path =
-  match read_file path with
-  | Error m -> Error (Span.point ~line:1 ~col:1, "", m)
-  | Ok s ->
-      let t = String.trim s in
-      if String.length t > 0 && t.[0] = '<' then
-        match Xmlrep.Constraints_xml.parse s with
-        | Ok cs -> Ok (List.map (fun c -> (c, whole_file_span)) cs)
-        | Error m -> Error (Span.point ~line:1 ~col:1, "", m)
-      else
-        match Parser.constraints_of_string_spanned s with
-        | Ok cs -> Ok cs
-        | Error e ->
-            Error
-              ( Span.v ~line:e.Parser.line ~start_col:e.Parser.col
-                  ~end_col:(e.Parser.col + String.length e.Parser.token),
-                e.Parser.token,
-                e.Parser.reason )
+   content starts with '<' (XML constraints carry element-level spans
+   but no per-token spans, and no suppression pragmas) *)
+let load_sigma_src src =
+  let t = String.trim src in
+  if String.length t > 0 && t.[0] = '<' then
+    match Xmlrep.Constraints_xml.parse_spanned src with
+    | Ok cs ->
+        Ok
+          {
+            Parser.constraints =
+              List.map
+                (fun (c, span) ->
+                  { Parser.constr = c; span; tokens = Parser.no_token_spans })
+                cs;
+            pragmas = [];
+          }
+    | Error m -> Error (Span.point ~line:1 ~col:1, "", m)
+  else
+    match Parser.document_of_string src with
+    | Ok doc -> Ok doc
+    | Error e ->
+        Error
+          ( Span.v ~line:e.Parser.line ~start_col:e.Parser.col
+              ~end_col:(e.Parser.col + String.length e.Parser.token),
+            e.Parser.token,
+            e.Parser.reason )
 
-let lint_paths ?budget ?schema_file ?phi ~sigma_file () =
-  match load_sigma sigma_file with
-  | Error (span, token, reason) ->
+let budget_fingerprint (budget : Core.Engine.Budget.t option) =
+  match budget with
+  | None -> "default"
+  | Some b ->
+      Printf.sprintf "steps=%s;nodes=%s;timeout=%s"
+        (match b.Core.Engine.Budget.max_steps with
+        | None -> "-"
+        | Some n -> string_of_int n)
+        (match b.Core.Engine.Budget.max_nodes with
+        | None -> "-"
+        | Some n -> string_of_int n)
+        (match b.Core.Engine.Budget.timeout with
+        | None -> "-"
+        | Some t -> Printf.sprintf "%g" t)
+
+let lint_paths ?budget ?schema_file ?phi ?config_file ?cache_dir
+    ?(explain = false) ~sigma_file () =
+  (* configuration first: everything downstream depends on it *)
+  let config_src, config_result =
+    match config_file with
+    | None -> ("", Ok Config.default)
+    | Some path -> (
+        match read_file path with
+        | Error m -> ("", Error (path, m))
+        | Ok src -> (
+            ( src,
+              match Config.parse src with
+              | Ok c -> Ok c
+              | Error m -> Error (path, m) )))
+  in
+  match config_result with
+  | Error (path, m) ->
       [
-        Diagnostic.make ~code:"PC001" ~severity:Diagnostic.Error
-          ~file:sigma_file ~span
-          (if token = "" then reason
-           else Printf.sprintf "at %S: %s" token reason);
+        Diagnostic.make ~code:"PC003" ~severity:Diagnostic.Error ~file:path m;
       ]
-  | Ok sigma -> (
-      let schema_result =
-        match schema_file with
-        | None -> Ok None
-        | Some path -> (
-            match Schema.Schema_parser.load_spanned path with
-            | Ok (schema, spans) -> Ok (Some (schema, spans, path))
-            | Error e -> Error (path, e))
+  | Ok config -> (
+      let explain = explain || config.Config.explain in
+      let cache_dir =
+        match cache_dir with Some _ -> cache_dir | None -> config.Config.cache_dir
       in
-      match schema_result with
-      | Error (path, e) ->
-          [
-            Diagnostic.make ~code:"PC002" ~severity:Diagnostic.Error ~file:path
-              ~span:
-                (Span.v ~line:e.Schema.Schema_parser.line
-                   ~start_col:e.Schema.Schema_parser.col
-                   ~end_col:
-                     (e.Schema.Schema_parser.col
-                     + String.length e.Schema.Schema_parser.token))
-              (if e.Schema.Schema_parser.token = "" then
-                 e.Schema.Schema_parser.reason
-               else
-                 Printf.sprintf "at %S: %s" e.Schema.Schema_parser.token
-                   e.Schema.Schema_parser.reason);
-          ]
-      | Ok schema_opt -> (
-          let phi_result =
-            match phi with
-            | None -> Ok None
-            | Some s -> (
-                match Parser.constraint_of_string s with
-                | Ok c -> Ok (Some c)
-                | Error m -> Error m)
+      let sigma_src = read_file sigma_file in
+      let schema_src =
+        match schema_file with
+        | None -> Ok ""
+        | Some path -> read_file path
+      in
+      let cache_key =
+        match (cache_dir, sigma_src, schema_src) with
+        | Some _, Ok s, Ok sc ->
+            Some
+              (Cache.key
+                 ~parts:
+                   [
+                     sigma_file;
+                     s;
+                     Option.value schema_file ~default:"";
+                     sc;
+                     Option.value phi ~default:"";
+                     config_src;
+                     (if explain then "explain" else "");
+                     budget_fingerprint budget;
+                   ])
+        | _ -> None
+      in
+      let cached =
+        match (cache_dir, cache_key) with
+        | Some dir, Some key -> Cache.lookup ~dir ~key
+        | _ -> None
+      in
+      match cached with
+      | Some diags -> diags
+      | None ->
+          let diags =
+            match sigma_src with
+            | Error m ->
+                [
+                  Diagnostic.make ~code:"PC001" ~severity:Diagnostic.Error
+                    ~file:sigma_file ~span:whole_file_span m;
+                ]
+            | Ok src -> (
+                match load_sigma_src src with
+                | Error (span, token, reason) ->
+                    [
+                      Diagnostic.make ~code:"PC001" ~severity:Diagnostic.Error
+                        ~file:sigma_file ~span
+                        (if token = "" then reason
+                         else Printf.sprintf "at %S: %s" token reason);
+                    ]
+                | Ok doc -> (
+                    let schema_result =
+                      match schema_file with
+                      | None -> Ok None
+                      | Some path -> (
+                          match Schema.Schema_parser.load_spanned path with
+                          | Ok (schema, spans) -> Ok (Some (schema, spans, path))
+                          | Error e -> Error (path, e))
+                    in
+                    match schema_result with
+                    | Error (path, e) ->
+                        [
+                          Diagnostic.make ~code:"PC002"
+                            ~severity:Diagnostic.Error ~file:path
+                            ~span:
+                              (Span.v ~line:e.Schema.Schema_parser.line
+                                 ~start_col:e.Schema.Schema_parser.col
+                                 ~end_col:
+                                   (e.Schema.Schema_parser.col
+                                   + String.length e.Schema.Schema_parser.token))
+                            (if e.Schema.Schema_parser.token = "" then
+                               e.Schema.Schema_parser.reason
+                             else
+                               Printf.sprintf "at %S: %s"
+                                 e.Schema.Schema_parser.token
+                                 e.Schema.Schema_parser.reason);
+                        ]
+                    | Ok schema_opt -> (
+                        let phi_result =
+                          match phi with
+                          | None -> Ok None
+                          | Some s -> (
+                              match Parser.constraint_of_string s with
+                              | Ok c -> Ok (Some c)
+                              | Error m -> Error m)
+                        in
+                        match phi_result with
+                        | Error m ->
+                            [
+                              Diagnostic.make ~code:"PC001"
+                                ~severity:Diagnostic.Error ~file:"<phi>"
+                                ("the goal constraint does not parse: " ^ m);
+                            ]
+                        | Ok phi ->
+                            let schema, schema_spans, schema_file =
+                              match schema_opt with
+                              | None -> (None, None, None)
+                              | Some (s, spans, path) ->
+                                  (Some s, Some spans, Some path)
+                            in
+                            run ?budget
+                              {
+                                sigma_file;
+                                sigma = doc.Parser.constraints;
+                                pragmas = doc.Parser.pragmas;
+                                schema;
+                                schema_file;
+                                schema_spans;
+                                phi;
+                                config;
+                                explain;
+                              })))
           in
-          match phi_result with
-          | Error m ->
-              [
-                Diagnostic.make ~code:"PC001" ~severity:Diagnostic.Error
-                  ~file:"<phi>" ("the goal constraint does not parse: " ^ m);
-              ]
-          | Ok phi ->
-              let schema, schema_spans, schema_file =
-                match schema_opt with
-                | None -> (None, None, None)
-                | Some (s, spans, path) -> (Some s, Some spans, Some path)
-              in
-              run ?budget
-                { sigma_file; sigma; schema; schema_file; schema_spans; phi }))
+          (match (cache_dir, cache_key) with
+          | Some dir, Some key -> Cache.store ~dir ~key diags
+          | _ -> ());
+          diags)

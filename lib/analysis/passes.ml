@@ -315,6 +315,45 @@ let hygiene ~sigma_file ?schema ?schema_file ?schema_spans sigma =
                   first_span.Pathlang.Span.line))
       | None -> seen := (c, span) :: !seen)
     sigma;
+  (* prefix-subsumed constraints: for forward constraints with equal
+     prefixes, [beta -> gamma] entails [beta.delta -> gamma.delta] for
+     every delta (path containment is a right congruence: any witness z
+     with beta(x,z) yields gamma(x,z), and appending delta to both sides
+     preserves the inclusion), so the longer constraint is implied *)
+  List.iter
+    (fun (c, span) ->
+      if Constr.kind c = Constr.Forward then
+        let witness =
+          List.find_map
+            (fun (c', span') ->
+              if
+                Constr.kind c' = Constr.Forward
+                && (not (Constr.equal c c'))
+                && Path.equal (Constr.prefix c) (Constr.prefix c')
+              then
+                match
+                  ( Path.strip_prefix ~prefix:(Constr.lhs c') (Constr.lhs c),
+                    Path.strip_prefix ~prefix:(Constr.rhs c') (Constr.rhs c) )
+                with
+                | Some d1, Some d2
+                  when Path.equal d1 d2 && not (Path.is_empty d1) ->
+                    Some (c', span', d1)
+                | _ -> None
+              else None)
+            sigma
+        in
+        match witness with
+        | None -> ()
+        | Some (c', span', delta) ->
+            add
+              (diag ~file:sigma_file ~span "PC505" Diagnostic.Warning
+                 (Printf.sprintf
+                    "subsumed by the constraint at line %d (%s): appending \
+                     %s to both of its paths yields this constraint, so it \
+                     is entailed (right congruence)"
+                    span'.Pathlang.Span.line (Constr.to_string c')
+                    (Path.to_string delta))))
+    sigma;
   (* eps-path edge cases and tautologies *)
   List.iter
     (fun (c, span) ->

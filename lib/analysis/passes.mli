@@ -64,7 +64,10 @@ val hygiene :
   ?schema_spans:Schema.Schema_parser.spans ->
   spanned ->
   Diagnostic.t list
-(** [PC500] duplicate constraints, [PC503] equality-generating
-    ([eps]-conclusion) constraints, [PC504] trivially-true constraints,
-    [PC501] labels absent from the schema, [PC502] classes unreachable
-    from the db type. *)
+(** [PC500] duplicate constraints, [PC505] prefix-subsumed constraints
+    (a forward constraint obtained from a shorter one with the same
+    prefix by appending a common suffix to both paths is entailed by
+    right congruence), [PC503] equality-generating ([eps]-conclusion)
+    constraints, [PC504] trivially-true constraints, [PC501] labels
+    absent from the schema, [PC502] classes unreachable from the db
+    type. *)

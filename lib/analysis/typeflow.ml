@@ -1,0 +1,249 @@
+(* Type flow: which sorts of T(Delta) can inhabit each state of a path
+   expression's automaton.
+
+   The engine is the reachability fixpoint over the product of a query
+   automaton with the schema automaton (Schema_graph.automaton): a pair
+   (q, tau) is reachable iff some word drives the query automaton from
+   its start state to q while walking the schema graph from DBtype to
+   the sort tau — i.e. iff some member of Paths(Delta) is read by the
+   query into q.  Projecting the reachable pairs onto q yields, for
+   every query state, the set of sorts its matches can carry.
+
+   For a single constraint the query automaton is just the chain of the
+   walk's labels, so "state i" is "the walk's prefix of length i" and
+   the projection types every prefix of every constraint:
+
+   - a prefix typing to the empty set is a dead path (PC600): the walk
+     leaves Paths(Delta) at the first empty step, and the missing schema
+     edge is named;
+   - over an M+ schema, the first reachable step whose sort is a set
+     type is the token that places the instance in the undecidable M+
+     cell of Table 1 (PC601), sharpening the file-level PC102;
+   - under --explain, the full inferred sort chain is printed per walk
+     (PC602). *)
+
+module Path = Pathlang.Path
+module Label = Pathlang.Label
+module Constr = Pathlang.Constr
+module Span = Pathlang.Span
+module Parser = Pathlang.Parser
+module Mschema = Schema.Mschema
+module Mtype = Schema.Mtype
+module Schema_graph = Schema.Schema_graph
+module Nfa = Automata.Nfa
+
+let states_explored =
+  Obs.Counter.make ~unit_:"states" "typeflow.product.states"
+
+(* --- the generic engine ---------------------------------------------------- *)
+
+let run schema nfa ~start =
+  let snfa, ssorts, sstart = Schema_graph.automaton schema in
+  let _prod, pairs = Nfa.product nfa snfa ~start:(start, sstart) in
+  Obs.Counter.add states_explored (Array.length pairs);
+  let tbl : (Nfa.state, Mtype.Set_of.t) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun (q, s) ->
+      let cur =
+        Option.value ~default:Mtype.Set_of.empty (Hashtbl.find_opt tbl q)
+      in
+      Hashtbl.replace tbl q (Mtype.Set_of.add ssorts.(s) cur))
+    pairs;
+  fun q ->
+    match Hashtbl.find_opt tbl q with
+    | None -> []
+    | Some s -> Mtype.Set_of.elements s
+
+(* --- per-path flows -------------------------------------------------------- *)
+
+type step = { prefix : Path.t; sorts : Mtype.t list }
+
+type flow = { path : Path.t; steps : step list; dies_at : int option }
+
+let of_path schema rho =
+  let labels = Path.to_labels rho in
+  let n = List.length labels in
+  let nfa = Nfa.create () in
+  Nfa.ensure_states nfa (n + 1);
+  List.iteri (fun i k -> Nfa.add_trans nfa i k (i + 1)) labels;
+  Nfa.set_final nfa n;
+  let sorts_at = run schema nfa ~start:0 in
+  let steps =
+    List.mapi
+      (fun i prefix -> { prefix; sorts = sorts_at i })
+      (Path.prefixes rho)
+  in
+  let dies_at =
+    let rec find i = function
+      | [] -> None
+      | s :: rest -> if s.sorts = [] then Some i else find (i + 1) rest
+    in
+    find 0 steps
+  in
+  { path = rho; steps; dies_at }
+
+let missing_edge flow =
+  match flow.dies_at with
+  | None | Some 0 -> None
+  | Some i ->
+      let last_live = List.nth flow.steps (i - 1) in
+      let k = List.nth (Path.to_labels flow.path) (i - 1) in
+      Some (last_live.sorts, k)
+
+(* --- rendering sorts ------------------------------------------------------- *)
+
+(* Short, reader-facing sort names: classes and atoms by name, sets in
+   braces, the db type as "db", other records by their field labels. *)
+let rec sort_label schema tau =
+  if Mtype.equal tau (Mschema.dbtype schema) then "db"
+  else
+    match tau with
+    | Mtype.Class c -> Mtype.cname_name c
+    | Mtype.Atomic a -> Mtype.atomic_name a
+    | Mtype.Set t -> "{" ^ sort_label schema t ^ "}"
+    | Mtype.Record fields ->
+        "["
+        ^ String.concat "; "
+            (List.map (fun (l, _) -> Label.to_string l) fields)
+        ^ "]"
+
+let sorts_label schema = function
+  | [] -> "(dead)"
+  | [ tau ] -> sort_label schema tau
+  | taus -> String.concat " or " (List.map (sort_label schema) taus)
+
+let explain_flow schema flow =
+  let labels = Array.of_list (Path.to_labels flow.path) in
+  let buf = Buffer.create 64 in
+  List.iteri
+    (fun i st ->
+      if i > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf " -[%s]-> " (Label.to_string labels.(i - 1)));
+      Buffer.add_string buf (sorts_label schema st.sorts))
+    flow.steps;
+  Buffer.contents buf
+
+let explain = explain_flow
+
+(* --- the PC6xx pass -------------------------------------------------------- *)
+
+(* The node walks a constraint performs, each with one span per label
+   (when the syntax provided them).  A forward constraint walks
+   prefix.lhs and prefix.rhs from the root; a backward constraint walks
+   prefix.lhs and then back along rhs, i.e. prefix.lhs.rhs. *)
+let walks c (tokens : Parser.token_spans) =
+  let prefix = Constr.prefix c
+  and lhs = Constr.lhs c
+  and rhs = Constr.rhs c in
+  let p = tokens.Parser.prefix_spans
+  and l = tokens.Parser.lhs_spans
+  and r = tokens.Parser.rhs_spans in
+  match Constr.kind c with
+  | Constr.Forward ->
+      [ (Path.concat prefix lhs, p @ l); (Path.concat prefix rhs, p @ r) ]
+  | Constr.Backward ->
+      [
+        (Path.concat prefix lhs, p @ l);
+        (Path.concat (Path.concat prefix lhs) rhs, p @ l @ r);
+      ]
+
+let span_of_token spans fallback i =
+  match List.nth_opt spans i with Some s -> s | None -> fallback
+
+(* does the sort admit set-typed nodes (directly or as a class body)? *)
+let is_set_sort schema tau =
+  match Schema_graph.expand schema tau with
+  | Mtype.Set _ -> true
+  | _ -> false
+
+let pass ~sigma_file ~schema ?(explain = false) located =
+  let out = ref [] in
+  let seen = Hashtbl.create 16 in
+  let add_once d =
+    let key =
+      ( d.Diagnostic.code,
+        d.Diagnostic.span,
+        d.Diagnostic.message )
+    in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      out := d :: !out
+    end
+  in
+  let explain_mode = explain in
+  List.iter
+    (fun { Parser.constr = c; span; tokens } ->
+      let ws = List.map (fun (rho, spans) -> (rho, spans, of_path schema rho))
+          (walks c tokens)
+      in
+      (* PC600: the walk leaves Paths(Delta); name the missing edge *)
+      List.iter
+        (fun (rho, spans, flow) ->
+          match missing_edge flow with
+          | None -> ()
+          | Some (live_sorts, k) ->
+              let die = Option.get flow.dies_at in
+              let dead_prefix =
+                (List.nth flow.steps die).prefix
+              in
+              add_once
+                (Diagnostic.make ~code:"PC600" ~severity:Diagnostic.Warning
+                   ~file:sigma_file
+                   ~span:(span_of_token spans span (die - 1))
+                   (Printf.sprintf
+                      "dead path: sort %s has no edge labeled %s, so the \
+                       prefix %s types to the empty set and the walk %s \
+                       leaves Paths(Delta) at this token"
+                      (sorts_label schema live_sorts)
+                      (Label.to_string k)
+                      (Path.to_string dead_prefix)
+                      (Path.to_string rho))))
+        ws;
+      (* PC601: over M+, the first reachable set-valued step is the
+         undecidability trigger (Theorem 5.2) *)
+      if Mschema.kind schema = Mschema.M_plus then begin
+        let trigger =
+          List.find_map
+            (fun (_, spans, flow) ->
+              let rec find i = function
+                | [] -> None
+                | st :: rest ->
+                    if st.sorts = [] then None (* dead from here on *)
+                    else if
+                      i > 0 && List.exists (is_set_sort schema) st.sorts
+                    then Some (i, st, spans)
+                    else find (i + 1) rest
+              in
+              find 0 flow.steps)
+            ws
+        in
+        match trigger with
+        | None -> ()
+        | Some (i, st, spans) ->
+            let k = Path.to_labels st.prefix |> List.rev |> List.hd in
+            add_once
+              (Diagnostic.make ~code:"PC601" ~severity:Diagnostic.Warning
+                 ~file:sigma_file
+                 ~span:(span_of_token spans span (i - 1))
+                 (Printf.sprintf
+                    "M+ trigger: %s reaches the set type %s on the reachable \
+                     prefix %s; this set-valued step is what places the \
+                     instance in the undecidable M+ cell of Table 1 (Theorem \
+                     5.2)"
+                    (Label.to_string k)
+                    (sorts_label schema st.sorts)
+                    (Path.to_string st.prefix)))
+      end;
+      (* PC602: inferred sort annotations, on request *)
+      if explain_mode then
+        List.iter
+          (fun (rho, _, flow) ->
+            add_once
+              (Diagnostic.make ~code:"PC602" ~severity:Diagnostic.Info
+                 ~file:sigma_file ~span
+                 (Printf.sprintf "type flow of %s: %s" (Path.to_string rho)
+                    (explain_flow schema flow))))
+          ws)
+    located;
+  List.rev !out

@@ -1,0 +1,70 @@
+(** Type flow: typing every prefix of every constraint against the
+    schema graph, via the product of a path automaton with the schema
+    automaton.
+
+    The reachable part of the product is the fixpoint of the flow
+    equations "a query state can carry sort [tau] iff some predecessor
+    carries a sort with an edge into [tau] under the same label"; its
+    projection onto the query automaton assigns each state the set of
+    sorts of [T(Delta)] its matches can inhabit.  For the chain
+    automaton of a single walk, state [i] is the walk's prefix of
+    length [i], which gives per-token diagnostics:
+
+    - {b PC600} (dead path): the first prefix typing to the empty set,
+      with the exact token and the schema edge that is missing;
+    - {b PC601} (M+ trigger): over an M+ schema, the first reachable
+      step whose sort is set-valued — the occurrence that places the
+      instance in the undecidable M+ cell of Table 1 (Theorem 5.2),
+      sharpening the file-level [PC102];
+    - {b PC602} (explain): the full inferred sort chain of each walk. *)
+
+val run :
+  Schema.Mschema.t ->
+  Automata.Nfa.t ->
+  start:Automata.Nfa.state ->
+  Automata.Nfa.state ->
+  Schema.Mtype.t list
+(** [run schema nfa ~start] computes the flow over the product with the
+    schema automaton and returns the lookup: for each query state, the
+    sorts its matches can carry (empty iff the state is unreachable over
+    [Paths(Delta)]).  The number of explored product states is exported
+    through the [typeflow.product.states] counter. *)
+
+type step = {
+  prefix : Pathlang.Path.t;
+  sorts : Schema.Mtype.t list;  (** empty iff the prefix left Paths(Delta) *)
+}
+
+type flow = {
+  path : Pathlang.Path.t;
+  steps : step list;  (** one per prefix, epsilon first; length + 1 entries *)
+  dies_at : int option;
+      (** least prefix length typing to the empty set, if any *)
+}
+
+val of_path : Schema.Mschema.t -> Pathlang.Path.t -> flow
+(** The flow of a single root-anchored walk (the chain automaton). *)
+
+val missing_edge :
+  flow -> (Schema.Mtype.t list * Pathlang.Label.t) option
+(** For a flow that dies after at least one live step: the sorts at the
+    last live step and the label they lack. *)
+
+val sort_label : Schema.Mschema.t -> Schema.Mtype.t -> string
+(** Reader-facing sort name: classes/atoms by name, sets braced, the db
+    type as ["db"]. *)
+
+val explain : Schema.Mschema.t -> flow -> string
+(** The inferred chain, e.g. ["db -[book]-> Book -[author]-> Person"];
+    dead steps render as ["(dead)"]. *)
+
+val pass :
+  sigma_file:string ->
+  schema:Schema.Mschema.t ->
+  ?explain:bool ->
+  Pathlang.Parser.located list ->
+  Diagnostic.t list
+(** The PC6xx lint pass over located constraints.  Findings carry
+    token-level spans when the input syntax provided them (the line
+    DSL), falling back to the constraint's span (XML).  [explain]
+    (default false) additionally emits one [PC602] per walk. *)

@@ -93,6 +93,51 @@ let eps_transitions a =
 
 let trans_count a = a.trans_count
 
+(* Synchronous product, restricted to the part reachable from [start].
+   A labeled transition of the product needs both factors to move; an
+   epsilon transition in one factor pairs with the other staying put.
+   The construction is itself the reachability fixpoint: a worklist of
+   discovered pairs, saturated until no new pair appears. *)
+let product a b ~start =
+  let prod = create () in
+  let index : (state * state, state) Hashtbl.t = Hashtbl.create 64 in
+  let pairs = ref [] in
+  let queue = Queue.create () in
+  let id pair =
+    match Hashtbl.find_opt index pair with
+    | Some i -> i
+    | None ->
+        let i = add_state prod in
+        Hashtbl.add index pair i;
+        pairs := pair :: !pairs;
+        Queue.add pair queue;
+        i
+  in
+  ignore (id start);
+  while not (Queue.is_empty queue) do
+    let (s, t) as pair = Queue.pop queue in
+    let i = Hashtbl.find index pair in
+    if is_final a s && is_final b t then set_final prod i;
+    let syms_a =
+      Option.value ~default:Label.Set.empty (Hashtbl.find_opt a.out_syms s)
+    in
+    let syms_b =
+      Option.value ~default:Label.Set.empty (Hashtbl.find_opt b.out_syms t)
+    in
+    Label.Set.iter
+      (fun k ->
+        State_set.iter
+          (fun s' ->
+            State_set.iter
+              (fun t' -> add_trans prod i k (id (s', t')))
+              (targets b t k))
+          (targets a s k))
+      (Label.Set.inter syms_a syms_b);
+    State_set.iter (fun s' -> add_eps prod i (id (s', t))) (eps_targets a s);
+    State_set.iter (fun t' -> add_eps prod i (id (s, t'))) (eps_targets b t)
+  done;
+  (prod, Array.of_list (List.rev !pairs))
+
 let copy a =
   {
     size = a.size;

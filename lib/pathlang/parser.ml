@@ -11,6 +11,32 @@ let error_to_string e =
   else
     Printf.sprintf "line %d, column %d: at %S: %s" e.line e.col e.token e.reason
 
+type token_spans = {
+  prefix_spans : Span.t list;
+  lhs_spans : Span.t list;
+  rhs_spans : Span.t list;
+}
+
+let no_token_spans = { prefix_spans = []; lhs_spans = []; rhs_spans = [] }
+
+type located = {
+  constr : Constr.t;
+  span : Span.t;
+  tokens : token_spans;
+}
+
+type pragma = {
+  codes : string list;
+  file_wide : bool;
+  applies_to : int option;
+  pragma_span : Span.t;
+}
+
+type document = {
+  constraints : located list;
+  pragmas : pragma list;
+}
+
 let is_ws c = c = ' ' || c = '\t' || c = '\r'
 
 (* Find the first occurrence of the token [tok] in [s] within [i, j);
@@ -33,14 +59,15 @@ let trim_bounds s i j =
   (!i, !j)
 
 (* Parse the substring [i, j) of [line] as a path, reporting the exact
-   column and text of the offending label on failure. *)
+   column and text of the offending label on failure.  Also returns the
+   span of each label, in path order (empty for the empty path). *)
 let path_at ~line_no line i j =
   let i, j = trim_bounds line i j in
   let s = String.sub line i (j - i) in
-  if s = "" || s = "eps" then Ok Path.empty
+  if s = "" || s = "eps" then Ok (Path.empty, [])
   else begin
     (* split on '.' by hand, keeping each label's offset in [line] *)
-    let rec go start acc =
+    let rec go start acc spans =
       let stop =
         match String.index_from_opt line start '.' with
         | Some d when d < j -> d
@@ -50,11 +77,16 @@ let path_at ~line_no line i j =
       match Label.make tok with
       | l ->
           let acc = l :: acc in
-          if stop < j then go (stop + 1) acc else Ok (Path.of_labels (List.rev acc))
+          let spans =
+            Span.v ~line:line_no ~start_col:(start + 1) ~end_col:(stop + 1)
+            :: spans
+          in
+          if stop < j then go (stop + 1) acc spans
+          else Ok (Path.of_labels (List.rev acc), List.rev spans)
       | exception Invalid_argument m ->
           Error { line = line_no; col = start + 1; token = tok; reason = m }
     in
-    go i []
+    go i [] []
   end
 
 (* Parse one constraint from [line] (which must contain one); [line_no]
@@ -95,29 +127,112 @@ let constraint_of_line ~line_no line =
             path_at ~line_no line lstart lstop,
             path_at ~line_no line rstart e0 )
         with
-        | Ok prefix, Ok lhs, Ok rhs ->
-            Ok (Constr.make kind ~prefix ~lhs ~rhs, span)
-        | (Error _ as e), _, _ | _, (Error _ as e), _ | _, _, (Error _ as e) ->
-            e)
+        | Ok (prefix, prefix_spans), Ok (lhs, lhs_spans), Ok (rhs, rhs_spans)
+          ->
+            Ok
+              {
+                constr = Constr.make kind ~prefix ~lhs ~rhs;
+                span;
+                tokens = { prefix_spans; lhs_spans; rhs_spans };
+              }
+        | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e)
 
-let constraint_of_string_spanned line = constraint_of_line ~line_no:1 line
+let constraint_of_string_spanned line =
+  match constraint_of_line ~line_no:1 line with
+  | Ok { constr; span; _ } -> Ok (constr, span)
+  | Error e -> Error e
 
 let is_blank line =
   let t = String.trim line in
   t = "" || t.[0] = '#'
 
-let constraints_of_string_spanned doc =
+(* A comment line of the form [# pathctl-disable CODE ...] (next
+   constraint) or [# pathctl-disable-file CODE ...] (whole file).
+   Returns [None] for ordinary comments. *)
+let pragma_of_line ~line_no line =
+  let s0, e0 = trim_bounds line 0 (String.length line) in
+  if s0 >= e0 || line.[s0] <> '#' then None
+  else begin
+    let i = ref (s0 + 1) in
+    while !i < e0 && is_ws line.[!i] do incr i done;
+    let starts kw =
+      let n = String.length kw in
+      !i + n <= e0
+      && String.sub line !i n = kw
+      && (!i + n = e0 || is_ws line.[!i + n])
+    in
+    let keyword =
+      if starts "pathctl-disable-file" then Some true
+      else if starts "pathctl-disable" then Some false
+      else None
+    in
+    match keyword with
+    | None -> None
+    | Some file_wide ->
+        let kwlen =
+          String.length
+            (if file_wide then "pathctl-disable-file" else "pathctl-disable")
+        in
+        let rest = String.sub line (!i + kwlen) (e0 - !i - kwlen) in
+        let codes =
+          String.map (fun c -> if c = ',' || c = '\t' then ' ' else c) rest
+          |> String.split_on_char ' '
+          |> List.filter (fun s -> s <> "")
+        in
+        Some
+          {
+            codes;
+            file_wide;
+            applies_to = None;
+            pragma_span =
+              Span.v ~line:line_no ~start_col:(s0 + 1) ~end_col:(e0 + 1);
+          }
+  end
+
+let document_of_string doc =
   let lines = String.split_on_char '\n' doc in
   let rec go n acc = function
     | [] -> Ok (List.rev acc)
     | line :: rest ->
-        if is_blank line then go (n + 1) acc rest
+        if is_blank line then
+          match pragma_of_line ~line_no:n line with
+          | Some p -> go (n + 1) (`P p :: acc) rest
+          | None -> go (n + 1) acc rest
         else (
           match constraint_of_line ~line_no:n line with
-          | Ok cs -> go (n + 1) (cs :: acc) rest
+          | Ok c -> go (n + 1) (`C c :: acc) rest
           | Error e -> Error e)
   in
-  go 1 [] lines
+  match go 1 [] lines with
+  | Error e -> Error e
+  | Ok items ->
+      (* a next-line pragma governs the next constraint in the document *)
+      let rec resolve = function
+        | [] -> []
+        | `P p :: rest when not p.file_wide ->
+            let applies_to =
+              List.find_map
+                (function
+                  | `C c -> Some c.span.Span.line
+                  | `P _ -> None)
+                rest
+            in
+            { p with applies_to } :: resolve rest
+        | `P p :: rest -> p :: resolve rest
+        | `C _ :: rest -> resolve rest
+      in
+      Ok
+        {
+          constraints =
+            List.filter_map (function `C c -> Some c | `P _ -> None) items;
+          pragmas = resolve items;
+        }
+
+let constraints_of_string_spanned doc =
+  match document_of_string doc with
+  | Ok { constraints; _ } ->
+      Ok (List.map (fun { constr; span; _ } -> (constr, span)) constraints)
+  | Error e -> Error e
 
 (* --- legacy string-error wrappers ------------------------------------- *)
 

@@ -24,6 +24,47 @@ type error = {
 val error_to_string : error -> string
 (** ["line L, column C: at \"tok\": reason"]. *)
 
+type token_spans = {
+  prefix_spans : Span.t list;  (** one span per prefix label, in order *)
+  lhs_spans : Span.t list;
+  rhs_spans : Span.t list;
+}
+(** The span of every label token of a constraint, used by analyses that
+    localize findings to a single path step.  All lists are empty when
+    the constraint came from a syntax without token positions (XML). *)
+
+val no_token_spans : token_spans
+
+type located = {
+  constr : Constr.t;
+  span : Span.t;  (** the whole constraint's text *)
+  tokens : token_spans;
+}
+
+type pragma = {
+  codes : string list;
+      (** exact codes ([PC300]) or families ([PC3xx]); may be empty *)
+  file_wide : bool;  (** [pathctl-disable-file] vs [pathctl-disable] *)
+  applies_to : int option;
+      (** for next-line pragmas, the 1-based line of the governed
+          constraint; [None] when no constraint follows *)
+  pragma_span : Span.t;
+}
+(** A suppression comment: [# pathctl-disable CODE ...] silences the
+    listed diagnostics on the next constraint, [# pathctl-disable-file
+    CODE ...] on the whole file.  Codes may be separated by spaces or
+    commas.  Ordinary comments are not pragmas. *)
+
+type document = {
+  constraints : located list;
+  pragmas : pragma list;
+}
+
+val document_of_string : string -> (document, error) result
+(** Parses a whole document: constraints with per-token spans, plus any
+    suppression pragmas found in comments (with their governed line
+    already resolved). *)
+
 val constraint_of_string_spanned :
   string -> (Constr.t * Span.t, error) result
 (** Parses a single constraint, returning the span of its text (the

@@ -60,6 +60,29 @@ let labels schema =
         acc (out_edges schema tau))
     Label.Set.empty (sorts schema)
 
+(* The schema graph as an automaton over sorts: one state per member of
+   T(Delta), a transition per edge of sigma(Delta), every state final
+   (every realizable prefix is a word of Paths(Delta)).  State identity
+   is the position in the returned sort array. *)
+let automaton schema =
+  let sort_list = sorts schema in
+  let nfa = Automata.Nfa.create () in
+  Automata.Nfa.ensure_states nfa (List.length sort_list);
+  let index, _ =
+    List.fold_left
+      (fun (m, i) tau -> (Mtype.Map.add tau i m, i + 1))
+      (Mtype.Map.empty, 0) sort_list
+  in
+  List.iter
+    (fun tau ->
+      let i = Mtype.Map.find tau index in
+      Automata.Nfa.set_final nfa i;
+      List.iter
+        (fun (l, t) -> Automata.Nfa.add_trans nfa i l (Mtype.Map.find t index))
+        (out_edges schema tau))
+    sort_list;
+  (nfa, Array.of_list sort_list, Mtype.Map.find (Mschema.dbtype schema) index)
+
 let paths_up_to schema bound =
   let rec go acc rho tau depth =
     let acc = rho :: acc in

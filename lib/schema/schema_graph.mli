@@ -46,6 +46,13 @@ val sorts : Mschema.t -> Mtype.t list
 val labels : Mschema.t -> Pathlang.Label.Set.t
 (** [E(Delta)]: all edge labels of reachable sorts. *)
 
+val automaton : Mschema.t -> Automata.Nfa.t * Mtype.t array * Automata.Nfa.state
+(** The schema graph as a finite automaton over sorts: states are the
+    members of [T(Delta)] (the returned array maps state to sort), the
+    transitions are the edges of [sigma(Delta)], all states are final,
+    and the returned start state is [DBtype].  The words accepted from
+    the start state are exactly [Paths(Delta)]. *)
+
 val paths_up_to : Mschema.t -> int -> Pathlang.Path.t list
 (** All members of [Paths(Delta)] of length at most the bound (for
     tests and generators). *)

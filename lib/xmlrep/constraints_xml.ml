@@ -72,3 +72,39 @@ let of_xml doc =
 
 let parse src =
   match Xml.parse src with Ok doc -> of_xml doc | Error m -> Error m
+
+(* The span of one element: from its '<' to its end on the start line
+   (multi-line elements are clamped to the first line, keeping spans
+   single-line like the line-DSL parser's). *)
+let span_of_offsets src start stop =
+  let line, start_col = Pathlang.Span.of_offset src start in
+  let line_end =
+    match String.index_from_opt src start '\n' with
+    | Some nl when nl < stop -> nl
+    | _ -> stop
+  in
+  Pathlang.Span.v ~line ~start_col
+    ~end_col:(start_col + (line_end - start))
+
+let parse_spanned src =
+  match Xml.parse_located src with
+  | Error m -> Error m
+  | Ok root -> (
+      match Xml.name root.Xml.node with
+      | Some "constraints" ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | (l : Xml.located) :: rest -> (
+                match l.Xml.node with
+                | Xml.Text _ -> go acc rest
+                | Xml.Element _ -> (
+                    match constraint_of_xml l.Xml.node with
+                    | Ok c ->
+                        let span =
+                          span_of_offsets src l.Xml.start l.Xml.stop
+                        in
+                        go ((c, span) :: acc) rest
+                    | Error _ as e -> e))
+          in
+          go [] root.Xml.located_children
+      | _ -> Error "expected a <constraints> document")

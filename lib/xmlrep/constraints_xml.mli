@@ -22,3 +22,10 @@ val render_xml : Pathlang.Constr.t list -> Xml.t
 
 val parse : string -> (Pathlang.Constr.t list, string) result
 val of_xml : Xml.t -> (Pathlang.Constr.t list, string) result
+
+val parse_spanned :
+  string -> ((Pathlang.Constr.t * Pathlang.Span.t) list, string) result
+(** Like {!parse}, attaching to each constraint the span of its source
+    element (clamped to the element's first line), so diagnostics on XML
+    constraint files point at the offending element rather than the
+    whole file. *)

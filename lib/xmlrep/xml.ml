@@ -111,8 +111,16 @@ let parse_attr cur =
    ["<a>" ^ ... ^ "<a>"] could otherwise blow the stack. *)
 let max_depth = 2048
 
+type located = {
+  node : t;
+  start : int;
+  stop : int;
+  located_children : located list;
+}
+
 let rec parse_element depth cur =
   if depth > max_depth then fail cur "maximum element depth exceeded";
+  let elem_start = cur.pos in
   eat cur '<';
   let name = parse_name cur in
   let rec attrs acc =
@@ -121,11 +129,22 @@ let rec parse_element depth cur =
     | Some '/' ->
         advance cur;
         eat cur '>';
-        Element (name, List.rev acc, [])
+        {
+          node = Element (name, List.rev acc, []);
+          start = elem_start;
+          stop = cur.pos;
+          located_children = [];
+        }
     | Some '>' ->
         advance cur;
         let children = parse_children depth cur name in
-        Element (name, List.rev acc, children)
+        {
+          node =
+            Element (name, List.rev acc, List.map (fun l -> l.node) children);
+          start = elem_start;
+          stop = cur.pos;
+          located_children = children;
+        }
     | Some c when is_name_char c -> attrs (parse_attr cur :: acc)
     | _ -> fail cur "malformed tag"
   in
@@ -177,13 +196,21 @@ and parse_children depth cur parent =
         in
         text ();
         let s = String.sub cur.src start (cur.pos - start) in
-        if String.trim s <> "" then items := Text (decode_entities s) :: !items;
+        if String.trim s <> "" then
+          items :=
+            {
+              node = Text (decode_entities s);
+              start;
+              stop = cur.pos;
+              located_children = [];
+            }
+            :: !items;
         go ()
   in
   go ();
   List.rev !items
 
-let parse src =
+let parse_located src =
   let cur = { src; pos = 0 } in
   try
     skip_ws cur;
@@ -203,6 +230,8 @@ let parse src =
     if cur.pos <> String.length src then fail cur "trailing content";
     Ok root
   with Parse_error e -> Error e
+
+let parse src = Result.map (fun l -> l.node) (parse_located src)
 
 (* ------------------------------------------------------------------ *)
 

@@ -11,6 +11,19 @@ val parse : string -> (t, string) result
 (** Parses a single root element (leading/trailing whitespace and an
     optional [<?xml ...?>] declaration are allowed). *)
 
+type located = {
+  node : t;
+  start : int;  (** byte offset of the node's first character *)
+  stop : int;  (** byte offset one past the node's last character *)
+  located_children : located list;
+}
+(** A parse tree that remembers where each element and text node sits in
+    the source, so consumers can attach line/column spans to individual
+    elements (e.g. per-constraint diagnostics on XML constraint files). *)
+
+val parse_located : string -> (located, string) result
+(** Like {!parse}, keeping source offsets. *)
+
 val to_string : ?indent:bool -> t -> string
 
 val name : t -> string option

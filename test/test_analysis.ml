@@ -47,9 +47,10 @@ let check_contains out sub =
 (* occurrences of each diagnostic code in a rendered report *)
 let code_counts out =
   let codes =
-    [ "PC001"; "PC002"; "PC100"; "PC101"; "PC102"; "PC103"; "PC200";
-      "PC201"; "PC300"; "PC301"; "PC302"; "PC400"; "PC401"; "PC500";
-      "PC501"; "PC502"; "PC503"; "PC504" ]
+    [ "PC001"; "PC002"; "PC003"; "PC100"; "PC101"; "PC102"; "PC103";
+      "PC200"; "PC201"; "PC300"; "PC301"; "PC302"; "PC400"; "PC401";
+      "PC500"; "PC501"; "PC502"; "PC503"; "PC504"; "PC505"; "PC510";
+      "PC600"; "PC601"; "PC602" ]
   in
   List.filter_map
     (fun code ->
@@ -266,7 +267,7 @@ let test_vacuity_codes () =
   in
   Alcotest.(check int) "exit 0" 0 code;
   check_codes "vacuity + hygiene codes" out
-    [ ("PC100", 1); ("PC200", 1); ("PC201", 1); ("PC501", 1) ]
+    [ ("PC100", 1); ("PC200", 1); ("PC201", 1); ("PC501", 1); ("PC600", 3) ]
 
 let test_duplicates_codes () =
   let p = fixture "duplicates.constraints" in
@@ -499,6 +500,284 @@ let test_clean_on_existing_examples () =
   check_clean (Printf.sprintf "-s %s" (Filename.quote (example "sigma0.constraints")));
   check_clean (Printf.sprintf "-s %s" (Filename.quote (example "constraints.xml")))
 
+(* --- PC505: prefix subsumption, cross-checked against the procedures ------ *)
+
+let test_subsumed_fixture () =
+  let p = fixture "subsumed.constraints" in
+  let code, out = run (Printf.sprintf "lint -s %s" (Filename.quote p)) in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_codes "subsumption codes" out
+    [ ("PC100", 1); ("PC300", 1); ("PC301", 1); ("PC505", 1) ];
+  check_contains out "appending wrote to both of its paths";
+  check_contains out "(right congruence)";
+  (* soundness: the flagged constraint really is implied by the rest,
+     per the independent PTIME word procedure *)
+  let spanned =
+    match
+      Parser.constraints_of_string_spanned
+        (In_channel.with_open_text p In_channel.input_all)
+    with
+    | Ok cs -> cs
+    | Error e -> Alcotest.failf "parse: %s" (Parser.error_to_string e)
+  in
+  let flagged =
+    List.filter_map
+      (fun d ->
+        if d.Diagnostic.code = "PC505" then
+          Option.map (fun s -> s.Span.line) d.Diagnostic.span
+        else None)
+      (Lint.lint_paths ~sigma_file:p ())
+  in
+  Alcotest.(check (list int)) "PC505 on line 5" [ 5 ] flagged;
+  List.iter
+    (fun line ->
+      let i =
+        match List.find_index (fun (_, s) -> s.Span.line = line) spanned with
+        | Some i -> i
+        | None -> Alcotest.failf "no constraint on line %d" line
+      in
+      let phi = fst (List.nth spanned i) in
+      let rest = List.map fst (drop_nth i spanned) in
+      match Core.Word_untyped.implies ~sigma:rest phi with
+      | Ok true -> ()
+      | Ok false -> Alcotest.failf "line %d flagged but not implied" line
+      | Error _ -> Alcotest.fail "not a word instance")
+    flagged
+
+(* --- suppression pragmas and PC510 ----------------------------------------- *)
+
+let test_suppression_pragmas () =
+  let p = fixture "suppressed.constraints" in
+  let code, out = run (Printf.sprintf "lint -s %s" (Filename.quote p)) in
+  Alcotest.(check int) "exit 0" 0 code;
+  (* the duplicate's PC500 is suppressed by the line pragma; the
+     file-wide PC400 pragma never matches and becomes PC510 *)
+  Alcotest.(check bool) "PC500 suppressed" false (contains out "PC500");
+  check_contains out ":7:1: warning[PC510] unused suppression: no PC400 \
+                      diagnostic fired in this file";
+  (* a family pattern suppresses every code with that prefix *)
+  let sigma =
+    write_temp ".constraints"
+      "# pathctl-disable-file PC3xx, PC5xx\n\
+       book.author -> person\n\
+       book.author -> person\n"
+  in
+  let _, out = run (Printf.sprintf "lint -s %s" (Filename.quote sigma)) in
+  Sys.remove sigma;
+  Alcotest.(check bool) "PC300 family suppressed" false (contains out "PC300");
+  Alcotest.(check bool) "PC500 family suppressed" false (contains out "PC500");
+  check_contains out "[PC100]"
+
+(* --- configuration: severity overrides, pass gating, PC003 ----------------- *)
+
+let test_config_file () =
+  let p = fixture "subsumed.constraints" in
+  (* the shipped config ignores PC301 and keeps everything else *)
+  let code, out =
+    run
+      (Printf.sprintf "lint -s %s --config %s" (Filename.quote p)
+         (Filename.quote (fixture "pathctl.toml")))
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "PC301 ignored by config" false
+    (contains out "PC301");
+  check_contains out "[PC505]";
+  (* pass selection: disabling redundancy drops PC300/PC301 but not
+     the hygiene-pass PC505 *)
+  let cfg = write_temp ".toml" "[passes]\nredundancy = false\n" in
+  let _, out =
+    run
+      (Printf.sprintf "lint -s %s --config %s" (Filename.quote p)
+         (Filename.quote cfg))
+  in
+  Sys.remove cfg;
+  Alcotest.(check bool) "redundancy pass disabled" false
+    (contains out "PC300");
+  check_contains out "[PC505]";
+  (* a severity override can escalate a warning into a CI failure *)
+  let cfg = write_temp ".toml" "[severity]\nPC505 = \"error\"\n" in
+  let code, out =
+    run
+      (Printf.sprintf "lint -s %s --config %s" (Filename.quote p)
+         (Filename.quote cfg))
+  in
+  Sys.remove cfg;
+  Alcotest.(check int) "escalated severity exits 1" 1 code;
+  check_contains out "error[PC505]";
+  (* a config that does not parse is PC003, an error *)
+  let cfg = write_temp ".toml" "[passes]\nredundancy = maybe\n" in
+  let code, out =
+    run
+      (Printf.sprintf "lint -s %s --config %s" (Filename.quote p)
+         (Filename.quote cfg))
+  in
+  Sys.remove cfg;
+  Alcotest.(check int) "bad config exits 1" 1 code;
+  check_contains out "error[PC003]";
+  check_contains out "line 2"
+
+(* --- --max-warnings: the severity-threshold exit policy -------------------- *)
+
+let test_max_warnings () =
+  let p = fixture "subsumed.constraints" in
+  (* the fixture yields exactly 2 warnings (PC300 + PC505) *)
+  let code, _ =
+    run (Printf.sprintf "lint -s %s --max-warnings 2" (Filename.quote p))
+  in
+  Alcotest.(check int) "at the threshold: 0" 0 code;
+  let code, _ =
+    run (Printf.sprintf "lint -s %s --max-warnings 1" (Filename.quote p))
+  in
+  Alcotest.(check int) "over the threshold: 1" 1 code;
+  (* the config file supplies the default; the flag wins *)
+  let cfg = write_temp ".toml" "[lint]\nmax-warnings = 0\n" in
+  let code, _ =
+    run
+      (Printf.sprintf "lint -s %s --config %s" (Filename.quote p)
+         (Filename.quote cfg))
+  in
+  Alcotest.(check int) "config threshold applies" 1 code;
+  let code, _ =
+    run
+      (Printf.sprintf "lint -s %s --config %s --max-warnings 99"
+         (Filename.quote p) (Filename.quote cfg))
+  in
+  Sys.remove cfg;
+  Alcotest.(check int) "explicit flag beats the config" 0 code;
+  (* library-level policy *)
+  let warn msg =
+    Diagnostic.make ~code:"PC300" ~severity:Diagnostic.Warning ~file:"f" msg
+  in
+  Alcotest.(check int) "no threshold" 0 (Lint.exit_code [ warn "a"; warn "b" ]);
+  Alcotest.(check int) "under" 0
+    (Lint.exit_code ~max_warnings:2 [ warn "a"; warn "b" ]);
+  Alcotest.(check int) "over" 1
+    (Lint.exit_code ~max_warnings:1 [ warn "a"; warn "b" ])
+
+(* --- --fix: safe autofixes, idempotent ------------------------------------- *)
+
+let test_fix_idempotent () =
+  let check_fixture name expect_fixed =
+    let src =
+      In_channel.with_open_text (fixture name) In_channel.input_all
+    in
+    let tmp = write_temp ".constraints" src in
+    let code, out =
+      run (Printf.sprintf "lint -s %s --fix" (Filename.quote tmp))
+    in
+    Alcotest.(check int) (name ^ ": exit 0 after fixing") 0 code;
+    check_contains out
+      (Printf.sprintf "applied %d autofix(es)" expect_fixed);
+    let once = In_channel.with_open_text tmp In_channel.input_all in
+    Alcotest.(check bool) (name ^ ": file changed") false (once = src);
+    (* a second pass finds nothing to fix and leaves the file alone *)
+    let _, out2 =
+      run (Printf.sprintf "lint -s %s --fix" (Filename.quote tmp))
+    in
+    Alcotest.(check bool) (name ^ ": second pass applies nothing") false
+      (contains out2 "autofix");
+    let twice = In_channel.with_open_text tmp In_channel.input_all in
+    Sys.remove tmp;
+    Alcotest.(check string) (name ^ ": idempotent") once twice
+  in
+  (* duplicates: delete the PC500 duplicate and the PC504 tautology,
+     comment out the PC503 eps-EGD *)
+  check_fixture "duplicates.constraints" 3;
+  (* subsumed: delete the PC505 line *)
+  check_fixture "subsumed.constraints" 1;
+  (* the PC503 comment-out marker survives in the fixed file *)
+  let src =
+    In_channel.with_open_text (fixture "duplicates.constraints")
+      In_channel.input_all
+  in
+  let tmp = write_temp ".constraints" src in
+  let _ = run (Printf.sprintf "lint -s %s --fix" (Filename.quote tmp)) in
+  let fixed = In_channel.with_open_text tmp In_channel.input_all in
+  Sys.remove tmp;
+  check_contains fixed "# pathctl-fix(PC503) disabled: book.ref.ref -> eps";
+  (* XML inputs are refused: the fixes are line-oriented *)
+  let xml = write_temp ".xml" "<constraints><word lhs=\"a\" rhs=\"b\"/></constraints>" in
+  let code, out = run (Printf.sprintf "lint -s %s --fix" (Filename.quote xml)) in
+  Sys.remove xml;
+  Alcotest.(check int) "XML refused with exit 2" 2 code;
+  check_contains out "line DSL only"
+
+(* --- XML constraint files carry element-level spans ------------------------ *)
+
+let test_xml_constraint_spans () =
+  let src =
+    In_channel.with_open_text (example "constraints.xml") In_channel.input_all
+  in
+  let spanned =
+    match Xmlrep.Constraints_xml.parse_spanned src with
+    | Ok cs -> cs
+    | Error e -> Alcotest.failf "parse_spanned: %s" e
+  in
+  Alcotest.(check int) "five constraints" 5 (List.length spanned);
+  (* one element per line in the fixture, lines 2-6 *)
+  Alcotest.(check (list int)) "element lines" [ 2; 3; 4; 5; 6 ]
+    (List.map (fun (_, s) -> s.Span.line) spanned);
+  List.iter
+    (fun (_, s) ->
+      Alcotest.(check bool) "span is inside the line" true
+        (s.Span.start_col >= 1 && s.Span.end_col > s.Span.start_col))
+    spanned;
+  (* agreement with the unspanned parser *)
+  let plain =
+    match Xmlrep.Constraints_xml.parse src with
+    | Ok cs -> cs
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  Alcotest.(check bool) "same constraints as parse" true
+    (List.for_all2
+       (fun c (c', _) -> Pathlang.Constr.equal c c')
+       plain spanned);
+  (* and the lint driver attaches those spans to diagnostics *)
+  let bad =
+    write_temp ".xml"
+      "<constraints>\n  <word lhs=\"a\" rhs=\"b\"/>\n  <word lhs=\"a\" \
+       rhs=\"b\"/>\n</constraints>\n"
+  in
+  let code, out = run (Printf.sprintf "lint -s %s" (Filename.quote bad)) in
+  Sys.remove bad;
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out ":3:3: warning[PC500]"
+
+(* --- the rules table is the single source of truth ------------------------- *)
+
+let test_rules_exhaustive () =
+  let expected =
+    [ "PC001"; "PC002"; "PC003"; "PC100"; "PC101"; "PC102"; "PC103";
+      "PC200"; "PC201"; "PC300"; "PC301"; "PC302"; "PC400"; "PC401";
+      "PC500"; "PC501"; "PC502"; "PC503"; "PC504"; "PC505"; "PC510";
+      "PC600"; "PC601"; "PC602" ]
+  in
+  let codes = List.map (fun (c, _, _) -> c) Diagnostic.rules in
+  Alcotest.(check (list string)) "every stable code is declared, in order"
+    expected (List.sort compare codes);
+  Alcotest.(check int) "no duplicate codes"
+    (List.length codes)
+    (List.length (List.sort_uniq compare codes));
+  List.iter
+    (fun (code, _, doc) ->
+      Alcotest.(check bool) (code ^ " has documentation") true
+        (String.length doc > 0);
+      Alcotest.(check bool) (code ^ " is well-formed") true
+        (String.length code = 5
+        && String.sub code 0 2 = "PC"
+        && String.for_all
+             (fun c -> c >= '0' && c <= '9')
+             (String.sub code 2 3)))
+    Diagnostic.rules;
+  (* reserved / conditional codes: emitted only under special
+     circumstances, hence absent from the fixture goldens by design *)
+  let reserved = [ "PC302" (* budget truncation *) ] in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " is a declared rule") true
+        (List.mem c codes))
+    reserved
+
 (* --- diagnostics core ------------------------------------------------------ *)
 
 let test_render_ordering_and_summary () =
@@ -590,6 +869,23 @@ let () =
             test_parse_error_diagnostics;
           Alcotest.test_case "clean on the shipped examples" `Quick
             test_clean_on_existing_examples;
+        ] );
+      ( "analyzer",
+        [
+          Alcotest.test_case "PC505 subsumption, cross-checked" `Quick
+            test_subsumed_fixture;
+          Alcotest.test_case "suppression pragmas and PC510" `Quick
+            test_suppression_pragmas;
+          Alcotest.test_case "config: severity, passes, PC003" `Quick
+            test_config_file;
+          Alcotest.test_case "--max-warnings exit policy" `Quick
+            test_max_warnings;
+          Alcotest.test_case "--fix is safe and idempotent" `Quick
+            test_fix_idempotent;
+          Alcotest.test_case "XML constraints carry element spans" `Quick
+            test_xml_constraint_spans;
+          Alcotest.test_case "rules table is exhaustive" `Quick
+            test_rules_exhaustive;
         ] );
       ( "diagnostics",
         [
