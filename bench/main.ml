@@ -564,6 +564,53 @@ let chase_cells () =
       | [] -> ())
   | _ -> ()
 
+(* --- snapshot: park/resume overhead as a measured cell ------------------ *)
+
+(* A mid-run chase state of [chase_workload n]: the step budget is set
+   below the 2n-1 repairs the workload needs, so the run exhausts and
+   parks.  The measured quantity is one full durability roundtrip —
+   atomic save (temp + fsync + rename) plus load (read, checksum,
+   parse, rebuild) — i.e. exactly what a crash/resume cycle adds on top
+   of the chase itself. *)
+let parked_snapshot n =
+  let g, sigma = chase_workload n in
+  let budget =
+    Core.Engine.Budget.v ~max_steps:n ~max_nodes:((8 * n) + 32) ()
+  in
+  let parked = ref None in
+  (match
+     Core.Chase.run
+       ~ctl:(Core.Engine.start budget)
+       ~park:(fun s -> parked := Some s)
+       g sigma
+   with
+  | Core.Chase.Exhausted _, _ -> ()
+  | Core.Chase.Fixpoint _, _ ->
+      failwith "snapshot bench workload must exhaust mid-chase");
+  match !parked with
+  | Some s -> s
+  | None -> failwith "snapshot bench workload must park"
+
+let snapshot_cell () =
+  record_cell ~cell_name:"chase-snapshot-roundtrip"
+    ~claim:"crash-safe resume; serialization linear in the chased graph"
+    "snapshot save (atomic, fsync) + load of a parked mid-chase state, ~3n nodes"
+    (shrink [ 16; 32; 64; 128; 256 ])
+    (fun n ->
+      let s = parked_snapshot n in
+      let path = Filename.temp_file "bench_snapshot" ".snapshot" in
+      let m =
+        measure (fun () ->
+            match Core.Chase.Snapshot.save ~path s with
+            | Error e -> failwith e
+            | Ok () -> (
+                match Core.Chase.Snapshot.load path with
+                | Ok _ -> ()
+                | Error e -> failwith e))
+      in
+      Sys.remove path;
+      m)
+
 (* --- analyzer: the lint pipeline as a measured cell --------------------- *)
 
 (* Deterministic synthetic Sigma over the bibliography labels: the
@@ -666,6 +713,7 @@ let timing () =
           ignore (Core.Local_extent.implies ~alpha:Path.empty ~k ~sigma ~phi)));
 
   chase_cells ();
+  snapshot_cell ();
   analyzer_cell ();
 
   section "Ablations";

@@ -15,10 +15,24 @@ open Cmdliner
 
 let die fmt = Format.kasprintf (fun s -> `Error (false, s)) fmt
 
-let read_file path =
-  match In_channel.with_open_text path In_channel.input_all with
-  | s -> Ok s
-  | exception Sys_error m -> Error m
+(* Every CLI input read goes through the fault-injectable I/O layer, so
+   torn/truncated reads can be rehearsed end-to-end ([cli.read] site);
+   disarmed, this is a plain file read. *)
+let fs_cli_read = Fault.site "cli.read"
+
+let read_file path = Fault.Io.read_file ~site:fs_cli_read path
+
+(* Machine-readable diagnostic on stderr for snapshot degradation:
+   operators grep these out of service logs. *)
+let snapshot_diag event file reason =
+  prerr_endline
+    (Obs.Json.to_string
+       (Obs.Json.Obj
+          [
+            ("event", Obs.Json.String event);
+            ("file", Obs.Json.String file);
+            ("reason", Obs.Json.String reason);
+          ]))
 
 (* Constraint files: line-oriented DSL, or the XML syntax when the
    content starts with '<'. *)
@@ -349,46 +363,170 @@ let chase_cmd =
              step/node budgets (64, 256, ... up to ~1M) instead of one \
              fixed shot; all rounds share the deadline.")
   in
-  let run sigma_file phi steps nodes timeout escalate trace stats =
-    match (load_constraints sigma_file, parse_constraint phi) with
-    | Error m, _ | _, Error m -> die "%s" m
-    | Ok sigma, Ok phi ->
-        (* counters stay on even without --stats so an Unknown verdict
-           can say what the budget was spent on *)
-        let code =
-          with_obs ~cmd:"chase" ~always:true ~trace ~stats (fun () ->
-              let cancel = Core.Engine.Cancel.create () in
-              let verdict =
-                Core.Engine.Cancel.with_sigint cancel (fun () ->
-                    if escalate then
-                      Core.Semidecide.implies_escalating ~timeout ~cancel
-                        ~sigma phi
-                    else
-                      let budget =
-                        Core.Engine.Budget.v ~max_steps:steps
-                          ~max_nodes:(Option.value nodes ~default:steps)
-                          ~timeout ~cancel ()
-                      in
-                      Core.Semidecide.implies ~ctl:(Core.Engine.start budget)
-                        ~sigma phi)
+  let snapshot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Park the chase state to $(docv) when the run stops without a \
+             verdict (budget exhaustion, SIGINT, SIGTERM, injected crash); \
+             written atomically, resumable with $(b,--resume).  Removed \
+             when the run reaches a verdict.")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume a chase parked with $(b,--snapshot).  A corrupt, \
+             truncated, version-skewed or mismatched snapshot logs a \
+             structured diagnostic on stderr and falls back to a cold \
+             start.")
+  in
+  let fault_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-spec" ] ~docv:"SPEC"
+          ~doc:
+            "Arm the deterministic fault injector (testing): \
+             comma-separated SITE:HIT[:KIND] clauses plus optional seed=N, \
+             e.g. 'chase.repair:3:crash'.  Overrides \\$PATHCTL_FAULT.")
+  in
+  let run sigma_file phi steps nodes timeout escalate snapshot resume fault
+      trace stats =
+    let fault_err =
+      match fault with
+      | None -> None
+      | Some spec -> (
+          match Fault.spec_of_string spec with
+          | Ok spec ->
+              Fault.arm spec;
+              None
+          | Error m -> Some m)
+    in
+    match fault_err with
+    | Some m -> die "bad --fault-spec: %s" m
+    | None -> (
+        if escalate && (snapshot <> None || resume <> None) then
+          die
+            "--escalate cannot be combined with --snapshot/--resume: \
+             escalation restarts the chase from scratch each round, so \
+             there is no single resumable state"
+        else
+          match (load_constraints sigma_file, parse_constraint phi) with
+          | Error m, _ | _, Error m -> die "%s" m
+          | Ok sigma, Ok phi ->
+              (* counters stay on even without --stats so an Unknown verdict
+                 can say what the budget was spent on *)
+              let code =
+                with_obs ~cmd:"chase" ~always:true ~trace ~stats (fun () ->
+                    let cancel = Core.Engine.Cancel.create () in
+                    (* A bad resume file degrades to a cold start: a parked
+                       snapshot is an optimization, never a correctness
+                       requirement. *)
+                    let resume_snap =
+                      match resume with
+                      | None -> None
+                      | Some file -> (
+                          match Core.Chase.Snapshot.load file with
+                          | Ok s when
+                              Core.Chase.Snapshot.matches_implies s ~sigma phi
+                            ->
+                              Printf.eprintf
+                                "pathctl: resuming from %s (%d repairs done, \
+                                 %d live nodes)\n\
+                                 %!"
+                                file
+                                (Core.Chase.Snapshot.repairs s)
+                                (Core.Chase.Snapshot.live_nodes s);
+                              Some s
+                          | Ok _ ->
+                              snapshot_diag "snapshot.fallback" file
+                                "fingerprint mismatch: snapshot was parked \
+                                 for a different sigma/phi; cold start";
+                              None
+                          | Error m ->
+                              snapshot_diag "snapshot.fallback" file
+                                (m ^ "; cold start");
+                              None)
+                    in
+                    let parked = ref None in
+                    let park =
+                      Option.map
+                        (fun file s -> parked := Some (file, s))
+                        snapshot
+                    in
+                    let verdict =
+                      Core.Engine.Cancel.with_sigint cancel (fun () ->
+                          if escalate then
+                            Core.Semidecide.implies_escalating ~timeout ~cancel
+                              ~sigma phi
+                          else
+                            let budget =
+                              Core.Engine.Budget.v ~max_steps:steps
+                                ~max_nodes:(Option.value nodes ~default:steps)
+                                ~timeout ~cancel ()
+                            in
+                            let ctl =
+                              match resume_snap with
+                              | None -> Core.Engine.start budget
+                              | Some s ->
+                                  Core.Engine.start
+                                    ~spent_steps:
+                                      (Core.Chase.Snapshot.engine_steps s)
+                                    ~spent_peak_nodes:
+                                      (Core.Chase.Snapshot.engine_peak_nodes s)
+                                    budget
+                            in
+                            Core.Semidecide.implies ~ctl ?park
+                              ?resume:resume_snap ~sigma phi)
+                    in
+                    (match (!parked, snapshot) with
+                    | Some (file, s), _ -> (
+                        match Core.Chase.Snapshot.save ~path:file s with
+                        | Ok () ->
+                            Printf.eprintf
+                              "pathctl: chase state parked to %s (resume \
+                               with --resume %s)\n\
+                               %!"
+                              file file
+                        | Error m -> snapshot_diag "snapshot.write_failed" file m
+                        | exception Fault.Crash site ->
+                            snapshot_diag "snapshot.write_crashed" file
+                              ("injected crash at fault site " ^ site
+                             ^ "; previous snapshot, if any, left intact"))
+                    | None, Some file ->
+                        (* decisive verdict: a stale park would only confuse
+                           the next resume *)
+                        if Sys.file_exists file then (
+                          try Sys.remove file with Sys_error _ -> ())
+                    | None, None -> ());
+                    (* exit codes: 0 implied, 1 refuted, 2 unknown/exhausted
+                       (also after an injected crash), 130 SIGINT (128+2),
+                       143 SIGTERM (128+15) *)
+                    match verdict with
+                    | Core.Verdict.Implied ->
+                        print_endline "implied";
+                        0
+                    | Core.Verdict.Refuted g ->
+                        let g = Core.Minimize.countermodel g ~sigma ~phi in
+                        Printf.printf "refuted; minimal countermodel:\n%s"
+                          (Sgraph.Io.to_string g);
+                        1
+                    | Core.Verdict.Unknown e -> (
+                        Format.printf "unknown: %a@." Core.Verdict.pp_exhaustion
+                          e;
+                        match e.Core.Verdict.reason with
+                        | Core.Verdict.Cancelled -> (
+                            match Core.Engine.Cancel.cause cancel with
+                            | Some Core.Engine.Cancel.Sigterm -> 143
+                            | _ -> 130)
+                        | _ -> 2))
               in
-              (* exit codes: 0 implied, 1 refuted, 2 unknown/exhausted,
-                 130 interrupted (128 + SIGINT) *)
-              match verdict with
-              | Core.Verdict.Implied ->
-                  print_endline "implied";
-                  0
-              | Core.Verdict.Refuted g ->
-                  let g = Core.Minimize.countermodel g ~sigma ~phi in
-                  Printf.printf "refuted; minimal countermodel:\n%s"
-                    (Sgraph.Io.to_string g);
-                  1
-              | Core.Verdict.Unknown e ->
-                  Format.printf "unknown: %a@." Core.Verdict.pp_exhaustion e;
-                  if e.Core.Verdict.reason = Core.Verdict.Cancelled then 130
-                  else 2)
-        in
-        exit code
+              exit code)
   in
   Cmd.v
     (Cmd.info "chase"
@@ -396,11 +534,14 @@ let chase_cmd =
          "Semi-decide general P_c implication on semistructured data \
           (undecidable in general, Theorem 4.1; sound verdicts only). \
           Exits 0 when implied, 1 when refuted, 2 when the budget was \
-          exhausted, 130 when interrupted.")
+          exhausted (also after an injected crash parked a snapshot), \
+          130 on SIGINT, 143 on SIGTERM.  --snapshot/--resume park and \
+          continue long runs across interruptions.")
     Term.(
       ret
         (const run $ sigma_arg $ phi_arg $ steps_arg $ nodes_arg $ timeout_arg
-       $ escalate_arg $ trace_arg $ stats_arg))
+       $ escalate_arg $ snapshot_arg $ resume_arg $ fault_arg $ trace_arg
+       $ stats_arg))
 
 (* --- encode ---------------------------------------------------------------------- *)
 
@@ -1116,6 +1257,18 @@ let profile_cmd =
 (* --- main ------------------------------------------------------------------------ *)
 
 let () =
+  (* Arm the fault injector from the environment before any command
+     runs, so every subcommand (chase, lint, ...) is injectable in CI;
+     a malformed spec is a hard error — a test meaning to inject faults
+     must never silently run clean. *)
+  (match Sys.getenv_opt "PATHCTL_FAULT" with
+  | None | Some "" -> ()
+  | Some spec -> (
+      match Fault.spec_of_string spec with
+      | Ok spec -> Fault.arm spec
+      | Error m ->
+          Printf.eprintf "pathctl: bad PATHCTL_FAULT: %s\n" m;
+          exit 2));
   let doc =
     "reasoning about path constraints and their interaction with type \
      systems (Buneman, Fan, Weinstein, PODS'99)"

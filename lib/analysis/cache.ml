@@ -14,6 +14,18 @@ let hits = Obs.Counter.make ~unit_:"lookups" "lint.cache.hits"
 let misses = Obs.Counter.make ~unit_:"lookups" "lint.cache.misses"
 let stores = Obs.Counter.make ~unit_:"entries" "lint.cache.stores"
 
+let write_errors =
+  Obs.Counter.make ~unit_:"failed stores" "lint.cache.write_errors"
+
+let fs_store = Fault.site "cache.store"
+
+(* Once a store fails (ENOSPC, permissions, an injected short write),
+   the cache is off for the rest of the run: the disk condition that
+   broke one write will break the next, and a lint must never spend its
+   time retrying a broken cache — or worse, half-trusting it. *)
+let degraded = ref false
+let reset () = degraded := false
+
 let version = 2
 
 let rules_fingerprint =
@@ -99,12 +111,14 @@ let entry_path ~dir ~key = Filename.concat dir (key ^ ".json")
 
 let lookup ~dir ~key =
   let result =
-    match
-      In_channel.with_open_text (entry_path ~dir ~key) In_channel.input_all
-    with
-    | src -> (
-        match Json.parse src with Ok j -> of_entry j | Error _ -> None)
-    | exception Sys_error _ -> None
+    if !degraded then None
+    else
+      match
+        In_channel.with_open_text (entry_path ~dir ~key) In_channel.input_all
+      with
+      | src -> (
+          match Json.parse src with Ok j -> of_entry j | Error _ -> None)
+      | exception Sys_error _ -> None
   in
   (match result with
   | Some _ -> Obs.Counter.incr hits
@@ -119,13 +133,21 @@ let rec mkdir_p dir =
   end
 
 let store ~dir ~key diags =
-  try
-    mkdir_p dir;
-    let path = entry_path ~dir ~key in
-    let tmp = path ^ ".tmp" in
-    Out_channel.with_open_text tmp (fun oc ->
-        Out_channel.output_string oc (Json.to_string (to_entry diags));
-        Out_channel.output_char oc '\n');
-    Sys.rename tmp path;
-    Obs.Counter.incr stores
-  with Sys_error _ -> ()
+  if not !degraded then begin
+    let fail () =
+      degraded := true;
+      Obs.Counter.incr write_errors
+    in
+    match mkdir_p dir with
+    | exception Sys_error _ -> fail ()
+    | () -> (
+        let path = entry_path ~dir ~key in
+        let body = Json.to_string (to_entry diags) ^ "\n" in
+        (* Atomic temp + fsync + rename: a torn write can therefore
+           never leave a readable-but-truncated entry under the final
+           name — the injection test arms [cache.store] and asserts
+           exactly that. *)
+        match Fault.Io.write_atomic ~site:fs_store ~path body with
+        | Ok () -> Obs.Counter.incr stores
+        | Error _ -> fail ())
+  end

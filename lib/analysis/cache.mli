@@ -7,10 +7,14 @@
     Lookups and stores are observable through the [lint.cache.hits],
     [lint.cache.misses] and [lint.cache.stores] counters of [lib/obs].
 
-    The store is a directory of [<hex-digest>.json] files, written via
-    rename for atomicity; malformed or version-skewed entries read as
-    misses, and storage failures are silent (a cache must never turn a
-    working lint into a failing one). *)
+    The store is a directory of [<hex-digest>.json] files, written
+    atomically (temp + fsync + rename through [Fault.Io], fault site
+    [cache.store]) so a torn write can never leave a truncated entry
+    under the final name; malformed or version-skewed entries read as
+    misses.  A storage failure degrades the cache to off for the rest
+    of the run — counted in [lint.cache.write_errors] — instead of
+    failing the lint (a cache must never turn a working lint into a
+    failing one). *)
 
 val version : int
 (** Bumped whenever the entry format or diagnostic semantics change;
@@ -25,4 +29,11 @@ val lookup : dir:string -> key:string -> Diagnostic.t list option
     hit/miss counters. *)
 
 val store : dir:string -> key:string -> Diagnostic.t list -> unit
-(** Creates [dir] if needed; never raises. *)
+(** Creates [dir] if needed; never raises (an injected [Fault.Crash]
+    excepted — that is the fault layer simulating process death).  On
+    write failure the cache turns itself off for the rest of the run
+    and bumps [lint.cache.write_errors]. *)
+
+val reset : unit -> unit
+(** Clear the degraded (cache-off) state; for tests and long-lived
+    processes that outlive the disk condition. *)

@@ -3,6 +3,7 @@ module Path = Pathlang.Path
 module Label = Pathlang.Label
 module Graph = Sgraph.Graph
 module Mg = Sgraph.Merge_graph
+module Io = Sgraph.Io
 module Check = Sgraph.Check
 module Eval = Sgraph.Eval
 
@@ -21,6 +22,13 @@ let c_skips =
 
 let c_settled =
   Obs.Counter.make ~unit_:"dirty checks come back clean" "chase.worklist_settled"
+
+(* Crash sites for the fault-injection harness: [chase.repair] fires at
+   the head of every repair (before any mutation, so the in-memory state
+   is the last consistent one), [chase.fixpoint] fires when the chase
+   detects a fixpoint (before the result is extracted). *)
+let fs_repair = Fault.site "chase.repair"
+let fs_fixpoint = Fault.site "chase.fixpoint"
 
 type outcome = Fixpoint of Graph.t | Exhausted of Graph.t * Verdict.exhaustion
 
@@ -103,6 +111,7 @@ let step st =
           Obs.Counter.incr c_settled;
           scan (if i + 1 = n then 0 else i + 1) (remaining - 1)
       | Some (x, y) ->
+          Fault.point fs_repair;
           Obs.Counter.incr c_hits;
           let rhs = Constr.rhs c in
           let touched =
@@ -141,46 +150,297 @@ let step st =
   in
   if n = 0 then `Fixpoint else scan (st.steps mod n) n
 
-let run ?ctl ?(tracked = []) g sigma =
+(* ------------------------------------------------------------------ *)
+(* Snapshots: versioned, checksummed park/resume state                 *)
+(* ------------------------------------------------------------------ *)
+
+module Snapshot = struct
+  let fs_write = Fault.site "snapshot.write"
+  let fs_read = Fault.site "snapshot.read"
+
+  (* [engine_steps] is the repair count, which is exactly the engine
+     budget spent: each repair consumed one tick, and the tick for a
+     repair interrupted by a crash is re-paid by the resumed run — so
+     pre-charging the resumed controller with the repair count makes it
+     trip at the same absolute budget as an uninterrupted run. *)
+  type t = {
+    fingerprint : string;
+    engine_steps : int;
+    engine_peak : int;
+    repairs : int;
+    dirty : bool array;
+    tracked : int list;
+    mg : Mg.t;
+  }
+
+  let magic = "pathcons-chase-snapshot"
+  let version = 1
+
+  let engine_steps t = t.engine_steps
+  let engine_peak_nodes t = t.engine_peak
+  let repairs t = t.repairs
+  let live_nodes t = Mg.live_count t.mg
+
+  (* The fingerprint ties a snapshot to the exact problem it was parked
+     from.  Constraint ORDER matters (the worklist cursor and dirty
+     flags are indexed by position), so this is a digest of the ordered
+     constraint dump plus the conjecture (for [implies]) or the initial
+     graph (for [run]). *)
+  let fingerprint_of ~sigma tail =
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun c ->
+        Buffer.add_string buf (Constr.to_string c);
+        Buffer.add_char buf '\n')
+      sigma;
+    Buffer.add_string buf tail;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+
+  let implies_fingerprint ~sigma phi =
+    fingerprint_of ~sigma ("|phi " ^ Constr.to_string phi)
+
+  let run_fingerprint ~sigma g =
+    fingerprint_of ~sigma ("|graph " ^ Digest.to_hex (Digest.string (Io.to_string g)))
+
+  let matches_implies t ~sigma phi =
+    String.equal t.fingerprint (implies_fingerprint ~sigma phi)
+
+  let matches_run t ~sigma g = String.equal t.fingerprint (run_fingerprint ~sigma g)
+
+  let of_state ~fingerprint ~ctl ~tracked st =
+    {
+      fingerprint;
+      engine_steps = st.steps;
+      engine_peak = Engine.peak_nodes ctl;
+      repairs = st.steps;
+      dirty = Array.copy st.dirty;
+      tracked;
+      mg = st.mg;
+    }
+
+  let restore_state s sigma_list =
+    let st = make_state s.mg sigma_list in
+    if Array.length st.dirty <> Array.length s.dirty then
+      invalid_arg "Chase: snapshot constraint count does not match sigma";
+    Array.blit s.dirty 0 st.dirty 0 (Array.length s.dirty);
+    st.steps <- s.repairs;
+    st
+
+  let to_string t =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (Printf.sprintf "fingerprint %s\n" t.fingerprint);
+    Buffer.add_string buf (Printf.sprintf "engine-steps %d\n" t.engine_steps);
+    Buffer.add_string buf (Printf.sprintf "engine-peak %d\n" t.engine_peak);
+    Buffer.add_string buf (Printf.sprintf "repairs %d\n" t.repairs);
+    Buffer.add_string buf "dirty ";
+    if Array.length t.dirty = 0 then Buffer.add_char buf '-'
+    else Array.iter (fun d -> Buffer.add_char buf (if d then '1' else '0')) t.dirty;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "tracked %d%s\n" (List.length t.tracked)
+         (String.concat "" (List.map (fun n -> " " ^ string_of_int n) t.tracked)));
+    Buffer.add_string buf (Mg.serialize t.mg);
+    let payload = Buffer.contents buf in
+    Printf.sprintf "%s %d\nsum %s\n%s" magic version
+      (Digest.to_hex (Digest.string payload))
+      payload
+
+  let parse_payload payload =
+    let ( let* ) = Result.bind in
+    let err fmt = Printf.ksprintf Result.error fmt in
+    let int_field field l =
+      match String.split_on_char ' ' l with
+      | [ k; v ] when k = field -> (
+          match int_of_string_opt v with
+          | Some n when n >= 0 -> Ok n
+          | _ -> err "bad %s value %S" field v)
+      | _ -> err "expected a %S line, got %S" field l
+    in
+    match String.split_on_char '\n' payload with
+    | fp_l :: es_l :: ep_l :: rp_l :: d_l :: tr_l :: mg_lines ->
+        let* fingerprint =
+          match String.split_on_char ' ' fp_l with
+          | [ "fingerprint"; hex ] when hex <> "" -> Ok hex
+          | _ -> err "expected a fingerprint line, got %S" fp_l
+        in
+        let* engine_steps = int_field "engine-steps" es_l in
+        let* engine_peak = int_field "engine-peak" ep_l in
+        let* repairs = int_field "repairs" rp_l in
+        let* dirty =
+          match String.split_on_char ' ' d_l with
+          | [ "dirty"; "-" ] -> Ok [||]
+          | [ "dirty"; bits ] ->
+              let ok = ref true in
+              let arr =
+                Array.init (String.length bits) (fun i ->
+                    match bits.[i] with
+                    | '1' -> true
+                    | '0' -> false
+                    | _ ->
+                        ok := false;
+                        false)
+              in
+              if !ok then Ok arr else err "bad dirty bitstring %S" bits
+          | _ -> err "expected a dirty line, got %S" d_l
+        in
+        let* tracked =
+          match String.split_on_char ' ' tr_l with
+          | "tracked" :: k :: ids -> (
+              match int_of_string_opt k with
+              | Some k when k = List.length ids ->
+                  let rec go acc = function
+                    | [] -> Ok (List.rev acc)
+                    | s :: rest -> (
+                        match int_of_string_opt s with
+                        | Some n when n >= 0 -> go (n :: acc) rest
+                        | _ -> err "bad tracked node id %S" s)
+                  in
+                  go [] ids
+              | _ -> err "tracked count does not match the id list in %S" tr_l)
+          | _ -> err "expected a tracked line, got %S" tr_l
+        in
+        let* mg = Mg.deserialize (String.concat "\n" mg_lines) in
+        (match List.find_opt (fun n -> n >= Graph.node_count (Mg.graph mg)) tracked with
+        | Some n -> err "tracked node %d is out of range" n
+        | None ->
+            Ok { fingerprint; engine_steps; engine_peak; repairs; dirty; tracked; mg })
+    | _ -> Error "truncated snapshot payload"
+
+  let of_string s =
+    let err fmt = Printf.ksprintf Result.error fmt in
+    match String.index_opt s '\n' with
+    | None -> Error "not a chase snapshot (missing header)"
+    | Some i -> (
+        let header = String.sub s 0 i in
+        let rest = String.sub s (i + 1) (String.length s - i - 1) in
+        match String.split_on_char ' ' header with
+        | [ m; v ] when m = magic -> (
+            match int_of_string_opt v with
+            | Some v when v = version -> (
+                match String.index_opt rest '\n' with
+                | None -> Error "truncated snapshot (missing checksum line)"
+                | Some j -> (
+                    let sum_l = String.sub rest 0 j in
+                    let payload = String.sub rest (j + 1) (String.length rest - j - 1) in
+                    match String.split_on_char ' ' sum_l with
+                    | [ "sum"; hex ] ->
+                        if Digest.to_hex (Digest.string payload) <> hex then
+                          Error "checksum mismatch (corrupt or truncated snapshot)"
+                        else parse_payload payload
+                    | _ -> err "malformed checksum line %S" sum_l))
+            | Some v -> err "unsupported snapshot version %d (this build reads %d)" v version
+            | None -> err "malformed snapshot version %S" v)
+        | _ -> Error "not a chase snapshot (bad magic)")
+
+  let save ~path t = Fault.Io.write_atomic ~site:fs_write ~path (to_string t)
+
+  let load path =
+    match Fault.Io.read_file ~site:fs_read path with
+    | Error _ as e -> e
+    | Ok s -> of_string s
+end
+
+(* Shared run loop plumbing: park on exhaustion or injected crash, note
+   the park in the exhaustion diagnostics, convert a crash into
+   [Unknown {reason = Crashed}] rather than an escaping exception. *)
+let parked_note = "chase state parked (resumable snapshot)"
+
+let run ?ctl ?(tracked = []) ?park ?resume g sigma =
   let ctl = match ctl with Some c -> c | None -> Engine.default () in
-  let st = make_state (Mg.of_graph (Graph.copy g)) sigma in
+  let fingerprint = Snapshot.run_fingerprint ~sigma g in
+  let st, tracked =
+    match resume with
+    | Some (s : Snapshot.t) ->
+        if s.Snapshot.fingerprint <> fingerprint then
+          invalid_arg "Chase.run: snapshot does not match this graph and sigma";
+        (Snapshot.restore_state s sigma, s.Snapshot.tracked)
+    | None -> (make_state (Mg.of_graph (Graph.copy g)) sigma, tracked)
+  in
+  let park_now () =
+    match park with
+    | None -> ()
+    | Some f ->
+        Engine.note ctl parked_note;
+        f (Snapshot.of_state ~fingerprint ~ctl ~tracked st)
+  in
   let finish outcome =
     let h, rename = Mg.compact st.mg in
     (outcome h, List.map rename tracked)
   in
   let rec go () =
-    if not (Engine.tick ctl ~nodes:(Mg.live_count st.mg) ()) then
+    if not (Engine.tick ctl ~nodes:(Mg.live_count st.mg) ()) then begin
+      park_now ();
       finish (fun h -> Exhausted (h, Engine.exhaustion ctl))
+    end
     else
       match step st with
-      | `Fixpoint -> finish (fun h -> Fixpoint h)
+      | `Fixpoint ->
+          Fault.point fs_fixpoint;
+          finish (fun h -> Fixpoint h)
       | `Repaired -> go ()
   in
   Obs.Span.with_ "chase.run"
     ~args:[ ("sigma", string_of_int (List.length sigma)) ]
-    (fun () -> go ())
+    (fun () ->
+      match go () with
+      | r -> r
+      | exception Fault.Crash site ->
+          Engine.note ctl (Printf.sprintf "injected crash at fault site %s" site);
+          park_now ();
+          finish (fun h ->
+              Exhausted
+                (h, { (Engine.exhaustion ctl) with Verdict.reason = Verdict.Crashed })))
 
-let implies ?ctl ~sigma phi =
+let implies ?ctl ?park ?resume ~sigma phi =
   let ctl = match ctl with Some c -> c | None -> Engine.default () in
-  (* Canonical database of phi's premise. *)
-  let g = Graph.create () in
-  let x = Graph.ensure_path g (Graph.root g) (Constr.prefix phi) in
-  let y = Graph.ensure_path g x (Constr.lhs phi) in
-  let st = make_state (Mg.of_graph g) sigma in
+  let fingerprint = Snapshot.implies_fingerprint ~sigma phi in
+  let st, x, y =
+    match resume with
+    | Some (s : Snapshot.t) -> (
+        if s.Snapshot.fingerprint <> fingerprint then
+          invalid_arg "Chase.implies: snapshot does not match sigma and phi";
+        match s.Snapshot.tracked with
+        | [ x; y ] -> (Snapshot.restore_state s sigma, x, y)
+        | _ -> invalid_arg "Chase.implies: snapshot was not parked by implies")
+    | None ->
+        (* Canonical database of phi's premise. *)
+        let g = Graph.create () in
+        let x = Graph.ensure_path g (Graph.root g) (Constr.prefix phi) in
+        let y = Graph.ensure_path g x (Constr.lhs phi) in
+        (make_state (Mg.of_graph g) sigma, x, y)
+  in
+  let park_now () =
+    match park with
+    | None -> ()
+    | Some f ->
+        Engine.note ctl parked_note;
+        f (Snapshot.of_state ~fingerprint ~ctl ~tracked:[ x; y ] st)
+  in
   let rec go () =
     if
       conclusion_holds (Mg.graph st.mg) phi (Mg.find st.mg x) (Mg.find st.mg y)
     then Verdict.Implied
-    else if not (Engine.tick ctl ~nodes:(Mg.live_count st.mg) ()) then
+    else if not (Engine.tick ctl ~nodes:(Mg.live_count st.mg) ()) then begin
+      park_now ();
       Verdict.Unknown (Engine.exhaustion ctl)
+    end
     else
       match step st with
-      | `Fixpoint -> Verdict.Refuted (fst (Mg.compact st.mg))
+      | `Fixpoint ->
+          Fault.point fs_fixpoint;
+          Verdict.Refuted (fst (Mg.compact st.mg))
       | `Repaired -> go ()
   in
   Obs.Span.with_ "chase.implies"
     ~args:[ ("sigma", string_of_int (List.length sigma)) ]
-    (fun () -> go ())
+    (fun () ->
+      match go () with
+      | v -> v
+      | exception Fault.Crash site ->
+          Engine.note ctl (Printf.sprintf "injected crash at fault site %s" site);
+          park_now ();
+          Verdict.Unknown
+            { (Engine.exhaustion ctl) with Verdict.reason = Verdict.Crashed })
 
 (* ------------------------------------------------------------------ *)
 (* Reference engine                                                    *)

@@ -37,20 +37,78 @@ type outcome =
       (** the engine tripped; the partial chase result is returned
           together with the diagnostics *)
 
+(** Parked chase state: everything a later process needs to continue a
+    chase exactly where this one stopped — the {!Sgraph.Merge_graph}
+    (union-find parents, adjacency, dead nodes included so fresh-node
+    allocation replays identically), the dirty-constraint worklist and
+    its cursor, the tracked nodes, and the engine budget spent so far.
+    A fingerprint of the originating problem (ordered sigma plus the
+    conjecture or initial graph) guards against resuming under the
+    wrong constraints.
+
+    The on-disk form is versioned and checksummed; {!of_string} and
+    {!load} report truncation, corruption, or a version mismatch as
+    [Error] — callers degrade to a cold start, they never crash. *)
+module Snapshot : sig
+  type t
+
+  val engine_steps : t -> int
+  (** Engine budget already spent; pass to [Engine.start ~spent_steps]
+      so the resumed run trips at the same absolute budget. *)
+
+  val engine_peak_nodes : t -> int
+  val repairs : t -> int
+  val live_nodes : t -> int
+
+  val matches_implies : t -> sigma:Pathlang.Constr.t list -> Pathlang.Constr.t -> bool
+  (** Does this snapshot belong to [implies ~sigma phi]? *)
+
+  val matches_run : t -> sigma:Pathlang.Constr.t list -> Sgraph.Graph.t -> bool
+
+  val to_string : t -> string
+  val of_string : string -> (t, string) result
+
+  val save : path:string -> t -> (unit, string) result
+  (** Atomic (temp + fsync + rename) with bounded retry on transient
+      I/O failure; the fault site is [snapshot.write]. *)
+
+  val load : string -> (t, string) result
+  (** Fault site [snapshot.read]. *)
+end
+
 val run :
   ?ctl:Engine.t ->
   ?tracked:Sgraph.Graph.node list ->
+  ?park:(Snapshot.t -> unit) ->
+  ?resume:Snapshot.t ->
   Sgraph.Graph.t ->
   Pathlang.Constr.t list ->
   outcome * Sgraph.Graph.node list
 (** Chases a copy of the graph.  [tracked] nodes are followed through
-    merges and returned re-addressed. *)
+    merges and returned re-addressed.
+
+    [park] is called with a resumable snapshot whenever the run stops
+    without reaching a fixpoint — budget exhaustion, cancellation, or
+    an injected [Fault.Crash] (which is absorbed into
+    [Exhausted {reason = Crashed}] rather than escaping); the park is
+    recorded in the exhaustion notes.  [resume] continues from a parked
+    snapshot instead of a cold start: [tracked] is then taken from the
+    snapshot, and the resumed repair sequence is identical to the one
+    an uninterrupted run would have performed.
+    @raise Invalid_argument if the snapshot's fingerprint does not
+    match [g]/[sigma] — check [Snapshot.matches_run] first. *)
 
 val implies :
   ?ctl:Engine.t ->
+  ?park:(Snapshot.t -> unit) ->
+  ?resume:Snapshot.t ->
   sigma:Pathlang.Constr.t list ->
   Pathlang.Constr.t ->
   Verdict.t
+(** [park]/[resume] as in {!run}; the two tracked premise nodes travel
+    inside the snapshot.
+    @raise Invalid_argument on a fingerprint mismatch — check
+    [Snapshot.matches_implies] first. *)
 
 val merge : Sgraph.Graph.t -> Sgraph.Graph.node -> Sgraph.Graph.node
   -> Sgraph.Graph.t * (Sgraph.Graph.node -> Sgraph.Graph.node)

@@ -17,20 +17,47 @@ let reason_str = function
   | Verdict.Nodes -> "nodes"
   | Verdict.Deadline -> "deadline"
   | Verdict.Cancelled -> "cancelled"
+  | Verdict.Crashed -> "crashed"
 
 module Cancel = struct
-  type t = { mutable cancelled : bool }
+  type cause = Request | Sigint | Sigterm
 
-  let create () = { cancelled = false }
-  let cancel t = t.cancelled <- true
-  let is_cancelled t = t.cancelled
+  type t = { mutable cancelled : cause option }
+
+  let create () = { cancelled = None }
+
+  (* First cause wins: a SIGTERM arriving after a SIGINT must not
+     change the exit code the operator already earned. *)
+  let cancel ?(cause = Request) t =
+    if t.cancelled = None then t.cancelled <- Some cause
+
+  let is_cancelled t = t.cancelled <> None
+  let cause t = t.cancelled
 
   let with_sigint t f =
-    match Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> cancel t)) with
-    | prev -> Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigint prev) f
-    | exception (Invalid_argument _ | Sys_error _) ->
-        (* no signal support on this platform: run ungoverned *)
-        f ()
+    (* SIGTERM is handled identically to SIGINT: service supervisors
+       terminate with SIGTERM, and a governed solver should park its
+       state and exit 143 rather than die mid-repair. *)
+    let install signal cause =
+      match Sys.signal signal (Sys.Signal_handle (fun _ -> cancel ~cause t)) with
+      | prev -> Some prev
+      | exception (Invalid_argument _ | Sys_error _) ->
+          (* no signal support on this platform: run ungoverned *)
+          None
+    in
+    let restore signal = function
+      | None -> ()
+      | Some prev -> (
+          try Sys.set_signal signal prev
+          with Invalid_argument _ | Sys_error _ -> ())
+    in
+    let prev_int = install Sys.sigint Sigint in
+    let prev_term = install Sys.sigterm Sigterm in
+    Fun.protect
+      ~finally:(fun () ->
+        restore Sys.sigint prev_int;
+        restore Sys.sigterm prev_term)
+      f
 end
 
 module Budget = struct
@@ -70,7 +97,11 @@ type t = {
 let deadline_of ~started timeout =
   Option.map (fun s -> Int64.add started (Int64.of_float (s *. 1e9))) timeout
 
-let start (b : Budget.t) =
+(* [spent_steps]/[spent_peak_nodes] pre-charge the controller with work
+   a previous (crashed or parked) run already did, so a resumed run
+   trips at the same absolute budget an uninterrupted run would — the
+   invariant the differential resume harness checks. *)
+let start ?(spent_steps = 0) ?(spent_peak_nodes = 0) (b : Budget.t) =
   let started = now_ns () in
   {
     max_steps = b.max_steps;
@@ -78,8 +109,8 @@ let start (b : Budget.t) =
     deadline = deadline_of ~started b.timeout;
     cancel = b.cancel;
     started;
-    steps = 0;
-    peak_nodes = 0;
+    steps = spent_steps;
+    peak_nodes = spent_peak_nodes;
     rounds = 1;
     tripped = None;
     rev_notes = [];
@@ -87,21 +118,21 @@ let start (b : Budget.t) =
 
 let default () = start Budget.default
 
-(* Trips never downgrade: Cancelled > Deadline > Steps/Nodes (first wins
-   within the last tier). *)
+(* Trips never downgrade: Cancelled/Crashed > Deadline > Steps/Nodes
+   (first wins within a tier). *)
+let rank = function
+  | Verdict.Cancelled | Verdict.Crashed -> 3
+  | Verdict.Deadline -> 2
+  | Verdict.Steps | Verdict.Nodes -> 1
+
 let trip t r =
-  match (t.tripped, r) with
-  | None, _ ->
+  match t.tripped with
+  | None ->
       Obs.Counter.incr c_trips;
       Obs.Span.event "engine.trip"
         ~args:[ ("reason", reason_str r); ("steps", string_of_int t.steps) ];
       t.tripped <- Some r
-  | Some Verdict.Cancelled, _ -> ()
-  | Some _, Verdict.Cancelled -> t.tripped <- Some r
-  | Some Verdict.Deadline, _ -> ()
-  | Some (Verdict.Steps | Verdict.Nodes), Verdict.Deadline ->
-      t.tripped <- Some r
-  | Some (Verdict.Steps | Verdict.Nodes), (Verdict.Steps | Verdict.Nodes) -> ()
+  | Some cur -> if rank r > rank cur then t.tripped <- Some r
 
 (* Deadline and cancellation are live conditions: they apply to every
    phase of a run, even after a step/node budget tripped. *)
@@ -113,7 +144,7 @@ let ok t =
   | Some d when now_ns () >= d -> trip t Verdict.Deadline
   | _ -> ());
   match t.tripped with
-  | Some (Verdict.Cancelled | Verdict.Deadline) -> false
+  | Some (Verdict.Cancelled | Verdict.Deadline | Verdict.Crashed) -> false
   | Some (Verdict.Steps | Verdict.Nodes) | None -> true
 
 let interrupted t () = not (ok t)
@@ -239,7 +270,7 @@ let escalate ?(base_steps = 64) ?(base_nodes = 64) ?(factor = 4)
       | (Verdict.Implied | Verdict.Refuted _) as v -> v
       | Verdict.Unknown ex -> (
           match ex.Verdict.reason with
-          | Verdict.Deadline | Verdict.Cancelled ->
+          | Verdict.Deadline | Verdict.Cancelled | Verdict.Crashed ->
               give_up ex.Verdict.reason round
           | Verdict.Steps | Verdict.Nodes ->
               go (round + 1) (grow step_cap) (grow node_cap))

@@ -22,15 +22,28 @@ val now_ns : unit -> int64
 module Cancel : sig
   type t
 
+  type cause = Request | Sigint | Sigterm
+  (** What requested the cancellation.  [pathctl] maps this to the
+      conventional exit codes (130 for SIGINT, 143 for SIGTERM). *)
+
   val create : unit -> t
-  val cancel : t -> unit
+
+  val cancel : ?cause:cause -> t -> unit
+  (** Defaults to [Request].  The first cause wins; later calls are
+      ignored. *)
+
   val is_cancelled : t -> bool
 
+  val cause : t -> cause option
+  (** [None] until cancelled. *)
+
   val with_sigint : t -> (unit -> 'a) -> 'a
-  (** Runs the thunk with a SIGINT handler that cancels [t] (restoring
-      the previous handler afterwards), so Ctrl-C makes a governed
+  (** Runs the thunk with SIGINT and SIGTERM handlers that cancel [t]
+      with the matching cause (restoring the previous handlers
+      afterwards), so Ctrl-C or a supervisor's TERM makes a governed
       solver return [Unknown {reason = Cancelled}] with partial
-      diagnostics instead of killing the process. *)
+      diagnostics — and park its snapshot, if asked — instead of
+      killing the process. *)
 end
 
 (** Declarative resource limits.  [None] means unlimited. *)
@@ -66,8 +79,13 @@ type t
 (** A live, single-use controller: counters plus the resolved absolute
     deadline. *)
 
-val start : Budget.t -> t
-(** Resolves the budget's relative timeout against {!now_ns}. *)
+val start : ?spent_steps:int -> ?spent_peak_nodes:int -> Budget.t -> t
+(** Resolves the budget's relative timeout against {!now_ns}.
+    [spent_steps]/[spent_peak_nodes] (default 0) pre-charge the
+    controller with work a previous parked run already performed, so a
+    resumed chase trips at the same absolute budget as an uninterrupted
+    one.  The deadline, by contrast, restarts: wall-clock spent before
+    a crash is not owed after it. *)
 
 val default : unit -> t
 (** [start Budget.default]. *)

@@ -9,11 +9,16 @@ module Log = (val Logs.src_log src : Logs.LOG)
 let c_enum_fallbacks =
   Obs.Counter.make ~unit_:"calls" "semidecide.enum_fallbacks"
 
-let implies ?ctl ?(enum_nodes = 3) ~sigma phi =
+let implies ?ctl ?(enum_nodes = 3) ?park ?resume ~sigma phi =
   let ctl = match ctl with Some c -> c | None -> Engine.default () in
   Obs.Span.with_ "semidecide.implies" (fun () ->
-  match Chase.implies ~ctl ~sigma phi with
+  match Chase.implies ~ctl ?park ?resume ~sigma phi with
   | (Verdict.Implied | Verdict.Refuted _) as v -> v
+  | Verdict.Unknown ({ Verdict.reason = Verdict.Crashed; _ } as e) ->
+      (* A crash parked the chase state; enumeration would start a
+         fresh search the interrupted operator did not ask for — the
+         verdict must say "resume me", not burn more budget. *)
+      Verdict.Unknown e
   | Verdict.Unknown _ ->
       if enum_nodes <= 0 || not (Engine.ok ctl) then
         Verdict.Unknown (Engine.exhaustion ctl)

@@ -24,13 +24,20 @@
 val implies :
   ?ctl:Engine.t ->
   ?enum_nodes:int ->
+  ?park:(Chase.Snapshot.t -> unit) ->
+  ?resume:Chase.Snapshot.t ->
   sigma:Pathlang.Constr.t list ->
   Pathlang.Constr.t ->
   Verdict.t
 (** [ctl] defaults to a fresh [Engine.default ()].  [enum_nodes] caps
     the exhaustive search (default 3; clamped to 2 when more than 2
     labels are in play — reported via diagnostics).  Set it to 0 to
-    disable enumeration. *)
+    disable enumeration.
+
+    [park]/[resume] are forwarded to {!Chase.implies}.  A chase that
+    ends in [Unknown {reason = Crashed}] (an injected crash that parked
+    a snapshot) skips the enumeration fallback: the right follow-up is
+    resuming the parked chase, not a fresh bounded search. *)
 
 val implies_escalating :
   ?base_steps:int ->

@@ -1,4 +1,4 @@
-type reason = Steps | Nodes | Deadline | Cancelled
+type reason = Steps | Nodes | Deadline | Cancelled | Crashed
 
 type exhaustion = {
   reason : reason;
@@ -27,6 +27,7 @@ let pp_reason ppf = function
   | Nodes -> Format.pp_print_string ppf "node budget exhausted"
   | Deadline -> Format.pp_print_string ppf "deadline reached"
   | Cancelled -> Format.pp_print_string ppf "cancelled"
+  | Crashed -> Format.pp_print_string ppf "crashed (state parked, resumable)"
 
 let pp_exhaustion ppf e =
   Format.fprintf ppf "%a after %d steps, %d nodes, %.3f s, %d round%s"

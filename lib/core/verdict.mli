@@ -10,7 +10,10 @@ type reason =
   | Steps  (** the step budget of the governing {!Engine} ran out *)
   | Nodes  (** the constructed model outgrew the node budget *)
   | Deadline  (** the wall-clock deadline passed *)
-  | Cancelled  (** cooperative cancellation (e.g. SIGINT) was requested *)
+  | Cancelled  (** cooperative cancellation (e.g. SIGINT/SIGTERM) was requested *)
+  | Crashed
+      (** the run was cut short by a (possibly injected) crash after
+          parking a resumable snapshot; see [Chase.Snapshot] *)
 
 type exhaustion = {
   reason : reason;  (** why the search gave up *)

@@ -1,0 +1,245 @@
+exception Crash of string
+exception Io_error of string
+
+type kind = Crash_fault | Io_fault | Truncate_fault
+
+type clause = { site : string; hit : int option; kind : kind }
+
+type spec = { clauses : clause list; seed : int }
+
+(* ------------------------------------------------------------------ *)
+(* Spec grammar                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let kind_to_string = function
+  | Crash_fault -> "crash"
+  | Io_fault -> "io"
+  | Truncate_fault -> "truncate"
+
+let kind_of_string = function
+  | "crash" -> Ok Crash_fault
+  | "io" -> Ok Io_fault
+  | "truncate" -> Ok Truncate_fault
+  | s -> Error (Printf.sprintf "unknown fault kind %S (want crash|io|truncate)" s)
+
+let clause_to_string c =
+  let hit = match c.hit with None -> "*" | Some n -> string_of_int n in
+  Printf.sprintf "%s:%s:%s" c.site hit (kind_to_string c.kind)
+
+let spec_to_string s =
+  let parts = List.map clause_to_string s.clauses in
+  let parts = if s.seed = 0 then parts else parts @ [ "seed=" ^ string_of_int s.seed ] in
+  String.concat "," parts
+
+let parse_clause str =
+  match String.split_on_char ':' (String.trim str) with
+  | [ site; hit ] | [ site; hit; "" ] -> (
+      if site = "" then Error "empty site name"
+      else
+        match hit with
+        | "*" -> Ok { site; hit = None; kind = Crash_fault }
+        | h -> (
+            match int_of_string_opt h with
+            | Some n when n >= 1 -> Ok { site; hit = Some n; kind = Crash_fault }
+            | _ -> Error (Printf.sprintf "bad hit ordinal %S (want a positive integer or *)" h)))
+  | [ site; hit; kind ] -> (
+      if site = "" then Error "empty site name"
+      else
+        match kind_of_string kind with
+        | Error _ as e -> e
+        | Ok kind -> (
+            match hit with
+            | "*" -> Ok { site; hit = None; kind }
+            | h -> (
+                match int_of_string_opt h with
+                | Some n when n >= 1 -> Ok { site; hit = Some n; kind }
+                | _ ->
+                    Error
+                      (Printf.sprintf "bad hit ordinal %S (want a positive integer or *)" h))))
+  | _ -> Error (Printf.sprintf "bad clause %S (want SITE:HIT[:KIND] or seed=N)" str)
+
+let spec_of_string str =
+  let parts =
+    List.filter (fun s -> s <> "") (List.map String.trim (String.split_on_char ',' str))
+  in
+  if parts = [] then Error "empty fault spec"
+  else
+    let rec go clauses seed = function
+      | [] -> Ok { clauses = List.rev clauses; seed }
+      | p :: rest -> (
+          match String.index_opt p '=' with
+          | Some i when String.sub p 0 i = "seed" -> (
+              let v = String.sub p (i + 1) (String.length p - i - 1) in
+              match int_of_string_opt v with
+              | Some s -> go clauses s rest
+              | None -> Error (Printf.sprintf "bad seed %S (want an integer)" v))
+          | Some _ -> Error (Printf.sprintf "bad clause %S (want SITE:HIT[:KIND] or seed=N)" p)
+          | None -> (
+              match parse_clause p with
+              | Ok c -> go (c :: clauses) seed rest
+              | Error _ as e -> e))
+    in
+    go [] 0 parts
+
+(* ------------------------------------------------------------------ *)
+(* Sites and the armed schedule                                        *)
+(* ------------------------------------------------------------------ *)
+
+type site = {
+  name_ : string;
+  mutable count : int;       (* hits since the last arm *)
+  mutable raised_ : int;     (* faults injected since the last arm *)
+  c_hits : Obs.Counter.t;
+  c_injected : Obs.Counter.t;
+}
+
+let registry : (string, site) Hashtbl.t = Hashtbl.create 16
+
+let site name_ =
+  match Hashtbl.find_opt registry name_ with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          name_;
+          count = 0;
+          raised_ = 0;
+          c_hits = Obs.Counter.make ~unit_:"hits" ("fault.hits." ^ name_);
+          c_injected = Obs.Counter.make ~unit_:"faults" ("fault.injected." ^ name_);
+        }
+      in
+      Hashtbl.add registry name_ s;
+      s
+
+let name s = s.name_
+let hits s = s.count
+let injected s = s.raised_
+
+let sites () =
+  List.sort compare (Hashtbl.fold (fun n _ acc -> n :: acc) registry [])
+
+let armed_spec : spec option ref = ref None
+
+let arm spec =
+  Hashtbl.iter
+    (fun _ s ->
+      s.count <- 0;
+      s.raised_ <- 0)
+    registry;
+  armed_spec := Some spec
+
+let disarm () = armed_spec := None
+let armed () = !armed_spec
+
+(* Record a hit of [s] and return the clause (if any) scheduled to fire
+   at this ordinal with a kind in [kinds].  Returns [None] when the
+   layer is disarmed — the common case, one flag test. *)
+let fire s kinds =
+  match !armed_spec with
+  | None -> None
+  | Some spec ->
+      s.count <- s.count + 1;
+      Obs.Counter.incr s.c_hits;
+      let n = s.count in
+      List.find_opt
+        (fun c ->
+          c.site = s.name_
+          && (match c.hit with None -> true | Some h -> h = n)
+          && List.mem c.kind kinds)
+        spec.clauses
+
+let inject s exn =
+  s.raised_ <- s.raised_ + 1;
+  Obs.Counter.incr s.c_injected;
+  raise exn
+
+let point s =
+  match fire s [ Crash_fault ] with
+  | None -> ()
+  | Some _ -> inject s (Crash s.name_)
+
+let io_point s =
+  match fire s [ Crash_fault; Io_fault ] with
+  | None -> ()
+  | Some { kind = Io_fault; _ } -> inject s (Io_error s.name_)
+  | Some _ -> inject s (Crash s.name_)
+
+let mangle s data =
+  match fire s [ Truncate_fault ] with
+  | None -> data
+  | Some _ ->
+      s.raised_ <- s.raised_ + 1;
+      Obs.Counter.incr s.c_injected;
+      let seed = match !armed_spec with Some sp -> sp.seed | None -> 0 in
+      let len = String.length data in
+      if len = 0 then data
+      else
+        (* Deterministic strict-prefix length from (seed, site, ordinal). *)
+        let h = Hashtbl.hash (seed, s.name_, s.count) in
+        String.sub data 0 (h mod len)
+
+(* ------------------------------------------------------------------ *)
+(* Fault-aware file I/O                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Io = struct
+  let read_file ~site:s path =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | data -> (
+        match io_point s with
+        | () -> Ok (mangle s data)
+        | exception Io_error site -> Error (Printf.sprintf "injected I/O failure at %s" site))
+    | exception Sys_error msg -> Error msg
+
+  let write_atomic ?(retries = 3) ?(backoff = 0.002) ~site:s ~path data =
+    let tmp = path ^ ".tmp" in
+    let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+    let attempt_once () =
+      let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* First window: ENOSPC before any byte lands. *)
+          io_point s;
+          let n = String.length data in
+          let rec w off =
+            if off < n then w (off + Unix.write_substring fd data off (n - off))
+          in
+          w 0;
+          (* Second window: short write / crash before durability. *)
+          io_point s;
+          Unix.fsync fd);
+      Unix.rename tmp path
+    in
+    (* An injected [Crash] is deliberately not caught: rename was not
+       reached, so the target still holds its previous content — the
+       atomicity property the snapshot tests rely on. *)
+    let rec attempt k =
+      match attempt_once () with
+      | () -> Ok ()
+      | exception Io_error site ->
+          cleanup ();
+          if k < retries then begin
+            Unix.sleepf (backoff *. float_of_int (1 lsl k));
+            attempt (k + 1)
+          end
+          else
+            Error
+              (Printf.sprintf "injected I/O failure at %s after %d attempts" site (k + 1))
+      | exception Unix.Unix_error (e, _, _) ->
+          cleanup ();
+          if k < retries then begin
+            Unix.sleepf (backoff *. float_of_int (1 lsl k));
+            attempt (k + 1)
+          end
+          else Error (Printf.sprintf "%s: %s" (Unix.error_message e) path)
+      | exception Sys_error msg ->
+          cleanup ();
+          if k < retries then begin
+            Unix.sleepf (backoff *. float_of_int (1 lsl k));
+            attempt (k + 1)
+          end
+          else Error msg
+    in
+    attempt 0
+end

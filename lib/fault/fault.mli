@@ -1,0 +1,118 @@
+(** Deterministic, scheduled fault injection.
+
+    Robustness claims — "a crash between any two repairs is resumable",
+    "a torn cache write is never read back" — are only testable if the
+    crash can be placed, repeatably, at an exact point in the execution.
+    This module provides that placement: code under test declares named
+    {e sites} ([Fault.site "chase.repair"]) and calls {!point} /
+    {!io_point} at the instrumented spot.  When the layer is disarmed
+    (the default) a point is a single mutable-field test — safe to leave
+    in production paths.  When armed with a {e spec}, the Nth hit of a
+    named site raises an injected {!Crash} or {!Io_error}, and every hit
+    is counted through [Obs] counters ([fault.hits.<site>],
+    [fault.injected.<site>]) and the per-site {!hits} accessor.
+
+    Spec grammar (also accepted from the [PATHCTL_FAULT] environment
+    variable and [pathctl --fault-spec]):
+
+    {v
+      SPEC   ::= CLAUSE (',' CLAUSE)*
+      CLAUSE ::= SITE ':' HIT (':' KIND)?   fire KIND at the HITth hit of SITE
+               | 'seed' '=' INT             seed for truncation lengths
+      HIT    ::= INT                        1-based ordinal
+               | '*'                        every hit
+      KIND   ::= 'crash'                    raise Crash (default)
+               | 'io'                       raise Io_error (io_point sites only)
+               | 'truncate'                 seeded truncation via mangle
+    v}
+
+    The schedule is deterministic: same spec + same execution = same
+    faults, which is what makes the differential crash/resume harness
+    reproducible. *)
+
+exception Crash of string
+(** Injected hard crash; the payload is the site name.  Simulates the
+    process dying at that point — handlers should treat the current
+    in-memory state as the last consistent state. *)
+
+exception Io_error of string
+(** Injected transient I/O failure (ENOSPC, short write, torn read);
+    the payload is the site name.  Recoverable by retry or degradation. *)
+
+type kind = Crash_fault | Io_fault | Truncate_fault
+
+type clause = { site : string; hit : int option; kind : kind }
+(** [hit = None] means every hit ([*] in the grammar). *)
+
+type spec = { clauses : clause list; seed : int }
+
+val spec_of_string : string -> (spec, string) result
+val spec_to_string : spec -> string
+
+val arm : spec -> unit
+(** Arm the layer and zero all per-site hit counts.  An empty clause
+    list arms pure counting mode (hits recorded, nothing raised). *)
+
+val disarm : unit -> unit
+val armed : unit -> spec option
+
+(** {1 Sites} *)
+
+type site
+
+val site : string -> site
+(** Register (or look up) a site by name; same name, same site. *)
+
+val name : site -> string
+
+val sites : unit -> string list
+(** All registered site names, sorted. *)
+
+val hits : site -> int
+(** Hits since the last {!arm} (counting happens only while armed). *)
+
+val injected : site -> int
+(** Faults actually raised at this site since the last {!arm}. *)
+
+val point : site -> unit
+(** A pure control-flow crash site.  Raises {!Crash} when an armed
+    clause matches this hit; [io]/[truncate] clauses are ignored here. *)
+
+val io_point : site -> unit
+(** An I/O boundary.  Raises {!Io_error} for a matching [io] clause and
+    {!Crash} for a matching [crash] clause. *)
+
+val mangle : site -> string -> string
+(** Apply a matching [truncate] clause: returns a strict, seeded-length
+    prefix of the input (deterministic in the spec seed, site name and
+    hit ordinal).  Identity when disarmed or no clause matches.  Counts
+    as a hit of the site. *)
+
+(** {1 Fault-aware file I/O}
+
+    The read/write primitives every durable artifact in the repository
+    (snapshots, cache entries, CLI inputs) is expected to go through, so
+    that torn writes and truncated reads can be injected uniformly. *)
+
+module Io : sig
+  val read_file : site:site -> string -> (string, string) result
+  (** Read a whole file.  A matching [io] clause becomes [Error]; a
+      [truncate] clause returns a mangled (truncated) content — the
+      caller's parser must turn that into a proper error.  A [crash]
+      clause propagates {!Crash}. *)
+
+  val write_atomic :
+    ?retries:int ->
+    ?backoff:float ->
+    site:site ->
+    path:string ->
+    string ->
+    (unit, string) result
+  (** Crash-safe whole-file write: temp file in the target directory,
+      full write, [fsync], atomic [rename].  Readers therefore see
+      either the old content or the new content, never a prefix.
+      Injected or real transient I/O errors are retried up to [retries]
+      times (default 3) with exponential backoff starting at [backoff]
+      seconds (default 2ms); the temp file is removed on failure.
+      A [crash] clause propagates {!Crash} (the target is untouched). *)
+end

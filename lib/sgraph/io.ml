@@ -3,6 +3,10 @@
    cap the ids at something a text file could plausibly mean. *)
 let max_node_id = 1_000_000
 
+(* Truncated or mangled input (e.g. injected by [Fault.mangle]) must
+   surface as [Error] with a line position, never as an escaping
+   [End_of_file]/[Invalid_argument]; the final catch-all below is the
+   hardening backstop for whatever a cut-off byte stream produces. *)
 let of_string s =
   let lines = String.split_on_char '\n' s in
   let rec parse n acc = function
@@ -30,6 +34,13 @@ let of_string s =
       match Graph.of_edges edges with
       | g -> Ok g
       | exception Invalid_argument m -> Error m)
+  | exception (Invalid_argument m | Failure m) ->
+      Error (Printf.sprintf "line 1-%d: truncated or malformed graph file (%s)"
+               (List.length lines) m)
+  | exception End_of_file ->
+      Error
+        (Printf.sprintf "line %d: unexpected end of input (truncated graph file)"
+           (List.length lines))
 
 let to_string g =
   let buf = Buffer.create 256 in

@@ -109,6 +109,103 @@ let union t a b =
     Some (target, victim)
   end
 
+(* ------------------------------------------------------------------ *)
+(* Serialization: the union-find forest and the physical graph, as a   *)
+(* line-oriented text section.  [serialize]/[deserialize] round-trip   *)
+(* the exact physical state — parent pointers included — because the   *)
+(* chase's repair selection depends on physical node ids: a resumed    *)
+(* run must allocate the same fresh ids an uninterrupted run would.    *)
+(* ------------------------------------------------------------------ *)
+
+let serialize t =
+  let buf = Buffer.create 1024 in
+  let n = Graph.node_count t.g in
+  Buffer.add_string buf (Printf.sprintf "nodes %d\n" n);
+  Buffer.add_string buf (Printf.sprintf "live %d\n" t.live);
+  Buffer.add_string buf "parent";
+  for i = 0 to n - 1 do
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (string_of_int t.parent.(i))
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "edges %d\n" (Graph.edge_count t.g));
+  Graph.iter_edges t.g (fun x k y ->
+      Buffer.add_string buf (Printf.sprintf "%d %s %d\n" x (Label.to_string k) y));
+  Buffer.contents buf
+
+let deserialize s =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf Result.error fmt in
+  let lines = List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s) in
+  let int_field field l =
+    match String.split_on_char ' ' l with
+    | [ k; v ] when k = field -> (
+        match int_of_string_opt v with
+        | Some n when n >= 0 -> Ok n
+        | _ -> err "bad %s count %S" field v)
+    | _ -> err "expected a %S line, got %S" field l
+  in
+  match lines with
+  | nodes_l :: live_l :: parent_l :: edges_l :: edge_lines ->
+      let* n = int_field "nodes" nodes_l in
+      if n < 1 then err "node count must be at least 1 (the root)"
+      else
+        let* live = int_field "live" live_l in
+        let* parent =
+          match String.split_on_char ' ' parent_l with
+          | "parent" :: ps when List.length ps = n ->
+              let arr = Array.make n 0 in
+              let rec fill i = function
+                | [] -> Ok arr
+                | p :: rest -> (
+                    match int_of_string_opt p with
+                    | Some v when v >= 0 && v <= i ->
+                        arr.(i) <- v;
+                        fill (i + 1) rest
+                    | Some v ->
+                        (* parent.(i) <= i is the min-id absorption
+                           invariant; it also guarantees acyclicity. *)
+                        err "parent.(%d) = %d violates the min-id invariant" i v
+                    | None -> err "bad parent entry %S" p)
+              in
+              fill 0 ps
+          | "parent" :: ps ->
+              err "parent array has %d entries, want %d (truncated?)" (List.length ps) n
+          | _ -> err "expected a parent line, got %S" parent_l
+        in
+        let roots = ref 0 in
+        Array.iteri (fun i p -> if i = p then incr roots) parent;
+        if !roots <> live then
+          err "live count %d does not match the %d union-find roots" live !roots
+        else
+          let* m = int_field "edges" edges_l in
+          let listed = List.length edge_lines in
+          if listed <> m then err "edge section has %d lines, want %d (truncated?)" listed m
+          else begin
+            let g = Graph.create () in
+            for _ = 2 to n do
+              ignore (Graph.add_node g)
+            done;
+            let rec add i = function
+              | [] -> Ok { g; parent; live }
+              | l :: rest -> (
+                  match String.split_on_char ' ' l with
+                  | [ xs; ks; ys ] when ks <> "" -> (
+                      match (int_of_string_opt xs, int_of_string_opt ys) with
+                      | Some x, Some y when x >= 0 && x < n && y >= 0 && y < n ->
+                          if parent.(x) <> x || parent.(y) <> y then
+                            err "edge %d: endpoint is not a class representative in %S" i l
+                          else begin
+                            Graph.add_edge g x (Label.make ks) y;
+                            add (i + 1) rest
+                          end
+                      | _ -> err "edge %d: node id out of range in %S" i l)
+                  | _ -> err "edge %d: expected \"src label dst\", got %S" i l)
+            in
+            add 1 edge_lines
+          end
+  | _ -> err "truncated merge-graph section (%d lines)" (List.length lines)
+
 let compact t =
   let size = Graph.node_count t.g in
   let dense = Array.make size (-1) in

@@ -52,6 +52,22 @@ val incident_labels : t -> Graph.node -> Pathlang.Label.Set.t
 (** Labels on edges touching the node's class (in and out).  Used by
     the chase to seed its dirty-constraint worklist before a merge. *)
 
+val serialize : t -> string
+(** The full physical state — node count (dead nodes included), live
+    class count, union-find parent array, and every edge — as a
+    line-oriented text section.  Physical ids are preserved exactly:
+    the chase allocates fresh ids by node count, so a resumed run only
+    replays the uninterrupted run's repair sequence if ids round-trip
+    verbatim. *)
+
+val deserialize : string -> (t, string) result
+(** Inverse of {!serialize}, with validation: parent pointers must
+    satisfy the min-id invariant [parent.(i) <= i], the live count must
+    equal the number of forest roots, edge endpoints must be in-range
+    class representatives, and the edge section must be complete.  Any
+    violation (including truncation) is an [Error] describing the first
+    offending line — never an exception. *)
+
 val compact : t -> Graph.t * (Graph.node -> Graph.node)
 (** A dense, dead-node-free snapshot plus the renaming from any
     physical id to its node in the snapshot.  Representatives keep

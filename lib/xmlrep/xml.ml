@@ -229,7 +229,14 @@ let parse_located src =
     skip_ws cur;
     if cur.pos <> String.length src then fail cur "trailing content";
     Ok root
-  with Parse_error e -> Error e
+  with
+  | Parse_error e -> Error e
+  | Invalid_argument _ | Failure _ | End_of_file ->
+      (* Hardening backstop: input truncated mid-token (fault-injected
+         or real) must report a position, never escape as a stdlib
+         exception. *)
+      Error
+        (Printf.sprintf "at offset %d: truncated or malformed input" cur.pos)
 
 let parse src = Result.map (fun l -> l.node) (parse_located src)
 

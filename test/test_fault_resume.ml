@@ -1,0 +1,720 @@
+(* Crash-safety tests for the fault-injection layer and the resumable
+   chase.
+
+   The central proof obligation (ISSUE 6): for every registered fault
+   site, a run that crashes there and is resumed from its parked
+   snapshot must end with the same verdict — and a final graph
+   rooted-isomorphic to — an uninterrupted run.  The harness below
+   discovers the hit count of every site with a counting-mode spec
+   (empty clause list), then replays each instance once per (site,
+   ordinal) with an armed crash clause.
+
+   Alcotest runs test cases sequentially in-process, so arming the
+   global fault schedule is safe as long as every armed section disarms
+   in a [Fun.protect] finally. *)
+
+open Testutil
+module Mg = Sgraph.Merge_graph
+module Chase = Core.Chase
+module Snapshot = Core.Chase.Snapshot
+module Verdict = Core.Verdict
+module Engine = Core.Engine
+module Cache = Analysis.Cache
+module Diagnostic = Analysis.Diagnostic
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let s_repair = Fault.site "chase.repair"
+let s_fixpoint = Fault.site "chase.fixpoint"
+let s_write = Fault.site "snapshot.write"
+
+let counting_spec = { Fault.clauses = []; seed = 0 }
+
+let crash_clause site_name n =
+  {
+    Fault.clauses =
+      [ { Fault.site = site_name; hit = Some n; kind = Fault.Crash_fault } ];
+    seed = 0;
+  }
+
+let with_armed spec f =
+  Fault.arm spec;
+  Fun.protect ~finally:Fault.disarm f
+
+let arm_str s =
+  match Fault.spec_of_string s with
+  | Ok spec -> Fault.arm spec
+  | Error e -> Alcotest.failf "bad fault spec %S: %s" s e
+
+let with_armed_str s f =
+  arm_str s;
+  Fun.protect ~finally:Fault.disarm f
+
+(* deterministic budgets: no wall clock in play *)
+let budget ?(max_steps = 400) () = Engine.Budget.v ~max_steps ~max_nodes:400 ()
+
+let get_parked name = function
+  | Some s -> s
+  | None -> Alcotest.failf "%s: crash did not park a snapshot" name
+
+(* every snapshot in the differential matrix goes through the on-disk
+   text form, so the matrix also exercises the serializer *)
+let roundtrip s =
+  match Snapshot.of_string (Snapshot.to_string s) with
+  | Ok s' -> s'
+  | Error e -> Alcotest.failf "snapshot text roundtrip failed: %s" e
+
+(* --- spec grammar ------------------------------------------------------ *)
+
+let test_spec_parse () =
+  (match Fault.spec_of_string "chase.repair:2" with
+  | Ok { Fault.clauses = [ { Fault.site = "chase.repair"; hit = Some 2; kind = Fault.Crash_fault } ]; seed = 0 } -> ()
+  | Ok s -> Alcotest.failf "unexpected parse: %s" (Fault.spec_to_string s)
+  | Error e -> Alcotest.fail e);
+  (match Fault.spec_of_string "snapshot.write:*:io,seed=7" with
+  | Ok { Fault.clauses = [ { Fault.site = "snapshot.write"; hit = None; kind = Fault.Io_fault } ]; seed = 7 } -> ()
+  | Ok s -> Alcotest.failf "unexpected parse: %s" (Fault.spec_to_string s)
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Fault.spec_of_string bad with
+      | Ok _ -> Alcotest.failf "spec %S must be rejected" bad
+      | Error _ -> ())
+    [ ""; "x"; "x:0"; ":1"; "x:1:zap"; "seed=z"; "x:-3" ]
+
+let test_spec_roundtrip () =
+  List.iter
+    (fun s ->
+      match Fault.spec_of_string s with
+      | Error e -> Alcotest.failf "%S: %s" s e
+      | Ok spec -> (
+          match Fault.spec_of_string (Fault.spec_to_string spec) with
+          | Ok spec' ->
+              check_string "spec_to_string is parseable and stable"
+                (Fault.spec_to_string spec)
+                (Fault.spec_to_string spec')
+          | Error e -> Alcotest.failf "re-parse of %S: %s" s e))
+    [ "a.b:1"; "a.b:*:io,c:3:truncate,seed=42"; "x:2:crash,y:1" ]
+
+let test_disarmed_is_noop () =
+  Fault.disarm ();
+  let before = Fault.hits s_repair in
+  Fault.point s_repair;
+  Fault.io_point s_repair;
+  check_string "mangle is identity when disarmed" "abc"
+    (Fault.mangle s_repair "abc");
+  check_int "disarmed points do not count" before (Fault.hits s_repair)
+
+(* --- Merge_graph serialization: exact physical roundtrip --------------- *)
+
+let gen_mg_scenario =
+  QCheck.Gen.(
+    gen_graph ~max_nodes:6 () >>= fun g ->
+    let n = Graph.node_count g in
+    list_size (int_bound 4) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+    >>= fun merges -> return (g, merges))
+
+let print_mg_scenario (g, merges) =
+  print_graph g ^ " merging "
+  ^ String.concat ","
+      (List.map (fun (x, y) -> Printf.sprintf "%d=%d" x y) merges)
+
+let prop_mg_roundtrip =
+  q ~count:300 "Merge_graph serialize/deserialize is the exact inverse"
+    (QCheck.make gen_mg_scenario ~print:print_mg_scenario)
+    (fun (g, merges) ->
+      let mg = Mg.of_graph g in
+      List.iter (fun (x, y) -> ignore (Mg.union mg x y)) merges;
+      (* grow after merging so dead ids and fresh ids coexist *)
+      let v = Mg.add_node mg in
+      Mg.add_edge mg (Mg.find mg 0) (Label.make "a") v;
+      let s = Mg.serialize mg in
+      (* adjacency-list order inside a bucket is not part of the state —
+         violation search iterates sorted node sets — so the roundtrip
+         invariant is: same physical ids, same union-find, same edge
+         set *)
+      let edge_set gr =
+        let l = ref [] in
+        Graph.iter_edges gr (fun x k y -> l := (x, Label.to_string k, y) :: !l);
+        List.sort compare !l
+      in
+      match Mg.deserialize s with
+      | Error e -> QCheck.Test.fail_reportf "deserialize failed: %s" e
+      | Ok mg' ->
+          let phys = Graph.node_count (Mg.graph mg) in
+          Mg.live_count mg' = Mg.live_count mg
+          && Graph.node_count (Mg.graph mg') = phys
+          && List.for_all
+               (fun i -> Mg.find mg' i = Mg.find mg i)
+               (List.init phys Fun.id)
+          && edge_set (Mg.graph mg') = edge_set (Mg.graph mg)
+          && Graph.equal (fst (Mg.compact mg')) (fst (Mg.compact mg)))
+
+let test_mg_deserialize_rejects () =
+  List.iter
+    (fun (s, why) ->
+      match Mg.deserialize s with
+      | Ok _ -> Alcotest.failf "deserialize must reject %s" why
+      | Error _ -> ())
+    [
+      ("", "empty input");
+      ("nodes x\n", "a non-numeric node count");
+      ("nodes 0\nlive 0\nparent\nedges 0\n", "a rootless graph");
+      ("nodes 2\nlive 1\nparent 0\nedges 0\n", "a truncated parent array");
+      ("nodes 2\nlive 2\nparent 0 2\nedges 0\n", "a parent above its index");
+      ("nodes 2\nlive 2\nparent 0 0\nedges 0\n", "a live/root mismatch");
+      ("nodes 2\nlive 2\nparent 0 1\nedges 2\n0 a 1\n", "a truncated edge list");
+      ("nodes 2\nlive 2\nparent 0 1\nedges 1\n0 a 5\n", "an out-of-range endpoint");
+      ("nodes 2\nlive 1\nparent 0 0\nedges 1\n1 a 0\n", "an edge at a dead node");
+    ]
+
+(* --- the differential crash/resume matrix ------------------------------ *)
+
+(* implies instances: a TGD chain (Implied), a fixpoint (Refuted), an
+   EGD-driven proof (Implied through merges), and a diverging instance
+   cut by the step budget (Unknown) — the resumed run must reproduce
+   even the exhaustion diagnostics *)
+let chain_sigma =
+  [ c_word "a" "b"; c_word "b" "c"; c_word "c" "d"; c_word "d" "e" ]
+
+let implies_instances =
+  [
+    ("implied chain", chain_sigma, c_word "a" "e", 400);
+    ("refuted", [ c_word "a" "b" ], c_word "a" "c", 400);
+    ( "merge heavy",
+      [ Constr.word ~lhs:(path "a") ~rhs:Path.empty ],
+      c_word "a.a" "a",
+      400 );
+    ("diverging", [ c_word "a" "a.a" ], c_word "a" "b", 25);
+  ]
+
+let verdict_agrees v_ref v_res =
+  match (v_ref, v_res) with
+  | Verdict.Implied, Verdict.Implied -> true
+  | Verdict.Refuted g1, Verdict.Refuted g2 -> equivalent g1 g2
+  | Verdict.Unknown e1, Verdict.Unknown e2 ->
+      e1.Verdict.reason = e2.Verdict.reason
+      && e1.Verdict.steps = e2.Verdict.steps
+      && e1.Verdict.nodes = e2.Verdict.nodes
+  | _ -> false
+
+let pp_verdict v = Format.asprintf "%a" Verdict.pp v
+
+(* crash [implies sigma phi] at the [n]th hit of [site_name], resume
+   from the parked snapshot, and compare against [v_ref] *)
+let implies_crash_resume name sigma phi max_steps v_ref site_name n =
+  let parked = ref None in
+  let v_crash =
+    with_armed (crash_clause site_name n) (fun () ->
+        Chase.implies
+          ~ctl:(Engine.start (budget ~max_steps ()))
+          ~park:(fun s -> parked := Some s)
+          ~sigma phi)
+  in
+  (match v_crash with
+  | Verdict.Unknown e ->
+      check_bool
+        (Printf.sprintf "%s: crash at %s:%d reports Crashed" name site_name n)
+        true
+        (e.Verdict.reason = Verdict.Crashed)
+  | v ->
+      Alcotest.failf "%s: crash at %s:%d must yield Unknown, got %s" name
+        site_name n (pp_verdict v));
+  let s = roundtrip (get_parked name !parked) in
+  check_bool "snapshot matches its instance" true
+    (Snapshot.matches_implies s ~sigma phi);
+  let ctl =
+    Engine.start
+      ~spent_steps:(Snapshot.engine_steps s)
+      ~spent_peak_nodes:(Snapshot.engine_peak_nodes s)
+      (budget ~max_steps ())
+  in
+  let v_res = Chase.implies ~ctl ~resume:s ~sigma phi in
+  if not (verdict_agrees v_ref v_res) then
+    Alcotest.failf
+      "%s: resume after crash at %s:%d diverged — uninterrupted %s, resumed %s"
+      name site_name n (pp_verdict v_ref) (pp_verdict v_res)
+
+let test_implies_crash_matrix () =
+  List.iter
+    (fun (name, sigma, phi, max_steps) ->
+      (* counting pass: the uninterrupted verdict and every site's hit
+         count in one run *)
+      let v_ref =
+        with_armed counting_spec (fun () ->
+            Chase.implies ~ctl:(Engine.start (budget ~max_steps ())) ~sigma phi)
+      in
+      let repair_hits = Fault.hits s_repair
+      and fixpoint_hits = Fault.hits s_fixpoint in
+      check_bool (name ^ ": instance exercises the chase") true
+        (repair_hits > 0 || fixpoint_hits > 0);
+      for n = 1 to min repair_hits 6 do
+        implies_crash_resume name sigma phi max_steps v_ref "chase.repair" n
+      done;
+      for n = 1 to min fixpoint_hits 2 do
+        implies_crash_resume name sigma phi max_steps v_ref "chase.fixpoint" n
+      done)
+    implies_instances
+
+(* run instances: tracked nodes must come back identical after resume *)
+let run_instances =
+  [
+    ( "bib fixpoint with merges",
+      (fun () -> Graph.of_edges [ (0, "book", 1); (1, "author", 2) ]),
+      Xmlrep.Bib.inverse_constraints () @ Xmlrep.Bib.extent_constraints (),
+      [ 0; 1; 2 ] );
+    ( "fresh-node chain",
+      (fun () -> Graph.of_edges [ (0, "a", 1) ]),
+      [ c_word "a" "p.q"; c_word "p" "c" ],
+      [ 0; 1 ] );
+    ( "egd collapse",
+      (fun () -> Graph.of_edges [ (0, "a", 1) ]),
+      [ c_word "a" "b"; Constr.word ~lhs:(path "b") ~rhs:Path.empty ],
+      [ 0; 1 ] );
+  ]
+
+let outcome_agrees o_ref o_res =
+  match (o_ref, o_res) with
+  | Chase.Fixpoint g1, Chase.Fixpoint g2 -> equivalent g1 g2
+  | Chase.Exhausted (g1, e1), Chase.Exhausted (g2, e2) ->
+      e1.Verdict.reason = e2.Verdict.reason
+      && e1.Verdict.steps = e2.Verdict.steps
+      && equivalent g1 g2
+  | _ -> false
+
+let test_run_crash_matrix () =
+  List.iter
+    (fun (name, mk_graph, sigma, tracked) ->
+      let o_ref, tr_ref =
+        with_armed counting_spec (fun () ->
+            Chase.run ~ctl:(Engine.start (budget ())) ~tracked (mk_graph ())
+              sigma)
+      in
+      let repair_hits = Fault.hits s_repair
+      and fixpoint_hits = Fault.hits s_fixpoint in
+      let crash_resume site_name n =
+        let parked = ref None in
+        let o_crash, _ =
+          with_armed (crash_clause site_name n) (fun () ->
+              Chase.run
+                ~ctl:(Engine.start (budget ()))
+                ~tracked
+                ~park:(fun s -> parked := Some s)
+                (mk_graph ()) sigma)
+        in
+        (match o_crash with
+        | Chase.Exhausted (_, e) ->
+            check_bool
+              (Printf.sprintf "%s: crash at %s:%d reports Crashed" name
+                 site_name n)
+              true
+              (e.Verdict.reason = Verdict.Crashed)
+        | Chase.Fixpoint _ ->
+            Alcotest.failf "%s: crash at %s:%d cannot reach a fixpoint" name
+              site_name n);
+        let s = roundtrip (get_parked name !parked) in
+        check_bool "snapshot matches its instance" true
+          (Snapshot.matches_run s ~sigma (mk_graph ()));
+        let ctl =
+          Engine.start
+            ~spent_steps:(Snapshot.engine_steps s)
+            ~spent_peak_nodes:(Snapshot.engine_peak_nodes s)
+            (budget ())
+        in
+        let o_res, tr_res = Chase.run ~ctl ~resume:s (mk_graph ()) sigma in
+        check_bool
+          (Printf.sprintf "%s: crash at %s:%d resumes to the same outcome"
+             name site_name n)
+          true
+          (outcome_agrees o_ref o_res);
+        check_bool "tracked nodes identical after resume" true
+          (tr_res = tr_ref)
+      in
+      for n = 1 to min repair_hits 6 do
+        crash_resume "chase.repair" n
+      done;
+      for n = 1 to min fixpoint_hits 2 do
+        crash_resume "chase.fixpoint" n
+      done)
+    run_instances
+
+(* --- park on exhaustion, resume with a larger budget -------------------- *)
+
+let test_exhaustion_park_resume_completes () =
+  let sigma = chain_sigma and phi = c_word "a" "e" in
+  let parked = ref None in
+  (match
+     Chase.implies
+       ~ctl:(Engine.start (Engine.Budget.v ~max_steps:2 ~max_nodes:50 ()))
+       ~park:(fun s -> parked := Some s)
+       ~sigma phi
+   with
+  | Verdict.Unknown e ->
+      check_bool "trips on steps" true (e.Verdict.reason = Verdict.Steps);
+      check_bool "park recorded in the notes" true
+        (List.exists (fun n -> contains n "parked") e.Verdict.notes)
+  | v -> Alcotest.failf "2 steps cannot settle the chain: %s" (pp_verdict v));
+  let s = roundtrip (get_parked "exhaustion" !parked) in
+  check_bool "made some progress before parking" true (Snapshot.repairs s >= 1);
+  let ctl =
+    Engine.start
+      ~spent_steps:(Snapshot.engine_steps s)
+      ~spent_peak_nodes:(Snapshot.engine_peak_nodes s)
+      (budget ())
+  in
+  match Chase.implies ~ctl ~resume:s ~sigma phi with
+  | Verdict.Implied -> ()
+  | v ->
+      Alcotest.failf "resume with a larger budget must finish the proof: %s"
+        (pp_verdict v)
+
+let test_resume_wrong_instance_rejected () =
+  let parked = ref None in
+  ignore
+    (Chase.implies
+       ~ctl:(Engine.start (Engine.Budget.v ~max_steps:1 ~max_nodes:50 ()))
+       ~park:(fun s -> parked := Some s)
+       ~sigma:chain_sigma (c_word "a" "e"));
+  let s = get_parked "mismatch" !parked in
+  let other = [ c_word "a" "b" ] in
+  check_bool "matches_implies refuses the wrong sigma" false
+    (Snapshot.matches_implies s ~sigma:other (c_word "a" "e"));
+  match
+    Chase.implies ~ctl:(Engine.start (budget ())) ~resume:s ~sigma:other
+      (c_word "a" "e")
+  with
+  | exception Invalid_argument _ -> ()
+  | v ->
+      Alcotest.failf "resuming under the wrong sigma must raise, got %s"
+        (pp_verdict v)
+
+(* --- corrupt snapshots degrade, never crash ----------------------------- *)
+
+(* a parked snapshot of the chain instance, in its on-disk text form *)
+let parked_text () =
+  let parked = ref None in
+  ignore
+    (with_armed (crash_clause "chase.repair" 2) (fun () ->
+         Chase.implies
+           ~ctl:(Engine.start (budget ()))
+           ~park:(fun s -> parked := Some s)
+           ~sigma:chain_sigma (c_word "a" "e")));
+  Snapshot.to_string (get_parked "parked_text" !parked)
+
+let expect_error what text expected_fragment =
+  match Snapshot.of_string text with
+  | Ok _ -> Alcotest.failf "%s must be rejected" what
+  | Error e ->
+      check_bool
+        (Printf.sprintf "%s: error %S mentions %S" what e expected_fragment)
+        true
+        (contains e expected_fragment)
+
+let test_corrupt_snapshots () =
+  let good = parked_text () in
+  (match Snapshot.of_string good with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "pristine snapshot must load: %s" e);
+  (* flip one payload byte: the checksum catches it *)
+  let payload_start = String.index_from good (String.index good '\n' + 1) '\n' + 1 in
+  let flipped =
+    String.mapi
+      (fun i c -> if i = payload_start then Char.chr (Char.code c lxor 1) else c)
+      good
+  in
+  expect_error "a bit-flipped snapshot" flipped "checksum";
+  expect_error "a header-only snapshot"
+    (String.sub good 0 (String.index good '\n' + 1))
+    "truncated";
+  expect_error "a version-bumped snapshot"
+    (let lines = String.split_on_char '\n' good in
+     String.concat "\n" ("pathcons-chase-snapshot 99" :: List.tl lines))
+    "version";
+  expect_error "an alien file" "PDF-1.4 whatever\nbinary soup\n" "magic"
+
+let test_snapshot_of_string_total_on_prefixes () =
+  let good = parked_text () in
+  let len = String.length good in
+  for i = 0 to len - 1 do
+    match Snapshot.of_string (String.sub good 0 i) with
+    | Ok _ ->
+        Alcotest.failf "a strict prefix (%d of %d bytes) must not load" i len
+    | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "of_string raised %s on a %d-byte prefix"
+          (Printexc.to_string e) i
+  done
+
+(* --- atomic writes under injected I/O faults ---------------------------- *)
+
+let snapshot_pair () =
+  let park_at n =
+    let parked = ref None in
+    ignore
+      (with_armed (crash_clause "chase.repair" n) (fun () ->
+           Chase.implies
+             ~ctl:(Engine.start (budget ()))
+             ~park:(fun s -> parked := Some s)
+             ~sigma:chain_sigma (c_word "a" "e")));
+    get_parked "snapshot_pair" !parked
+  in
+  (park_at 1, park_at 3)
+
+let temp_snapshot_file () =
+  let f = Filename.temp_file "pathctl_fault" ".snapshot" in
+  f
+
+let test_save_retries_transient_io () =
+  let s1, _ = snapshot_pair () in
+  let file = temp_snapshot_file () in
+  (match
+     with_armed_str "snapshot.write:1:io" (fun () ->
+         Snapshot.save ~path:file s1)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "one transient fault must be retried away: %s" e);
+  check_bool "the transient fault was actually injected" true
+    (Fault.injected s_write >= 1);
+  (match Snapshot.load file with
+  | Ok s -> check_int "reloaded content" (Snapshot.repairs s1) (Snapshot.repairs s)
+  | Error e -> Alcotest.failf "retried write must be readable: %s" e);
+  Sys.remove file
+
+let test_save_exhausts_retries_keeps_old () =
+  let s1, s2 = snapshot_pair () in
+  let file = temp_snapshot_file () in
+  (match Snapshot.save ~path:file s1 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "baseline save: %s" e);
+  (match
+     with_armed_str "snapshot.write:*:io" (fun () ->
+         Snapshot.save ~path:file s2)
+   with
+  | Error e ->
+      check_bool "error mentions the injected failure" true
+        (contains e "injected")
+  | Ok () -> Alcotest.fail "a persistent I/O fault must surface as Error");
+  check_bool "no temp file left behind" false (Sys.file_exists (file ^ ".tmp"));
+  (match Snapshot.load file with
+  | Ok s ->
+      check_int "target still holds the previous snapshot"
+        (Snapshot.repairs s1) (Snapshot.repairs s)
+  | Error e -> Alcotest.failf "old snapshot must survive: %s" e);
+  Sys.remove file
+
+let test_save_crash_is_atomic () =
+  let s1, s2 = snapshot_pair () in
+  let file = temp_snapshot_file () in
+  (match Snapshot.save ~path:file s1 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "baseline save: %s" e);
+  (* ordinal 2 = after the bytes are written, before fsync/rename: the
+     most dangerous window *)
+  (match
+     with_armed_str "snapshot.write:2:crash" (fun () ->
+         Snapshot.save ~path:file s2)
+   with
+  | exception Fault.Crash site -> check_string "crash site" "snapshot.write" site
+  | Ok () | Error _ -> Alcotest.fail "the armed crash must propagate");
+  Fault.disarm ();
+  (match Snapshot.load file with
+  | Ok s ->
+      check_int "a crash mid-write never tears the target"
+        (Snapshot.repairs s1) (Snapshot.repairs s)
+  | Error e -> Alcotest.failf "old snapshot must survive a crash: %s" e);
+  (try Sys.remove (file ^ ".tmp") with Sys_error _ -> ());
+  Sys.remove file
+
+let test_read_faults () =
+  let s1, _ = snapshot_pair () in
+  let file = temp_snapshot_file () in
+  (match Snapshot.save ~path:file s1 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "baseline save: %s" e);
+  (* a crash while reading kills the process before it consumed
+     anything; the snapshot is intact for the next attempt *)
+  (match
+     with_armed_str "snapshot.read:1:crash" (fun () -> Snapshot.load file)
+   with
+  | exception Fault.Crash site -> check_string "crash site" "snapshot.read" site
+  | Ok _ | Error _ -> Alcotest.fail "the armed read crash must propagate");
+  Fault.disarm ();
+  (match Snapshot.load file with
+  | Ok s -> check_int "retry succeeds" (Snapshot.repairs s1) (Snapshot.repairs s)
+  | Error e -> Alcotest.failf "post-crash retry: %s" e);
+  (* a truncated read surfaces as Error through the checksum, never as
+     an exception *)
+  (match
+     with_armed_str "snapshot.read:*:truncate,seed=3" (fun () ->
+         Snapshot.load file)
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a truncated read must not parse"
+  | exception e ->
+      Alcotest.failf "truncated read raised %s" (Printexc.to_string e));
+  (* an injected transient read error surfaces as Error *)
+  (match
+     with_armed_str "snapshot.read:1:io" (fun () -> Snapshot.load file)
+   with
+  | Error e -> check_bool "mentions injection" true (contains e "injected")
+  | Ok _ -> Alcotest.fail "the armed io fault must surface as Error"
+  | exception e -> Alcotest.failf "io fault raised %s" (Printexc.to_string e));
+  Sys.remove file
+
+(* --- cache degradation under write faults ------------------------------- *)
+
+let cache_dir () =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "pathctl_fault_cache_%d" (Unix.getpid ()))
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let test_cache_write_fault_degrades () =
+  let dir = cache_dir () in
+  if Sys.file_exists dir then rm_rf dir;
+  Cache.reset ();
+  let diags =
+    [ Diagnostic.make ~code:"PC300" ~severity:Diagnostic.Warning ~file:"f" "m" ]
+  in
+  let key = Cache.key ~parts:[ "fault-degradation-test" ] in
+  let entry = Filename.concat dir (key ^ ".json") in
+  (* every write attempt fails: the store must not leave any entry —
+     truncated or otherwise — and must switch the cache off *)
+  with_armed_str "cache.store:*:io" (fun () -> Cache.store ~dir ~key diags);
+  check_bool "no entry under the final name" false (Sys.file_exists entry);
+  check_bool "no temp file left behind" false (Sys.file_exists (entry ^ ".tmp"));
+  (* degraded: later stores are no-ops even with the fault gone... *)
+  Cache.store ~dir ~key diags;
+  check_bool "degraded cache stops storing" false (Sys.file_exists entry);
+  (* ...and lookups are misses *)
+  check_bool "degraded cache stops answering" true
+    (Cache.lookup ~dir ~key = None);
+  (* a fresh run (reset) works again *)
+  Cache.reset ();
+  Cache.store ~dir ~key diags;
+  (match Cache.lookup ~dir ~key with
+  | Some ds -> check_int "entry readable after reset" 1 (List.length ds)
+  | None -> Alcotest.fail "healthy cache must hit");
+  rm_rf dir
+
+let test_cache_write_crash_leaves_nothing () =
+  let dir = cache_dir () in
+  if Sys.file_exists dir then rm_rf dir;
+  Cache.reset ();
+  let diags =
+    [ Diagnostic.make ~code:"PC300" ~severity:Diagnostic.Warning ~file:"f" "m" ]
+  in
+  let key = Cache.key ~parts:[ "fault-crash-test" ] in
+  let entry = Filename.concat dir (key ^ ".json") in
+  (match
+     with_armed_str "cache.store:1:crash" (fun () ->
+         Cache.store ~dir ~key diags)
+   with
+  | exception Fault.Crash _ -> ()
+  | () -> Alcotest.fail "the armed crash must propagate (simulated death)");
+  Fault.disarm ();
+  check_bool "a crash mid-store leaves no entry" false (Sys.file_exists entry);
+  Cache.reset ();
+  rm_rf dir
+
+(* --- the CLI parks on SIGTERM/SIGINT ------------------------------------ *)
+
+let pathctl =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    (Filename.concat "bin" "pathctl.exe")
+
+let test_cli_signals_park () =
+  let sigma_file = Filename.temp_file "pathctl_fault" ".constraints" in
+  Out_channel.with_open_text sigma_file (fun oc ->
+      Out_channel.output_string oc "a -> a.a\n");
+  List.iter
+    (fun (signal_name, expected_code) ->
+      let snap = Filename.temp_file "pathctl_fault" ".snapshot" in
+      Sys.remove snap;
+      let code =
+        Sys.command
+          (Printf.sprintf
+             "%s chase -s %s --timeout 60 --max-steps 100000000 --max-nodes \
+              100000000 --snapshot %s \"a -> b\" > /dev/null 2>&1 & pid=$!; \
+              sleep 0.4; kill -%s $pid; wait $pid"
+             (Filename.quote pathctl)
+             (Filename.quote sigma_file)
+             (Filename.quote snap) signal_name)
+      in
+      check_int (Printf.sprintf "SIG%s exits %d" signal_name expected_code)
+        expected_code code;
+      check_bool (Printf.sprintf "SIG%s parks a snapshot" signal_name) true
+        (Sys.file_exists snap);
+      (match Snapshot.load snap with
+      | Ok s ->
+          check_bool "parked snapshot shows progress" true
+            (Snapshot.repairs s > 0)
+      | Error e -> Alcotest.failf "parked snapshot must load: %s" e);
+      Sys.remove snap)
+    [ ("TERM", 143); ("INT", 130) ];
+  Sys.remove sigma_file
+
+let () =
+  Alcotest.run "fault_resume"
+    [
+      ( "fault layer",
+        [
+          Alcotest.test_case "spec grammar" `Quick test_spec_parse;
+          Alcotest.test_case "spec roundtrip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "disarmed is a no-op" `Quick test_disarmed_is_noop;
+        ] );
+      ( "merge-graph serialization",
+        [
+          prop_mg_roundtrip;
+          Alcotest.test_case "deserialize rejects malformed input" `Quick
+            test_mg_deserialize_rejects;
+        ] );
+      ( "crash/resume differential",
+        [
+          Alcotest.test_case "implies matrix: crash at every site ordinal"
+            `Quick test_implies_crash_matrix;
+          Alcotest.test_case "run matrix: crash at every site ordinal" `Quick
+            test_run_crash_matrix;
+          Alcotest.test_case "exhaustion parks, resume completes" `Quick
+            test_exhaustion_park_resume_completes;
+          Alcotest.test_case "wrong-instance resume is rejected" `Quick
+            test_resume_wrong_instance_rejected;
+        ] );
+      ( "snapshot corruption",
+        [
+          Alcotest.test_case "corrupt snapshots degrade" `Quick
+            test_corrupt_snapshots;
+          Alcotest.test_case "of_string total on prefixes" `Quick
+            test_snapshot_of_string_total_on_prefixes;
+        ] );
+      ( "atomic writes",
+        [
+          Alcotest.test_case "transient I/O fault is retried" `Quick
+            test_save_retries_transient_io;
+          Alcotest.test_case "exhausted retries keep the old snapshot" `Quick
+            test_save_exhausts_retries_keeps_old;
+          Alcotest.test_case "crash mid-write is atomic" `Quick
+            test_save_crash_is_atomic;
+          Alcotest.test_case "read faults surface as errors" `Quick
+            test_read_faults;
+        ] );
+      ( "cache degradation",
+        [
+          Alcotest.test_case "write fault degrades to cache-off" `Quick
+            test_cache_write_fault_degrades;
+          Alcotest.test_case "crash mid-store leaves nothing" `Quick
+            test_cache_write_crash_leaves_nothing;
+        ] );
+      ( "cli signals",
+        [ Alcotest.test_case "SIGTERM/SIGINT park" `Quick test_cli_signals_park ] );
+    ]

@@ -97,6 +97,34 @@ let test_io_still_accepts_normal () =
   | Ok g -> check_int "nodes" 3 (Graph.node_count g)
   | Error e -> Alcotest.failf "normal edge list must parse: %s" e
 
+(* truncation totality: a partial write or a [Fault.mangle]d read hands
+   the parser an arbitrary prefix of a valid document; every prefix
+   must come back Ok or Error, never an exception *)
+let test_prefix_truncation_total () =
+  let cases =
+    [
+      ( "Sgraph.Io.of_string",
+        (fun s -> Result.map ignore (Sgraph.Io.of_string s)),
+        "# graph\n0 a 1\n1 b 2\n\n2 a 10\n10 c 0\n" );
+      ( "Xml.parse",
+        (fun s -> Result.map ignore (Xmlrep.Xml.parse s)),
+        "<?xml version=\"1.0\"?>\n<bib id=\"1\"><book year=\"99\">t&amp;s</book><!-- c --><ref/></bib>" );
+      ( "Parser.constraints_of_string",
+        (fun s -> Result.map ignore (Pathlang.Parser.constraints_of_string s)),
+        "# sigma\nbook.author -> person\nbook : author <- wrote\n" );
+    ]
+  in
+  List.iter
+    (fun (name, f, doc) ->
+      for i = 0 to String.length doc do
+        match f (String.sub doc 0 i) with
+        | Ok _ | Error _ -> ()
+        | exception e ->
+            Alcotest.failf "%s raised %s on a %d-byte prefix of %S" name
+              (Printexc.to_string e) i doc
+      done)
+    cases
+
 (* --- engine: deadlines ------------------------------------------------ *)
 
 (* one forward constraint whose repair always creates a fresh node: the
@@ -257,6 +285,8 @@ let () =
             Alcotest.test_case "huge node id" `Quick test_huge_node_id;
             Alcotest.test_case "normal edge list still parses" `Quick
               test_io_still_accepts_normal;
+            Alcotest.test_case "prefix truncation total" `Quick
+              test_prefix_truncation_total;
           ] );
       ( "engine governance",
         [
