@@ -636,6 +636,7 @@ let lint_workload n =
         phi = None;
         config = Analysis.Config.default;
         explain = false;
+        interact = false;
       }
   | Error _ -> failwith "bench lint workload must parse"
 
@@ -648,6 +649,39 @@ let analyzer_cell () =
     (fun n ->
       let input = lint_workload n in
       measure (fun () -> ignore (Analysis.Lint.run input)))
+
+(* --- analyzer: constraint interaction (PC7xx) as a measured cell -------- *)
+
+(* A satisfiable random base over the bibliography schema (every
+   generated constraint's two sides end at the same sort) plus one
+   planted cross-sort clash, so core extraction always has a core to
+   minimize.  The measured quantity is the tentpole path: building the
+   hash-consed typed store and running the deletion-minimized PC700
+   search, whose per-deletion satisfiability tests are short-circuited
+   by the store's sort-clash pre-filter. *)
+let interact_cell () =
+  record_cell ~cell_name:"analyzer-interact"
+    ~claim:"core extraction is a linear number of store-prefiltered cubic \
+            sat checks"
+    "hash-consed store build + PC700 minimal-core extraction under the M \
+     schema, |Sigma| = n (one planted cross-sort clash)"
+    (shrink [ 8; 16; 32; 64 ])
+    (fun n ->
+      let rng = rng () in
+      let base =
+        Core.Typed_m.random_constraints ~rng ~schema:Mschema.bib_m
+          ~count:(n - 1) ~max_len:3
+      in
+      let clash =
+        Constr.word ~lhs:(Path.of_string "book.title")
+          ~rhs:(Path.of_string "book.year")
+      in
+      let sigma = base @ [ clash ] in
+      measure (fun () ->
+          ignore (Pathlang.Store.of_constraints ~typed:true sigma);
+          match Analysis.Interact.unsat_core ~schema:Mschema.bib_m sigma with
+          | Some _ -> ()
+          | None -> failwith "bench interact workload must be unsatisfiable"))
 
 let timing () =
   section "Timing: complexity shapes of the decidable cells";
@@ -715,6 +749,7 @@ let timing () =
   chase_cells ();
   snapshot_cell ();
   analyzer_cell ();
+  interact_cell ();
 
   section "Ablations";
 

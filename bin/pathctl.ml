@@ -1019,8 +1019,19 @@ let lint_cmd =
              skips every pass (hits/misses appear in --stats as \
              lint.cache.*).  The directory is created on demand.")
   in
-  let run sigma_file schema_file phi config fix explain max_warnings cache
-      format output timeout steps trace stats =
+  let interact_arg =
+    Arg.(
+      value & flag
+      & info [ "interact" ]
+          ~doc:
+            "Also run the constraint-interaction analyzer (PC700 minimal \
+             unsatisfiable cores, PC701 implication-DAG edges with minimal \
+             antecedent subsets, PC702 path-vs-type provenance).  Off by \
+             default; a config file's [passes] interact = true is \
+             equivalent.")
+  in
+  let run sigma_file schema_file phi config fix explain interact max_warnings
+      cache format output timeout steps trace stats =
     let code =
       with_obs ~cmd:"lint" ~always:true ~trace ~stats (fun () ->
           let cancel = Core.Engine.Cancel.create () in
@@ -1083,8 +1094,8 @@ let lint_cmd =
               else
                 finish
                   (Analysis.Lint.lint_paths ~budget ?schema_file ?phi
-                     ?config_file:config ?cache_dir:cache ~explain ~sigma_file
-                     ())))
+                     ?config_file:config ?cache_dir:cache ~explain ~interact
+                     ~sigma_file ())))
     in
     exit code
   in
@@ -1096,17 +1107,136 @@ let lint_cmd =
           every constraint's walks against the schema graph (dead paths, \
           M+ undecidability triggers, --explain annotations), and flag \
           vacuous, redundant, inconsistent and unhygienic constraints, \
-          with stable diagnostic codes (PC001-PC602) in text, JSON, or \
+          with stable diagnostic codes (PC001-PC7xx) in text, JSON, or \
           SARIF form.  Suppression pragmas (# pathctl-disable CODE), a \
           --config file, --fix autofixes and a --cache result cache make \
-          it suitable for per-commit CI.  Exits 1 iff an error-severity \
-          diagnostic fired or --max-warnings was exceeded.")
+          it suitable for per-commit CI.  --interact adds the \
+          constraint-interaction analyzer (PC700-PC703).  Exits 1 iff an \
+          error-severity diagnostic fired or --max-warnings was exceeded.")
     Term.(
       ret
-        (const (fun a b c d e f g h i j k l m n ->
-             `Ok (run a b c d e f g h i j k l m n))
+        (const (fun a b c d e f g h i j k l m n o ->
+             `Ok (run a b c d e f g h i j k l m n o))
         $ sigma_arg $ schema_opt_arg $ phi_opt_arg $ config_arg $ fix_arg
-        $ explain_arg $ max_warnings_arg $ cache_arg $ format_arg
+        $ explain_arg $ interact_arg $ max_warnings_arg $ cache_arg
+        $ format_arg $ output_arg $ timeout_arg $ steps_arg $ trace_arg
+        $ stats_arg))
+
+(* --- interact -------------------------------------------------------------------- *)
+
+let interact_cmd =
+  let schema_opt_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "schema" ] ~docv:"FILE"
+          ~doc:
+            "Optional schema: enables PC700 minimal-core search and PC702 \
+             path-vs-type provenance (both need a kind-M schema); without \
+             one only the untyped implication DAG (PC701) is computed.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: human-readable $(b,text), JSON lines ($(b,json)), \
+             or SARIF 2.1.0 ($(b,sarif)) for CI annotation.")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the report to $(docv) instead of standard output.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 5.
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Wall-clock deadline for the whole analysis; exhaustion is \
+             reported as a PC703 hint, never silently.")
+  in
+  let steps_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:"Step/node budget per best-effort chase call.")
+  in
+  let config_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "config" ] ~docv:"FILE"
+          ~doc:
+            "Analyzer configuration (the same TOML subset as $(b,lint)): \
+             severity overrides — including the PC7xx family key — are \
+             applied to the report.")
+  in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Attach derivation detail: the clashing path pair of a core, \
+             the antecedent constraints of each implication-DAG edge, and \
+             the word-equality reading (Lemmas 4.7/4.8) behind a \
+             path-vs-type interaction.")
+  in
+  let run sigma_file schema_file config explain format output timeout steps
+      trace stats =
+    let code =
+      with_obs ~cmd:"interact" ~always:true ~trace ~stats (fun () ->
+          let cancel = Core.Engine.Cancel.create () in
+          let budget =
+            Core.Engine.Budget.v ~max_steps:steps ~max_nodes:steps ~timeout
+              ~cancel ()
+          in
+          Core.Engine.Cancel.with_sigint cancel (fun () ->
+              let diags =
+                Analysis.Lint.lint_paths ~budget ?schema_file
+                  ?config_file:config ~explain ~interact:true ~sigma_file ()
+              in
+              (* The interaction report: the PC7xx family plus the
+                 load/parse errors (a file that didn't parse has no
+                 interaction analysis — the consumer must see why). *)
+              let mine d =
+                let c = d.Analysis.Diagnostic.code in
+                String.length c = 5
+                && (c.[2] = '7' || c = "PC001" || c = "PC002" || c = "PC003")
+              in
+              let diags = List.filter mine diags in
+              let rendered =
+                match format with
+                | `Text -> Analysis.Diagnostic.render_text diags
+                | `Json -> Analysis.Diagnostic.render_json diags
+                | `Sarif -> Analysis.Diagnostic.render_sarif diags
+              in
+              (match output with
+              | None -> print_string rendered
+              | Some file ->
+                  Out_channel.with_open_text file (fun oc ->
+                      Out_channel.output_string oc rendered));
+              Analysis.Lint.exit_code diags))
+    in
+    exit code
+  in
+  Cmd.v
+    (Cmd.info "interact"
+       ~doc:
+         "Analyze how the path constraints of one file interact with each \
+          other and with the schema's type constraints: report minimal \
+          unsatisfiable cores (PC700), the implication DAG with minimal \
+          witnessing antecedent subsets (PC701), and entailments that \
+          exist only through the type constraints (PC702), with --explain \
+          derivation chains.  Equivalent to lint --interact filtered to \
+          the PC7xx family.  Exits 1 iff a core was found.")
+    Term.(
+      ret
+        (const (fun a b c d e f g h i j -> `Ok (run a b c d e f g h i j))
+        $ sigma_arg $ schema_opt_arg $ config_arg $ explain_arg $ format_arg
         $ output_arg $ timeout_arg $ steps_arg $ trace_arg $ stats_arg))
 
 (* --- profile --------------------------------------------------------------------- *)
@@ -1295,5 +1425,6 @@ let () =
             index_cmd;
             odl_cmd;
             lint_cmd;
+            interact_cmd;
             profile_cmd;
           ]))

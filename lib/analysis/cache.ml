@@ -28,24 +28,31 @@ let reset () = degraded := false
 
 let version = 2
 
-let rules_fingerprint =
-  lazy
-    (String.concat ";"
-       (List.map
-          (fun (code, sev, descr) ->
-            code ^ "=" ^ Diagnostic.severity_to_string sev ^ ":" ^ descr)
-          Diagnostic.rules))
+(* The fingerprint must cover the FULL rule table — code, default
+   severity and description of every row — so that adding a rule family
+   (or rewording a description that reaches rendered output) invalidates
+   every cached run.  A fingerprint over a subset once let stale entries
+   survive a rule-table change; the mutation test in the suite pins the
+   full coverage. *)
+let fingerprint_of_rules rules =
+  String.concat ";"
+    (List.map
+       (fun (code, sev, descr) ->
+         code ^ "=" ^ Diagnostic.severity_to_string sev ^ ":" ^ descr)
+       rules)
 
 (* Length-framed concatenation: no part boundary ambiguity. *)
-let key ~parts =
+let key_with_rules ~rules ~parts =
   let buf = Buffer.create 256 in
   List.iter
     (fun p ->
       Buffer.add_string buf (string_of_int (String.length p));
       Buffer.add_char buf ':';
       Buffer.add_string buf p)
-    (string_of_int version :: Lazy.force rules_fingerprint :: parts);
+    (string_of_int version :: fingerprint_of_rules rules :: parts);
   Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let key ~parts = key_with_rules ~rules:Diagnostic.rules ~parts
 
 (* --- serialization -------------------------------------------------------- *)
 

@@ -20,9 +20,22 @@ val version : int
 (** Bumped whenever the entry format or diagnostic semantics change;
     part of every key, so stale stores depopulate themselves. *)
 
+val fingerprint_of_rules :
+  (string * Diagnostic.severity * string) list -> string
+(** Fingerprint of a rule table: every row's code, default severity and
+    description.  Exposed so the test suite can assert that mutating
+    any row of {!Diagnostic.rules} changes the cache key. *)
+
 val key : parts:string list -> string
 (** Hex digest of the length-framed parts (prefixed with {!version} and
-    a fingerprint of {!Diagnostic.rules}). *)
+    {!fingerprint_of_rules} of {!Diagnostic.rules}). *)
+
+val key_with_rules :
+  rules:(string * Diagnostic.severity * string) list ->
+  parts:string list ->
+  string
+(** {!key} against an explicit rule table; [key ~parts] is
+    [key_with_rules ~rules:Diagnostic.rules ~parts].  For tests. *)
 
 val lookup : dir:string -> key:string -> Diagnostic.t list option
 (** [Some diags] on a well-formed entry, [None] otherwise; bumps the

@@ -29,16 +29,43 @@ let default =
   }
 
 let pass_names =
-  [ "classify"; "typeflow"; "vacuity"; "redundancy"; "inconsistency"; "hygiene" ]
+  [
+    "classify";
+    "typeflow";
+    "vacuity";
+    "redundancy";
+    "inconsistency";
+    "hygiene";
+    "interact";
+  ]
 
 let pass_enabled t name =
   match List.assoc_opt name t.passes with Some b -> b | None -> true
 
-let severity_override t code = List.assoc_opt code t.severity
-
 (* input errors must never be demoted or hidden: a file that does not
    parse invalidates every other finding *)
 let protected_codes = [ "PC001"; "PC002"; "PC003" ]
+
+(* [severity] keys are exact codes or whole families ([PC7xx]); a family
+   key must actually match some rule, and may not cover a protected
+   code (which rules out [PC0xx] wholesale). *)
+let family_key key =
+  String.length key = 5
+  && String.sub key 3 2 = "xx"
+  && List.exists
+       (fun (c, _, _) -> Suppress.code_matches key c)
+       Diagnostic.rules
+  && not (List.exists (Suppress.code_matches key) protected_codes)
+
+let severity_override t code =
+  match List.assoc_opt code t.severity with
+  | Some _ as exact -> exact
+  | None ->
+      List.find_map
+        (fun (pat, sev) ->
+          if pat <> code && Suppress.code_matches pat code then Some sev
+          else None)
+        t.severity
 
 let severity_of_name = function
   | "error" -> Some (Some Diagnostic.Error)
@@ -104,11 +131,12 @@ let parse src =
                   match section with
                   | "severity" -> (
                       if
-                        not
-                          (List.exists
-                             (fun (c, _, _) -> c = key)
-                             Diagnostic.rules)
-                      then err n "unknown diagnostic code %S" key
+                        (not
+                           (List.exists
+                              (fun (c, _, _) -> c = key)
+                              Diagnostic.rules))
+                        && not (family_key key)
+                      then err n "unknown diagnostic code or family %S" key
                       else if List.mem key protected_codes then
                         err n "severity of %s cannot be overridden" key
                       else

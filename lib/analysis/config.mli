@@ -4,9 +4,11 @@
     [severity]
     PC300 = "info"        # re-rank a code
     PC502 = "ignore"      # drop a code entirely
+    PC7xx = "warning"     # re-rank a whole family
 
     [passes]
     redundancy = false    # skip a pass wholesale
+    interact = true       # opt the interaction analyzer in (off by default)
 
     [lint]
     max-warnings = 50     # exit 1 above this many warnings
@@ -33,13 +35,17 @@ val default : t
 
 val pass_names : string list
 (** The pass identifiers accepted in [[passes]]: [classify], [typeflow],
-    [vacuity], [redundancy], [inconsistency], [hygiene]. *)
+    [vacuity], [redundancy], [inconsistency], [hygiene], [interact].
+    All default to enabled except [interact], which runs only when
+    opted in (here or with [--interact]). *)
 
 val pass_enabled : t -> string -> bool
 
 val severity_override : t -> string -> Diagnostic.severity option option
 (** [None]: no override; [Some None]: the code is ignored; [Some (Some
-    sev)]: re-ranked to [sev]. *)
+    sev)]: re-ranked to [sev].  An exact-code entry wins over a family
+    ([PCnxx]) entry; among family entries the first in file order
+    wins. *)
 
 val parse : string -> (t, string) result
 (** The error message carries the 1-based line number. *)

@@ -56,6 +56,18 @@ let rules =
       Warning,
       "set-valued step placing the instance in the undecidable M+ cell" );
     ("PC602", Info, "inferred type annotations along a constraint's walks");
+    ( "PC700",
+      Error,
+      "member of a minimal unsatisfiable core of Sigma over the schema" );
+    ( "PC701",
+      Warning,
+      "constraint entailed by a minimal antecedent subset of Sigma \
+       (implication DAG edge)" );
+    ( "PC702",
+      Info,
+      "entailment holds only through the type constraints (path/type \
+       interaction)" );
+    ("PC703", Hint, "interaction analysis inconclusive (budget exhausted)");
   ]
 
 let make ~code ~severity ~file ?span message =

@@ -14,7 +14,10 @@
     {- [PC4xx] inconsistency,}
     {- [PC5xx] hygiene (including [PC510], unused suppressions),}
     {- [PC6xx] schema-aware type flow (dead paths, M+ undecidability
-       triggers, inferred type annotations).}} *)
+       triggers, inferred type annotations),}
+    {- [PC7xx] constraint interaction (minimal unsatisfiable cores,
+       implication-DAG edges, path-vs-type provenance; {!Interact},
+       opt-in).}} *)
 
 type severity = Error | Warning | Info | Hint
 

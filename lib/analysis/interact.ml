@@ -1,0 +1,341 @@
+(* The constraint-interaction analyzer: the PC7xx family.
+
+   Three whole-set analyses over one parsed constraint set, all driven
+   through the hash-consed {!Pathlang.Store} and the shared decision
+   procedures of {!Passes.make_decider}:
+
+   - PC700: a minimal unsatisfiable core of Sigma over the schema,
+     found by deletion-based minimization with the store's typed sort
+     conflict as a syntactic pre-filter (a clash means "still
+     unsatisfiable" without running the typed closure).  Under a kind-M
+     schema cores are in fact always singletons — congruence merges
+     propagate only to same-sorted children, so an unsatisfiable set
+     contains a constraint unsatisfiable on its own (DESIGN.md §13) —
+     but the minimizer does not assume this: it isolates one culprit
+     among possibly several independently unsatisfiable constraints.
+
+   - PC701: the implication DAG.  Each constraint entailed by the rest
+     of Sigma is reported together with a minimal witnessing antecedent
+     subset (dropping any witness breaks the derivation), which is the
+     incoming edge set of the constraint in the DAG of entailments.
+
+   - PC702: path-vs-type interaction provenance.  An entailment that
+     holds over U(Delta) but provably fails on untyped semistructured
+     data exists only through the type constraints; the diagnostic
+     names the class declarations (along the walked paths of the
+     minimal witness subset) whose typing flips the verdict.  The
+     converse flip cannot occur: every structure of U(Delta) is a
+     semistructured structure, so untyped implication is contained in
+     typed implication — and pure path-constraint sets are always
+     satisfiable untyped (the one-node all-loops model), so
+     satisfiability only flips from sat (untyped) to unsat (typed),
+     which is PC700's territory.
+
+   - PC703: the pass hit the wall-clock budget before finishing
+     (mirrors the redundancy pass's PC302). *)
+
+module Path = Pathlang.Path
+module Constr = Pathlang.Constr
+module Fragment = Pathlang.Fragment
+module Store = Pathlang.Store
+module Mschema = Schema.Mschema
+module Mtype = Schema.Mtype
+module Schema_graph = Schema.Schema_graph
+module Engine = Core.Engine
+
+let diag ~file ?span code severity msg =
+  Diagnostic.make ~code ~severity ~file ?span msg
+
+(* --- minimal unsatisfiable core -------------------------------------------- *)
+
+let sat schema cs =
+  match Core.Typed_m.satisfiable schema ~sigma:cs with
+  | Ok b -> b
+  | Error _ -> true
+
+(* The syntactic pre-filter: a sort clash in the typed store's
+   congruence classes is a sound unsatisfiability witness, so the
+   expensive typed closure only runs when the store sees no clash. *)
+let unsat_prefiltered schema cs =
+  let st = Store.of_constraints ~typed:true cs in
+  Store.find_conflict st
+    ~key:(fun p -> Schema_graph.type_of_path schema p)
+    ~eq:Mtype.equal
+  <> None
+  || not (sat schema cs)
+
+let unsat_core ?budget ~schema constrs =
+  if Mschema.kind schema <> Mschema.M then None
+  else if sat schema constrs then None
+  else begin
+    let budget = Option.value budget ~default:Engine.Budget.default in
+    let clock = Passes.clock_of budget in
+    (* deletion minimization: drop each constraint whose removal keeps
+       the set unsatisfiable; what survives is a minimal core *)
+    let core = ref (List.mapi (fun i c -> (i, c)) constrs) in
+    let complete = ref true in
+    List.iteri
+      (fun i _ ->
+        if Passes.expired clock then complete := false
+        else begin
+          let without = List.filter (fun (j, _) -> j <> i) !core in
+          if
+            List.length without < List.length !core
+            && unsat_prefiltered schema (List.map snd without)
+          then core := without
+        end)
+      constrs;
+    Some (List.map fst !core, !complete)
+  end
+
+(* --- untyped verdict for the provenance check ------------------------------ *)
+
+(* Definitive "not implied on untyped data"?  [Some true] / [Some false]
+   are proven; [None] is inconclusive (budget, or the incomplete word
+   fragment).  The word procedure decides rule-derivability, which is
+   complete for implication only without equality-generating (eps-RHS)
+   constraints; with EGDs present the budgeted chase's [Refuted] — a
+   concrete countermodel — is the only definitive negative. *)
+let untyped_not_implied ~budget ~clock ~sigma phi =
+  let egd_free =
+    List.for_all (fun c -> not (Path.is_empty (Constr.rhs c))) (phi :: sigma)
+  in
+  if List.for_all Fragment.in_pw (phi :: sigma) && egd_free then
+    match Core.Word_untyped.implies ~sigma phi with
+    | Ok b -> Some (not b)
+    | Error _ -> None
+  else
+    let per_call =
+      Engine.Budget.v
+        ?max_steps:budget.Engine.Budget.max_steps
+        ?max_nodes:budget.Engine.Budget.max_nodes
+        ~timeout:(Float.max 0.01 (Float.min 1.0 (Passes.remaining_s clock)))
+        ?cancel:clock.Passes.cancel ()
+    in
+    match Core.Semidecide.implies ~ctl:(Engine.start per_call) ~sigma phi with
+    | Core.Verdict.Implied -> Some false
+    | Core.Verdict.Refuted _ -> Some true
+    | Core.Verdict.Unknown _ -> None
+
+(* The class declarations the typed derivation walks: the sorts at the
+   proper prefixes of every root-anchored path of the witness set and
+   the goal — exactly the typing cells the congruence closure reads.
+   The constraint side is already deletion-minimized; the declaration
+   set is the trace of that minimal derivation. *)
+let declarations_walked schema constrs =
+  let classes = ref [] in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun p ->
+          List.iter
+            (fun q ->
+              if not (Path.equal q p) then
+                match Schema_graph.type_of_path schema q with
+                | Some (Mtype.Class cn) ->
+                    let name = Mtype.cname_name cn in
+                    if not (List.mem name !classes) then
+                      classes := name :: !classes
+                | _ -> ())
+            (Path.prefixes p))
+        (Constr.paths_used c))
+    constrs;
+  List.sort String.compare !classes
+
+(* --- the pass --------------------------------------------------------------- *)
+
+let line (span : Pathlang.Span.t) = span.Pathlang.Span.line
+
+let lines_of spanned idxs =
+  let arr = Array.of_list spanned in
+  List.sort Int.compare (List.map (fun i -> line (snd arr.(i))) idxs)
+
+let join_lines ls = String.concat ", " (List.map string_of_int ls)
+
+let pass ~sigma_file ?schema ?budget ?(explain = false) spanned =
+  let budget = Option.value budget ~default:Engine.Budget.default in
+  let clock = Passes.clock_of budget in
+  let constrs = List.map fst spanned in
+  if constrs = [] then []
+  else begin
+    let arr = Array.of_list spanned in
+    let out = ref [] in
+    let add d = out := d :: !out in
+    let gave_up = ref 0 in
+    (* (a) PC700: minimal unsatisfiable core, on the subset the typed
+       closure accepts (constraints walking outside Paths(Delta) are
+       vacuity findings, not core candidates) *)
+    let unsat =
+      match schema with
+      | Some s when Mschema.kind s = Mschema.M -> (
+          let clean_idx =
+            List.concat_map
+              (fun (i, (c, _)) ->
+                if Result.is_ok (Schema_graph.check_constraint_paths s c)
+                then [ i ]
+                else [])
+              (List.mapi (fun i x -> (i, x)) spanned)
+          in
+          let clean_constrs = List.map (fun i -> fst arr.(i)) clean_idx in
+          match unsat_core ?budget:(Some budget) ~schema:s clean_constrs with
+          | None -> false
+          | Some (core, complete) ->
+              let core_orig =
+                List.map (List.nth clean_idx) core
+              in
+              let size = List.length core_orig in
+              let clash =
+                if not explain then ""
+                else
+                  let st =
+                    Store.of_constraints ~typed:true
+                      (List.map (fun i -> fst arr.(i)) core_orig)
+                  in
+                  match
+                    Store.find_conflict st
+                      ~key:(fun p -> Schema_graph.type_of_path s p)
+                      ~eq:Mtype.equal
+                  with
+                  | Some (p, q) ->
+                      Printf.sprintf
+                        "; the closure forces %s and %s together across sorts"
+                        (Path.to_string p) (Path.to_string q)
+                  | None -> ""
+              in
+              List.iter
+                (fun i ->
+                  let others =
+                    List.filter (fun j -> j <> i) core_orig
+                  in
+                  let companions =
+                    if others = [] then ""
+                    else
+                      Printf.sprintf
+                        ", with the constraint(s) at line(s) %s"
+                        (join_lines (lines_of spanned others))
+                  in
+                  add
+                    (diag ~file:sigma_file ~span:(snd arr.(i)) "PC700"
+                       Diagnostic.Error
+                       (Printf.sprintf
+                          "member of a minimal unsatisfiable core (%d \
+                           constraint(s)%s): the core is unsatisfiable over \
+                           U(Delta) and dropping any member makes it \
+                           satisfiable%s"
+                          size companions clash)))
+                core_orig;
+              if not complete then incr gave_up;
+              true)
+      | _ -> false
+    in
+    (* (b) PC701 + (c) PC702: only meaningful on a satisfiable set (an
+       unsatisfiable Sigma entails everything) *)
+    if not unsat then begin
+      let decide, _exact, how =
+        Passes.make_decider ?schema ~budget ~clock constrs
+      in
+      let typed_route =
+        match schema with
+        | Some s ->
+            Mschema.kind s = Mschema.M
+            && List.for_all
+                 (fun c ->
+                   Result.is_ok (Schema_graph.check_constraint_paths s c))
+                 constrs
+        | None -> false
+      in
+      let indexed = List.mapi (fun i (c, _) -> (i, c)) spanned in
+      List.iter
+        (fun (i, c) ->
+          if Passes.expired clock then incr gave_up
+          else begin
+            let rest_idx = List.filter (fun (j, _) -> j <> i) indexed in
+            let rest = List.map snd rest_idx in
+            if rest <> [] && decide c rest = Passes.V_implied then begin
+              (* minimize the witnessing antecedent subset by deletion *)
+              let witness = ref rest_idx in
+              List.iter
+                (fun (j, _) ->
+                  if Passes.expired clock then incr gave_up
+                  else begin
+                    let w' =
+                      List.filter (fun (k, _) -> k <> j) !witness
+                    in
+                    if
+                      List.length w' < List.length !witness
+                      && decide c (List.map snd w') = Passes.V_implied
+                    then witness := w'
+                  end)
+                rest_idx;
+              let wlines = lines_of spanned (List.map fst !witness) in
+              let detail =
+                if not explain then ""
+                else
+                  Printf.sprintf "; antecedents: %s"
+                    (String.concat "; "
+                       (List.map
+                          (fun (_, w) -> Constr.to_string w)
+                          !witness))
+              in
+              add
+                (diag ~file:sigma_file ~span:(snd arr.(i)) "PC701"
+                   Diagnostic.Warning
+                   (Printf.sprintf
+                      "entailed by the constraint(s) at line(s) %s (%s): a \
+                       minimal antecedent subset — removing any one of them \
+                       breaks the derivation%s"
+                      (join_lines wlines) how detail));
+              (* provenance: does the entailment survive on paths alone? *)
+              if typed_route then begin
+                match untyped_not_implied ~budget ~clock ~sigma:rest c with
+                | Some true ->
+                    let schema = Option.get schema in
+                    let decls =
+                      declarations_walked schema (c :: List.map snd !witness)
+                    in
+                    let chains =
+                      if not explain then ""
+                      else
+                        Printf.sprintf "; typed reading (Lemmas 4.7/4.8): %s"
+                          (String.concat ", "
+                             (List.map
+                                (fun (_, w) ->
+                                  let p, q = Core.Typed_m.to_word_equality w in
+                                  Printf.sprintf "%s ~ %s" (Path.to_string p)
+                                    (Path.to_string q))
+                                ((i, c) :: !witness)))
+                    in
+                    add
+                      (diag ~file:sigma_file ~span:(snd arr.(i)) "PC702"
+                         Diagnostic.Info
+                         (Printf.sprintf
+                            "this entailment holds over U(Delta) but provably \
+                             not on untyped data: it exists only through the \
+                             type constraints%s%s"
+                            (match decls with
+                            | [] -> ""
+                            | ds ->
+                                Printf.sprintf
+                                  " (flipped by the declaration(s) of %s \
+                                   along the walked paths)"
+                                  (String.concat ", " ds))
+                            chains))
+                | Some false -> ()
+                | None -> incr gave_up
+              end
+            end
+          end)
+        indexed
+    end;
+    let out = List.rev !out in
+    if !gave_up > 0 then
+      out
+      @ [
+          diag ~file:sigma_file "PC703" Diagnostic.Hint
+            (Printf.sprintf
+               "interaction analysis gave up on %d check(s) (budget \
+                exhausted); rerun with a larger --timeout"
+               !gave_up);
+        ]
+    else out
+  end

@@ -11,6 +11,10 @@ type input = {
   phi : Pathlang.Constr.t option;
   config : Config.t;
   explain : bool;
+  interact : bool;
+      (* the interaction analyzer is opt-in: the CLI flag (or the
+         [interact] subcommand) forces it on even when the config says
+         otherwise *)
 }
 
 let passes_run = Obs.Counter.make ~unit_:"passes" "lint.passes.run"
@@ -35,6 +39,7 @@ let run ?budget input =
     phi;
     config;
     explain;
+    interact;
   } =
     input
   in
@@ -82,8 +87,24 @@ let run ?budget input =
     pass "hygiene" (fun () ->
         Passes.hygiene ~sigma_file ?schema ?schema_file ?schema_spans spanned)
   in
+  let interact =
+    (* unlike the default-on passes, interact runs only when opted in:
+       by the [--interact] flag / [interact] subcommand, or by an
+       explicit [interact = true] in the config.  The flag wins over a
+       config-side [false] (an explicit request beats a default). *)
+    let enabled =
+      interact
+      || List.assoc_opt "interact" config.Config.passes = Some true
+    in
+    if enabled then
+      Obs.Span.with_ "lint.interact" (fun () ->
+          Obs.Counter.incr passes_run;
+          Interact.pass ~sigma_file ?schema ?budget ~explain spanned)
+    else []
+  in
   let all =
     classify @ typeflow @ vacuity @ inconsistency @ redundancy @ hygiene
+    @ interact
   in
   let all = Suppress.apply ~sigma_file pragmas all in
   let all = apply_severity config all in
@@ -169,7 +190,7 @@ let budget_fingerprint (budget : Core.Engine.Budget.t option) =
         | Some t -> Printf.sprintf "%g" t)
 
 let lint_paths ?budget ?schema_file ?phi ?config_file ?cache_dir
-    ?(explain = false) ~sigma_file () =
+    ?(explain = false) ?(interact = false) ~sigma_file () =
   (* configuration first: everything downstream depends on it *)
   let config_src, config_result =
     match config_file with
@@ -213,6 +234,7 @@ let lint_paths ?budget ?schema_file ?phi ?config_file ?cache_dir
                      Option.value phi ~default:"";
                      config_src;
                      (if explain then "explain" else "");
+                     (if interact then "interact" else "");
                      budget_fingerprint budget;
                    ])
         | _ -> None
@@ -302,6 +324,7 @@ let lint_paths ?budget ?schema_file ?phi ?config_file ?cache_dir
                                 phi;
                                 config;
                                 explain;
+                                interact;
                               })))
           in
           (match (cache_dir, cache_key) with

@@ -5,7 +5,9 @@
     ([PC6xx], schema-aware), vacuity ([PC2xx]), inconsistency ([PC4xx]),
     redundancy ([PC3xx] — skipped when Sigma is already known
     inconsistent, since an inconsistent theory implies everything),
-    hygiene ([PC5xx]).  After the passes: suppression pragmas are
+    hygiene ([PC5xx]), and — opt-in only — the constraint-interaction
+    analyzer ([PC7xx], {!Interact}).  After the passes: suppression
+    pragmas are
     applied (unused ones become [PC510]), then the configuration's
     severity overrides.  Parse failures short-circuit into
     [PC001]/[PC002]/[PC003] diagnostics so CI consumers see them in the
@@ -21,6 +23,9 @@ type input = {
   phi : Pathlang.Constr.t option;  (** optional goal, sharpens [PC1xx] *)
   config : Config.t;
   explain : bool;  (** emit [PC602] type-flow annotations *)
+  interact : bool;
+      (** force the [PC7xx] interaction analyzer on; [false] still runs
+          it when the config sets [[passes] interact = true] *)
 }
 
 val run : ?budget:Core.Engine.Budget.t -> input -> Diagnostic.t list
@@ -42,6 +47,7 @@ val lint_paths :
   ?config_file:string ->
   ?cache_dir:string ->
   ?explain:bool ->
+  ?interact:bool ->
   sigma_file:string ->
   unit ->
   Diagnostic.t list

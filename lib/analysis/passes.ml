@@ -2,6 +2,7 @@ module Path = Pathlang.Path
 module Label = Pathlang.Label
 module Constr = Pathlang.Constr
 module Fragment = Pathlang.Fragment
+module Store = Pathlang.Store
 module Mschema = Schema.Mschema
 module Mtype = Schema.Mtype
 module Schema_graph = Schema.Schema_graph
@@ -80,7 +81,10 @@ type verdict3 = V_implied | V_not | V_unknown
    - all constraints in P_w: the PTIME word procedure (complete
      untyped; still sound under a schema, since U(Delta) structures are
      a subclass of all structures);
-   - otherwise: the budgeted chase (sound only). *)
+   - otherwise: the budgeted chase (sound only).
+   Each route is fronted by the store's syntactic pre-filter (sound
+   under the route's own semantics), so the bulk of the positive
+   verdicts never reach the decision procedure. *)
 let make_decider ?schema ~budget ~clock sigma_all =
   match schema with
   | Some s
@@ -90,19 +94,25 @@ let make_decider ?schema ~budget ~clock sigma_all =
                 Result.is_ok (Schema_graph.check_constraint_paths s c))
               sigma_all ->
       let decide phi rest =
-        match Core.Typed_m.implies s ~sigma:rest ~phi with
-        | Ok true -> V_implied
-        | Ok false -> V_not
-        | Error _ -> V_unknown
+        if Store.implies_syntactic (Store.of_constraints ~typed:true rest) phi
+        then V_implied
+        else
+          match Core.Typed_m.implies s ~sigma:rest ~phi with
+          | Ok true -> V_implied
+          | Ok false -> V_not
+          | Error _ -> V_unknown
       in
       (decide, true, "cubic typed-M procedure, Theorem 4.2")
   | _ ->
       if List.for_all Fragment.in_pw sigma_all then
         let decide phi rest =
-          match Core.Word_untyped.implies ~sigma:rest phi with
-          | Ok true -> V_implied
-          | Ok false -> V_not
-          | Error _ -> V_unknown
+          if Store.implies_syntactic (Store.of_constraints rest) phi then
+            V_implied
+          else
+            match Core.Word_untyped.implies ~sigma:rest phi with
+            | Ok true -> V_implied
+            | Ok false -> V_not
+            | Error _ -> V_unknown
         in
         let exact = schema = None in
         (decide, exact, "PTIME word procedure")
@@ -152,9 +162,15 @@ let redundancy_report ?schema ?(budget = Engine.Budget.default) sigma =
         else if decide c (drop_nth i constrs) = V_implied then
           removable := (c, span) :: !removable)
       sigma;
-    (* greedy minimal cover: drop constraints (in input order) that stay
-       implied by what is kept *)
+    (* greedy minimal cover: drop constraints that stay implied by what
+       is kept, considered in the store's completed subsumption ordering
+       (subsumed constraints first, so a subsumer is never dropped in
+       favor of what it subsumes); the kept cover stays in input order *)
     let cover = ref constrs in
+    let candidates =
+      List.rev_map snd
+        (Store.completed_subsumption_ordering (Store.of_constraints constrs))
+    in
     if not (expired clock) then
       List.iter
         (fun c ->
@@ -175,7 +191,7 @@ let redundancy_report ?schema ?(budget = Engine.Budget.default) sigma =
                && decide c rest = V_implied
             then cover := rest
           end)
-        constrs;
+        candidates;
     {
       removable = List.rev !removable;
       cover = !cover;
@@ -319,40 +335,25 @@ let hygiene ~sigma_file ?schema ?schema_file ?schema_spans sigma =
      prefixes, [beta -> gamma] entails [beta.delta -> gamma.delta] for
      every delta (path containment is a right congruence: any witness z
      with beta(x,z) yields gamma(x,z), and appending delta to both sides
-     preserves the inclusion), so the longer constraint is implied *)
+     preserves the inclusion), so the longer constraint is implied.
+     The scan queries the store's subsumption ordering (hash-consed
+     prefixes bucket the candidates) instead of the quadratic list walk
+     it replaced; the witness — first in input order — is unchanged. *)
+  let store = Store.of_constraints (List.map fst sigma) in
+  let spans = Array.of_list (List.map snd sigma) in
   List.iter
     (fun (c, span) ->
-      if Constr.kind c = Constr.Forward then
-        let witness =
-          List.find_map
-            (fun (c', span') ->
-              if
-                Constr.kind c' = Constr.Forward
-                && (not (Constr.equal c c'))
-                && Path.equal (Constr.prefix c) (Constr.prefix c')
-              then
-                match
-                  ( Path.strip_prefix ~prefix:(Constr.lhs c') (Constr.lhs c),
-                    Path.strip_prefix ~prefix:(Constr.rhs c') (Constr.rhs c) )
-                with
-                | Some d1, Some d2
-                  when Path.equal d1 d2 && not (Path.is_empty d1) ->
-                    Some (c', span', d1)
-                | _ -> None
-              else None)
-            sigma
-        in
-        match witness with
-        | None -> ()
-        | Some (c', span', delta) ->
-            add
-              (diag ~file:sigma_file ~span "PC505" Diagnostic.Warning
-                 (Printf.sprintf
-                    "subsumed by the constraint at line %d (%s): appending \
-                     %s to both of its paths yields this constraint, so it \
-                     is entailed (right congruence)"
-                    span'.Pathlang.Span.line (Constr.to_string c')
-                    (Path.to_string delta))))
+      match Store.subsuming_member store c with
+      | None -> ()
+      | Some (i, c', delta) ->
+          add
+            (diag ~file:sigma_file ~span "PC505" Diagnostic.Warning
+               (Printf.sprintf
+                  "subsumed by the constraint at line %d (%s): appending \
+                   %s to both of its paths yields this constraint, so it \
+                   is entailed (right congruence)"
+                  spans.(i).Pathlang.Span.line (Constr.to_string c')
+                  (Path.to_string delta))))
     sigma;
   (* eps-path edge cases and tautologies *)
   List.iter

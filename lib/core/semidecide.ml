@@ -9,9 +9,25 @@ module Log = (val Logs.src_log src : Logs.LOG)
 let c_enum_fallbacks =
   Obs.Counter.make ~unit_:"calls" "semidecide.enum_fallbacks"
 
+let c_prefilter_hits =
+  Obs.Counter.make ~unit_:"calls" "semidecide.prefilter_hits"
+
 let implies ?ctl ?(enum_nodes = 3) ?park ?resume ~sigma phi =
   let ctl = match ctl with Some c -> c | None -> Engine.default () in
   Obs.Span.with_ "semidecide.implies" (fun () ->
+  (* Syntactic pre-filter: a containment derivation in the hash-consed
+     store is a sound positive verdict that costs no chase budget.  Only
+     when neither crash-injection hook is in play — a parked or resumed
+     chase must actually run so its snapshot discipline is exercised. *)
+  if
+    park = None && resume = None
+    && Pathlang.Store.implies_syntactic (Pathlang.Store.of_constraints sigma)
+         phi
+  then begin
+    Obs.Counter.incr c_prefilter_hits;
+    Verdict.Implied
+  end
+  else
   match Chase.implies ~ctl ?park ?resume ~sigma phi with
   | (Verdict.Implied | Verdict.Refuted _) as v -> v
   | Verdict.Unknown ({ Verdict.reason = Verdict.Crashed; _ } as e) ->

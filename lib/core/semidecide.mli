@@ -37,7 +37,14 @@ val implies :
     [park]/[resume] are forwarded to {!Chase.implies}.  A chase that
     ends in [Unknown {reason = Crashed}] (an injected crash that parked
     a snapshot) skips the enumeration fallback: the right follow-up is
-    resuming the parked chase, not a fresh bounded search. *)
+    resuming the parked chase, not a fresh bounded search.
+
+    Before the chase runs, the hash-consed constraint store's syntactic
+    pre-filter ({!Pathlang.Store.implies_syntactic}) is consulted; a hit
+    returns [Implied] without consuming any budget (counted as
+    [semidecide.prefilter_hits]).  The pre-filter is skipped whenever
+    [park] or [resume] is supplied, so crash-injection and resumption
+    always exercise the real chase. *)
 
 val implies_escalating :
   ?base_steps:int ->

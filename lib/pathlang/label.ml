@@ -22,5 +22,22 @@ let compare = String.compare
 let hash = Hashtbl.hash
 let pp = Format.pp_print_string
 
+(* Interning: a dense integer per distinct label, assigned on first
+   use.  The id is what the hash-consed path layer and the constraint
+   store key their tries on, so label comparison on the hot paths is an
+   integer test instead of a string walk.  Ids are stable within a
+   process, not across runs; nothing durable may depend on them. *)
+let intern : (string, int) Hashtbl.t = Hashtbl.create 64
+let next_id = ref 0
+
+let id s =
+  match Hashtbl.find_opt intern s with
+  | Some i -> i
+  | None ->
+      let i = !next_id in
+      incr next_id;
+      Hashtbl.add intern s i;
+      i
+
 module Set = Set.Make (String)
 module Map = Map.Make (String)

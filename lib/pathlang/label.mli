@@ -23,6 +23,12 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int
 
+val id : t -> int
+(** The label's interned id: a dense non-negative integer, unique per
+    distinct label and stable for the lifetime of the process (first
+    use assigns the next id).  {!Path} hash-consing and the constraint
+    {!Store} index on it.  Not stable across runs: never persist it. *)
+
 val pp : Format.formatter -> t -> unit
 
 (** Sets and maps over labels. *)

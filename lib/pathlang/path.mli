@@ -62,6 +62,9 @@ val rev : t -> t
 val labels_used : t -> Label.Set.t
 
 val equal : t -> t -> bool
+(** O(1): paths are hash-consed (two live paths with the same labels
+    are the same object), so equality is a pointer test.  Agrees with
+    structural equality of the label sequences (property-tested). *)
 
 val compare : t -> t -> int
 (** Shortlex-compatible total order: shorter paths first, then
@@ -74,6 +77,12 @@ val compare_lex : t -> t -> int
     shortlex). *)
 
 val hash : t -> int
+(** O(1): precomputed at interning time over the label ids. *)
+
+val id : t -> int
+(** The path's interning id: unique among live paths, stable for the
+    value's lifetime.  {!Store} keys its hash tables on it.  Like
+    {!Label.id} it is process-local — never persist it. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints [a.b.c]; the empty path prints as [eps]. *)

@@ -1,0 +1,418 @@
+(* A hash-consed, subsumption-ordered constraint store.
+
+   The store holds one constraint set Sigma as path e-classes over a
+   shared trie of interned paths, after ecta's [Internal.Paths]: each
+   trie node is one hash-consed path, union-find merges nodes that
+   Sigma forces to have equal endpoint sets, and merging propagates to
+   children (congruence: equal endpoint sets stay equal under a common
+   suffix).  On top of the classes it keeps the containment arcs of the
+   constraints themselves ([hasSubsumingMember]-style prefix
+   subsumption and [constraintsImply]-style syntactic entailment).
+
+   Everything here is *syntactic* and cheap — near-linear build, O(set)
+   queries — and *sound only*: [implies_syntactic] true means the
+   constraint really is entailed, false means "don't know"; a conflict
+   from [find_conflict] means Sigma really is unsatisfiable over the
+   schema.  The analysis layer uses these as pre-filters that
+   short-circuit the expensive decision procedures (the PTIME word
+   procedure, the cubic typed-M closure, the budgeted chase).
+
+   Soundness of the three inference steps encoded in the untyped mode
+   (over all semistructured structures, per Abiteboul-Vianu's complete
+   rule set for P_w, restated in Section 4.2 of the paper):
+   - membership and reflexivity are immediate;
+   - transitivity of containment arcs within a bucket of constraints
+     sharing one prefix [alpha]: for each [alpha]-endpoint the inclusion
+     of successor sets composes;
+   - right congruence: [beta -> gamma] entails
+     [beta.delta -> gamma.delta]; mutual containment ([p -> q] and
+     [q -> p]) makes the endpoint sets equal, and equality of endpoint
+     sets propagates to any common suffix, which is exactly the trie
+     merge with child propagation.
+
+   In typed mode ([~typed:true]) the store instead encodes the kind-M
+   reading (Lemmas 4.7/4.8: a constraint is an equality between the
+   endpoints of two root-anchored paths) and merges the full paths of
+   every constraint — the congruence closure of the cubic procedure,
+   minus the schema typing, which the caller supplies to
+   [find_conflict] as a key function.  Typed-mode conclusions are sound
+   over U(Delta) only. *)
+
+type node = {
+  nid : int;
+  path : Path.t;
+  mutable parent : node option; (* union-find; [None] = class root *)
+  mutable rank : int;
+  mutable children : (int * node) list; (* label id -> child, on class roots *)
+  mutable succs : node list; (* containment arcs out: this ⊑ succ *)
+}
+
+type graph = {
+  mutable fresh : int;
+  mutable all : node list; (* every node ever created, for iteration *)
+  trie : node; (* the eps node *)
+  mutable merges : int;
+}
+
+let new_node g path =
+  let n =
+    { nid = g.fresh; path; parent = None; rank = 0; children = []; succs = [] }
+  in
+  g.fresh <- g.fresh + 1;
+  g.all <- n :: g.all;
+  n
+
+let new_graph () =
+  let root =
+    { nid = 0; path = Path.empty; parent = None; rank = 0; children = []; succs = [] }
+  in
+  { fresh = 1; all = [ root ]; trie = root; merges = 0 }
+
+let rec find n =
+  match n.parent with
+  | None -> n
+  | Some p ->
+      let r = find p in
+      if r != p then n.parent <- Some r;
+      r
+
+(* Walk (and extend) the trie from [from] along [labels]; every node
+   lookup goes through [find] so the walk sees merged classes, which is
+   what makes congruence propagate through shared suffixes for free. *)
+let intern_from g from labels =
+  List.fold_left
+    (fun cur k ->
+      let cur = find cur in
+      let l = Label.id k in
+      match List.assoc_opt l cur.children with
+      | Some c -> find c
+      | None ->
+          let c = new_node g (Path.snoc cur.path k) in
+          cur.children <- (l, c) :: cur.children;
+          c)
+    (find from) labels
+
+let intern g p = intern_from g g.trie (Path.to_labels p)
+
+(* Non-extending lookup: [None] when the path was never interned. *)
+let lookup_from g from labels =
+  ignore g;
+  let rec go cur = function
+    | [] -> Some (find cur)
+    | k :: rest -> (
+        let cur = find cur in
+        match List.assoc_opt (Label.id k) cur.children with
+        | Some c -> go c rest
+        | None -> None)
+  in
+  go from labels
+
+let lookup g p = lookup_from g g.trie (Path.to_labels p)
+
+(* Union with congruence: merging two classes merges their equally
+   labeled children, recursively. *)
+let rec union g a b =
+  let ra = find a and rb = find b in
+  if ra != rb then begin
+    g.merges <- g.merges + 1;
+    let win, lose = if ra.rank >= rb.rank then (ra, rb) else (rb, ra) in
+    if win.rank = lose.rank then win.rank <- win.rank + 1;
+    lose.parent <- Some win;
+    win.succs <- List.rev_append lose.succs win.succs;
+    let pending = lose.children in
+    lose.children <- [];
+    List.iter
+      (fun (l, c) ->
+        (* a recursive child union can merge [win] itself away, so
+           re-find the current root before touching its child map *)
+        let w = find win in
+        match List.assoc_opt l w.children with
+        | Some c' -> if find c != find c' then union g c c'
+        | None -> w.children <- (l, c) :: w.children)
+      pending
+  end
+
+let add_arc u v =
+  let u = find u and v = find v in
+  if u != v then u.succs <- v :: u.succs
+
+let class_roots g =
+  List.filter (fun n -> find n == n) g.all
+
+(* Reachability over containment arcs on class roots. *)
+let leq u v =
+  let u = find u and v = find v in
+  if u == v then true
+  else begin
+    let seen = Hashtbl.create 16 in
+    let rec go frontier =
+      match frontier with
+      | [] -> false
+      | n :: rest ->
+          let n = find n in
+          if n == v then true
+          else if Hashtbl.mem seen n.nid then go rest
+          else begin
+            Hashtbl.add seen n.nid ();
+            go (List.rev_append n.succs rest)
+          end
+    in
+    go [ u ]
+  end
+
+(* Merge mutually containing classes ([p ⊑ q] and [q ⊑ p] force equal
+   endpoint sets), then re-close: a merge can expose new mutual pairs
+   through congruence, so iterate to a fixpoint.  Quadratic in the
+   worst case; constraint sets at lint scale keep it far from it. *)
+let close_mutual g =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun n ->
+        if find n == n then
+          List.iter
+            (fun s ->
+              let u = find n and v = find s in
+              if u != v && leq v u then begin
+                union g u v;
+                changed := true
+              end)
+            n.succs)
+      g.all
+  done
+
+(* --- the store ------------------------------------------------------------ *)
+
+type t = {
+  typed : bool;
+  constrs : Constr.t array;
+  root : graph; (* root-anchored paths: word arcs (untyped) or full equalities (typed) *)
+  buckets : (int, graph) Hashtbl.t; (* forward constraints, relative paths, keyed by root class id of the prefix *)
+  by_prefix : (int, (int * Constr.t) list) Hashtbl.t;
+      (* forward constraints grouped by the *exact* prefix path id, input order *)
+  backwards : (int * Constr.t) list; (* input order *)
+}
+
+(* The Lemma 4.7/4.8 translation, locally (the store cannot depend on
+   [Core]): the pair of root-anchored paths whose endpoint equality is
+   equivalent to the constraint over U(Delta). *)
+let word_equality c =
+  let prefix = Constr.prefix c in
+  match Constr.kind c with
+  | Constr.Forward ->
+      (Path.concat prefix (Constr.lhs c), Path.concat prefix (Constr.rhs c))
+  | Constr.Backward ->
+      (prefix, Path.concat (Path.concat prefix (Constr.lhs c)) (Constr.rhs c))
+
+let bucket_key st prefix =
+  (find (intern st.root prefix)).nid
+
+let of_constraints ?(typed = false) constrs =
+  let st =
+    {
+      typed;
+      constrs = Array.of_list constrs;
+      root = new_graph ();
+      buckets = Hashtbl.create 8;
+      by_prefix = Hashtbl.create 8;
+      backwards = [];
+    }
+  in
+  (* root graph: intern every root-anchored path the constraints walk,
+     then the semantic edges *)
+  Array.iter
+    (fun c -> List.iter (fun p -> ignore (intern st.root p)) (Constr.paths_used c))
+    st.constrs;
+  Array.iter
+    (fun c ->
+      if typed then begin
+        let p, q = word_equality c in
+        union st.root (intern st.root p) (intern st.root q)
+      end
+      else
+        match Constr.kind c with
+        | Constr.Forward ->
+            (* [alpha : beta -> gamma] gives
+               endpoints(alpha.beta) ⊆ endpoints(alpha.gamma): the
+               pointwise inclusions union over the alpha endpoints. *)
+            let prefix = Constr.prefix c in
+            add_arc
+              (intern st.root (Path.concat prefix (Constr.lhs c)))
+              (intern st.root (Path.concat prefix (Constr.rhs c)))
+        | Constr.Backward ->
+            (* no sound root-set inclusion untyped: the return path
+               only covers alpha endpoints that have a beta successor *)
+            ())
+    st.constrs;
+  if not typed then close_mutual st.root;
+  (* per-prefix buckets of forward constraints, relative to the prefix;
+     bucketed by the prefix's *class* so constraints whose prefixes
+     Sigma proved coextensive share one bucket *)
+  let backwards = ref [] in
+  Array.iteri
+    (fun i c ->
+      match Constr.kind c with
+      | Constr.Backward -> backwards := (i, c) :: !backwards
+      | Constr.Forward ->
+          let exact = Path.id (Constr.prefix c) in
+          let group = Option.value ~default:[] (Hashtbl.find_opt st.by_prefix exact) in
+          Hashtbl.replace st.by_prefix exact (group @ [ (i, c) ]);
+          let key = bucket_key st (Constr.prefix c) in
+          let b =
+            match Hashtbl.find_opt st.buckets key with
+            | Some b -> b
+            | None ->
+                let b = new_graph () in
+                Hashtbl.add st.buckets key b;
+                b
+          in
+          add_arc (intern b (Constr.lhs c)) (intern b (Constr.rhs c)))
+    st.constrs;
+  Hashtbl.iter (fun _ b -> close_mutual b) st.buckets;
+  { st with backwards = List.rev !backwards }
+
+let size st = Array.length st.constrs
+let constraints st = Array.to_list st.constrs
+
+let mem st c =
+  match Constr.kind c with
+  | Constr.Backward -> List.exists (fun (_, c') -> Constr.equal c c') st.backwards
+  | Constr.Forward -> (
+      match Hashtbl.find_opt st.by_prefix (Path.id (Constr.prefix c)) with
+      | None -> false
+      | Some group -> List.exists (fun (_, c') -> Constr.equal c c') group)
+
+(* ecta's [hasSubsumingMember], specialized to right congruence: the
+   first stored forward constraint (input order) with the same prefix
+   from which [c] follows by appending one common non-empty suffix to
+   both paths.  Exactly the PC505 witness. *)
+let subsuming_member st c =
+  if Constr.kind c <> Constr.Forward then None
+  else
+    match Hashtbl.find_opt st.by_prefix (Path.id (Constr.prefix c)) with
+    | None -> None
+    | Some group ->
+        List.find_map
+          (fun (i, c') ->
+            if Constr.equal c c' then None
+            else
+              match
+                ( Path.strip_prefix ~prefix:(Constr.lhs c') (Constr.lhs c),
+                  Path.strip_prefix ~prefix:(Constr.rhs c') (Constr.rhs c) )
+              with
+              | Some d1, Some d2 when Path.equal d1 d2 && not (Path.is_empty d1)
+                ->
+                  Some (i, c', d1)
+              | _ -> None)
+          group
+
+(* ecta's [completedSubsumptionOrdering]: a linear extension of the
+   subsumption partial order — a subsumer is strictly shorter than what
+   it subsumes (same prefix, one common suffix appended to both paths),
+   so sorting by body length, stably on input position, places every
+   subsumer before everything it subsumes. *)
+let completed_subsumption_ordering st =
+  let weighted =
+    Array.to_list
+      (Array.mapi
+         (fun i c ->
+           (Path.length (Constr.lhs c) + Path.length (Constr.rhs c), i, c))
+         st.constrs)
+  in
+  List.map
+    (fun (_, i, c) -> (i, c))
+    (List.stable_sort
+       (fun (w1, i1, _) (w2, i2, _) ->
+         match Int.compare w1 w2 with 0 -> Int.compare i1 i2 | c -> c)
+       weighted)
+
+(* Endpoint-set equality of two root-anchored paths, as far as the
+   syntactic closure sees it. *)
+let same_class st p q =
+  Path.equal p q || find (intern st.root p) == find (intern st.root q)
+
+let implies_syntactic st phi =
+  if st.typed then
+    let p, q = word_equality phi in
+    same_class st p q
+  else
+    match Constr.kind phi with
+    | Constr.Backward -> mem st phi
+    | Constr.Forward -> (
+        let lhs = Constr.lhs phi and rhs = Constr.rhs phi in
+        Path.equal lhs rhs (* reflexivity *)
+        ||
+        match Hashtbl.find_opt st.buckets (bucket_key st (Constr.prefix phi)) with
+        | None -> false
+        | Some b ->
+            (* try every common-suffix split: right congruence lifts a
+               derivation of the stripped pair to the full one *)
+            let rl = List.rev (Path.to_labels lhs)
+            and rr = List.rev (Path.to_labels rhs) in
+            let rec strip rl rr =
+              (match
+                 ( lookup b (Path.rev (Path.of_labels rl)),
+                   lookup b (Path.rev (Path.of_labels rr)) )
+               with
+              | Some u, Some v -> leq u v
+              | _ -> false)
+              ||
+              match (rl, rr) with
+              | a :: rl', b' :: rr' when Label.equal a b' -> strip rl' rr'
+              | _ -> false
+            in
+            strip rl rr)
+
+(* Scan the e-classes of the root graph for two members whose keys
+   disagree: with [key] = the schema's path typing, a hit is a sort
+   clash, i.e. a sound unsatisfiability witness over U(Delta). *)
+let find_conflict st ~key ~eq =
+  let by_class = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      let r = find n in
+      Hashtbl.replace by_class r.nid
+        (n :: Option.value ~default:[] (Hashtbl.find_opt by_class r.nid)))
+    st.root.all;
+  let exception Found of (Path.t * Path.t) in
+  try
+    Hashtbl.iter
+      (fun _ members ->
+        match members with
+        | [] | [ _ ] -> ()
+        | _ ->
+            let first = ref None in
+            List.iter
+              (fun n ->
+                match key n.path with
+                | None -> ()
+                | Some k -> (
+                    match !first with
+                    | None -> first := Some (n.path, k)
+                    | Some (p0, k0) ->
+                        if not (eq k0 k) then raise (Found (p0, n.path))))
+              members)
+      by_class;
+    None
+  with Found pair -> Some pair
+
+let eclasses st =
+  let by_class = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      let r = find n in
+      Hashtbl.replace by_class r.nid
+        (n.path :: Option.value ~default:[] (Hashtbl.find_opt by_class r.nid)))
+    st.root.all;
+  Hashtbl.fold
+    (fun _ paths acc ->
+      match paths with [] | [ _ ] -> acc | ps -> List.sort Path.compare ps :: acc)
+    by_class []
+  |> List.sort (fun a b -> Path.compare (List.hd a) (List.hd b))
+
+type stats = { paths : int; classes : int; merges : int }
+
+let stats st =
+  let roots = List.length (class_roots st.root) in
+  { paths = List.length st.root.all; classes = roots; merges = st.root.merges }

@@ -1,0 +1,82 @@
+(** A hash-consed, subsumption-ordered constraint store.
+
+    The store holds one constraint set Sigma as path e-classes over a
+    trie of hash-consed paths with union-find merging, plus the
+    containment arcs the constraints induce.  All queries are
+    {e syntactic, cheap and sound-only}: a [true]/[Some _] answer is a
+    theorem, a [false]/[None] answer means "not derivable by the cheap
+    rules" — the caller falls through to a decision procedure (the
+    PTIME word procedure, the cubic typed-M closure, or the budgeted
+    chase).  The analysis layer ([Analysis.Interact], the PC505 hygiene
+    pass, the redundancy pass) drives all its scans through this module
+    instead of ad-hoc list walks.
+
+    Untyped mode reasons over {e all} semistructured structures with
+    membership, reflexivity, per-prefix transitivity, right congruence
+    (appending a common suffix to both paths of a forward constraint)
+    and mutual-containment collapse.  Typed mode ([~typed:true])
+    additionally reads every constraint as a root-anchored endpoint
+    equality (Lemmas 4.7/4.8, sound over U(Delta) for kind-M schemas)
+    and congruence-closes the equalities. *)
+
+type t
+
+val of_constraints : ?typed:bool -> Constr.t list -> t
+(** Build the store for a constraint set.  [typed] (default [false])
+    selects the kind-M equality reading; conclusions of a typed store
+    are sound only over unfoldings of an M-schema. *)
+
+val size : t -> int
+(** Number of stored constraints. *)
+
+val constraints : t -> Constr.t list
+(** The stored constraints, in input order. *)
+
+val mem : t -> Constr.t -> bool
+(** Exact (syntactic) membership of a constraint in the set. *)
+
+val subsuming_member : t -> Constr.t -> (int * Constr.t * Path.t) option
+(** [subsuming_member st c] is [Some (i, c', delta)] when the stored
+    forward constraint [c'] (0-based input index [i], first such in
+    input order) has the same prefix as [c] and appending the non-empty
+    suffix [delta] to both of its paths yields [c] — so [c] is entailed
+    by right congruence.  [c] itself never subsumes.  This is the
+    hygiene (PC505) witness; after ecta's [hasSubsumingMember]. *)
+
+val completed_subsumption_ordering : t -> (int * Constr.t) list
+(** A linear extension of the subsumption order: every subsumer comes
+    before everything it subsumes (sorted by total body length, stable
+    on input position, so it is deterministic).  The redundancy pass
+    peels candidates in this order so subsumed constraints are
+    considered for removal first.  After ecta's
+    [completedSubsumptionOrdering]. *)
+
+val implies_syntactic : t -> Constr.t -> bool
+(** Sound pre-filter for entailment: [true] means Sigma entails the
+    constraint (over all structures untyped; over U(Delta) typed);
+    [false] means unknown.  After ecta's [constraintsImply]. *)
+
+val same_class : t -> Path.t -> Path.t -> bool
+(** [same_class st p q]: the closure proved the two root-anchored paths
+    have equal endpoint sets. *)
+
+val find_conflict :
+  t ->
+  key:(Path.t -> 'k option) ->
+  eq:('k -> 'k -> bool) ->
+  (Path.t * Path.t) option
+(** [find_conflict st ~key ~eq] scans the e-classes for two members
+    whose keys exist and disagree.  With [key] = the schema's
+    path-typing function this is a sort clash: a sound witness (in a
+    typed store) that Sigma is unsatisfiable over U(Delta), returned as
+    the two clashing paths. *)
+
+val eclasses : t -> Path.t list list
+(** The non-trivial e-classes of root-anchored paths (each sorted, the
+    list sorted by first member) — for [--explain] output and tests. *)
+
+type stats = { paths : int; classes : int; merges : int }
+
+val stats : t -> stats
+(** [paths] interned nodes, [classes] live e-classes, [merges] unions
+    performed while closing. *)

@@ -1,0 +1,324 @@
+(* The hash-consed constraint store: unit coverage of the trie /
+   union-find / containment machinery, and the soundness property tests
+   the PC7xx analyzer relies on — every [true] from the syntactic
+   pre-filters must be confirmed by the corresponding decision
+   procedure. *)
+
+open Testutil
+module Store = Pathlang.Store
+module WU = Core.Word_untyped
+module Chase = Core.Chase
+module Verdict = Core.Verdict
+module Typed_m = Core.Typed_m
+module Mschema = Schema.Mschema
+module Mtype = Schema.Mtype
+module Schema_graph = Schema.Schema_graph
+
+let extent () = Xmlrep.Bib.extent_constraints ()
+
+(* --- hash-consing ---------------------------------------------------------- *)
+
+let test_hashcons_basics () =
+  let p = path "a.b.c" and q = Path.of_strings [ "a"; "b"; "c" ] in
+  check_bool "same labels, same object" true (p == q);
+  check_bool "equal" true (Path.equal p q);
+  check_int "same id" (Path.id p) (Path.id q);
+  check_int "same hash" (Path.hash p) (Path.hash q);
+  check_bool "distinct paths differ" false (Path.equal p (path "a.b"))
+
+let prop_hashcons_equality =
+  q ~count:500 "hash-consed equality agrees with structural equality"
+    QCheck.(pair arb_path arb_path)
+    (fun (p1, p2) ->
+      let structural =
+        List.equal Label.equal (Path.to_labels p1) (Path.to_labels p2)
+      in
+      Path.equal p1 p2 = structural && (p1 == p2) = structural)
+
+let prop_hashcons_roundtrip =
+  q ~count:500 "of_string . to_string is the identity object"
+    arb_path
+    (fun p -> Path.of_string (Path.to_string p) == p)
+
+(* --- membership and derivations ------------------------------------------- *)
+
+let test_mem () =
+  let sigma = extent () in
+  let st = Store.of_constraints sigma in
+  check_int "size" (List.length sigma) (Store.size st);
+  List.iter
+    (fun c -> check_bool (Constr.to_string c) true (Store.mem st c))
+    sigma;
+  check_bool "non-member" false (Store.mem st (c_word "person" "book"));
+  check_bool "non-member backward" false
+    (Store.mem st (c_bwd "book" "ref" "ref"))
+
+let test_implies_direct_and_transitive () =
+  let st = Store.of_constraints (extent ()) in
+  check_bool "member: book.ref -> book" true
+    (Store.implies_syntactic st (c_word "book.ref" "book"));
+  check_bool "reflexivity" true
+    (Store.implies_syntactic st (c_word "book.title" "book.title"));
+  check_bool "transitivity: book.ref.author -> person" true
+    (* book.ref.author -> book.author -> person?  No: the store only
+       chains arcs between interned paths; book.ref.author is not one.
+       The derivable chain is book.author -> person with suffix
+       stripping unavailable, so this must go through the bucket arcs
+       that do exist. *)
+    (Store.implies_syntactic st (c_word "book.author" "person"));
+  check_bool "not implied: person -> book" false
+    (Store.implies_syntactic st (c_word "person" "book"))
+
+let test_implies_right_congruence () =
+  let st = Store.of_constraints [ c_word "a" "b" ] in
+  check_bool "a.c -> b.c (strip common suffix)" true
+    (Store.implies_syntactic st (c_word "a.c" "b.c"));
+  check_bool "a.c.c -> b.c.c" true
+    (Store.implies_syntactic st (c_word "a.c.c" "b.c.c"));
+  check_bool "no left congruence" false
+    (Store.implies_syntactic st (c_word "c.a" "c.b"))
+
+let test_implies_transitive_chain () =
+  let st = Store.of_constraints [ c_word "a" "b"; c_word "b" "c" ] in
+  check_bool "a -> c" true (Store.implies_syntactic st (c_word "a" "c"));
+  check_bool "a.x -> c.x" true
+    (Store.implies_syntactic st (c_word "a.x" "c.x"));
+  check_bool "c -> a not derivable" false
+    (Store.implies_syntactic st (c_word "c" "a"))
+
+let test_mutual_containment_merges () =
+  let st = Store.of_constraints [ c_word "a" "b"; c_word "b" "a" ] in
+  check_bool "same class" true (Store.same_class st (path "a") (path "b"));
+  check_bool "both directions" true
+    (Store.implies_syntactic st (c_word "b" "a")
+    && Store.implies_syntactic st (c_word "a" "b"));
+  let stats = Store.stats st in
+  check_bool "at least one merge" true (stats.Store.merges >= 1);
+  check_bool "eclass listed" true
+    (List.exists
+       (fun cls -> List.mem (path "a") cls && List.mem (path "b") cls)
+       (Store.eclasses st))
+
+let test_forward_prefix_bucket () =
+  let st = Store.of_constraints [ c_fwd "p" "a" "b"; c_fwd "p" "b" "c" ] in
+  check_bool "bucketed transitivity" true
+    (Store.implies_syntactic st (c_fwd "p" "a" "c"));
+  check_bool "other prefix unaffected" false
+    (Store.implies_syntactic st (c_fwd "q" "a" "c"))
+
+let test_typed_mode_equalities () =
+  (* under kind M a forward constraint is an endpoint equality, so it
+     implies its own converse *)
+  let st = Store.of_constraints ~typed:true [ c_word "book.ref" "book" ] in
+  check_bool "converse implied (typed)" true
+    (Store.implies_syntactic st (c_word "book" "book.ref"));
+  let st_u = Store.of_constraints [ c_word "book.ref" "book" ] in
+  check_bool "converse not syntactic untyped" false
+    (Store.implies_syntactic st_u (c_word "book" "book.ref"))
+
+let test_typed_backward_translation () =
+  (* backward alpha: beta <- gamma is alpha ~ alpha.beta.gamma *)
+  let st = Store.of_constraints ~typed:true [ c_bwd "book" "ref" "ref" ] in
+  check_bool "book ~ book.ref.ref" true
+    (Store.same_class st (path "book") (path "book.ref.ref"))
+
+let test_find_conflict () =
+  (* force book.year (int) and book.title (string) together *)
+  let schema = Mschema.bib_m in
+  let sigma =
+    [ c_word "book.year" "book.title"; c_word "book.title" "book.year" ]
+  in
+  let st = Store.of_constraints ~typed:true sigma in
+  (match
+     Store.find_conflict st
+       ~key:(fun p -> Schema_graph.type_of_path schema p)
+       ~eq:Mtype.equal
+   with
+  | Some (p, q) ->
+      check_bool "clashing paths differ" false (Path.equal p q)
+  | None -> Alcotest.fail "expected a sort clash");
+  (* sanity: the typed procedure agrees *)
+  match Typed_m.satisfiable schema ~sigma with
+  | Ok b -> check_bool "typed_m agrees unsat" false b
+  | Error e -> Alcotest.failf "typed_m error: %s" e
+
+let test_subsumption_ordering () =
+  let sigma =
+    [
+      c_word "book.author.wrote" "person.wrote";
+      c_word "book.author" "person";
+      c_word "person.wrote" "book";
+    ]
+  in
+  let st = Store.of_constraints sigma in
+  let order = Store.completed_subsumption_ordering st in
+  check_int "permutation" (List.length sigma) (List.length order);
+  (* the subsumer (book.author -> person) must precede what it subsumes *)
+  let pos i = Option.get (List.find_index (fun (j, _) -> j = i) order) in
+  check_bool "subsumer first" true (pos 1 < pos 0)
+
+(* --- subsuming_member: parity with the spec scan --------------------------- *)
+
+(* The reference implementation: the hygiene pass's original ad-hoc
+   scan, kept verbatim as the oracle. *)
+let reference_subsuming sigma c =
+  if Constr.kind c <> Constr.Forward then None
+  else
+    List.find_map
+      (fun (i, c') ->
+        if
+          Constr.kind c' = Constr.Forward
+          && (not (Constr.equal c c'))
+          && Path.equal (Constr.prefix c) (Constr.prefix c')
+        then
+          match
+            ( Path.strip_prefix ~prefix:(Constr.lhs c') (Constr.lhs c),
+              Path.strip_prefix ~prefix:(Constr.rhs c') (Constr.rhs c) )
+          with
+          | Some d1, Some d2 when Path.equal d1 d2 && not (Path.is_empty d1)
+            ->
+              Some (i, c', d1)
+          | _ -> None
+        else None)
+      (List.mapi (fun i c -> (i, c)) sigma)
+
+let arb_small_sigma =
+  QCheck.make
+    QCheck.Gen.(list_size (int_bound 6) gen_constraint)
+    ~print:print_sigma
+
+let prop_subsuming_member_parity =
+  q ~count:300 "subsuming_member agrees with the reference scan"
+    arb_small_sigma
+    (fun sigma ->
+      let st = Store.of_constraints sigma in
+      List.for_all
+        (fun c ->
+          match (Store.subsuming_member st c, reference_subsuming sigma c) with
+          | None, None -> true
+          | Some (i, c', d), Some (i', c'', d') ->
+              i = i' && Constr.equal c' c'' && Path.equal d d'
+          | _ -> false)
+        sigma)
+
+(* --- soundness of the pre-filters ------------------------------------------ *)
+
+let prop_word_soundness =
+  q ~count:300 "implies_syntactic sound vs the PTIME word procedure"
+    QCheck.(pair arb_word_sigma arb_word_constraint)
+    (fun (sigma, phi) ->
+      let st = Store.of_constraints sigma in
+      (not (Store.implies_syntactic st phi))
+      || WU.implies ~sigma phi = Ok true)
+
+let prop_untyped_soundness_vs_chase =
+  q ~count:100 "implies_syntactic never contradicted by a chase refutation"
+    QCheck.(
+      pair
+        (make Gen.(list_size (int_bound 4) gen_constraint) ~print:print_sigma)
+        arb_constraint)
+    (fun (sigma, phi) ->
+      let st = Store.of_constraints sigma in
+      (not (Store.implies_syntactic st phi))
+      ||
+      match Chase.implies ~sigma phi with
+      | Verdict.Refuted _ -> false
+      | Verdict.Implied | Verdict.Unknown _ -> true)
+
+let prop_typed_soundness =
+  q ~count:150 "typed implies_syntactic sound vs the cubic typed-M procedure"
+    (QCheck.make
+       QCheck.Gen.(int_bound 1_000_000)
+       ~print:string_of_int)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let schema = Mschema.bib_m in
+      let sigma =
+        Typed_m.random_constraints ~rng ~schema ~count:4 ~max_len:3
+      in
+      let phi =
+        match Typed_m.random_constraints ~rng ~schema ~count:1 ~max_len:3 with
+        | [ c ] -> c
+        | _ -> QCheck.assume_fail ()
+      in
+      let st = Store.of_constraints ~typed:true sigma in
+      (not (Store.implies_syntactic st phi))
+      ||
+      match Typed_m.implies schema ~sigma ~phi with
+      | Ok b -> b
+      | Error _ -> false)
+
+let prop_conflict_soundness =
+  q ~count:150 "find_conflict sound vs typed-M satisfiability"
+    (QCheck.make
+       QCheck.Gen.(int_bound 1_000_000)
+       ~print:string_of_int)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let schema = Mschema.bib_m in
+      let sigma =
+        Typed_m.random_constraints ~rng ~schema ~count:5 ~max_len:3
+      in
+      let st = Store.of_constraints ~typed:true sigma in
+      match
+        Store.find_conflict st
+          ~key:(fun p -> Schema_graph.type_of_path schema p)
+          ~eq:Mtype.equal
+      with
+      | None -> true
+      | Some _ -> Typed_m.satisfiable schema ~sigma = Ok false)
+
+(* --- untyped store is conservative: membership of sigma always implied ----- *)
+
+let prop_members_implied =
+  q ~count:200 "every stored constraint is syntactically implied"
+    arb_small_sigma
+    (fun sigma ->
+      let st = Store.of_constraints sigma in
+      let st_t = Store.of_constraints ~typed:true sigma in
+      List.for_all
+        (fun c ->
+          Store.mem st c
+          && (Constr.kind c = Constr.Backward || Store.implies_syntactic st c)
+          && Store.implies_syntactic st_t c)
+        sigma)
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "hashcons",
+        [
+          Alcotest.test_case "basics" `Quick test_hashcons_basics;
+          prop_hashcons_equality;
+          prop_hashcons_roundtrip;
+        ] );
+      ( "derivations",
+        [
+          Alcotest.test_case "mem" `Quick test_mem;
+          Alcotest.test_case "direct+transitive" `Quick
+            test_implies_direct_and_transitive;
+          Alcotest.test_case "right congruence" `Quick
+            test_implies_right_congruence;
+          Alcotest.test_case "transitive chain" `Quick
+            test_implies_transitive_chain;
+          Alcotest.test_case "mutual containment" `Quick
+            test_mutual_containment_merges;
+          Alcotest.test_case "prefix buckets" `Quick test_forward_prefix_bucket;
+          Alcotest.test_case "typed equalities" `Quick
+            test_typed_mode_equalities;
+          Alcotest.test_case "typed backward" `Quick
+            test_typed_backward_translation;
+          Alcotest.test_case "find_conflict" `Quick test_find_conflict;
+          Alcotest.test_case "subsumption ordering" `Quick
+            test_subsumption_ordering;
+        ] );
+      ( "properties",
+        [
+          prop_subsuming_member_parity;
+          prop_word_soundness;
+          prop_untyped_soundness_vs_chase;
+          prop_typed_soundness;
+          prop_conflict_soundness;
+          prop_members_implied;
+        ] );
+    ]
