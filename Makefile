@@ -1,6 +1,6 @@
 # Convenience wrapper around dune.
 
-.PHONY: all build test check bench bench-check bench-chase profile fmt clean lint
+.PHONY: all build test check bench bench-check bench-chase profile flame metrics fmt clean lint
 
 all: build
 
@@ -35,6 +35,21 @@ bench-chase:
 profile: build
 	dune exec bin/pathctl.exe -- profile --workload chase \
 	  -s examples/data/sigma0.constraints "book.ref.author -> person" -n 20
+
+# folded stacks of the chase workload, ready for flamegraph.pl or
+# inferno-flamegraph (pipe FLAME.folded into either to get an SVG)
+flame: build
+	dune exec bin/pathctl.exe -- profile --workload chase \
+	  -s examples/data/sigma0.constraints "book.ref.author -> person" -n 20 \
+	  --flame FLAME.folded
+	@echo "wrote FLAME.folded (flamegraph.pl FLAME.folded > flame.svg)"
+
+# OpenMetrics exposition of the same chase workload: every counter,
+# gauge, histogram and span aggregate, scrape-ready
+metrics: build
+	dune exec bin/pathctl.exe -- chase -s examples/data/sigma0.constraints \
+	  "MIT.book.author -> MIT.person" --metrics METRICS.prom
+	@echo "wrote METRICS.prom"
 
 # dogfood the static analyzer over the shipped examples (text report;
 # warnings are expected on the deliberately-bad lint fixtures, errors

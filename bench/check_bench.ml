@@ -13,6 +13,11 @@ module J = Obs.Json
 
 let max_slowdown = 3.0
 
+(* The obs registry's disabled path must stay under 2% of a decide
+   call; the timing harness prices it into the obs-disabled-overhead
+   cell as a permille counter, gated here. *)
+let max_overhead_permille = 20
+
 let fail fmt =
   Printf.ksprintf
     (fun s ->
@@ -36,6 +41,7 @@ type cell = {
   name : string;
   sizes : int list;
   wall_ns : float list;
+  counters : (string * int) list;
 }
 
 (* Shape-check one cell object; every malformation is fatal. *)
@@ -48,7 +54,12 @@ let validate_cell path j =
   let name = field "cell" J.as_string in
   let ctx msg = Printf.sprintf "%s: cell %S: %s" path name msg in
   ignore (field "claim" J.as_string);
-  ignore (field "counters" J.as_obj);
+  let counters =
+    List.map
+      (fun (k, v) ->
+        (k, get (ctx ("counter " ^ k ^ " must be an integer")) (J.as_int v)))
+      (field "counters" J.as_obj)
+  in
   (match J.member "exponent" j with
   | Some (J.Float _ | J.Int _ | J.Null) -> ()
   | _ -> fail "%s" (ctx "exponent must be a number (null when unmeasured)"));
@@ -76,7 +87,7 @@ let validate_cell path j =
     List.length wall_ns <> List.length sizes
     || List.length minor_words <> List.length sizes
   then fail "%s" (ctx "sizes/wall_ns/minor_words lengths disagree");
-  { name; sizes; wall_ns }
+  { name; sizes; wall_ns; counters }
 
 let validate path =
   let doc = parse path in
@@ -116,6 +127,25 @@ let () =
   let fresh = validate fresh_path in
   Printf.printf "check_bench: %s is well-formed (%d cells)\n" fresh_path
     (List.length fresh);
+  (* absolute gate, checked even without a baseline: the disabled-mode
+     instrumentation budget is a contract, not a relative drift *)
+  (match List.find_opt (fun c -> c.name = "obs-disabled-overhead") fresh with
+  | None -> ()
+  | Some c -> (
+      match List.assoc_opt "obs.overhead_permille" c.counters with
+      | None ->
+          fail "%s: obs-disabled-overhead cell lacks obs.overhead_permille"
+            fresh_path
+      | Some permille ->
+          Printf.printf "  %-24s %d permille (gate %d)\n" c.name permille
+            max_overhead_permille;
+          if permille > max_overhead_permille then begin
+            Printf.eprintf
+              "check_bench: disabled-mode obs overhead %d permille exceeds \
+               the %d permille (2%%) budget\n"
+              permille max_overhead_permille;
+            exit 2
+          end));
   match base_path with
   | None -> ()
   | Some bp ->

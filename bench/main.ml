@@ -683,6 +683,89 @@ let interact_cell () =
           | Some _ -> ()
           | None -> failwith "bench interact workload must be unsatisfiable"))
 
+(* --- observability: disabled-mode overhead as a gated cell -------------- *)
+
+(* The obs registry's contract is a near-zero disabled path: every
+   probe is one flag test.  This cell prices that path directly —
+   per-op cost of a disabled counter bump and a disabled span bracket,
+   times the number of probes a representative decide call executes —
+   and reports the total as permille of the decide's wall-clock.  The
+   regression gate (check_bench) fails above 20 permille (2%). *)
+let obs_overhead_cell () =
+  sub "obs disabled-mode overhead (gated at 20 permille of a decide)";
+  let sigma =
+    [
+      Constr.backward ~prefix:(p "book") ~lhs:(p "author") ~rhs:(p "wrote");
+      Constr.backward ~prefix:(p "person") ~lhs:(p "wrote") ~rhs:(p "author");
+    ]
+  in
+  let phi = Constr.word ~lhs:(p "book.author.wrote") ~rhs:(p "book") in
+  let budget = Core.Engine.Budget.steps_nodes 2000 2000 in
+  let decide () =
+    ignore (Core.Semidecide.implies ~ctl:(Core.Engine.start budget) ~sigma phi)
+  in
+  (* probe counts for this workload, counted once under instrumentation *)
+  Obs.enable ();
+  Obs.reset ();
+  decide ();
+  let counter_ops =
+    List.fold_left (fun a (_, v) -> a + v) 0 (Obs.Counter.snapshot ())
+  in
+  let span_ops =
+    List.fold_left
+      (fun a (_, s) -> a + s.Obs.Stats.count)
+      0
+      (Obs.Stats.spans ())
+  in
+  Obs.reset ();
+  Obs.disable ();
+  (* per-probe disabled-path cost, amortized over a tight loop *)
+  let probe = Obs.Counter.make ~unit_:"ops" "bench.disabled_probe" in
+  let k = 1000 in
+  let incr_ns =
+    (measure (fun () ->
+         for _ = 1 to k do
+           Obs.Counter.incr probe
+         done))
+      .wall_ns
+    /. float_of_int k
+  in
+  let span_ns =
+    (measure (fun () ->
+         for _ = 1 to k do
+           Obs.Span.with_ "bench.disabled_probe" ignore
+         done))
+      .wall_ns
+    /. float_of_int k
+  in
+  let m = measure decide in
+  let overhead_ns =
+    (float_of_int counter_ops *. incr_ns) +. (float_of_int span_ops *. span_ns)
+  in
+  let permille =
+    int_of_float (Float.ceil (overhead_ns /. m.wall_ns *. 1000.))
+  in
+  Printf.printf
+    "  %d counter probes @ %.2f ns + %d span probes @ %.2f ns over a %s \
+     decide: %d permille\n"
+    counter_ops incr_ns span_ops span_ns (pp_ns m.wall_ns) permille;
+  cells :=
+    {
+      cell_name = "obs-disabled-overhead";
+      claim =
+        "disabled-mode instrumentation costs < 2% of a decide call (gated \
+         at 20 permille)";
+      points = [ (1, m) ];
+      exponent = 0.;
+      counters =
+        [
+          ("obs.overhead_permille", max 1 permille);
+          ("obs.counter_ops_per_decide", counter_ops);
+          ("obs.span_ops_per_decide", span_ops);
+        ];
+    }
+    :: !cells
+
 let timing () =
   section "Timing: complexity shapes of the decidable cells";
   let rng0 = rng () in
@@ -750,6 +833,7 @@ let timing () =
   snapshot_cell ();
   analyzer_cell ();
   interact_cell ();
+  obs_overhead_cell ();
 
   section "Ablations";
 
@@ -1011,6 +1095,10 @@ let () =
       | "lint" ->
           section "Analyzer: lint pipeline scaling";
           analyzer_cell ();
+          write_table1_json !out_path
+      | "obs" ->
+          section "Observability: disabled-mode overhead";
+          obs_overhead_cell ();
           write_table1_json !out_path
       | "raw" -> raw ()
       | "all" | _ ->

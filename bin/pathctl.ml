@@ -73,24 +73,49 @@ let stats_fmt = Arg.enum [ ("text", `Text); ("json", `Json) ]
 let stats_arg =
   Arg.(
     value
-    & opt ~vopt:(Some `Text) (some stats_fmt) None
+    & opt (some stats_fmt) None ~vopt:(Some `Text)
     & info [ "stats" ] ~docv:"FMT"
         ~doc:
           "Print counters and per-span timing to standard error after the \
            run: an aligned $(b,text) table (the default) or one $(b,json) \
            object.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write every counter, gauge, histogram and span aggregate as an \
+           OpenMetrics/Prometheus text exposition to $(docv) after the run \
+           (scrape it, or diff it across runs).")
+
+let audit_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "audit" ] ~docv:"FILE"
+        ~doc:
+          "Write a decision audit journal to $(docv) as JSON lines: one \
+           record per implication decision (route taken, store prefilter \
+           outcome, budgets spent, verdict) plus snapshot park/resume \
+           events.")
+
 (* Instrumentation bracket: enable the requested observability, run [f]
-   under a root span, then flush the trace file and the stats before
-   handing back [f]'s result.  Commands that want a non-zero exit status
-   return it from [f] — calling [exit] inside would skip the flush.
-   [always] keeps counters on even without --stats, so that exhaustion
+   under a root span, then flush the trace file, the OpenMetrics
+   exposition, the audit journal and the stats before handing back
+   [f]'s result.  Commands that want a non-zero exit status return it
+   from [f] — calling [exit] inside would skip the flush.  [always]
+   keeps counters on even without --stats, so that exhaustion
    diagnostics can report what the budget was spent on. *)
-let with_obs ~cmd ?(always = false) ~trace ~stats f =
+let with_obs ~cmd ?(always = false) ?metrics ?audit ~trace ~stats f =
   if trace <> None then Obs.enable_tracing ()
-  else if always || stats <> None then Obs.enable ();
+  else if always || stats <> None || metrics <> None then Obs.enable ();
+  if audit <> None then Obs.Audit.enable ();
   let finish () =
     Option.iter Obs.Trace.write_chrome trace;
+    Option.iter Obs.Openmetrics.write metrics;
+    Option.iter Obs.Audit.write audit;
     match stats with
     | Some `Text -> prerr_string (Obs.Stats.to_text ())
     | Some `Json -> prerr_endline (Obs.Json.to_string (Obs.Stats.to_json ()))
@@ -135,11 +160,11 @@ let check_cmd =
       & info [ "max-violations" ] ~docv:"N"
           ~doc:"Print at most $(docv) violating pairs per failing constraint.")
   in
-  let run graph_file sigma_file max_violations trace stats =
+  let run graph_file sigma_file max_violations trace stats metrics audit =
     match (load_graph graph_file, load_constraints sigma_file) with
     | Error m, _ | _, Error m -> die "%s" m
     | Ok g, Ok sigma ->
-        with_obs ~cmd:"check" ~trace ~stats (fun () ->
+        with_obs ~cmd:"check" ?metrics ?audit ~trace ~stats (fun () ->
             let ok = ref true in
             List.iter
               (fun c ->
@@ -167,7 +192,7 @@ let check_cmd =
     Term.(
       ret
         (const run $ graph_arg $ sigma_arg $ max_violations_arg $ trace_arg
-       $ stats_arg))
+       $ stats_arg $ metrics_arg $ audit_arg))
 
 (* --- implies (word, untyped) ------------------------------------------- *)
 
@@ -396,7 +421,7 @@ let chase_cmd =
              e.g. 'chase.repair:3:crash'.  Overrides \\$PATHCTL_FAULT.")
   in
   let run sigma_file phi steps nodes timeout escalate snapshot resume fault
-      trace stats =
+      trace stats metrics audit =
     let fault_err =
       match fault with
       | None -> None
@@ -422,7 +447,8 @@ let chase_cmd =
               (* counters stay on even without --stats so an Unknown verdict
                  can say what the budget was spent on *)
               let code =
-                with_obs ~cmd:"chase" ~always:true ~trace ~stats (fun () ->
+                with_obs ~cmd:"chase" ~always:true ?metrics ?audit ~trace
+                  ~stats (fun () ->
                     let cancel = Core.Engine.Cancel.create () in
                     (* A bad resume file degrades to a cold start: a parked
                        snapshot is an optimization, never a correctness
@@ -541,7 +567,7 @@ let chase_cmd =
       ret
         (const run $ sigma_arg $ phi_arg $ steps_arg $ nodes_arg $ timeout_arg
        $ escalate_arg $ snapshot_arg $ resume_arg $ fault_arg $ trace_arg
-       $ stats_arg))
+       $ stats_arg $ metrics_arg $ audit_arg))
 
 (* --- encode ---------------------------------------------------------------------- *)
 
@@ -1031,9 +1057,10 @@ let lint_cmd =
              equivalent.")
   in
   let run sigma_file schema_file phi config fix explain interact max_warnings
-      cache format output timeout steps trace stats =
+      cache format output timeout steps trace stats metrics audit =
     let code =
-      with_obs ~cmd:"lint" ~always:true ~trace ~stats (fun () ->
+      with_obs ~cmd:"lint" ~always:true ?metrics ?audit ~trace ~stats
+        (fun () ->
           let cancel = Core.Engine.Cancel.create () in
           let budget =
             Core.Engine.Budget.v ~max_steps:steps ~max_nodes:steps ~timeout
@@ -1115,12 +1142,12 @@ let lint_cmd =
           error-severity diagnostic fired or --max-warnings was exceeded.")
     Term.(
       ret
-        (const (fun a b c d e f g h i j k l m n o ->
-             `Ok (run a b c d e f g h i j k l m n o))
+        (const (fun a b c d e f g h i j k l m n o p q ->
+             `Ok (run a b c d e f g h i j k l m n o p q))
         $ sigma_arg $ schema_opt_arg $ phi_opt_arg $ config_arg $ fix_arg
         $ explain_arg $ interact_arg $ max_warnings_arg $ cache_arg
         $ format_arg $ output_arg $ timeout_arg $ steps_arg $ trace_arg
-        $ stats_arg))
+        $ stats_arg $ metrics_arg $ audit_arg))
 
 (* --- interact -------------------------------------------------------------------- *)
 
@@ -1186,9 +1213,10 @@ let interact_cmd =
              path-vs-type interaction.")
   in
   let run sigma_file schema_file config explain format output timeout steps
-      trace stats =
+      trace stats metrics audit =
     let code =
-      with_obs ~cmd:"interact" ~always:true ~trace ~stats (fun () ->
+      with_obs ~cmd:"interact" ~always:true ?metrics ?audit ~trace ~stats
+        (fun () ->
           let cancel = Core.Engine.Cancel.create () in
           let budget =
             Core.Engine.Budget.v ~max_steps:steps ~max_nodes:steps ~timeout
@@ -1235,9 +1263,11 @@ let interact_cmd =
           the PC7xx family.  Exits 1 iff a core was found.")
     Term.(
       ret
-        (const (fun a b c d e f g h i j -> `Ok (run a b c d e f g h i j))
+        (const (fun a b c d e f g h i j k l ->
+             `Ok (run a b c d e f g h i j k l))
         $ sigma_arg $ schema_opt_arg $ config_arg $ explain_arg $ format_arg
-        $ output_arg $ timeout_arg $ steps_arg $ trace_arg $ stats_arg))
+        $ output_arg $ timeout_arg $ steps_arg $ trace_arg $ stats_arg
+        $ metrics_arg $ audit_arg))
 
 (* --- profile --------------------------------------------------------------------- *)
 
@@ -1289,7 +1319,20 @@ let profile_cmd =
             "The goal constraint, in concrete syntax (optional for the lint \
              workload).")
   in
-  let run sigma_file phi_src schema_file runs workload format trace =
+  let flame_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flame" ] ~docv:"FILE"
+          ~doc:
+            "Write the span tree of all runs as folded stacks \
+             ('root;child;leaf COUNT' lines, one per unique stack, \
+             weighted by nanoseconds) to $(docv); feed it to \
+             flamegraph.pl or inferno-flamegraph to render an SVG \
+             flamegraph.")
+  in
+  let run sigma_file phi_src schema_file runs workload format trace flame
+      metrics =
     if runs <= 0 then die "--runs must be positive"
     else
       let phi_result =
@@ -1354,7 +1397,9 @@ let profile_cmd =
               match job_result with
               | Error m -> die "%s" m
               | Ok job ->
-                  if trace <> None then Obs.enable_tracing ()
+                  (* folded stacks replay begin/end events, so --flame
+                     needs the tracing tier just like --trace *)
+                  if trace <> None || flame <> None then Obs.enable_tracing ()
                   else Obs.enable ();
                   Obs.reset ();
                   for i = 1 to runs do
@@ -1363,6 +1408,8 @@ let profile_cmd =
                       job
                   done;
                   Option.iter Obs.Trace.write_chrome trace;
+                  Option.iter Obs.Trace.write_folded flame;
+                  Option.iter Obs.Openmetrics.write metrics;
                   (match format with
                   | `Text ->
                       Printf.printf "profile: %d run(s)\n\n" runs;
@@ -1378,11 +1425,122 @@ let profile_cmd =
          "Run one implication workload N times under full instrumentation \
           and print a phase-attribution table (per-span wall-clock and self \
           time, counters); --trace additionally captures a Chrome trace of \
-          all runs.")
+          all runs, --flame folded stacks for flamegraph.pl/inferno, and \
+          --metrics an OpenMetrics exposition.")
     Term.(
       ret
         (const run $ sigma_arg $ phi_opt_arg $ schema_opt_arg $ runs_arg
-       $ workload_arg $ format_arg $ trace_arg))
+       $ workload_arg $ format_arg $ trace_arg $ flame_arg $ metrics_arg))
+
+(* --- metrics-serve --------------------------------------------------------------- *)
+
+let metrics_serve_cmd =
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Bind a Unix-domain stream socket at $(docv) and answer each \
+             HTTP request with the current OpenMetrics exposition.  A stale \
+             socket file at $(docv) is replaced.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "requests" ] ~docv:"N"
+          ~doc:
+            "Serve $(docv) requests, then exit and remove the socket \
+             (default 1: one scrape, e.g. curl --unix-socket).")
+  in
+  let sigma_opt_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "s"; "sigma" ] ~docv:"FILE"
+          ~doc:
+            "Optional constraint file: together with $(i,PHI), run one \
+             budgeted chase before serving so the exposition reflects a \
+             real workload.")
+  in
+  let phi_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"PHI"
+          ~doc:"Optional goal constraint for the warm-up chase.")
+  in
+  let run socket requests sigma_file phi_src =
+    if requests <= 0 then die "--requests must be positive"
+    else begin
+      Obs.enable ();
+      let workload =
+        match (sigma_file, phi_src) with
+        | None, None -> Ok ()
+        | Some sf, Some ps -> (
+            match (load_constraints sf, parse_constraint ps) with
+            | Error m, _ | _, Error m -> Error m
+            | Ok sigma, Ok phi ->
+                ignore
+                  (Core.Semidecide.implies
+                     ~ctl:(Core.Engine.start Core.Engine.Budget.default)
+                     ~sigma phi);
+                Ok ())
+        | _ ->
+            Error "metrics-serve needs both --sigma and PHI, or neither"
+      in
+      match workload with
+      | Error m -> die "%s" m
+      | Ok () ->
+          (try if Sys.file_exists socket then Sys.remove socket
+           with Sys_error _ -> ());
+          let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Fun.protect
+            ~finally:(fun () ->
+              (try Unix.close srv with Unix.Unix_error _ -> ());
+              try Sys.remove socket with Sys_error _ -> ())
+            (fun () ->
+              Unix.bind srv (Unix.ADDR_UNIX socket);
+              Unix.listen srv 8;
+              Printf.eprintf
+                "pathctl: serving OpenMetrics on %s for %d request(s)\n%!"
+                socket requests;
+              let buf = Bytes.create 4096 in
+              for _ = 1 to requests do
+                let client, _ = Unix.accept srv in
+                (* drain (part of) the request head; every path gets the
+                   same document, so we never need to parse it *)
+                (try ignore (Unix.read client buf 0 (Bytes.length buf))
+                 with Unix.Unix_error _ -> ());
+                let body = Obs.Openmetrics.render () in
+                let resp =
+                  Printf.sprintf
+                    "HTTP/1.0 200 OK\r\n\
+                     Content-Type: application/openmetrics-text; \
+                     version=1.0.0; charset=utf-8\r\n\
+                     Content-Length: %d\r\n\
+                     \r\n\
+                     %s"
+                    (String.length body) body
+                in
+                (try
+                   ignore
+                     (Unix.write_substring client resp 0 (String.length resp))
+                 with Unix.Unix_error _ -> ());
+                try Unix.close client with Unix.Unix_error _ -> ()
+              done;
+              `Ok ())
+    end
+  in
+  Cmd.v
+    (Cmd.info "metrics-serve"
+       ~doc:
+         "One-shot Prometheus/OpenMetrics endpoint on a Unix-domain socket: \
+          optionally run a warm-up chase, then answer N HTTP scrapes with \
+          the current exposition and exit.  Zero dependencies beyond the \
+          OCaml runtime; pair it with a sidecar or \
+          'curl --unix-socket PATH http://localhost/metrics'.")
+    Term.(ret (const run $ socket_arg $ requests_arg $ sigma_opt_arg $ phi_opt_arg))
 
 (* --- main ------------------------------------------------------------------------ *)
 
@@ -1427,4 +1585,5 @@ let () =
             lint_cmd;
             interact_cmd;
             profile_cmd;
+            metrics_serve_cmd;
           ]))

@@ -130,6 +130,14 @@ let lookup ~dir ~key =
   (match result with
   | Some _ -> Obs.Counter.incr hits
   | None -> Obs.Counter.incr misses);
+  if Obs.Audit.enabled () then
+    Obs.Audit.emit "lint.cache"
+      ~fields:
+        [
+          ("key", Json.String key);
+          ( "outcome",
+            Json.String (if Option.is_some result then "hit" else "miss") );
+        ];
   result
 
 let rec mkdir_p dir =

@@ -19,6 +19,10 @@ type input = {
 
 let passes_run = Obs.Counter.make ~unit_:"passes" "lint.passes.run"
 
+(* per-family diagnostic tallies as one labeled metric:
+   [lint.diags{family="PC2xx"}] etc. *)
+let f_diags = Obs.Counter.family ~unit_:"diagnostics" ~label:"family" "lint.diags"
+
 let apply_severity config diags =
   List.filter_map
     (fun d ->
@@ -117,7 +121,7 @@ let run ?budget input =
       let family =
         if String.length code >= 3 then String.sub code 0 3 ^ "xx" else code
       in
-      Obs.Counter.incr (Obs.Counter.make ~unit_:"diagnostics" ("lint.diags." ^ family)))
+      Obs.Counter.incr (Obs.Counter.tag f_diags family))
     all;
   all
 

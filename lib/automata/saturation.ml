@@ -5,6 +5,9 @@ let c_trans = Obs.Counter.make ~unit_:"transitions" "saturation.trans_added"
 let c_frontier =
   Obs.Counter.make ~unit_:"transitions" "saturation.frontier_peak"
 
+(* distribution of per-call saturation work, across all three engines *)
+let h_trans = Obs.Histogram.make ~unit_:"transitions" "saturation.trans_per_call"
+
 let check_states (pds : Pds.t) (a : Nfa.t) =
   if Nfa.state_count a < pds.control_count then
     invalid_arg "Saturation: automaton is missing control states"
@@ -13,6 +16,7 @@ let pre_star (pds : Pds.t) a =
   check_states pds a;
   Obs.Span.with_ "saturation.pre_star" (fun () ->
   let a = Nfa.copy a in
+  let added = ref 0 in
   let changed = ref true in
   while !changed do
     changed := false;
@@ -24,11 +28,13 @@ let pre_star (pds : Pds.t) a =
             if not (Nfa.mem_trans a r.p r.gamma s) then begin
               Nfa.add_trans a r.p r.gamma s;
               Obs.Counter.incr c_trans;
+              incr added;
               changed := true
             end)
           targets)
       pds.rules
   done;
+  if Obs.enabled () then Obs.Histogram.observe h_trans (float_of_int !added);
   a)
 
 (* Esparza-Hansel-Rossmanith-Schwoon pre*: process every transition once.
@@ -45,10 +51,12 @@ let pre_star_worklist (pds : Pds.t) a =
   Obs.Span.with_ "saturation.pre_star_worklist" (fun () ->
   let a = Nfa.copy a in
   let worklist = Queue.create () in
+  let added = ref 0 in
   let enqueue (p, g, s) =
     if not (Nfa.mem_trans a p g s) then begin
       Nfa.add_trans a p g s;
       Obs.Counter.incr c_trans;
+      incr added;
       Queue.add (p, g, s) worklist;
       Obs.Counter.set_max c_frontier (Queue.length worklist)
     end
@@ -84,6 +92,7 @@ let pre_star_worklist (pds : Pds.t) a =
         | _ -> ())
       pds.rules
   done;
+  if Obs.enabled () then Obs.Histogram.observe h_trans (float_of_int !added);
   a)
 
 let post_star (pds : Pds.t) a =

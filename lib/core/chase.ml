@@ -23,6 +23,9 @@ let c_skips =
 let c_settled =
   Obs.Counter.make ~unit_:"dirty checks come back clean" "chase.worklist_settled"
 
+(* instantaneous dirty-constraint count of the running chase *)
+let g_worklist = Obs.Gauge.make ~unit_:"constraints" "chase.worklist_depth"
+
 (* Crash sites for the fault-injection harness: [chase.repair] fires at
    the head of every repair (before any mutation, so the in-memory state
    is the last consistent one), [chase.fixpoint] fires when the chase
@@ -66,6 +69,7 @@ type state = {
   sigma : Constr.t array;
   by_label : (Label.t, int list) Hashtbl.t;
   dirty : bool array;
+  mutable ndirty : int;  (** set bits in [dirty]; mirrored to a gauge *)
   mutable steps : int;  (** successful repairs so far; drives the cursor *)
 }
 
@@ -80,15 +84,29 @@ let make_state mg sigma_list =
           Hashtbl.replace by_label k (i :: l))
         (Constr.labels_used c))
     sigma;
-  { mg; sigma; by_label; dirty = Array.make (Array.length sigma) true; steps = 0 }
+  let n = Array.length sigma in
+  Obs.Gauge.set g_worklist n;
+  { mg; sigma; by_label; dirty = Array.make n true; ndirty = n; steps = 0 }
+
+let settle st i =
+  if st.dirty.(i) then begin
+    st.dirty.(i) <- false;
+    st.ndirty <- st.ndirty - 1;
+    Obs.Gauge.set g_worklist st.ndirty
+  end
 
 let mark_dirty st touched =
   Label.Set.iter
     (fun k ->
       List.iter
-        (fun i -> st.dirty.(i) <- true)
+        (fun i ->
+          if not st.dirty.(i) then begin
+            st.dirty.(i) <- true;
+            st.ndirty <- st.ndirty + 1
+          end)
         (Option.value ~default:[] (Hashtbl.find_opt st.by_label k)))
-    touched
+    touched;
+  Obs.Gauge.set g_worklist st.ndirty
 
 (* One repair: scan from the cursor for a dirty constraint that is
    actually violated, fix its first violation in place, and re-dirty
@@ -107,7 +125,7 @@ let step st =
       let c = st.sigma.(i) in
       match Check.first_violation g c with
       | None ->
-          st.dirty.(i) <- false;
+          settle st i;
           Obs.Counter.incr c_settled;
           scan (if i + 1 = n then 0 else i + 1) (remaining - 1)
       | Some (x, y) ->
@@ -223,6 +241,8 @@ module Snapshot = struct
     if Array.length st.dirty <> Array.length s.dirty then
       invalid_arg "Chase: snapshot constraint count does not match sigma";
     Array.blit s.dirty 0 st.dirty 0 (Array.length s.dirty);
+    st.ndirty <- Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 st.dirty;
+    Obs.Gauge.set g_worklist st.ndirty;
     st.steps <- s.repairs;
     st
 
@@ -345,6 +365,55 @@ end
    [Unknown {reason = Crashed}] rather than an escaping exception. *)
 let parked_note = "chase state parked (resumable snapshot)"
 
+(* Audit-journal records for snapshot discipline: one "chase.park" per
+   parked snapshot (why = "budget" | "crash") and one "chase.resume"
+   per restore, each carrying the per-site fault-injection counters so
+   a post-mortem can see which injected fault cut the run short. *)
+let audit_fault_fields () =
+  match
+    List.filter
+      (fun (_, hits, injected) -> hits > 0 || injected > 0)
+      (Fault.site_counters ())
+  with
+  | [] -> []
+  | cs ->
+      [
+        ( "fault",
+          Obs.Json.Obj
+            (List.map
+               (fun (n, hits, injected) ->
+                 ( n,
+                   Obs.Json.Obj
+                     [
+                       ("hits", Obs.Json.Int hits);
+                       ("injected", Obs.Json.Int injected);
+                     ] ))
+               cs) );
+      ]
+
+let audit_park ~ctl ~why st =
+  if Obs.Audit.enabled () then
+    Obs.Audit.emit "chase.park"
+      ~fields:
+        ([
+           ("why", Obs.Json.String why);
+           ("repairs", Obs.Json.Int st.steps);
+           ("live_nodes", Obs.Json.Int (Mg.live_count st.mg));
+           ("steps", Obs.Json.Int (Engine.steps ctl));
+           ("peak_nodes", Obs.Json.Int (Engine.peak_nodes ctl));
+         ]
+        @ audit_fault_fields ())
+
+let audit_resume (s : Snapshot.t) =
+  if Obs.Audit.enabled () then
+    Obs.Audit.emit "chase.resume"
+      ~fields:
+        ([
+           ("repairs", Obs.Json.Int (Snapshot.repairs s));
+           ("engine_steps", Obs.Json.Int (Snapshot.engine_steps s));
+         ]
+        @ audit_fault_fields ())
+
 let run ?ctl ?(tracked = []) ?park ?resume g sigma =
   let ctl = match ctl with Some c -> c | None -> Engine.default () in
   let fingerprint = Snapshot.run_fingerprint ~sigma g in
@@ -353,14 +422,16 @@ let run ?ctl ?(tracked = []) ?park ?resume g sigma =
     | Some (s : Snapshot.t) ->
         if s.Snapshot.fingerprint <> fingerprint then
           invalid_arg "Chase.run: snapshot does not match this graph and sigma";
+        audit_resume s;
         (Snapshot.restore_state s sigma, s.Snapshot.tracked)
     | None -> (make_state (Mg.of_graph (Graph.copy g)) sigma, tracked)
   in
-  let park_now () =
+  let park_now ~why () =
     match park with
     | None -> ()
     | Some f ->
         Engine.note ctl parked_note;
+        audit_park ~ctl ~why st;
         f (Snapshot.of_state ~fingerprint ~ctl ~tracked st)
   in
   let finish outcome =
@@ -369,7 +440,7 @@ let run ?ctl ?(tracked = []) ?park ?resume g sigma =
   in
   let rec go () =
     if not (Engine.tick ctl ~nodes:(Mg.live_count st.mg) ()) then begin
-      park_now ();
+      park_now ~why:"budget" ();
       finish (fun h -> Exhausted (h, Engine.exhaustion ctl))
     end
     else
@@ -386,7 +457,7 @@ let run ?ctl ?(tracked = []) ?park ?resume g sigma =
       | r -> r
       | exception Fault.Crash site ->
           Engine.note ctl (Printf.sprintf "injected crash at fault site %s" site);
-          park_now ();
+          park_now ~why:"crash" ();
           finish (fun h ->
               Exhausted
                 (h, { (Engine.exhaustion ctl) with Verdict.reason = Verdict.Crashed })))
@@ -400,7 +471,9 @@ let implies ?ctl ?park ?resume ~sigma phi =
         if s.Snapshot.fingerprint <> fingerprint then
           invalid_arg "Chase.implies: snapshot does not match sigma and phi";
         match s.Snapshot.tracked with
-        | [ x; y ] -> (Snapshot.restore_state s sigma, x, y)
+        | [ x; y ] ->
+            audit_resume s;
+            (Snapshot.restore_state s sigma, x, y)
         | _ -> invalid_arg "Chase.implies: snapshot was not parked by implies")
     | None ->
         (* Canonical database of phi's premise. *)
@@ -409,11 +482,12 @@ let implies ?ctl ?park ?resume ~sigma phi =
         let y = Graph.ensure_path g x (Constr.lhs phi) in
         (make_state (Mg.of_graph g) sigma, x, y)
   in
-  let park_now () =
+  let park_now ~why () =
     match park with
     | None -> ()
     | Some f ->
         Engine.note ctl parked_note;
+        audit_park ~ctl ~why st;
         f (Snapshot.of_state ~fingerprint ~ctl ~tracked:[ x; y ] st)
   in
   let rec go () =
@@ -421,7 +495,7 @@ let implies ?ctl ?park ?resume ~sigma phi =
       conclusion_holds (Mg.graph st.mg) phi (Mg.find st.mg x) (Mg.find st.mg y)
     then Verdict.Implied
     else if not (Engine.tick ctl ~nodes:(Mg.live_count st.mg) ()) then begin
-      park_now ();
+      park_now ~why:"budget" ();
       Verdict.Unknown (Engine.exhaustion ctl)
     end
     else
@@ -438,7 +512,7 @@ let implies ?ctl ?park ?resume ~sigma phi =
       | v -> v
       | exception Fault.Crash site ->
           Engine.note ctl (Printf.sprintf "injected crash at fault site %s" site);
-          park_now ();
+          park_now ~why:"crash" ();
           Verdict.Unknown
             { (Engine.exhaustion ctl) with Verdict.reason = Verdict.Crashed })
 

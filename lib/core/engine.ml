@@ -12,6 +12,10 @@ let c_trips = Obs.Counter.make ~unit_:"trips" "engine.trips"
 let c_rounds = Obs.Counter.make ~unit_:"rounds" "engine.escalation_rounds"
 let c_peak_nodes = Obs.Counter.make ~unit_:"nodes" "engine.peak_nodes"
 
+(* steps spent inside each escalation round; a heavy last bucket means
+   the geometric growth schedule is doing real work *)
+let h_round_steps = Obs.Histogram.make ~unit_:"steps" "engine.round_steps"
+
 let reason_str = function
   | Verdict.Steps -> "steps"
   | Verdict.Nodes -> "nodes"
@@ -266,6 +270,8 @@ let escalate ?(base_steps = 64) ?(base_nodes = 64) ?(factor = 4)
       in
       let v = attempt ctl in
       absorb ctl;
+      if Obs.enabled () then
+        Obs.Histogram.observe h_round_steps (float_of_int ctl.steps);
       match v with
       | (Verdict.Implied | Verdict.Refuted _) as v -> v
       | Verdict.Unknown ex -> (

@@ -62,24 +62,68 @@ let try_typed ~budget ?search_bounds schema ~sigma phi =
                  undecidable (Theorem 5.2)")
       | Error e -> Typed_error e)
 
+(* One audit record per 4-way comparison: the per-procedure outcomes
+   side by side, which is the provenance the PC7xx interaction
+   diagnostics are derived from. *)
+let audit_compare r =
+  if Obs.Audit.enabled () then begin
+    let s v = Obs.Json.String v in
+    Obs.Audit.emit "compare"
+      ~fields:
+        [
+          ( "word",
+            s
+              (match r.word_untyped with
+              | Some true -> "implied"
+              | Some false -> "refuted"
+              | None -> "n/a") );
+          ( "local_extent",
+            s
+              (match r.local_extent with
+              | Some (_, _, true) -> "implied"
+              | Some (_, _, false) -> "refuted"
+              | None -> "n/a") );
+          ( "chase",
+            s
+              (match r.chase with
+              | Verdict.Implied -> "implied"
+              | Verdict.Refuted _ -> "refuted"
+              | Verdict.Unknown _ -> "unknown") );
+          ( "typed",
+            s
+              (match r.typed with
+              | None -> "n/a"
+              | Some (M_decided (Typed_m.Implied _)) -> "implied"
+              | Some (M_decided (Typed_m.Not_implied _)) -> "refuted"
+              | Some (M_decided (Typed_m.Vacuous _)) -> "vacuous"
+              | Some (Mplus_refuted _) -> "refuted"
+              | Some (Mplus_open _) -> "open"
+              | Some (Typed_error _) -> "error") );
+        ]
+  end
+
 let compare ?schema ?(budget = Engine.Budget.default) ?search_bounds ~sigma phi
     =
   Obs.Span.with_ "interaction.compare" (fun () ->
-      {
-        word_untyped =
-          Obs.Span.with_ "interaction.word" (fun () -> try_word ~sigma phi);
-        local_extent =
-          Obs.Span.with_ "interaction.local" (fun () -> try_local ~sigma phi);
-        chase =
-          Obs.Span.with_ "interaction.chase" (fun () ->
-              Semidecide.implies ~ctl:(Engine.start budget) ~sigma phi);
-        typed =
-          Option.map
-            (fun s ->
-              Obs.Span.with_ "interaction.typed" (fun () ->
-                  try_typed ~budget ?search_bounds s ~sigma phi))
-            schema;
-      })
+      let r =
+        {
+          word_untyped =
+            Obs.Span.with_ "interaction.word" (fun () -> try_word ~sigma phi);
+          local_extent =
+            Obs.Span.with_ "interaction.local" (fun () -> try_local ~sigma phi);
+          chase =
+            Obs.Span.with_ "interaction.chase" (fun () ->
+                Semidecide.implies ~ctl:(Engine.start budget) ~sigma phi);
+          typed =
+            Option.map
+              (fun s ->
+                Obs.Span.with_ "interaction.typed" (fun () ->
+                    try_typed ~budget ?search_bounds s ~sigma phi))
+              schema;
+        }
+      in
+      audit_compare r;
+      r)
 
 let pp ppf r =
   Format.fprintf ppf "@[<v>";

@@ -162,8 +162,14 @@ let find_countermodel_inner ?ctl ~bounds schema ~sigma ~phi =
       | Found t -> Ok (Some t)
       | Budget -> Ok None)
 
+let c_route_typed_search =
+  Obs.Counter.tag
+    (Obs.Counter.family ~unit_:"decisions" ~label:"route" "decision.route")
+    "typed-search"
+
 let find_countermodel ?ctl ?(bounds = default_bounds) schema ~sigma ~phi =
   Obs.Span.with_ "typed_search.find_countermodel" (fun () ->
+      Obs.Counter.incr c_route_typed_search;
       find_countermodel_inner ?ctl ~bounds schema ~sigma ~phi)
 
 let count_structures ?(bounds = default_bounds) schema =

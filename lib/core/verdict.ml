@@ -22,6 +22,13 @@ let unknown_reason = function
 
 let elapsed_s e = Int64.to_float e.elapsed_ns /. 1e9
 
+let reason_keyword = function
+  | Steps -> "steps"
+  | Nodes -> "nodes"
+  | Deadline -> "deadline"
+  | Cancelled -> "cancelled"
+  | Crashed -> "crashed"
+
 let pp_reason ppf = function
   | Steps -> Format.pp_print_string ppf "step budget exhausted"
   | Nodes -> Format.pp_print_string ppf "node budget exhausted"

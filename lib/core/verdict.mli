@@ -50,6 +50,11 @@ val unknown_reason : t -> reason option
 val elapsed_s : exhaustion -> float
 (** Elapsed wall-clock time in seconds. *)
 
+val reason_keyword : reason -> string
+(** Stable one-word form (["steps"], ["nodes"], ["deadline"],
+    ["cancelled"], ["crashed"]) for machine-readable surfaces — the
+    audit journal and diagnostics JSON. *)
+
 val pp_reason : Format.formatter -> reason -> unit
 val pp_exhaustion : Format.formatter -> exhaustion -> unit
 val pp : Format.formatter -> t -> unit

@@ -95,6 +95,12 @@ type site = {
 
 let registry : (string, site) Hashtbl.t = Hashtbl.create 16
 
+(* Labeled families: one logical metric per kind, keyed by site —
+   [fault.hits{site="chase.repair"}] — instead of an ad-hoc counter
+   name per site, so exporters can group and sum them. *)
+let f_hits = Obs.Counter.family ~unit_:"hits" ~label:"site" "fault.hits"
+let f_injected = Obs.Counter.family ~unit_:"faults" ~label:"site" "fault.injected"
+
 let site name_ =
   match Hashtbl.find_opt registry name_ with
   | Some s -> s
@@ -104,8 +110,8 @@ let site name_ =
           name_;
           count = 0;
           raised_ = 0;
-          c_hits = Obs.Counter.make ~unit_:"hits" ("fault.hits." ^ name_);
-          c_injected = Obs.Counter.make ~unit_:"faults" ("fault.injected." ^ name_);
+          c_hits = Obs.Counter.tag f_hits name_;
+          c_injected = Obs.Counter.tag f_injected name_;
         }
       in
       Hashtbl.add registry name_ s;
@@ -117,6 +123,13 @@ let injected s = s.raised_
 
 let sites () =
   List.sort compare (Hashtbl.fold (fun n _ acc -> n :: acc) registry [])
+
+let site_counters () =
+  List.map
+    (fun n ->
+      let s = Hashtbl.find registry n in
+      (n, s.count, s.raised_))
+    (sites ())
 
 let armed_spec : spec option ref = ref None
 

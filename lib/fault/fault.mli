@@ -9,8 +9,9 @@
     (the default) a point is a single mutable-field test — safe to leave
     in production paths.  When armed with a {e spec}, the Nth hit of a
     named site raises an injected {!Crash} or {!Io_error}, and every hit
-    is counted through [Obs] counters ([fault.hits.<site>],
-    [fault.injected.<site>]) and the per-site {!hits} accessor.
+    is counted through the labeled [Obs] counter families
+    ([fault.hits{site="..."}], [fault.injected{site="..."}]) and the
+    per-site {!hits} accessor.
 
     Spec grammar (also accepted from the [PATHCTL_FAULT] environment
     variable and [pathctl --fault-spec]):
@@ -67,6 +68,10 @@ val name : site -> string
 
 val sites : unit -> string list
 (** All registered site names, sorted. *)
+
+val site_counters : unit -> (string * int * int) list
+(** [(name, hits, injected)] for every registered site, sorted by name
+    — the snapshot the audit journal embeds in park/resume records. *)
 
 val hits : site -> int
 (** Hits since the last {!arm} (counting happens only while armed). *)

@@ -208,6 +208,53 @@ let word_equality c =
 let bucket_key st prefix =
   (find (intern st.root prefix)).nid
 
+type stats = {
+  paths : int;
+  classes : int;
+  merges : int;
+  arcs : int;
+  buckets : int;
+  max_bucket : int;
+}
+
+let stats st =
+  let roots = class_roots st.root in
+  let arcs =
+    List.fold_left (fun acc n -> acc + List.length n.succs) 0 roots
+  in
+  let buckets = Hashtbl.length st.buckets in
+  let max_bucket =
+    Hashtbl.fold (fun _ b acc -> max acc (List.length b.all)) st.buckets 0
+  in
+  {
+    paths = List.length st.root.all;
+    classes = List.length roots;
+    merges = st.root.merges;
+    arcs;
+    buckets;
+    max_bucket;
+  }
+
+(* gauges mirroring the last store built, so [--stats]/[--metrics]
+   surface the hash-consed store without threading it to the caller *)
+let g_paths = Obs.Gauge.make ~unit_:"nodes" "store.paths"
+let g_classes = Obs.Gauge.make ~unit_:"classes" "store.eclasses"
+let g_merges = Obs.Gauge.make ~unit_:"unions" "store.merges"
+let g_arcs = Obs.Gauge.make ~unit_:"arcs" "store.containment_arcs"
+let g_buckets = Obs.Gauge.make ~unit_:"buckets" "store.buckets"
+let g_max_bucket = Obs.Gauge.make ~unit_:"nodes" "store.max_bucket"
+
+let publish_gauges st =
+  if Obs.enabled () then begin
+    let s = stats st in
+    Obs.Gauge.set g_paths s.paths;
+    Obs.Gauge.set g_classes s.classes;
+    Obs.Gauge.set g_merges s.merges;
+    Obs.Gauge.set g_arcs s.arcs;
+    Obs.Gauge.set g_buckets s.buckets;
+    Obs.Gauge.set g_max_bucket s.max_bucket
+  end
+
 let of_constraints ?(typed = false) constrs =
   let st =
     {
@@ -270,7 +317,9 @@ let of_constraints ?(typed = false) constrs =
           add_arc (intern b (Constr.lhs c)) (intern b (Constr.rhs c)))
     st.constrs;
   Hashtbl.iter (fun _ b -> close_mutual b) st.buckets;
-  { st with backwards = List.rev !backwards }
+  let st = { st with backwards = List.rev !backwards } in
+  publish_gauges st;
+  st
 
 let size st = Array.length st.constrs
 let constraints st = Array.to_list st.constrs
@@ -411,8 +460,3 @@ let eclasses st =
     by_class []
   |> List.sort (fun a b -> Path.compare (List.hd a) (List.hd b))
 
-type stats = { paths : int; classes : int; merges : int }
-
-let stats st =
-  let roots = List.length (class_roots st.root) in
-  { paths = List.length st.root.all; classes = roots; merges = st.root.merges }

@@ -75,8 +75,21 @@ val eclasses : t -> Path.t list list
 (** The non-trivial e-classes of root-anchored paths (each sorted, the
     list sorted by first member) — for [--explain] output and tests. *)
 
-type stats = { paths : int; classes : int; merges : int }
+type stats = {
+  paths : int;
+  classes : int;
+  merges : int;
+  arcs : int;
+  buckets : int;
+  max_bucket : int;
+}
 
 val stats : t -> stats
 (** [paths] interned nodes, [classes] live e-classes, [merges] unions
-    performed while closing. *)
+    performed while closing, [arcs] containment arcs on live class
+    roots, [buckets] per-prefix forward-constraint buckets and
+    [max_bucket] the node count of the largest one.  Every build also
+    publishes these as [store.*] Obs gauges ([store.paths],
+    [store.eclasses], [store.merges], [store.containment_arcs],
+    [store.buckets], [store.max_bucket]) describing the most recently
+    built store. *)

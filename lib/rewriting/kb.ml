@@ -8,6 +8,11 @@ let c_passes = Obs.Counter.make ~unit_:"passes" "kb.completion_passes"
 let c_cps = Obs.Counter.make ~unit_:"pairs" "kb.critical_pairs"
 let c_rules = Obs.Counter.make ~unit_:"rules" "kb.rules_peak"
 
+(* how many unjoinable critical pairs each completion pass surfaces;
+   the shape of this distribution is what motivates the pass budget *)
+let h_cps =
+  Obs.Histogram.make ~unit_:"pairs" "kb.critical_pairs_per_pass"
+
 (* Keep the rule set inter-reduced: every rule's sides are normal with
    respect to the other rules.  Rules whose lhs becomes reducible are
    turned back into equations. *)
@@ -59,6 +64,8 @@ let complete ?(max_rules = 512) ?(max_passes = 64) equations =
           (Srs.critical_pairs rules)
       in
       Obs.Counter.add c_cps (List.length cps);
+      if Obs.enabled () then
+        Obs.Histogram.observe h_cps (float_of_int (List.length cps));
       if cps = [] then Convergent rules
       else
         match add_equations rules cps with

@@ -3,22 +3,32 @@ module NS = Graph.Node_set
 
 let c_checks = Obs.Counter.make ~unit_:"checks" "check.constraint_checks"
 
+let c_violations =
+  Obs.Counter.make ~unit_:"violations" "check.violations_found"
+
 let violations g c =
+  Obs.Counter.incr c_checks;
   let xs = Eval.eval g (Constr.prefix c) in
-  NS.fold
-    (fun x acc ->
-      let ys = Eval.eval_from g x (Constr.lhs c) in
-      match Constr.kind c with
-      | Constr.Forward ->
-          let zs = Eval.eval_from g x (Constr.rhs c) in
-          NS.fold (fun y acc -> if NS.mem y zs then acc else (x, y) :: acc) ys acc
-      | Constr.Backward ->
-          NS.fold
-            (fun y acc ->
-              if Eval.holds_between g y (Constr.rhs c) x then acc
-              else (x, y) :: acc)
-            ys acc)
-    xs []
+  let vs =
+    NS.fold
+      (fun x acc ->
+        let ys = Eval.eval_from g x (Constr.lhs c) in
+        match Constr.kind c with
+        | Constr.Forward ->
+            let zs = Eval.eval_from g x (Constr.rhs c) in
+            NS.fold
+              (fun y acc -> if NS.mem y zs then acc else (x, y) :: acc)
+              ys acc
+        | Constr.Backward ->
+            NS.fold
+              (fun y acc ->
+                if Eval.holds_between g y (Constr.rhs c) x then acc
+                else (x, y) :: acc)
+              ys acc)
+      xs []
+  in
+  Obs.Counter.add c_violations (List.length vs);
+  vs
 
 exception Found of (Graph.node * Graph.node)
 

@@ -19,6 +19,11 @@ let no_interrupt () = false
 
 let c_graphs = Obs.Counter.make ~unit_:"graphs" "enumerate.graphs_visited"
 
+(* per-call cost of the brute-force fallback; long right tails here are
+   the enumeration blow-ups the typed routes exist to avoid *)
+let h_graphs =
+  Obs.Histogram.make ~unit_:"graphs" "enumerate.graphs_per_call"
+
 let iter ?(interrupt = no_interrupt) ~nodes ~labels f =
   let pes = Array.of_list (potential_edges ~nodes ~labels) in
   let bits = Array.length pes in
@@ -47,14 +52,19 @@ let find_countermodel ?(interrupt = no_interrupt) ~max_nodes ~labels ~sigma ~phi
   Obs.Span.with_ "enumerate.find_countermodel"
     ~args:[ ("max_nodes", string_of_int max_nodes) ]
     (fun () ->
+      let visited = ref 0 in
       let rec go n =
         if n > max_nodes || interrupt () then None
         else
           match
             iter ~interrupt ~nodes:n ~labels (fun g ->
+                incr visited;
                 (not (Check.holds g phi)) && Check.holds_all g sigma)
           with
           | Some g -> Some g
           | None -> go (n + 1)
       in
-      go 1)
+      let r = go 1 in
+      if Obs.enabled () then
+        Obs.Histogram.observe h_graphs (float_of_int !visited);
+      r)

@@ -4,6 +4,9 @@ module Path = Pathlang.Path
 let c_unions = Obs.Counter.make ~unit_:"unions" "merge_graph.unions"
 let c_splices = Obs.Counter.make ~unit_:"edges moved" "merge_graph.splices"
 
+(* instantaneous live-class count of the most recently touched graph *)
+let g_live = Obs.Gauge.make ~unit_:"nodes" "merge_graph.live_nodes"
+
 type t = {
   g : Graph.t;
   mutable parent : int array;
@@ -41,6 +44,7 @@ let add_node t =
   grow t n;
   t.parent.(n) <- n;
   t.live <- t.live + 1;
+  Obs.Gauge.set g_live t.live;
   n
 
 let add_edge t x k y = Graph.add_edge t.g (find t x) k (find t y)
@@ -104,6 +108,7 @@ let union t a b =
     let target = min ra rb and victim = max ra rb in
     t.parent.(victim) <- target;
     t.live <- t.live - 1;
+    Obs.Gauge.set g_live t.live;
     Obs.Counter.incr c_unions;
     splice t ~target ~victim;
     Some (target, victim)

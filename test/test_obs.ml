@@ -303,6 +303,164 @@ let test_trace_flag_writes_valid_file () =
   | Error m -> Alcotest.fail ("trace file does not parse: " ^ m));
   check_bool "root span in file" true (contains doc "pathctl.chase")
 
+(* --- OpenMetrics exposition through the CLI ---------------------------- *)
+
+(* Structural validity: every line is a comment, a sample
+   ('name[{labels}] value'), or blank; the document ends with '# EOF'. *)
+let validate_openmetrics doc =
+  let lines = String.split_on_char '\n' doc in
+  let rec last_nonempty acc = function
+    | [] -> acc
+    | "" :: rest -> last_nonempty acc rest
+    | l :: rest -> last_nonempty l rest
+  in
+  check_string "ends with # EOF" "# EOF" (last_nonempty "" lines);
+  List.iter
+    (fun l ->
+      if l <> "" && not (String.length l >= 1 && l.[0] = '#') then begin
+        (* sample line: metric name, optional label set, numeric value *)
+        match String.rindex_opt l ' ' with
+        | None -> Alcotest.fail ("no value separator in: " ^ l)
+        | Some i ->
+            let v = String.sub l (i + 1) (String.length l - i - 1) in
+            (match float_of_string_opt v with
+            | Some _ -> ()
+            | None -> Alcotest.fail ("non-numeric sample value in: " ^ l));
+            let name = String.sub l 0 i in
+            check_bool
+              ("metric is namespaced: " ^ l)
+              true
+              (String.length name > 9 && String.sub name 0 9 = "pathcons_")
+      end)
+    lines
+
+let test_golden_openmetrics () =
+  let sigma =
+    write_temp ".constraints"
+      "book : author <- wrote\nperson : wrote <- author\n"
+  in
+  let metrics_file = Filename.temp_file "obs_metrics" ".txt" in
+  let code, _ =
+    run_stderr
+      (Printf.sprintf
+         "chase -s %s \"book.author.wrote -> book\" --metrics %s" sigma
+         (Filename.quote metrics_file))
+  in
+  Sys.remove sigma;
+  check_int "refuted exits 1" 1 code;
+  let doc = In_channel.with_open_text metrics_file In_channel.input_all in
+  Sys.remove metrics_file;
+  validate_openmetrics doc;
+  (* the same deterministic fixture as the --stats golden: one TGD
+     repair, decided on the chase route after a store-prefilter miss *)
+  List.iter
+    (fun line -> check_bool ("contains " ^ line) true (contains doc line))
+    [
+      "pathcons_chase_steps_total 1";
+      "pathcons_chase_tgd_firings_total 1";
+      "pathcons_decision_route_total{route=\"chase\"} 1";
+      "pathcons_semidecide_prefilter_misses_total 1";
+      "pathcons_decision_latency_ns_count{route=\"chase\"} 1";
+      "pathcons_span_calls_total{span=\"pathctl.chase\"} 1";
+      "# TYPE pathcons_decision_latency_ns histogram";
+      "# TYPE pathcons_store_paths gauge";
+    ]
+
+(* --- audit journal through the CLI ------------------------------------- *)
+
+let test_audit_roundtrip () =
+  let sigma =
+    write_temp ".constraints"
+      "book : author <- wrote\nperson : wrote <- author\n"
+  in
+  let audit_file = Filename.temp_file "obs_audit" ".jsonl" in
+  let code, _ =
+    run_stderr
+      (Printf.sprintf "chase -s %s \"book.author.wrote -> book\" --audit %s"
+         sigma (Filename.quote audit_file))
+  in
+  Sys.remove sigma;
+  check_int "refuted exits 1" 1 code;
+  let doc = In_channel.with_open_text audit_file In_channel.input_all in
+  Sys.remove audit_file;
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' doc)
+  in
+  check_bool "journal is non-empty" true (lines <> []);
+  let records =
+    List.map
+      (fun l ->
+        match Obs.Json.parse l with
+        | Ok j -> j
+        | Error m -> Alcotest.fail ("audit line does not parse: " ^ m))
+      lines
+  in
+  List.iter
+    (fun r ->
+      match Obs.Audit.validate r with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail ("audit record invalid: " ^ m))
+    records;
+  (* exactly one decision on this fixture, refuted via the chase route
+     after a prefilter miss *)
+  let decisions =
+    List.filter
+      (fun r ->
+        Option.bind (Obs.Json.member "event" r) Obs.Json.as_string
+        = Some "decision")
+      records
+  in
+  check_int "one decision record" 1 (List.length decisions);
+  let d = List.hd decisions in
+  let field name =
+    match Option.bind (Obs.Json.member name d) Obs.Json.as_string with
+    | Some s -> s
+    | None -> Alcotest.fail ("decision record missing " ^ name)
+  in
+  check_string "route" "chase" (field "route");
+  check_string "prefilter" "miss" (field "prefilter");
+  check_string "verdict" "refuted" (field "verdict")
+
+(* --- folded stacks from a real chase trace ----------------------------- *)
+
+let test_folded_stacks () =
+  Obs.enable_tracing ();
+  Obs.reset ();
+  let sigma = [ c_bwd "eps" "a" "b"; c_bwd "eps" "b" "a" ] in
+  let phi = c_word "a.b" "eps" in
+  ignore (Core.Semidecide.implies ~sigma phi);
+  let folded = Obs.Trace.to_folded () in
+  Obs.disable ();
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' folded)
+  in
+  check_bool "folded output is non-empty" true (lines <> []);
+  List.iter
+    (fun l ->
+      match String.rindex_opt l ' ' with
+      | None -> Alcotest.fail ("no weight separator in: " ^ l)
+      | Some i ->
+          let stack = String.sub l 0 i in
+          let weight = String.sub l (i + 1) (String.length l - i - 1) in
+          (match int_of_string_opt weight with
+          | Some w -> check_bool ("positive weight: " ^ l) true (w > 0)
+          | None -> Alcotest.fail ("non-integer weight in: " ^ l));
+          check_bool ("non-empty stack: " ^ l) true (stack <> "");
+          List.iter
+            (fun frame ->
+              check_bool ("non-empty frame in: " ^ l) true (frame <> ""))
+            (String.split_on_char ';' stack))
+    lines;
+  (* the chase actually shows up, as a child of the solver entry point *)
+  check_bool "solver root frame present" true
+    (List.exists
+       (fun l ->
+         String.length l >= 17 && String.sub l 0 17 = "semidecide.implies")
+       lines
+    || List.exists (fun l -> contains l "semidecide.implies") lines);
+  check_bool "chase frame nested under solver" true
+    (List.exists (fun l -> contains l "semidecide.implies;chase.implies") lines)
+
 let () =
   Alcotest.run "obs"
     [
@@ -333,5 +491,12 @@ let () =
             test_golden_stats_json;
           Alcotest.test_case "--trace writes valid chrome json" `Quick
             test_trace_flag_writes_valid_file;
+          Alcotest.test_case "golden --metrics openmetrics" `Quick
+            test_golden_openmetrics;
+          Alcotest.test_case "--audit journal round-trip" `Quick
+            test_audit_roundtrip;
         ] );
+      ( "flame",
+        [ Alcotest.test_case "folded stacks from a chase" `Quick
+            test_folded_stacks ] );
     ]

@@ -1,0 +1,144 @@
+(* Domain-safety of the metrics registry: four domains hammer the same
+   counters, labeled families and histogram concurrently; after the
+   joins the merged read must equal a single-domain reference run
+   EXACTLY (no lost updates, no double counts), and the histogram's
+   per-bucket counts must sum to its count (no torn buckets).
+
+   The registry's contract is unsynchronized per-domain shard writes
+   with an exact merge on read: [Domain.join] establishes the
+   happens-before edge that makes every shard's final value visible to
+   the reader, so equality here is deterministic, not probabilistic. *)
+
+open Testutil
+
+let domains = 4
+let per_domain = 25_000
+
+(* every domain runs the same workload over a disjoint index range so
+   the expected totals are closed-form *)
+let workload ~lo ~hi =
+  let c = Obs.Counter.make ~unit_:"ops" "dstress.total" in
+  let f = Obs.Counter.family ~unit_:"ops" ~label:"shard" "dstress.labeled" in
+  let tags = Array.init 3 (fun i -> Obs.Counter.tag f (string_of_int i)) in
+  let peak = Obs.Counter.make ~unit_:"depth" "dstress.peak" in
+  let h = Obs.Histogram.make ~unit_:"items" "dstress.sizes" in
+  for i = lo to hi - 1 do
+    Obs.Counter.incr c;
+    Obs.Counter.incr tags.(i mod 3);
+    Obs.Counter.set_max peak (i mod 1000);
+    (* integral floats: the merged sum is exact regardless of the
+       order shards are folded in *)
+    Obs.Histogram.observe h (float_of_int (i mod 100))
+  done
+
+type totals = {
+  total : int;
+  labeled : (string * int) list;
+  peak : int;
+  hcount : int;
+  hsum : float;
+  buckets : (float * int) list;
+}
+
+let read_totals () =
+  let f = Obs.Counter.family ~unit_:"ops" ~label:"shard" "dstress.labeled" in
+  {
+    total = Obs.Counter.value (Obs.Counter.make "dstress.total");
+    labeled =
+      List.map
+        (fun i ->
+          (string_of_int i, Obs.Counter.value (Obs.Counter.tag f (string_of_int i))))
+        [ 0; 1; 2 ];
+    peak = Obs.Counter.value (Obs.Counter.make "dstress.peak");
+    hcount = Obs.Histogram.count (Obs.Histogram.make "dstress.sizes");
+    hsum = Obs.Histogram.sum (Obs.Histogram.make "dstress.sizes");
+    buckets = Obs.Histogram.buckets (Obs.Histogram.make "dstress.sizes");
+  }
+
+let test_merged_totals_exact () =
+  let n = domains * per_domain in
+  (* single-domain reference *)
+  Obs.enable ();
+  Obs.reset ();
+  workload ~lo:0 ~hi:n;
+  let reference = read_totals () in
+  (* the same work fanned out over four domains *)
+  Obs.reset ();
+  Obs.enable ();
+  let spawn d =
+    Domain.spawn (fun () ->
+        workload ~lo:(d * per_domain) ~hi:((d + 1) * per_domain))
+  in
+  let ds = List.init domains spawn in
+  List.iter Domain.join ds;
+  let merged = read_totals () in
+  check_int "counter total exact" reference.total merged.total;
+  check_int "counter total is the op count" n merged.total;
+  List.iter2
+    (fun (tag, vr) (tag', vm) ->
+      check_string "same family tag order" tag tag';
+      check_int ("labeled shard " ^ tag ^ " exact") vr vm)
+    reference.labeled merged.labeled;
+  check_int "labeled family sums to total" n
+    (List.fold_left (fun acc (_, v) -> acc + v) 0 merged.labeled);
+  check_int "set_max merges as max" reference.peak merged.peak;
+  check_int "histogram count exact" reference.hcount merged.hcount;
+  check_bool "histogram sum exact" true (reference.hsum = merged.hsum);
+  check_int "histogram count is the op count" n merged.hcount
+
+let test_no_torn_buckets () =
+  Obs.enable ();
+  Obs.reset ();
+  let ds =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            workload ~lo:(d * per_domain) ~hi:((d + 1) * per_domain)))
+  in
+  List.iter Domain.join ds;
+  let t = read_totals () in
+  (* every observation landed in exactly one bucket *)
+  check_int "bucket counts sum to count" t.hcount
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 t.buckets);
+  (* and the +Inf overflow bucket closes the list *)
+  (match List.rev t.buckets with
+  | (bound, _) :: _ -> check_bool "+Inf bucket last" true (bound = infinity)
+  | [] -> Alcotest.fail "no buckets");
+  Obs.disable ()
+
+(* spans aggregate per domain and merge on read: the call counts add
+   up across domains and no domain's frames leak into another's *)
+let test_spans_across_domains () =
+  Obs.enable ();
+  Obs.reset ();
+  let ds =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 100 do
+              Obs.Span.with_ "dstress.outer" (fun () ->
+                  Obs.Span.with_ "dstress.inner" (fun () -> ()))
+            done))
+  in
+  List.iter Domain.join ds;
+  let spans = Obs.Stats.spans () in
+  let count name = (List.assoc name spans).Obs.Stats.count in
+  check_int "outer calls merged" (domains * 100) (count "dstress.outer");
+  check_int "inner calls merged" (domains * 100) (count "dstress.inner");
+  check_int "main domain stack balanced" 0 (Obs.Span.depth ());
+  Obs.disable ()
+
+let () =
+  Alcotest.run "obs-domains"
+    [
+      ( "merge",
+        [
+          Alcotest.test_case "4-domain totals exactly equal reference" `Quick
+            test_merged_totals_exact;
+          Alcotest.test_case "no torn histogram buckets" `Quick
+            test_no_torn_buckets;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "span aggregates merge across domains" `Quick
+            test_spans_across_domains;
+        ] );
+    ]
