@@ -1,6 +1,6 @@
 # Convenience wrapper around dune.
 
-.PHONY: all build test check bench bench-check bench-chase profile flame metrics fmt clean lint
+.PHONY: all build test check bench bench-check bench-chase bench-scaling profile flame metrics fmt clean lint
 
 all: build
 
@@ -29,6 +29,14 @@ bench-check:
 # at the largest sweep size printed and the cells written as JSON
 bench-chase:
 	dune exec bench/main.exe -- chase -o BENCH_chase.json
+
+# the multicore scaling sweep only: the three domain-pool fan-out
+# surfaces (enumeration, typed search, lint) timed at 1/2/4 domains,
+# with the >= 1.8x @ 4 domains contract gated by check_bench on hosts
+# with >= 4 cores (informational elsewhere)
+bench-scaling:
+	dune exec bench/main.exe -- scaling -o BENCH_scaling.json
+	dune exec bench/check_bench.exe -- BENCH_scaling.json
 
 # span/counter attribution for the chase on the shipped bibliography
 # example (see DESIGN.md section 9)

@@ -18,6 +18,15 @@ let max_slowdown = 3.0
    cell as a permille counter, gated here. *)
 let max_overhead_permille = 20
 
+(* The domain-pool scaling contract: the enumeration fan-out must reach
+   >= 1.8x at 4 domains.  Speedup is a property of the host, so the
+   gate only applies when the machine that produced the file had at
+   least [min_gate_cores] cores (the cell records
+   [scaling.host_cores]); on smaller hosts the cell is still required
+   to be well-formed but the ratio is informational. *)
+let min_speedup_x4_permille = 1800
+let min_gate_cores = 4
+
 let fail fmt =
   Printf.ksprintf
     (fun s ->
@@ -146,6 +155,42 @@ let () =
               permille max_overhead_permille;
             exit 2
           end));
+  (* absolute gate on the multicore contract, conditional on the host:
+     a 1-core runner cannot exhibit speedup, so the cell's recorded
+     core count decides whether the ratio is enforced or informational *)
+  (match
+     List.find_opt (fun c -> c.name = "scaling-enum-countermodel") fresh
+   with
+  | None -> ()
+  | Some c -> (
+      match
+        ( List.assoc_opt "scaling.host_cores" c.counters,
+          List.assoc_opt "scaling.speedup_x4_permille" c.counters )
+      with
+      | Some cores, Some permille ->
+          if cores >= min_gate_cores then begin
+            Printf.printf
+              "  %-24s %d permille at 4 domains (gate %d, host %d cores)\n"
+              c.name permille min_speedup_x4_permille cores;
+            if permille < min_speedup_x4_permille then begin
+              Printf.eprintf
+                "check_bench: enumeration speedup %d permille at 4 domains \
+                 is below the %d permille (1.8x) contract on a %d-core \
+                 host\n"
+                permille min_speedup_x4_permille cores;
+              exit 2
+            end
+          end
+          else
+            Printf.printf
+              "  %-24s gate skipped: host had %d cores (< %d); measured %d \
+               permille at 4 domains\n"
+              c.name cores min_gate_cores permille
+      | _ ->
+          fail
+            "%s: scaling-enum-countermodel cell lacks scaling.host_cores / \
+             scaling.speedup_x4_permille counters"
+            fresh_path));
   match base_path with
   | None -> ()
   | Some bp ->

@@ -766,6 +766,114 @@ let obs_overhead_cell () =
     }
     :: !cells
 
+(* --- multicore: domain-pool scaling as gated cells ---------------------- *)
+
+(* The fan-out surfaces measured at 1, 2 and 4 domains.  The "size"
+   axis of these cells is the job count, not an input size, so the
+   exponent is the log-log slope of wall-clock against domains (about
+   -1 for ideal scaling, 0 for none).  Absolute speedup is a property
+   of the host — a 1-core CI runner cannot show any — so every cell
+   records [scaling.host_cores] alongside the speedup permilles and
+   the regression gate (check_bench) enforces the >= 1.8x @ 4 domains
+   contract on the enumeration cell only when the host has >= 4
+   cores. *)
+
+let scaling_jobs = [ 1; 2; 4 ]
+
+(* Direct best-of-k wall-clock instead of bechamel: one run of these
+   workloads is hundreds of milliseconds, too coarse for OLS over
+   iteration counts, and the parallel runs must each own the pool. *)
+let time_best f =
+  let reps = if !quick then 1 else 3 in
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Core.Engine.now_ns () in
+    f ();
+    let dt = Int64.to_float (Int64.sub (Core.Engine.now_ns ()) t0) in
+    if dt < !best then best := dt
+  done;
+  { wall_ns = !best; minor_words = 0. }
+
+let scaling_cell ~cell_name ~claim name f =
+  sub name;
+  let points =
+    List.map
+      (fun j ->
+        Par.with_pool ~jobs:j (fun pool ->
+            let m = time_best (fun () -> f pool) in
+            Printf.printf "  jobs = %d   %10s\n" j (pp_ns m.wall_ns);
+            (j, m)))
+      scaling_jobs
+  in
+  let speedups =
+    match points with
+    | (_, base) :: rest ->
+        List.map
+          (fun (j, m) ->
+            let s = base.wall_ns /. m.wall_ns in
+            Printf.printf "  speedup at %d domains: %.2fx\n" j s;
+            ( Printf.sprintf "scaling.speedup_x%d_permille" j,
+              int_of_float (s *. 1000.) ))
+          rest
+    | [] -> []
+  in
+  cells :=
+    {
+      cell_name;
+      claim;
+      points;
+      exponent =
+        fitted_exponent (List.map (fun (j, m) -> (j, m.wall_ns)) points);
+      counters =
+        speedups
+        @ [ ("scaling.host_cores", Domain.recommended_domain_count ()) ];
+    }
+    :: !cells
+
+let scaling_cells () =
+  let la = Label.make "a" and lb = Label.make "b" in
+  (* a tautology: no countermodel exists, so every run scans the whole
+     2^(L*n^2) space — the honest workload for a scaling claim *)
+  let taut = Constr.word ~lhs:(Path.singleton la) ~rhs:(Path.singleton la) in
+  scaling_cell ~cell_name:"scaling-enum-countermodel"
+    ~claim:
+      "domain-parallel exhaustive search: >= 1.8x at 4 domains on a >= \
+       4-core host (gated)"
+    "countermodel enumeration, full scan, n <= 3 nodes x 2 labels (~262k \
+     graphs)"
+    (fun pool ->
+      match
+        Sgraph.Enumerate.find_countermodel ?pool ~max_nodes:3
+          ~labels:[ la; lb ] ~sigma:[] ~phi:taut ()
+      with
+      | Some _ -> failwith "scaling enum workload must be countermodel-free"
+      | None -> ());
+  let schema = Mschema.bib_m in
+  let ts_sigma = [ Constr.word ~lhs:(p "book") ~rhs:(p "book.ref") ] in
+  (* again a tautology: the typed search must exhaust its bounded space *)
+  let ts_phi = Constr.word ~lhs:(p "person") ~rhs:(p "person") in
+  scaling_cell ~cell_name:"scaling-typed-search"
+    ~claim:
+      "prefix-clamped budget slices keep the parallel verdict identical; \
+       wall-clock tracks domains"
+    "typed countermodel search over U_f(bib_m), 2 per class, full scan"
+    (fun pool ->
+      match
+        Core.Typed_search.find_countermodel ?pool schema ~sigma:ts_sigma
+          ~phi:ts_phi
+      with
+      | Ok None -> ()
+      | Ok (Some _) ->
+          failwith "scaling typed-search workload must be countermodel-free"
+      | Error e -> failwith e);
+  let lint_input = lint_workload 48 in
+  scaling_cell ~cell_name:"scaling-lint"
+    ~claim:
+      "pass-level fan-out; bounded by the heaviest pass, so sublinear by \
+       design"
+    "full lint pipeline under the M schema, |Sigma| = 48"
+    (fun pool -> ignore (Analysis.Lint.run ?pool lint_input))
+
 let timing () =
   section "Timing: complexity shapes of the decidable cells";
   let rng0 = rng () in
@@ -834,6 +942,9 @@ let timing () =
   analyzer_cell ();
   interact_cell ();
   obs_overhead_cell ();
+
+  section "Multicore: domain-pool scaling (1/2/4 domains)";
+  scaling_cells ();
 
   section "Ablations";
 
@@ -1099,6 +1210,10 @@ let () =
       | "obs" ->
           section "Observability: disabled-mode overhead";
           obs_overhead_cell ();
+          write_table1_json !out_path
+      | "scaling" ->
+          section "Multicore: domain-pool scaling (1/2/4 domains)";
+          scaling_cells ();
           write_table1_json !out_path
       | "raw" -> raw ()
       | "all" | _ ->

@@ -131,6 +131,21 @@ let with_obs ~cmd ?(always = false) ?metrics ?audit ~trace ~stats f =
 
 (* --- common arguments ------------------------------------------------ *)
 
+(* -j N fans the embarrassingly-parallel phases (countermodel
+   enumeration, lint passes) across a domain pool; every pool-aware
+   entry point guarantees byte-identical output at any job count, so
+   this is purely a throughput knob. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Par.jobs_of_env ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel phases (countermodel \
+           enumeration, lint passes).  Defaults to the \
+           $(b,PATHCTL_JOBS) environment variable when set, else 1.  \
+           Results are byte-identical at any job count.")
+
 let graph_arg =
   Arg.(
     required
@@ -421,7 +436,7 @@ let chase_cmd =
              e.g. 'chase.repair:3:crash'.  Overrides \\$PATHCTL_FAULT.")
   in
   let run sigma_file phi steps nodes timeout escalate snapshot resume fault
-      trace stats metrics audit =
+      jobs trace stats metrics audit =
     let fault_err =
       match fault with
       | None -> None
@@ -486,29 +501,32 @@ let chase_cmd =
                         snapshot
                     in
                     let verdict =
-                      Core.Engine.Cancel.with_sigint cancel (fun () ->
-                          if escalate then
-                            Core.Semidecide.implies_escalating ~timeout ~cancel
-                              ~sigma phi
-                          else
-                            let budget =
-                              Core.Engine.Budget.v ~max_steps:steps
-                                ~max_nodes:(Option.value nodes ~default:steps)
-                                ~timeout ~cancel ()
-                            in
-                            let ctl =
-                              match resume_snap with
-                              | None -> Core.Engine.start budget
-                              | Some s ->
-                                  Core.Engine.start
-                                    ~spent_steps:
-                                      (Core.Chase.Snapshot.engine_steps s)
-                                    ~spent_peak_nodes:
-                                      (Core.Chase.Snapshot.engine_peak_nodes s)
-                                    budget
-                            in
-                            Core.Semidecide.implies ~ctl ?park
-                              ?resume:resume_snap ~sigma phi)
+                      Par.with_pool ~jobs (fun pool ->
+                          Core.Engine.Cancel.with_sigint cancel (fun () ->
+                              if escalate then
+                                Core.Semidecide.implies_escalating ~timeout
+                                  ~cancel ?pool ~sigma phi
+                              else
+                                let budget =
+                                  Core.Engine.Budget.v ~max_steps:steps
+                                    ~max_nodes:
+                                      (Option.value nodes ~default:steps)
+                                    ~timeout ~cancel ()
+                                in
+                                let ctl =
+                                  match resume_snap with
+                                  | None -> Core.Engine.start budget
+                                  | Some s ->
+                                      Core.Engine.start
+                                        ~spent_steps:
+                                          (Core.Chase.Snapshot.engine_steps s)
+                                        ~spent_peak_nodes:
+                                          (Core.Chase.Snapshot
+                                           .engine_peak_nodes s)
+                                        budget
+                                in
+                                Core.Semidecide.implies ~ctl ?pool ?park
+                                  ?resume:resume_snap ~sigma phi))
                     in
                     (match (!parked, snapshot) with
                     | Some (file, s), _ -> (
@@ -566,8 +584,8 @@ let chase_cmd =
     Term.(
       ret
         (const run $ sigma_arg $ phi_arg $ steps_arg $ nodes_arg $ timeout_arg
-       $ escalate_arg $ snapshot_arg $ resume_arg $ fault_arg $ trace_arg
-       $ stats_arg $ metrics_arg $ audit_arg))
+       $ escalate_arg $ snapshot_arg $ resume_arg $ fault_arg $ jobs_arg
+       $ trace_arg $ stats_arg $ metrics_arg $ audit_arg))
 
 (* --- encode ---------------------------------------------------------------------- *)
 
@@ -1057,7 +1075,7 @@ let lint_cmd =
              equivalent.")
   in
   let run sigma_file schema_file phi config fix explain interact max_warnings
-      cache format output timeout steps trace stats metrics audit =
+      cache format output timeout steps jobs trace stats metrics audit =
     let code =
       with_obs ~cmd:"lint" ~always:true ?metrics ?audit ~trace ~stats
         (fun () ->
@@ -1120,9 +1138,10 @@ let lint_cmd =
                     finish diags
               else
                 finish
-                  (Analysis.Lint.lint_paths ~budget ?schema_file ?phi
-                     ?config_file:config ?cache_dir:cache ~explain ~interact
-                     ~sigma_file ())))
+                  (Par.with_pool ~jobs (fun pool ->
+                       Analysis.Lint.lint_paths ~budget ?pool ?schema_file
+                         ?phi ?config_file:config ?cache_dir:cache ~explain
+                         ~interact ~sigma_file ()))))
     in
     exit code
   in
@@ -1142,12 +1161,12 @@ let lint_cmd =
           error-severity diagnostic fired or --max-warnings was exceeded.")
     Term.(
       ret
-        (const (fun a b c d e f g h i j k l m n o p q ->
-             `Ok (run a b c d e f g h i j k l m n o p q))
+        (const (fun a b c d e f g h i j k l m n o p q r ->
+             `Ok (run a b c d e f g h i j k l m n o p q r))
         $ sigma_arg $ schema_opt_arg $ phi_opt_arg $ config_arg $ fix_arg
         $ explain_arg $ interact_arg $ max_warnings_arg $ cache_arg
-        $ format_arg $ output_arg $ timeout_arg $ steps_arg $ trace_arg
-        $ stats_arg $ metrics_arg $ audit_arg))
+        $ format_arg $ output_arg $ timeout_arg $ steps_arg $ jobs_arg
+        $ trace_arg $ stats_arg $ metrics_arg $ audit_arg))
 
 (* --- interact -------------------------------------------------------------------- *)
 
@@ -1213,7 +1232,7 @@ let interact_cmd =
              path-vs-type interaction.")
   in
   let run sigma_file schema_file config explain format output timeout steps
-      trace stats metrics audit =
+      jobs trace stats metrics audit =
     let code =
       with_obs ~cmd:"interact" ~always:true ?metrics ?audit ~trace ~stats
         (fun () ->
@@ -1224,8 +1243,10 @@ let interact_cmd =
           in
           Core.Engine.Cancel.with_sigint cancel (fun () ->
               let diags =
-                Analysis.Lint.lint_paths ~budget ?schema_file
-                  ?config_file:config ~explain ~interact:true ~sigma_file ()
+                Par.with_pool ~jobs (fun pool ->
+                    Analysis.Lint.lint_paths ~budget ?pool ?schema_file
+                      ?config_file:config ~explain ~interact:true ~sigma_file
+                      ())
               in
               (* The interaction report: the PC7xx family plus the
                  load/parse errors (a file that didn't parse has no
@@ -1263,11 +1284,11 @@ let interact_cmd =
           the PC7xx family.  Exits 1 iff a core was found.")
     Term.(
       ret
-        (const (fun a b c d e f g h i j k l ->
-             `Ok (run a b c d e f g h i j k l))
+        (const (fun a b c d e f g h i j k l m ->
+             `Ok (run a b c d e f g h i j k l m))
         $ sigma_arg $ schema_opt_arg $ config_arg $ explain_arg $ format_arg
-        $ output_arg $ timeout_arg $ steps_arg $ trace_arg $ stats_arg
-        $ metrics_arg $ audit_arg))
+        $ output_arg $ timeout_arg $ steps_arg $ jobs_arg $ trace_arg
+        $ stats_arg $ metrics_arg $ audit_arg))
 
 (* --- profile --------------------------------------------------------------------- *)
 
@@ -1331,7 +1352,19 @@ let profile_cmd =
              flamegraph.pl or inferno-flamegraph to render an SVG \
              flamegraph.")
   in
-  let run sigma_file phi_src schema_file runs workload format trace flame
+  let jobs_sweep_arg =
+    Arg.(
+      value
+      & opt int (Par.jobs_of_env ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Sweep the parallel phases over 1..$(docv) worker domains: \
+             time the whole workload at each job count and print a \
+             wall-clock speedup table on top of the usual phase \
+             attribution.  Defaults to $(b,PATHCTL_JOBS) when set, else \
+             1 (no sweep).")
+  in
+  let run sigma_file phi_src schema_file runs workload jobs format trace flame
       metrics =
     if runs <= 0 then die "--runs must be positive"
     else
@@ -1358,17 +1391,20 @@ let profile_cmd =
           match schema_result with
           | Error m -> die "%s" m
           | Ok schema -> (
+              (* each workload closure takes the pool of the current
+                 sweep step (None at one job), so the sweep rows differ
+                 only in the domain count *)
               let job_result =
                 match workload with
                 | `Chase ->
                     let phi = phi () in
                     Ok
-                      (fun () ->
+                      (fun pool ->
                         ignore
                           (Core.Semidecide.implies
                              ~ctl:
                                (Core.Engine.start Core.Engine.Budget.default)
-                             ~sigma phi))
+                             ?pool ~sigma phi))
                 | `Word -> (
                     let phi = phi () in
                     match Core.Word_untyped.implies ~sigma phi with
@@ -1380,19 +1416,19 @@ let profile_cmd =
                              Pathlang.Constr.pp c)
                     | Ok _ ->
                         Ok
-                          (fun () ->
+                          (fun _pool ->
                             ignore (Core.Word_untyped.implies ~sigma phi)))
                 | `Compare ->
                     let phi = phi () in
                     Ok
-                      (fun () ->
+                      (fun _pool ->
                         ignore (Core.Interaction.compare ?schema ~sigma phi))
                 | `Lint ->
                     Ok
-                      (fun () ->
+                      (fun pool ->
                         ignore
-                          (Analysis.Lint.lint_paths ?schema_file ?phi:phi_src
-                             ~sigma_file ()))
+                          (Analysis.Lint.lint_paths ?pool ?schema_file
+                             ?phi:phi_src ~sigma_file ()))
               in
               match job_result with
               | Error m -> die "%s" m
@@ -1402,19 +1438,79 @@ let profile_cmd =
                   if trace <> None || flame <> None then Obs.enable_tracing ()
                   else Obs.enable ();
                   Obs.reset ();
-                  for i = 1 to runs do
-                    Obs.Span.with_ "pathctl.profile.run"
-                      ~args:[ ("run", string_of_int i) ]
-                      job
-                  done;
+                  (* --jobs N sweeps the job counts 1..N, timing the
+                     [runs] repetitions wall-clock at each; N = 1 is the
+                     plain single-table profile *)
+                  let sweep =
+                    List.map
+                      (fun j ->
+                        Par.with_pool ~jobs:j (fun pool ->
+                            let t0 = Obs.now_ns () in
+                            for i = 1 to runs do
+                              Obs.Span.with_ "pathctl.profile.run"
+                                ~args:
+                                  [
+                                    ("run", string_of_int i);
+                                    ("jobs", string_of_int j);
+                                  ]
+                                (fun () -> job pool)
+                            done;
+                            (j, Int64.sub (Obs.now_ns ()) t0)))
+                      (List.init (max 1 jobs) (fun i -> i + 1))
+                  in
                   Option.iter Obs.Trace.write_chrome trace;
                   Option.iter Obs.Trace.write_folded flame;
                   Option.iter Obs.Openmetrics.write metrics;
+                  let base_ns =
+                    match sweep with (_, ns) :: _ -> ns | [] -> 0L
+                  in
+                  let speedup ns =
+                    if Int64.compare ns 0L > 0 then
+                      Int64.to_float base_ns /. Int64.to_float ns
+                    else 0.
+                  in
                   (match format with
                   | `Text ->
                       Printf.printf "profile: %d run(s)\n\n" runs;
+                      if jobs > 1 then begin
+                        Printf.printf
+                          "jobs sweep (%d run(s) per row, wall-clock):\n"
+                          runs;
+                        Printf.printf "  %5s  %12s  %8s\n" "jobs" "wall(ms)"
+                          "speedup";
+                        List.iter
+                          (fun (j, ns) ->
+                            Printf.printf "  %5d  %12.2f  %7.2fx\n" j
+                              (Int64.to_float ns /. 1e6)
+                              (speedup ns))
+                          sweep;
+                        print_newline ()
+                      end;
                       print_string (Obs.Stats.to_text ())
                   | `Json ->
+                      if jobs > 1 then
+                        print_endline
+                          (Obs.Json.to_string
+                             (Obs.Json.Obj
+                                [
+                                  ( "sweep",
+                                    Obs.Json.List
+                                      (List.map
+                                         (fun (j, ns) ->
+                                           Obs.Json.Obj
+                                             [
+                                               ("jobs", Obs.Json.Int j);
+                                               ( "wall_ns",
+                                                 Obs.Json.Int
+                                                   (Int64.to_int ns) );
+                                               ( "speedup_permille",
+                                                 Obs.Json.Int
+                                                   (int_of_float
+                                                      (speedup ns *. 1000.))
+                                               );
+                                             ])
+                                         sweep) );
+                                ]));
                       print_endline
                         (Obs.Json.to_string (Obs.Stats.to_json ())));
                   `Ok ()))
@@ -1424,13 +1520,16 @@ let profile_cmd =
        ~doc:
          "Run one implication workload N times under full instrumentation \
           and print a phase-attribution table (per-span wall-clock and self \
-          time, counters); --trace additionally captures a Chrome trace of \
-          all runs, --flame folded stacks for flamegraph.pl/inferno, and \
-          --metrics an OpenMetrics exposition.")
+          time, counters); --jobs sweeps the parallel phases over 1..N \
+          worker domains and prints a wall-clock speedup table, --trace \
+          additionally captures a Chrome trace of all runs, --flame folded \
+          stacks for flamegraph.pl/inferno, and --metrics an OpenMetrics \
+          exposition.")
     Term.(
       ret
         (const run $ sigma_arg $ phi_opt_arg $ schema_opt_arg $ runs_arg
-       $ workload_arg $ format_arg $ trace_arg $ flame_arg $ metrics_arg))
+       $ workload_arg $ jobs_sweep_arg $ format_arg $ trace_arg $ flame_arg
+       $ metrics_arg))
 
 (* --- metrics-serve --------------------------------------------------------------- *)
 
@@ -1470,7 +1569,7 @@ let metrics_serve_cmd =
       & info [] ~docv:"PHI"
           ~doc:"Optional goal constraint for the warm-up chase.")
   in
-  let run socket requests sigma_file phi_src =
+  let run socket requests sigma_file phi_src jobs =
     if requests <= 0 then die "--requests must be positive"
     else begin
       Obs.enable ();
@@ -1481,10 +1580,14 @@ let metrics_serve_cmd =
             match (load_constraints sf, parse_constraint ps) with
             | Error m, _ | _, Error m -> Error m
             | Ok sigma, Ok phi ->
-                ignore
-                  (Core.Semidecide.implies
-                     ~ctl:(Core.Engine.start Core.Engine.Budget.default)
-                     ~sigma phi);
+                (* with -j > 1 the warm-up runs on a domain pool, so the
+                   exposition served below includes merged per-domain
+                   shards — what the CI domains-smoke job scrapes for *)
+                Par.with_pool ~jobs (fun pool ->
+                    ignore
+                      (Core.Semidecide.implies
+                         ~ctl:(Core.Engine.start Core.Engine.Budget.default)
+                         ?pool ~sigma phi));
                 Ok ())
         | _ ->
             Error "metrics-serve needs both --sigma and PHI, or neither"
@@ -1540,7 +1643,10 @@ let metrics_serve_cmd =
           the current exposition and exit.  Zero dependencies beyond the \
           OCaml runtime; pair it with a sidecar or \
           'curl --unix-socket PATH http://localhost/metrics'.")
-    Term.(ret (const run $ socket_arg $ requests_arg $ sigma_opt_arg $ phi_opt_arg))
+    Term.(
+      ret
+        (const run $ socket_arg $ requests_arg $ sigma_opt_arg $ phi_opt_arg
+       $ jobs_arg))
 
 (* --- main ------------------------------------------------------------------------ *)
 

@@ -32,7 +32,7 @@ let apply_severity config diags =
       | Some (Some severity) -> Some { d with Diagnostic.severity })
     diags
 
-let run ?budget input =
+let run ?budget ?pool input =
   let {
     sigma_file;
     sigma;
@@ -57,41 +57,41 @@ let run ?budget input =
           f ())
     else []
   in
-  let classify =
+  let classify_p () =
     pass "classify" (fun () ->
         Classify.run ~sigma_file ?schema ?schema_file ?schema_spans ?phi
           spanned)
   in
-  let typeflow =
+  let typeflow_p () =
     pass "typeflow" (fun () ->
         match schema with
         | Some schema -> Typeflow.pass ~sigma_file ~schema ~explain sigma
         | None -> [])
   in
-  let vacuity =
+  let vacuity_p () =
     pass "vacuity" (fun () ->
         match schema with
         | Some schema -> Passes.vacuity ~sigma_file ~schema spanned
         | None -> [])
   in
-  let inconsistency =
+  let inconsistency_p () =
     pass "inconsistency" (fun () ->
         match schema with
         | Some schema -> Passes.inconsistency ~sigma_file ~schema spanned
         | None -> [])
   in
-  let redundancy =
+  let redundancy_p ~inconsistency () =
     (* an inconsistent Sigma implies everything: redundancy is noise there *)
     pass "redundancy" (fun () ->
         if List.exists (fun d -> d.Diagnostic.code = "PC400") inconsistency
         then []
         else Passes.redundancy ~sigma_file ?schema ?budget spanned)
   in
-  let hygiene =
+  let hygiene_p () =
     pass "hygiene" (fun () ->
         Passes.hygiene ~sigma_file ?schema ?schema_file ?schema_spans spanned)
   in
-  let interact =
+  let interact_p () =
     (* unlike the default-on passes, interact runs only when opted in:
        by the [--interact] flag / [interact] subcommand, or by an
        explicit [interact = true] in the config.  The flag wins over a
@@ -105,6 +105,42 @@ let run ?budget input =
           Obs.Counter.incr passes_run;
           Interact.pass ~sigma_file ?schema ?budget ~explain spanned)
     else []
+  in
+  (* Each pass is pure given the parsed spans, so they fan out onto a
+     pool; results are kept by pass index and concatenated in the fixed
+     pass order, making -j N output byte-identical to -j 1.  Two
+     stages: the span-pure passes first, then the two budgeted heavy
+     passes side by side (redundancy reads inconsistency's PC400
+     verdict, so it cannot join stage one). *)
+  let classify, typeflow, vacuity, inconsistency, redundancy, hygiene, interact
+      =
+    match pool with
+    | Some p when Par.jobs p > 1 ->
+        let s1 =
+          Par.run p ~tasks:5 (fun i ->
+              match i with
+              | 0 -> classify_p ()
+              | 1 -> typeflow_p ()
+              | 2 -> vacuity_p ()
+              | 3 -> inconsistency_p ()
+              | _ -> hygiene_p ())
+        in
+        let inconsistency = s1.(3) in
+        let s2 =
+          Par.run p ~tasks:2 (fun i ->
+              if i = 0 then redundancy_p ~inconsistency () else interact_p ())
+        in
+        (s1.(0), s1.(1), s1.(2), inconsistency, s2.(0), s1.(4), s2.(1))
+    | _ ->
+        let classify = classify_p () in
+        let typeflow = typeflow_p () in
+        let vacuity = vacuity_p () in
+        let inconsistency = inconsistency_p () in
+        let redundancy = redundancy_p ~inconsistency () in
+        let hygiene = hygiene_p () in
+        let interact = interact_p () in
+        (classify, typeflow, vacuity, inconsistency, redundancy, hygiene,
+         interact)
   in
   let all =
     classify @ typeflow @ vacuity @ inconsistency @ redundancy @ hygiene
@@ -193,7 +229,7 @@ let budget_fingerprint (budget : Core.Engine.Budget.t option) =
         | None -> "-"
         | Some t -> Printf.sprintf "%g" t)
 
-let lint_paths ?budget ?schema_file ?phi ?config_file ?cache_dir
+let lint_paths ?budget ?pool ?schema_file ?phi ?config_file ?cache_dir
     ?(explain = false) ?(interact = false) ~sigma_file () =
   (* configuration first: everything downstream depends on it *)
   let config_src, config_result =
@@ -317,7 +353,12 @@ let lint_paths ?budget ?schema_file ?phi ?config_file ?cache_dir
                               | Some (s, spans, path) ->
                                   (Some s, Some spans, Some path)
                             in
-                            run ?budget
+                            (* [pool] is deliberately absent from the
+                               cache key: -j N results are
+                               byte-identical to -j 1 by contract, so
+                               a cache entry is valid at any job
+                               count *)
+                            run ?budget ?pool
                               {
                                 sigma_file;
                                 sigma = doc.Parser.constraints;

@@ -28,12 +28,20 @@ type input = {
           it when the config sets [[passes] interact = true] *)
 }
 
-val run : ?budget:Core.Engine.Budget.t -> input -> Diagnostic.t list
+val run :
+  ?budget:Core.Engine.Budget.t -> ?pool:Par.t -> input -> Diagnostic.t list
 (** All passes over an already-parsed input; diagnostics in
     {!Diagnostic.compare} order.  [budget] (default
     [Core.Engine.Budget.default]) governs the best-effort redundancy
     stage.  Each executed pass bumps the [lint.passes.run] counter
-    (passes disabled by the configuration do not). *)
+    (passes disabled by the configuration do not).
+
+    With a [?pool] of more than one domain the passes run concurrently
+    (the span-pure passes first, then redundancy — which needs the
+    inconsistency verdict — alongside the interaction analyzer);
+    results are concatenated in the fixed pass order and sorted as
+    always, so the diagnostic stream is byte-identical to a sequential
+    run's. *)
 
 val exit_code : ?max_warnings:int -> Diagnostic.t list -> int
 (** The severity-threshold exit policy: 1 when an error-severity
@@ -42,6 +50,7 @@ val exit_code : ?max_warnings:int -> Diagnostic.t list -> int
 
 val lint_paths :
   ?budget:Core.Engine.Budget.t ->
+  ?pool:Par.t ->
   ?schema_file:string ->
   ?phi:string ->
   ?config_file:string ->

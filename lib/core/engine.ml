@@ -26,17 +26,20 @@ let reason_str = function
 module Cancel = struct
   type cause = Request | Sigint | Sigterm
 
-  type t = { mutable cancelled : cause option }
+  type t = cause option Atomic.t
 
-  let create () = { cancelled = None }
+  let create () : t = Atomic.make None
 
   (* First cause wins: a SIGTERM arriving after a SIGINT must not
-     change the exit code the operator already earned. *)
+     change the exit code the operator already earned.  The cell is
+     atomic so the race is decided exactly once even when a signal
+     handler and a worker domain's first-hit cancellation fire
+     together. *)
   let cancel ?(cause = Request) t =
-    if t.cancelled = None then t.cancelled <- Some cause
+    ignore (Atomic.compare_and_set t None (Some cause))
 
-  let is_cancelled t = t.cancelled <> None
-  let cause t = t.cancelled
+  let is_cancelled t = Atomic.get t <> None
+  let cause t = Atomic.get t
 
   let with_sigint t f =
     (* SIGTERM is handled identically to SIGINT: service supervisors
@@ -94,7 +97,9 @@ type t = {
   mutable steps : int;
   mutable peak_nodes : int;
   mutable rounds : int;
-  mutable tripped : Verdict.reason option;
+  tripped : Verdict.reason option Atomic.t;
+      (* atomic so [ok]/[interrupted] may be polled from worker
+         domains; the counting fields above stay owner-domain-only *)
   mutable rev_notes : string list;
 }
 
@@ -116,7 +121,7 @@ let start ?(spent_steps = 0) ?(spent_peak_nodes = 0) (b : Budget.t) =
     steps = spent_steps;
     peak_nodes = spent_peak_nodes;
     rounds = 1;
-    tripped = None;
+    tripped = Atomic.make None;
     rev_notes = [];
   }
 
@@ -129,14 +134,18 @@ let rank = function
   | Verdict.Deadline -> 2
   | Verdict.Steps | Verdict.Nodes -> 1
 
-let trip t r =
-  match t.tripped with
+let rec trip t r =
+  match Atomic.get t.tripped with
   | None ->
-      Obs.Counter.incr c_trips;
-      Obs.Span.event "engine.trip"
-        ~args:[ ("reason", reason_str r); ("steps", string_of_int t.steps) ];
-      t.tripped <- Some r
-  | Some cur -> if rank r > rank cur then t.tripped <- Some r
+      if Atomic.compare_and_set t.tripped None (Some r) then begin
+        Obs.Counter.incr c_trips;
+        Obs.Span.event "engine.trip"
+          ~args:[ ("reason", reason_str r); ("steps", string_of_int t.steps) ]
+      end
+      else trip t r
+  | Some cur as prev ->
+      if rank r > rank cur then
+        if not (Atomic.compare_and_set t.tripped prev (Some r)) then trip t r
 
 (* Deadline and cancellation are live conditions: they apply to every
    phase of a run, even after a step/node budget tripped. *)
@@ -147,7 +156,7 @@ let ok t =
   (match t.deadline with
   | Some d when now_ns () >= d -> trip t Verdict.Deadline
   | _ -> ());
-  match t.tripped with
+  match Atomic.get t.tripped with
   | Some (Verdict.Cancelled | Verdict.Deadline | Verdict.Crashed) -> false
   | Some (Verdict.Steps | Verdict.Nodes) | None -> true
 
@@ -170,7 +179,7 @@ let tick t ?nodes () =
     (match (nodes, t.max_nodes) with
     | Some n, Some m when n > m -> trip t Verdict.Nodes
     | _ -> ());
-    t.tripped = None
+    Atomic.get t.tripped = None
   end
 
 let note t s =
@@ -182,8 +191,36 @@ let note t s =
 let steps t = t.steps
 let peak_nodes t = t.peak_nodes
 let elapsed_ns t = Int64.sub (now_ns ()) t.started
-let tripped t = t.tripped
+let tripped t = Atomic.get t.tripped
 let notes t = List.rev t.rev_notes
+let remaining_steps t = Option.map (fun m -> max 0 (m - t.steps)) t.max_steps
+
+(* Budget splitting for the parallel fan-outs: a child controller
+   carries its own step cap (the caller's deterministic slice of the
+   parent's remaining budget) but shares the parent's absolute deadline,
+   node cap and cancellation token — the live conditions must bind every
+   worker identically.  The child is owned by exactly one task; [absorb]
+   folds its accounting back into the parent after the join. *)
+let fork t ?max_steps () =
+  {
+    max_steps;
+    max_nodes = t.max_nodes;
+    deadline = t.deadline;
+    cancel = t.cancel;
+    started = now_ns ();
+    steps = 0;
+    peak_nodes = 0;
+    rounds = 1;
+    tripped = Atomic.make None;
+    rev_notes = [];
+  }
+
+let absorb ?(trips = true) t child =
+  t.steps <- t.steps + child.steps;
+  if child.peak_nodes > t.peak_nodes then t.peak_nodes <- child.peak_nodes;
+  List.iter (fun n -> note t n) (List.rev child.rev_notes);
+  if trips then
+    match Atomic.get child.tripped with Some r -> trip t r | None -> ()
 
 (* What the budget was spent doing: the synthetic consumed/remaining
    entries plus every instrumented module's live counters.  Only
@@ -206,7 +243,7 @@ let counters_snapshot t =
 
 let exhaustion t =
   {
-    Verdict.reason = Option.value ~default:Verdict.Steps t.tripped;
+    Verdict.reason = Option.value ~default:Verdict.Steps (Atomic.get t.tripped);
     steps = t.steps;
     nodes = t.peak_nodes;
     elapsed_ns = elapsed_ns t;
@@ -264,7 +301,7 @@ let escalate ?(base_steps = 64) ?(base_nodes = 64) ?(factor = 4)
           steps = 0;
           peak_nodes = 0;
           rounds = 1;
-          tripped = None;
+          tripped = Atomic.make None;
           rev_notes = [];
         }
       in

@@ -30,7 +30,9 @@ module Cancel : sig
 
   val cancel : ?cause:cause -> t -> unit
   (** Defaults to [Request].  The first cause wins; later calls are
-      ignored. *)
+      ignored.  The cell is an [Atomic.t], so concurrent cancellation
+      from a signal handler and from worker domains (the parallel
+      searches' first-hit fan-out) resolves race-free. *)
 
   val is_cancelled : t -> bool
 
@@ -94,18 +96,22 @@ val tick : t -> ?nodes:int -> unit -> bool
 (** Account one solver step (and, when given, the current model size)
     and re-check every limit.  [false] means stop: a limit tripped or
     cancellation was requested.  Once a controller has tripped, [tick]
-    stays [false]. *)
+    stays [false].  Owner-domain only: the counting fields are plain
+    mutable state; parallel tasks tick their own {!fork}ed child. *)
 
 val ok : t -> bool
 (** Re-check only the live conditions — deadline and cancellation —
     without consuming a step and ignoring an earlier step/node trip.
     Used by follow-up phases (e.g. the enumeration fallback after an
     exhausted chase) that have their own step discipline but must still
-    honor the shared deadline. *)
+    honor the shared deadline.  Domain-safe (the trip cell is atomic),
+    so one controller's [ok] may be polled from many worker domains. *)
 
 val interrupted : t -> unit -> bool
 (** [interrupted t] is [fun () -> not (ok t)], in the polarity
-    [Sgraph.Enumerate]'s [?interrupt] hook expects. *)
+    [Sgraph.Enumerate]'s [?interrupt] hook expects.  Domain-safe, like
+    {!ok}: the parallel enumeration hands this closure to every
+    worker. *)
 
 val note : t -> string -> unit
 (** Attach a diagnostic note (e.g. a clamped sub-budget); notes surface
@@ -116,6 +122,33 @@ val peak_nodes : t -> int
 val elapsed_ns : t -> int64
 val tripped : t -> Verdict.reason option
 val notes : t -> string list
+
+val remaining_steps : t -> int option
+(** Steps left before the step cap trips ([None] when uncapped).  The
+    quantity the parallel searches slice into per-task budgets. *)
+
+val fork : t -> ?max_steps:int -> unit -> t
+(** A child controller for one parallel task: it shares the parent's
+    absolute deadline, node cap and cancellation token, starts with
+    zero steps, and carries its own [max_steps] (the task's
+    deterministic slice; [None] for uncapped).  Does not mutate the
+    parent.  Each child must be ticked by exactly one domain. *)
+
+val absorb : ?trips:bool -> t -> t -> unit
+(** [absorb parent child] folds a finished child controller back into
+    the parent after the join: steps add, peak nodes max, notes union,
+    and (unless [~trips:false]) a child trip escalates the parent's
+    trip under the usual never-downgrade ranking.  [~trips:false] is
+    for the decisive-verdict case: a worker that raced past its slice
+    while another worker found the witness must not shadow the verdict
+    with a trip the sequential run would never have recorded.
+    Owner-domain only. *)
+
+val trip : t -> Verdict.reason -> unit
+(** Record an exhaustion observed outside the controller's own
+    accounting — e.g. the parallel typed search proving that the
+    sequential scan would have run out of steps.  Never downgrades an
+    existing trip.  Domain-safe. *)
 
 val exhaustion : t -> Verdict.exhaustion
 (** Diagnostics snapshot; the reason defaults to [Steps] when the

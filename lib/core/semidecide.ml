@@ -52,7 +52,7 @@ let audit_budgets ctl =
     ("elapsed_ns", Obs.Json.Int (Int64.to_int (Engine.elapsed_ns ctl)));
   ]
 
-let implies ?ctl ?(enum_nodes = 3) ?park ?resume ~sigma phi =
+let implies ?ctl ?pool ?(enum_nodes = 3) ?park ?resume ~sigma phi =
   let ctl = match ctl with Some c -> c | None -> Engine.default () in
   Obs.Span.with_ "semidecide.implies" (fun () ->
   let t0 = if Obs.enabled () || Obs.Audit.enabled () then Obs.now_ns () else 0L in
@@ -128,8 +128,8 @@ let implies ?ctl ?(enum_nodes = 3) ?park ?resume ~sigma phi =
             ~args:[ ("max_nodes", string_of_int max_nodes) ]
             (fun () ->
               Sgraph.Enumerate.find_countermodel
-                ~interrupt:(Engine.interrupted ctl) ~max_nodes ~labels ~sigma
-                ~phi ())
+                ~interrupt:(Engine.interrupted ctl) ?pool ~max_nodes ~labels
+                ~sigma ~phi ())
         with
         | Some g -> finish ~route:"enum" (Verdict.Refuted g)
         | None -> finish ~route:"enum" (Verdict.Unknown (Engine.exhaustion ctl))
@@ -137,7 +137,7 @@ let implies ?ctl ?(enum_nodes = 3) ?park ?resume ~sigma phi =
   end)
 
 let implies_escalating ?base_steps ?base_nodes ?factor ?max_rounds ?timeout
-    ?cancel ?(enum_nodes = 3) ~sigma phi =
+    ?cancel ?pool ?(enum_nodes = 3) ~sigma phi =
   (* The enumeration space depends only on [enum_nodes] and the label
      alphabet, not on the chase budget: searching it once (in the first
      round) is enough. *)
@@ -146,4 +146,4 @@ let implies_escalating ?base_steps ?base_nodes ?factor ?max_rounds ?timeout
     (fun ctl ->
       let enum_nodes = if !enum_done then 0 else enum_nodes in
       enum_done := true;
-      implies ~ctl ~enum_nodes ~sigma phi)
+      implies ~ctl ?pool ~enum_nodes ~sigma phi)

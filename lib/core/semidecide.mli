@@ -23,6 +23,7 @@
 
 val implies :
   ?ctl:Engine.t ->
+  ?pool:Par.t ->
   ?enum_nodes:int ->
   ?park:(Chase.Snapshot.t -> unit) ->
   ?resume:Chase.Snapshot.t ->
@@ -33,6 +34,12 @@ val implies :
     the exhaustive search (default 3; clamped to 2 when more than 2
     labels are in play — reported via diagnostics).  Set it to 0 to
     disable enumeration.
+
+    [?pool] fans the enumeration fallback out across a [Par] pool
+    (chunked mask space, least-mask witness): verdicts are byte-
+    identical to the sequential search's.  The chase itself is
+    inherently sequential (each repair feeds the next) and ignores the
+    pool.
 
     [park]/[resume] are forwarded to {!Chase.implies}.  A chase that
     ends in [Unknown {reason = Crashed}] (an injected crash that parked
@@ -53,6 +60,7 @@ val implies_escalating :
   ?max_rounds:int ->
   ?timeout:float ->
   ?cancel:Engine.Cancel.t ->
+  ?pool:Par.t ->
   ?enum_nodes:int ->
   sigma:Pathlang.Constr.t list ->
   Pathlang.Constr.t ->

@@ -1,0 +1,236 @@
+(* Domain pool: a mutable batch cell guarded by one mutex, two
+   condition variables (workers wait for work, the submitter waits for
+   the drain), and [jobs - 1] long-lived worker domains.  One batch is
+   outstanding at a time; the submitting thread participates, so a
+   1-job pool degenerates to a plain loop and a j-job pool uses exactly
+   j domains. *)
+
+let c_batches = Obs.Counter.make ~unit_:"batches" "par.batches"
+let c_tasks = Obs.Counter.make ~unit_:"tasks" "par.tasks"
+let g_jobs = Obs.Gauge.make ~unit_:"domains" "par.jobs"
+
+type batch = {
+  body : int -> unit;  (* must not raise: wrapped by the combinators *)
+  total : int;
+  mutable next : int;  (* next undispensed task index *)
+  mutable completed : int;
+}
+
+type t = {
+  jobs : int;
+  m : Mutex.t;
+  work : Condition.t;  (* a batch has undispensed tasks, or shutdown *)
+  idle : Condition.t;  (* the current batch fully completed *)
+  mutable batch : batch option;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let jobs t = t.jobs
+
+let max_jobs = 64
+
+let jobs_of_env () =
+  match Sys.getenv_opt "PATHCTL_JOBS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> min j max_jobs
+      | _ -> 1)
+
+(* Claim one task under the lock; caller must hold [t.m]. *)
+let claim t =
+  match t.batch with
+  | Some b when b.next < b.total ->
+      let i = b.next in
+      b.next <- b.next + 1;
+      Some (b, i)
+  | _ -> None
+
+let finish t b =
+  b.completed <- b.completed + 1;
+  if b.completed = b.total then Condition.broadcast t.idle
+
+let rec worker_loop t =
+  Mutex.lock t.m;
+  let rec await () =
+    if t.stopping then None
+    else
+      match claim t with
+      | Some _ as c -> c
+      | None ->
+          Condition.wait t.work t.m;
+          await ()
+  in
+  match await () with
+  | None -> Mutex.unlock t.m
+  | Some (b, i) ->
+      Mutex.unlock t.m;
+      b.body i;
+      Mutex.lock t.m;
+      finish t b;
+      Mutex.unlock t.m;
+      worker_loop t
+
+let create ?jobs () =
+  let jobs =
+    max 1 (min max_jobs (match jobs with Some j -> j | None -> jobs_of_env ()))
+  in
+  (* Workers intern labels and hash-cons paths; switch the global
+     tables to the locked path before the first domain can run. *)
+  if jobs > 1 then Pathlang.Intern_lock.arm ();
+  let t =
+    {
+      jobs;
+      m = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      batch = None;
+      stopping = false;
+      workers = [||];
+    }
+  in
+  if jobs > 1 then
+    t.workers <-
+      Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  Obs.Gauge.set g_jobs jobs;
+  t
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let with_pool ?jobs f =
+  let jobs =
+    max 1 (min max_jobs (match jobs with Some j -> j | None -> jobs_of_env ()))
+  in
+  if jobs <= 1 then f None
+  else begin
+    let t = create ~jobs () in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f (Some t))
+  end
+
+(* Run one batch to completion; the calling thread drains the queue
+   alongside the workers, then waits for stragglers. *)
+let run_batch t ~total body =
+  if total > 0 then begin
+    Obs.Counter.incr c_batches;
+    Mutex.lock t.m;
+    if t.batch <> None then begin
+      Mutex.unlock t.m;
+      invalid_arg "Par: a batch is already running on this pool"
+    end;
+    let b = { body; total; next = 0; completed = 0 } in
+    t.batch <- Some b;
+    Condition.broadcast t.work;
+    let rec drive () =
+      match claim t with
+      | Some (_, i) ->
+          Mutex.unlock t.m;
+          body i;
+          Mutex.lock t.m;
+          finish t b;
+          drive ()
+      | None ->
+          if b.completed < b.total then begin
+            Condition.wait t.idle t.m;
+            drive ()
+          end
+    in
+    drive ();
+    t.batch <- None;
+    Mutex.unlock t.m
+  end
+
+(* First failure by least task index, kept deterministically. *)
+type failure = { index : int; exn : exn; bt : Printexc.raw_backtrace }
+
+let record_failure cell index exn bt =
+  let rec go () =
+    match Atomic.get cell with
+    | Some f when f.index <= index -> ()
+    | cur ->
+        if not (Atomic.compare_and_set cell cur (Some { index; exn; bt })) then
+          go ()
+  in
+  go ()
+
+let reraise cell =
+  match Atomic.get cell with
+  | Some f -> Printexc.raise_with_backtrace f.exn f.bt
+  | None -> ()
+
+let run t ~tasks f =
+  if tasks <= 0 then [||]
+  else if t.jobs = 1 then Array.init tasks f
+  else begin
+    let results = Array.make tasks None in
+    let failed = Atomic.make None in
+    let body i =
+      Obs.Counter.incr c_tasks;
+      match f i with
+      | v -> results.(i) <- Some v
+      | exception e -> record_failure failed i e (Printexc.get_raw_backtrace ())
+    in
+    run_batch t ~total:tasks body;
+    reraise failed;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let no_stop () = false
+
+let find_min t ?(stop = no_stop) ~tasks f =
+  if tasks <= 0 then None
+  else if t.jobs = 1 then begin
+    (* inline: the classic left-to-right search *)
+    let rec go i =
+      if i >= tasks || stop () then None
+      else match f ~stop i with Some _ as r -> r | None -> go (i + 1)
+    in
+    go 0
+  end
+  else begin
+    let best = Atomic.make max_int in
+    let results = Array.make tasks None in
+    let failed = Atomic.make None in
+    let body i =
+      Obs.Counter.incr c_tasks;
+      (* a lower index already won: this task's result cannot matter *)
+      if i < Atomic.get best && not (stop ()) then begin
+        let local_stop () = stop () || Atomic.get best < i in
+        match f ~stop:local_stop i with
+        | Some _ as r ->
+            results.(i) <- r;
+            let rec lower () =
+              let cur = Atomic.get best in
+              if i < cur && not (Atomic.compare_and_set best cur i) then
+                lower ()
+            in
+            lower ()
+        | None -> ()
+        | exception e ->
+            record_failure failed i e (Printexc.get_raw_backtrace ())
+      end
+    in
+    run_batch t ~total:tasks body;
+    reraise failed;
+    match Atomic.get best with w when w = max_int -> None | w -> results.(w)
+  end
+
+let chunks ~chunks ~total =
+  if total <= 0 then []
+  else begin
+    let n = max 1 (min chunks total) in
+    let base = total / n and extra = total mod n in
+    let rec go i lo acc =
+      if i = n then List.rev acc
+      else
+        let size = base + if i < extra then 1 else 0 in
+        go (i + 1) (lo + size) ((lo, lo + size) :: acc)
+    in
+    go 0 0 []
+  end

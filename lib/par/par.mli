@@ -1,0 +1,89 @@
+(** Zero-dependency domain pool for the embarrassingly-parallel loops.
+
+    A {!t} owns [jobs - 1] worker domains behind a [Mutex]/[Condition]
+    work queue; the submitting thread works the queue too, so [jobs]
+    counts total workers, not helpers.  Batches hand out task indices
+    [0 .. tasks-1] in ascending order and the combinators reduce
+    deterministically:
+
+    - {!run} returns results positionally, indistinguishable from
+      [Array.init tasks f];
+    - {!find_min} implements first-hit-wins early exit with the {e
+      least} winning task index, so a search partitioned into ascending
+      chunks returns exactly the witness a sequential left-to-right
+      scan would — the determinism contract the countermodel searches
+      rely on (DESIGN.md section 15).
+
+    Creating a pool with [jobs > 1] arms [Pathlang.Intern_lock] before
+    any domain spawns, making label interning and path hash-consing
+    safe to call from tasks.  A pool with [jobs = 1] spawns nothing and
+    runs every combinator inline; all pool-aware entry points treat a
+    missing pool the same way.
+
+    Obs note: worker domains write metrics into their own registry
+    shards.  Batch completion is communicated through the pool mutex,
+    which establishes the happens-before edge the registry needs, so
+    counters read after a batch returns merge exactly — {!shutdown}
+    (which joins the domains) is only required before process exit.
+
+    Thread-safety contract for task bodies: they may freely build
+    graphs, paths and constraints and bump Obs metrics, but must not
+    mutate shared structures, and must not call [Engine.tick] on a
+    controller owned by another domain ([Engine.ok]/[Engine.interrupted]
+    are domain-safe; [tick] is owner-only). *)
+
+type t
+
+val jobs_of_env : unit -> int
+(** [PATHCTL_JOBS] parsed and clamped to [1 .. 64]; 1 when unset or
+    unparseable. *)
+
+val create : ?jobs:int -> unit -> t
+(** [jobs] defaults to {!jobs_of_env}; clamped to [1 .. 64].  With
+    [jobs > 1], arms the interning lock and spawns [jobs - 1] worker
+    domains that live until {!shutdown}. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent.  Required before
+    process exit for a clean [Domain.join] (and hence for the obs
+    registry's join-exactness); forgetting it leaks blocked domains. *)
+
+val with_pool : ?jobs:int -> (t option -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f (Some pool)] with a freshly created
+    pool and shuts it down afterwards — or [f None] without spawning
+    anything when the resolved job count is 1.  The [None] case is what
+    lets callers thread [?pool] straight through. *)
+
+val run : t -> tasks:int -> (int -> 'a) -> 'a array
+(** Run [f 0 .. f (tasks-1)] across the pool and return the results in
+    index order.  If any task raises, the exception from the {e least}
+    failing index is re-raised (with its backtrace) after the batch
+    drains, so failure is deterministic too. *)
+
+val find_min :
+  t ->
+  ?stop:(unit -> bool) ->
+  tasks:int ->
+  (stop:(unit -> bool) -> int -> 'a option) ->
+  'a option
+(** Early-exit search: returns [f i] for the least [i] where it is
+    [Some _].  Each task receives a [~stop] predicate combining the
+    caller's [?stop] hook (e.g. [Engine.interrupted ctl]) with the
+    first-hit cancellation fan-out: once some task [w] wins, [stop]
+    turns true for every task with index [> w], while tasks [< w] run
+    to completion — that is what makes the winner the global minimum.
+    Tasks not yet started when a lower index has already won are
+    skipped entirely.
+
+    If the external [?stop] fires, in-flight tasks wind down early and
+    the result may be [None] exactly as a sequential interrupted scan's
+    would be. *)
+
+val chunks : chunks:int -> total:int -> (int * int) list
+(** Split [0 .. total-1] into at most [chunks] contiguous half-open
+    ranges [(lo, hi)], ascending, sizes differing by at most one, whose
+    concatenation is exactly [0 .. total-1].  [chunks] is clamped to
+    [1 .. total]; empty when [total <= 0].  The partition the
+    enumeration fan-outs use (QCheck-checked in [test_par]). *)

@@ -1,0 +1,11 @@
+let armed_flag = Atomic.make false
+let lock = Mutex.create ()
+let arm () = Atomic.set armed_flag true
+let armed () = Atomic.get armed_flag
+
+let with_lock f =
+  if Atomic.get armed_flag then begin
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+  end
+  else f ()

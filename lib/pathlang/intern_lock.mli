@@ -1,0 +1,24 @@
+(** Serialization of the global interning tables under parallel runs.
+
+    {!Label.id} and {!Path.make} both go through process-global mutable
+    tables (the dense label-id map and the weak hash-consing set).
+    Those tables are deliberately unsynchronized: the single-domain hot
+    path must not pay for a lock it never contends.  When a [Par] pool
+    is about to spawn worker domains it {e arms} this lock, and from
+    then on every interning operation takes a process-wide mutex — the
+    hash-consing invariant (structural equality iff physical equality)
+    survives concurrent construction.
+
+    Arming is monotonic and happens-before the first worker domain
+    starts (the pool arms before [Domain.spawn]), so a worker can never
+    observe the unarmed fast path. *)
+
+val arm : unit -> unit
+(** Switch interning to the locked path for the rest of the process.
+    Idempotent. *)
+
+val armed : unit -> bool
+
+val with_lock : (unit -> 'a) -> 'a
+(** Run a critical section over the interning tables: under the mutex
+    once {!arm} has been called, a plain call before that. *)

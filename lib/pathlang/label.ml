@@ -30,14 +30,17 @@ let pp = Format.pp_print_string
 let intern : (string, int) Hashtbl.t = Hashtbl.create 64
 let next_id = ref 0
 
+(* Reads must be locked too once parallel mode is armed: a concurrent
+   [Hashtbl.add] can resize the table under a reader's feet. *)
 let id s =
-  match Hashtbl.find_opt intern s with
-  | Some i -> i
-  | None ->
-      let i = !next_id in
-      incr next_id;
-      Hashtbl.add intern s i;
-      i
+  Intern_lock.with_lock (fun () ->
+      match Hashtbl.find_opt intern s with
+      | Some i -> i
+      | None ->
+          let i = !next_id in
+          incr next_id;
+          Hashtbl.add intern s i;
+          i)
 
 module Set = Set.Make (String)
 module Map = Map.Make (String)

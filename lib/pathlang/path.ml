@@ -31,6 +31,9 @@ end)
 let table = HC.create 1024
 let next_id = ref 0
 
+(* The hash fold stays outside the critical section ([Label.id] locks
+   internally when armed); only the weak-set probe and the id
+   assignment need the interning lock. *)
 let make labels =
   let len, h =
     List.fold_left
@@ -38,12 +41,13 @@ let make labels =
       (0, 17) labels
   in
   let probe = { labels; len; hash = h land max_int; id = -1 } in
-  let r = HC.merge table probe in
-  if r == probe then begin
-    r.id <- !next_id;
-    incr next_id
-  end;
-  r
+  Intern_lock.with_lock (fun () ->
+      let r = HC.merge table probe in
+      if r == probe then begin
+        r.id <- !next_id;
+        incr next_id
+      end;
+      r)
 
 let empty = make []
 let is_empty p = p.len = 0

@@ -1,6 +1,7 @@
 (* Each potential edge (x, k, y) is one bit; we count through all bit
-   vectors.  An int64-based counter keeps us honest about overflow: we refuse
-   instances with 62 or more potential edges. *)
+   vectors.  [bits] computes the exponent without wrapping, so absurd
+   bounds are rejected up front instead of silently overflowing
+   [2^(L*n^2)] past the 62 usable bits of an int. *)
 
 let potential_edges ~nodes ~labels =
   List.concat_map
@@ -10,10 +11,23 @@ let potential_edges ~nodes ~labels =
         labels)
     (List.init nodes Fun.id)
 
+(* [L * n^2] with every multiplication overflow-checked; [None] when the
+   instance has 62 or more potential edges (not enumerable in an int
+   bitmask — and not enumerable before the heat death of anything). *)
+let bits ~nodes ~labels =
+  let l = List.length labels in
+  if nodes < 0 then invalid_arg "Enumerate: negative node count";
+  if nodes = 0 || l = 0 then Some 0
+  else if nodes > max_int / nodes then None
+  else
+    let nn = nodes * nodes in
+    if nn > max_int / l then None
+    else
+      let b = nn * l in
+      if b >= 62 then None else Some b
+
 let count ~nodes ~labels =
-  let bits = nodes * nodes * List.length labels in
-  if bits >= 62 then invalid_arg "Enumerate.count: instance too large";
-  1 lsl bits
+  match bits ~nodes ~labels with Some b -> Some (1 lsl b) | None -> None
 
 let no_interrupt () = false
 
@@ -24,13 +38,13 @@ let c_graphs = Obs.Counter.make ~unit_:"graphs" "enumerate.graphs_visited"
 let h_graphs =
   Obs.Histogram.make ~unit_:"graphs" "enumerate.graphs_per_call"
 
-let iter ?(interrupt = no_interrupt) ~nodes ~labels f =
-  let pes = Array.of_list (potential_edges ~nodes ~labels) in
+(* Walk masks [lo, hi) in ascending order; the unit of work both the
+   sequential scan and each parallel chunk share, so a partitioned run
+   visits candidates in exactly the sequential order within a chunk. *)
+let iter_range ~interrupt ~pes ~nodes ~lo ~hi f =
   let bits = Array.length pes in
-  if bits >= 62 then invalid_arg "Enumerate.iter: instance too large";
-  let total = 1 lsl bits in
   let rec go mask =
-    if mask >= total || interrupt () then None
+    if mask >= hi || interrupt () then None
     else begin
       Obs.Counter.incr c_graphs;
       let g = Graph.create () in
@@ -45,20 +59,49 @@ let iter ?(interrupt = no_interrupt) ~nodes ~labels f =
       if f g then Some g else go (mask + 1)
     end
   in
-  go 0
+  go lo
 
-let find_countermodel ?(interrupt = no_interrupt) ~max_nodes ~labels ~sigma ~phi
-    () =
+(* Below this many candidates the fan-out overhead dwarfs the work. *)
+let parallel_threshold = 256
+
+let iter ?(interrupt = no_interrupt) ?pool ~nodes ~labels f =
+  let total =
+    match count ~nodes ~labels with
+    | Some t -> t
+    | None -> invalid_arg "Enumerate.iter: instance too large"
+  in
+  let pes = Array.of_list (potential_edges ~nodes ~labels) in
+  match pool with
+  | Some p when Par.jobs p > 1 && total >= parallel_threshold ->
+      (* Contiguous ascending chunks + least-index-wins reduce: the
+         returned graph is the minimal-mask witness, the same graph the
+         sequential scan returns.  [f] runs on worker domains: it must
+         be pure up to obs metrics (Check.holds is). *)
+      let ranges =
+        Array.of_list (Par.chunks ~chunks:(Par.jobs p * 4) ~total)
+      in
+      Par.find_min p ~stop:interrupt ~tasks:(Array.length ranges)
+        (fun ~stop i ->
+          let lo, hi = ranges.(i) in
+          iter_range ~interrupt:stop ~pes ~nodes ~lo ~hi f)
+  | _ -> iter_range ~interrupt ~pes ~nodes ~lo:0 ~hi:total f
+
+let find_countermodel ?(interrupt = no_interrupt) ?pool ~max_nodes ~labels
+    ~sigma ~phi () =
   Obs.Span.with_ "enumerate.find_countermodel"
     ~args:[ ("max_nodes", string_of_int max_nodes) ]
     (fun () ->
-      let visited = ref 0 in
+      let visited = Atomic.make 0 in
       let rec go n =
         if n > max_nodes || interrupt () then None
+        else if count ~nodes:n ~labels = None then
+          (* the space for [n] nodes alone exceeds 2^62 graphs: larger
+             sizes only grow, so stop instead of looping forever *)
+          None
         else
           match
-            iter ~interrupt ~nodes:n ~labels (fun g ->
-                incr visited;
+            iter ~interrupt ?pool ~nodes:n ~labels (fun g ->
+                Atomic.incr visited;
                 (not (Check.holds g phi)) && Check.holds_all g sigma)
           with
           | Some g -> Some g
@@ -66,5 +109,5 @@ let find_countermodel ?(interrupt = no_interrupt) ~max_nodes ~labels ~sigma ~phi
       in
       let r = go 1 in
       if Obs.enabled () then
-        Obs.Histogram.observe h_graphs (float_of_int !visited);
+        Obs.Histogram.observe h_graphs (float_of_int (Atomic.get visited));
       r)

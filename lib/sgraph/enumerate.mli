@@ -9,20 +9,34 @@
     per candidate graph; when it returns [true] the search stops early
     and reports [None].  [Core.Engine] wires its deadline/cancellation
     checks into this hook, so enumeration under a governed solver can
-    never outlive its wall-clock budget. *)
+    never outlive its wall-clock budget.
+
+    Both entry points also take an optional [?pool]: with a [Par] pool
+    of more than one domain, the mask space is split into contiguous
+    ascending chunks and searched concurrently, with the least-index
+    (hence least-mask) hit winning — the witness, and therefore the
+    verdict, is byte-identical to the sequential scan's.  The
+    [?interrupt] hook is then polled from every worker, so it must be
+    domain-safe ([Engine.interrupted] is). *)
 
 val iter :
   ?interrupt:(unit -> bool) ->
+  ?pool:Par.t ->
   nodes:int ->
   labels:Pathlang.Label.t list ->
   (Graph.t -> bool) ->
   Graph.t option
 (** [iter ~nodes ~labels f] enumerates every graph with exactly [nodes]
     nodes (node 0 the root) over the label set, calling [f] on each;
-    stops and returns the first graph on which [f] returns [true]. *)
+    stops and returns the minimal-mask graph on which [f] returns
+    [true] (under a pool, [f] must be thread-safe: pure up to obs
+    metrics).
+    @raise Invalid_argument when the instance has 62 or more potential
+    edges (the space does not fit an int bitmask). *)
 
 val find_countermodel :
   ?interrupt:(unit -> bool) ->
+  ?pool:Par.t ->
   max_nodes:int ->
   labels:Pathlang.Label.t list ->
   sigma:Pathlang.Constr.t list ->
@@ -31,7 +45,12 @@ val find_countermodel :
   Graph.t option
 (** Searches all graphs of size 1..[max_nodes] for a finite model of
     [Sigma /\ not phi]; [Some g] refutes [Sigma |=_f phi].  (The
-    trailing [unit] erases [?interrupt] when omitted.) *)
+    trailing [unit] erases the optionals when omitted.)  Node counts
+    whose space overflows {!count} end the search with [None] rather
+    than looping on an astronomically sized space. *)
 
-val count : nodes:int -> labels:Pathlang.Label.t list -> int
-(** Number of graphs that {!iter} would enumerate. *)
+val count : nodes:int -> labels:Pathlang.Label.t list -> int option
+(** Number of graphs that {!iter} would enumerate: [Some (2^(L*n^2))],
+    or [None] when that exceeds 62 bits (the bound {!iter} rejects).
+    The exponent itself is computed overflow-safely, so absurd [nodes]
+    values return [None] instead of a wrapped nonsense count. *)

@@ -277,6 +277,75 @@ let test_index () =
   check_bool "quotient row" true (contains out "bisimulation quotient");
   check_bool "dataguide row" true (contains out "dataguide")
 
+(* -j N is a throughput knob only: the whole rendered report (stdout +
+   stderr, exit code included) must be byte-identical at every job
+   count, for both the lint fan-out and the chase's enumeration
+   fallback *)
+let test_lint_jobs_identical () =
+  let run_at jobs =
+    run
+      (Printf.sprintf "lint -s %s --schema %s --format json -j %d" sigma_words
+         schema_file jobs)
+  in
+  let code1, out1 = run_at 1 in
+  List.iter
+    (fun jobs ->
+      let code, out = run_at jobs in
+      check_int (Printf.sprintf "exit at -j %d" jobs) code1 code;
+      check_string (Printf.sprintf "report at -j %d" jobs) out1 out)
+    [ 2; 4 ]
+
+let test_chase_jobs_identical () =
+  (* a diverging sigma with a refutable goal: the verdict (and the
+     printed countermodel) comes from the pooled enumeration fallback *)
+  let sigma = write_temp ".constraints" "a -> a.b\n" in
+  let run_at jobs =
+    run
+      (Printf.sprintf
+         "chase -s %s \"a -> c\" --max-steps 64 --max-nodes 64 -j %d" sigma
+         jobs)
+  in
+  let code1, out1 = run_at 1 in
+  check_int "refuted at -j 1" 1 code1;
+  List.iter
+    (fun jobs ->
+      let code, out = run_at jobs in
+      check_int (Printf.sprintf "exit at -j %d" jobs) code1 code;
+      check_string (Printf.sprintf "countermodel at -j %d" jobs) out1 out)
+    [ 2; 4 ];
+  Sys.remove sigma
+
+(* PATHCTL_JOBS is the flag's default: a parallel run driven purely by
+   the environment must match -j 1 output too *)
+let test_jobs_env_default () =
+  let code1, out1 =
+    run (Printf.sprintf "lint -s %s --format json -j 1" sigma_words)
+  in
+  (* Sys.command runs through /bin/sh, so the env prefix form works *)
+  let out_file = Filename.temp_file "pathctl_out" ".txt" in
+  let cmd =
+    Printf.sprintf "PATHCTL_JOBS=4 %s lint -s %s --format json > %s 2>&1"
+      (Filename.quote pathctl) (Filename.quote sigma_words)
+      (Filename.quote out_file)
+  in
+  let code_env = Sys.command cmd in
+  let out_env =
+    String.trim (In_channel.with_open_text out_file In_channel.input_all)
+  in
+  Sys.remove out_file;
+  check_int "exit under PATHCTL_JOBS=4" code1 code_env;
+  check_string "report under PATHCTL_JOBS=4" out1 out_env
+
+let test_profile_jobs_sweep () =
+  let code, out =
+    run
+      (Printf.sprintf
+         "profile -s %s --workload lint -n 1 -j 2 --format text" sigma_words)
+  in
+  check_int "exit" 0 code;
+  check_bool "prints the sweep table" true (contains out "jobs sweep");
+  check_bool "has the 2-domain row" true (contains out "speedup")
+
 let test_optimize () =
   let code, out =
     run (Printf.sprintf "optimize -s %s \"book.ref.author,person\"" sigma_words)
@@ -311,5 +380,13 @@ let () =
           Alcotest.test_case "index" `Quick test_index;
           Alcotest.test_case "odl" `Quick test_odl;
           Alcotest.test_case "optimize" `Quick test_optimize;
+          Alcotest.test_case "lint -j byte-identical" `Quick
+            test_lint_jobs_identical;
+          Alcotest.test_case "chase -j byte-identical" `Quick
+            test_chase_jobs_identical;
+          Alcotest.test_case "PATHCTL_JOBS default" `Quick
+            test_jobs_env_default;
+          Alcotest.test_case "profile --jobs sweep" `Quick
+            test_profile_jobs_sweep;
         ] );
     ]

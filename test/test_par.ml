@@ -1,0 +1,291 @@
+(* The domain pool: deterministic reduction, least-index early exit,
+   partition coverage, failure determinism, cancellation across
+   domains.
+
+   Everything here must hold at every job count — the pool's contract
+   is that [jobs] is a throughput knob, never a semantics knob — so
+   most cases run the same assertion at 1, 2 and 4 jobs. *)
+
+open Testutil
+
+let job_counts = [ 1; 2; 4 ]
+
+let with_pool jobs f =
+  let p = Par.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Par.shutdown p) (fun () -> f p)
+
+(* --- run: positional determinism ------------------------------------- *)
+
+let test_run_matches_array_init () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun p ->
+          let got = Par.run p ~tasks:37 (fun i -> (i * i) + 1) in
+          let want = Array.init 37 (fun i -> (i * i) + 1) in
+          check_bool
+            (Printf.sprintf "run = Array.init at %d jobs" jobs)
+            true (got = want)))
+    job_counts
+
+let test_run_empty_and_single () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun p ->
+          check_bool "tasks:0 is empty" true (Par.run p ~tasks:0 Fun.id = [||]);
+          check_bool "tasks:1" true (Par.run p ~tasks:1 (fun i -> i) = [| 0 |])))
+    job_counts
+
+(* the pool is persistent: batches reuse the same workers *)
+let test_pool_reuse () =
+  with_pool 4 (fun p ->
+      for round = 1 to 5 do
+        let got = Par.run p ~tasks:16 (fun i -> i * round) in
+        check_bool
+          (Printf.sprintf "round %d" round)
+          true
+          (got = Array.init 16 (fun i -> i * round))
+      done)
+
+(* --- run: failure determinism ---------------------------------------- *)
+
+exception Boom of int
+
+let test_least_failure_wins () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun p ->
+          match
+            Par.run p ~tasks:20 (fun i ->
+                if i mod 7 = 3 then raise (Boom i) else i)
+          with
+          | _ -> Alcotest.fail "expected a raise"
+          | exception Boom i ->
+              (* failing indices are 3, 10, 17; the least must win at
+                 any job count *)
+              check_int
+                (Printf.sprintf "least failing index at %d jobs" jobs)
+                3 i))
+    job_counts
+
+(* a failed batch must not poison the pool for the next one *)
+let test_pool_survives_failure () =
+  with_pool 4 (fun p ->
+      (try ignore (Par.run p ~tasks:8 (fun i -> if i = 2 then raise Exit))
+       with Exit -> ());
+      let got = Par.run p ~tasks:8 (fun i -> i) in
+      check_bool "next batch clean" true (got = Array.init 8 Fun.id))
+
+(* --- find_min: least-index early exit -------------------------------- *)
+
+let test_find_min_least_hit () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun p ->
+          let r =
+            Par.find_min p ~tasks:50 (fun ~stop:_ i ->
+                if i mod 5 = 3 then Some i else None)
+          in
+          (* hits at 3, 8, 13, ...: the least index must win even when
+             a later task finishes first *)
+          check_bool
+            (Printf.sprintf "least hit at %d jobs" jobs)
+            true
+            (r = Some 3)))
+    job_counts
+
+let test_find_min_no_hit () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun p ->
+          check_bool
+            (Printf.sprintf "no hit at %d jobs" jobs)
+            true
+            (Par.find_min p ~tasks:40 (fun ~stop:_ _ -> None) = None)))
+    job_counts
+
+let test_find_min_external_stop () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun p ->
+          (* stop is true from the start: the search must wind down
+             empty, like an interrupted sequential scan *)
+          let r =
+            Par.find_min p
+              ~stop:(fun () -> true)
+              ~tasks:40
+              (fun ~stop i -> if stop () then None else Some i)
+          in
+          check_bool
+            (Printf.sprintf "stopped search empty at %d jobs" jobs)
+            true (r = None)))
+    job_counts
+
+(* tasks above the winner observe stop; tasks below never do (that is
+   what makes the winner the minimum) *)
+let test_find_min_cancellation_direction () =
+  with_pool 4 (fun p ->
+      let saw_stop_below = Atomic.make false in
+      let r =
+        Par.find_min p ~tasks:30 (fun ~stop i ->
+            if i < 5 then begin
+              (* tasks below every possible winner: stop must stay
+                 false for them even while the winner is decided *)
+              if stop () then Atomic.set saw_stop_below true;
+              None
+            end
+            else if i = 5 then Some i
+            else begin
+              (* give the winner time to land, then observe stop *)
+              let rec spin k = if k > 0 && not (stop ()) then spin (k - 1) in
+              spin 1_000_000;
+              None
+            end)
+      in
+      check_bool "winner" true (r = Some 5);
+      check_bool "no stop below the winner" false (Atomic.get saw_stop_below))
+
+(* --- chunks: partition law ------------------------------------------- *)
+
+let test_chunks_examples () =
+  check_bool "empty" true (Par.chunks ~chunks:4 ~total:0 = []);
+  check_bool "one" true (Par.chunks ~chunks:4 ~total:1 = [ (0, 1) ]);
+  check_bool "exact" true
+    (Par.chunks ~chunks:2 ~total:4 = [ (0, 2); (2, 4) ]);
+  check_bool "clamped to total" true
+    (Par.chunks ~chunks:10 ~total:3 = [ (0, 1); (1, 2); (2, 3) ])
+
+let prop_chunks_partition =
+  q ~count:500 "chunks partition 0..total-1 with near-equal sizes"
+    QCheck.(pair (int_bound 64) (int_bound 2000))
+    (fun (chunks, total) ->
+      let chunks = max 1 chunks in
+      let cs = Par.chunks ~chunks ~total in
+      (* coverage: concatenation is exactly 0..total-1, in order *)
+      let covered =
+        List.concat_map (fun (lo, hi) -> List.init (hi - lo) (fun k -> lo + k)) cs
+      in
+      let sizes = List.map (fun (lo, hi) -> hi - lo) cs in
+      let min_sz = List.fold_left min max_int sizes in
+      let max_sz = List.fold_left max 0 sizes in
+      covered = List.init total Fun.id
+      && List.length cs <= max 1 (min chunks (max total 1))
+      && (total = 0 || (List.for_all (fun s -> s > 0) sizes
+                        && max_sz - min_sz <= 1)))
+
+(* --- Engine.Cancel across domains ------------------------------------ *)
+
+(* one domain cancels, the other observes: the Atomic.t cell makes the
+   flag visible without any lock, and the first cause wins *)
+let test_cancel_two_domains () =
+  let c = Core.Engine.Cancel.create () in
+  let d =
+    Domain.spawn (fun () ->
+        Core.Engine.Cancel.cancel ~cause:Core.Engine.Cancel.Sigterm c;
+        (* racing second cancel from the same domain: must be ignored *)
+        Core.Engine.Cancel.cancel ~cause:Core.Engine.Cancel.Sigint c)
+  in
+  (* spin until the other domain's cancel is visible *)
+  let rec wait n =
+    if Core.Engine.Cancel.is_cancelled c then ()
+    else if n = 0 then Alcotest.fail "cancel never became visible"
+    else begin
+      Domain.cpu_relax ();
+      wait (n - 1)
+    end
+  in
+  wait 100_000_000;
+  Domain.join d;
+  check_bool "first cause wins" true
+    (Core.Engine.Cancel.cause c = Some Core.Engine.Cancel.Sigterm)
+
+(* both domains race to set a different cause: exactly one wins and the
+   loser is dropped, never merged *)
+let test_cancel_race_single_cause () =
+  for _ = 1 to 50 do
+    let c = Core.Engine.Cancel.create () in
+    let b = Atomic.make false in
+    let racer cause () =
+      while not (Atomic.get b) do
+        Domain.cpu_relax ()
+      done;
+      Core.Engine.Cancel.cancel ~cause c
+    in
+    let d1 = Domain.spawn (racer Core.Engine.Cancel.Sigint) in
+    let d2 = Domain.spawn (racer Core.Engine.Cancel.Sigterm) in
+    Atomic.set b true;
+    Domain.join d1;
+    Domain.join d2;
+    match Core.Engine.Cancel.cause c with
+    | Some (Core.Engine.Cancel.Sigint | Core.Engine.Cancel.Sigterm) -> ()
+    | Some Core.Engine.Cancel.Request | None ->
+        Alcotest.fail "race must settle on one of the two racing causes"
+  done
+
+(* a pooled search wound down by a cancellation from another domain:
+   the find_min result is None and the pool stays usable *)
+let test_cancel_stops_pooled_search () =
+  with_pool 2 (fun p ->
+      let c = Core.Engine.Cancel.create () in
+      Core.Engine.Cancel.cancel c;
+      let r =
+        Par.find_min p
+          ~stop:(fun () -> Core.Engine.Cancel.is_cancelled c)
+          ~tasks:64
+          (fun ~stop i -> if stop () then None else Some (i * 2))
+      in
+      check_bool "cancelled search returns None" true (r = None);
+      check_bool "pool usable after cancel" true
+        (Par.run p ~tasks:4 Fun.id = [| 0; 1; 2; 3 |]))
+
+(* --- jobs_of_env ------------------------------------------------------ *)
+
+let test_jobs_of_env () =
+  let set v = Unix.putenv "PATHCTL_JOBS" v in
+  set "3";
+  check_int "PATHCTL_JOBS=3" 3 (Par.jobs_of_env ());
+  set "not-a-number";
+  check_int "garbage falls back to 1" 1 (Par.jobs_of_env ());
+  set "0";
+  check_int "0 clamps to 1" 1 (Par.jobs_of_env ());
+  set "1000";
+  check_int "1000 clamps to 64" 64 (Par.jobs_of_env ());
+  set ""
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "run",
+        [
+          Alcotest.test_case "matches Array.init" `Quick
+            test_run_matches_array_init;
+          Alcotest.test_case "empty and single" `Quick
+            test_run_empty_and_single;
+          Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "least failure wins" `Quick
+            test_least_failure_wins;
+          Alcotest.test_case "pool survives failure" `Quick
+            test_pool_survives_failure;
+        ] );
+      ( "find_min",
+        [
+          Alcotest.test_case "least hit wins" `Quick test_find_min_least_hit;
+          Alcotest.test_case "no hit" `Quick test_find_min_no_hit;
+          Alcotest.test_case "external stop" `Quick test_find_min_external_stop;
+          Alcotest.test_case "cancellation direction" `Quick
+            test_find_min_cancellation_direction;
+        ] );
+      ( "chunks",
+        [
+          Alcotest.test_case "examples" `Quick test_chunks_examples;
+          prop_chunks_partition;
+        ] );
+      ( "cancel",
+        [
+          Alcotest.test_case "two domains" `Quick test_cancel_two_domains;
+          Alcotest.test_case "racing causes" `Quick
+            test_cancel_race_single_cause;
+          Alcotest.test_case "stops pooled search" `Quick
+            test_cancel_stops_pooled_search;
+        ] );
+      ("env", [ Alcotest.test_case "jobs_of_env" `Quick test_jobs_of_env ]);
+    ]

@@ -146,13 +146,33 @@ let test_violation_witness () =
 
 let test_enumerate_count () =
   let labels = [ Label.make "a" ] in
-  check_int "2^(1*2*2)" 16 (Sgraph.Enumerate.count ~nodes:2 ~labels);
+  (match Sgraph.Enumerate.count ~nodes:2 ~labels with
+  | Some n -> check_int "2^(1*2*2)" 16 n
+  | None -> Alcotest.fail "16 graphs is countable");
   let seen = ref 0 in
   ignore
     (Sgraph.Enumerate.iter ~nodes:2 ~labels (fun _ ->
          incr seen;
          false));
   check_int "enumerates all" 16 !seen
+
+let test_enumerate_count_overflow () =
+  let labels = [ Label.make "a"; Label.make "b" ] in
+  (* 2 * 6^2 = 72 bits: must refuse, not wrap *)
+  check_bool "72 bits overflows" true
+    (Sgraph.Enumerate.count ~nodes:6 ~labels = None);
+  (* absurd node counts must not wrap inside the exponent itself *)
+  check_bool "n^2 overflow caught" true
+    (Sgraph.Enumerate.count ~nodes:(1 lsl 40) ~labels = None);
+  check_bool "max_int nodes caught" true
+    (Sgraph.Enumerate.count ~nodes:max_int ~labels = None);
+  (* a find_countermodel whose very first size overflows the bitmask
+     terminates with None instead of looping on 2^62+ graphs *)
+  let wide = List.init 62 (fun i -> Label.make (Printf.sprintf "l%d" i)) in
+  check_bool "overflowing space terminates" true
+    (Sgraph.Enumerate.find_countermodel ~max_nodes:max_int ~labels:wide
+       ~sigma:[ c_word "a" "b" ] ~phi:(c_word "a" "b") ()
+    = None)
 
 let test_enumerate_finds_countermodel () =
   let labels = [ Label.make "a"; Label.make "b" ] in
@@ -292,6 +312,8 @@ let () =
       ( "enumerate",
         [
           Alcotest.test_case "count" `Quick test_enumerate_count;
+          Alcotest.test_case "count overflow" `Quick
+            test_enumerate_count_overflow;
           Alcotest.test_case "finds countermodel" `Quick
             test_enumerate_finds_countermodel;
           Alcotest.test_case "respects sigma" `Quick
