@@ -70,6 +70,8 @@ lint: build
 	  --config examples/data/lint/pathctl.toml
 	dune exec bin/pathctl.exe -- lint -s examples/data/constraints.xml \
 	  --config examples/data/lint/pathctl.toml
+	dune exec bin/pathctl.exe -- query lint examples/data/query/clean.query \
+	  --schema examples/data/bibliography.schema --max-warnings 0
 
 fmt:
 	dune fmt

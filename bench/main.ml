@@ -683,6 +683,103 @@ let interact_cell () =
           | Some _ -> ()
           | None -> failwith "bench interact workload must be unsatisfiable"))
 
+(* --- analyzer: query checking (PC8xx) as a measured cell ---------------- *)
+
+(* Deterministic synthetic query file over the bibliography labels: the
+   cyclic pattern mixes live queries, schema-empty queries (PC800),
+   alternations with a dead branch (PC801) and regular constraints
+   (PC802 candidates), so the Thompson product, the co-reachability
+   projection and the diagnostic rendering all have work at every
+   size. *)
+let query_workload n =
+  let labels = [| "book"; "ref"; "author"; "wrote"; "person"; "name" |] in
+  let line i =
+    let l k = labels.((i + k) mod Array.length labels) in
+    match i mod 3 with
+    | 0 -> Printf.sprintf "%s.(%s)*.%s" (l 0) (l 1) (l 2)
+    | 1 -> Printf.sprintf "%s.(%s|%s).%s" (l 0) (l 1) (l 2) (l 3)
+    | _ -> Printf.sprintf "%s.%s -> %s.%s" (l 0) (l 1) (l 2) (l 3)
+  in
+  let src = String.concat "\n" (List.init n line) ^ "\n" in
+  match Rpq.Parser.document_of_string src with
+  | Ok doc -> doc.Rpq.Parser.items
+  | Error _ -> failwith "bench query workload must parse"
+
+let querycheck_cell () =
+  record_cell ~cell_name:"analyzer-querycheck"
+    ~claim:"query checking is one schema-product automaton per query: \
+            linear in |Q| times the schema automaton"
+    "PC8xx pass (product + co-reachability + diagnostics) under the M \
+     schema, |Q| = n"
+    (shrink [ 8; 16; 32; 64 ])
+    (fun n ->
+      let items = query_workload n in
+      measure (fun () ->
+          ignore
+            (Analysis.Querycheck.pass ~query_file:"<bench>"
+               ~schema:Mschema.bib_m items)))
+
+(* --- rpq evaluation: typed pruning vs untyped BFS ----------------------- *)
+
+(* A graph with a long [ref] chain: root -person-> p -wrote-> b1 -ref->
+   b2 -ref-> ... -ref-> bn, every book with an [author] edge back to p
+   and p with a [name] leaf.  The query's first branch [(ref)*.name] is
+   schema-dead after [wrote] — no word of it completes from sort Book,
+   which is exactly a PC801 diagnosis — so the typed evaluator never
+   enters the chain, while the untyped BFS walks all n books before
+   discovering there is no [name] edge anywhere.  The second branch
+   [author.name] is live, keeping the answer sets non-empty; the two
+   cells record identical answers at O(1) vs O(n). *)
+let rpq_eval_graph n =
+  let person = 1 and name_leaf = 2 in
+  let book i = 3 + i in
+  let edges =
+    ref
+      [
+        (0, "person", person);
+        (person, "wrote", book 0);
+        (person, "name", name_leaf);
+      ]
+  in
+  for i = 0 to n - 1 do
+    edges := (book i, "author", person) :: !edges;
+    if i < n - 1 then edges := (book i, "ref", book (i + 1)) :: !edges
+  done;
+  Graph.of_edges !edges
+
+let rpq_eval_query = "person.wrote.((ref)*.name | author.name)"
+
+let rpq_eval_cells () =
+  let ast =
+    match Rpq.Parser.parse rpq_eval_query with
+    | Ok a -> a
+    | Error _ -> failwith "bench rpq query must parse"
+  in
+  let r = Rpq.Parser.regex_of ast in
+  let tc = Rpq.Typecheck.run Mschema.bib_m ast in
+  (* sanity: pruning is answer-preserving on this workload *)
+  let g0 = rpq_eval_graph 64 in
+  if
+    not
+      (Graph.Node_set.equal (Rpq.Eval.eval g0 r) (Rpq.Eval.eval_typed tc g0))
+  then failwith "bench rpq workload: typed and untyped answers differ";
+  record_cell ~cell_name:"rpq-eval-untyped"
+    ~claim:"untyped RPQ answering is product BFS: a schema-dead branch \
+            still costs O(|G|)"
+    (Printf.sprintf "untyped BFS of %s, ref chain of n books" rpq_eval_query)
+    (shrink [ 64; 128; 256; 512 ])
+    (fun n ->
+      let g = rpq_eval_graph n in
+      measure (fun () -> ignore (Rpq.Eval.eval g r)));
+  record_cell ~cell_name:"rpq-eval-typed"
+    ~claim:"type pruning drops product states with empty sort sets: the \
+            dead branch costs nothing"
+    "type-pruned BFS of the same query on the same graphs"
+    (shrink [ 64; 128; 256; 512 ])
+    (fun n ->
+      let g = rpq_eval_graph n in
+      measure (fun () -> ignore (Rpq.Eval.eval_typed tc g)))
+
 (* --- observability: disabled-mode overhead as a gated cell -------------- *)
 
 (* The obs registry's contract is a near-zero disabled path: every
@@ -941,6 +1038,8 @@ let timing () =
   snapshot_cell ();
   analyzer_cell ();
   interact_cell ();
+  querycheck_cell ();
+  rpq_eval_cells ();
   obs_overhead_cell ();
 
   section "Multicore: domain-pool scaling (1/2/4 domains)";
@@ -1206,6 +1305,11 @@ let () =
       | "lint" ->
           section "Analyzer: lint pipeline scaling";
           analyzer_cell ();
+          write_table1_json !out_path
+      | "query" ->
+          section "Analyzer: query checking and typed RPQ evaluation";
+          querycheck_cell ();
+          rpq_eval_cells ();
           write_table1_json !out_path
       | "obs" ->
           section "Observability: disabled-mode overhead";

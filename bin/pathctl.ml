@@ -1290,6 +1290,305 @@ let interact_cmd =
         $ output_arg $ timeout_arg $ steps_arg $ jobs_arg $ trace_arg
         $ stats_arg $ metrics_arg $ audit_arg))
 
+(* --- query ----------------------------------------------------------------------- *)
+
+(* pathctl query {lint,eval,explain}: the typed-RPQ front end.  A query
+   file is line-oriented — one regular path query per line, or a
+   regular constraint 'lhs -> rhs' — with the same '# pathctl-disable'
+   pragma discipline as constraint files. *)
+
+let query_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"QUERIES"
+        ~doc:
+          "Query file: one regular path query per line (e.g. \
+           'book.(ref)*.author'), or a regular constraint \
+           'lhs -> rhs'.  '# pathctl-disable CODE' pragmas suppress \
+           diagnostics exactly as in constraint files.")
+
+let query_schema_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "schema" ] ~docv:"FILE"
+        ~doc:
+          "Schema (kind M): enables the PC8xx typechecking pass — without \
+           it queries are only parsed.")
+
+let query_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Output format: human-readable $(b,text), JSON lines ($(b,json)), \
+           or SARIF 2.1.0 ($(b,sarif)) for CI annotation.")
+
+let query_output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Write the report to $(docv) instead of standard output.")
+
+let query_config_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "config" ] ~docv:"FILE"
+        ~doc:
+          "Analyzer configuration (the same TOML subset as $(b,lint)): \
+           severity overrides — including the PC8xx family key — the \
+           [passes] querycheck switch, and defaults for --explain, \
+           --cache and --max-warnings.")
+
+let render_query_diags ~format ~output diags =
+  let rendered =
+    match format with
+    | `Text -> Analysis.Diagnostic.render_text diags
+    | `Json -> Analysis.Diagnostic.render_json diags
+    | `Sarif -> Analysis.Diagnostic.render_sarif diags
+  in
+  match output with
+  | None -> print_string rendered
+  | Some file ->
+      Out_channel.with_open_text file (fun oc ->
+          Out_channel.output_string oc rendered)
+
+let query_lint_cmd =
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Also emit PC803 type-flow annotations: the inferred sort set \
+             after every letter of every query, and the answer sorts.")
+  in
+  let max_warnings_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-warnings" ] ~docv:"N"
+          ~doc:
+            "Exit 1 when more than $(docv) warning-severity diagnostics \
+             fire (errors always exit 1).")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Content-hash result cache: re-running on unchanged query, \
+             schema and config files skips the pass (hits/misses appear \
+             in --stats as lint.cache.*).")
+  in
+  let run query_file schema_file config explain max_warnings cache format
+      output jobs trace stats metrics audit =
+    let code =
+      with_obs ~cmd:"query.lint" ~always:true ?metrics ?audit ~trace ~stats
+        (fun () ->
+          let max_warnings =
+            match max_warnings with
+            | Some _ -> max_warnings
+            | None -> (
+                match config with
+                | None -> None
+                | Some path -> (
+                    match Analysis.Config.load path with
+                    | Ok c -> c.Analysis.Config.max_warnings
+                    | Error _ -> None))
+          in
+          let diags =
+            Par.with_pool ~jobs (fun pool ->
+                Analysis.Querycheck.lint_queries ?pool ?schema_file
+                  ?config_file:config ?cache_dir:cache ~explain ~query_file
+                  ())
+          in
+          render_query_diags ~format ~output diags;
+          Analysis.Lint.exit_code ?max_warnings diags)
+    in
+    exit code
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically typecheck a file of regular path queries against a \
+          schema: flag queries whose language misses Paths(Delta) \
+          entirely (PC800, with the first unsatisfiable token pinpointed), \
+          dead alternation branches and starred bodies (PC801), and \
+          regular constraints whose two sides type to disjoint answer \
+          sorts (PC802), with --explain PC803 inferred-type chains.  Same \
+          configuration, suppression-pragma, cache and renderer machinery \
+          as $(b,pathctl lint).  Exits 1 iff an error-severity diagnostic \
+          fired or --max-warnings was exceeded.")
+    Term.(
+      ret
+        (const (fun a b c d e f g h i j k l m ->
+             `Ok (run a b c d e f g h i j k l m))
+        $ query_file_arg $ query_schema_arg $ query_config_arg $ explain_arg
+        $ max_warnings_arg $ cache_arg $ query_format_arg $ query_output_arg
+        $ jobs_arg $ trace_arg $ stats_arg $ metrics_arg $ audit_arg))
+
+let query_eval_cmd =
+  let untyped_arg =
+    Arg.(
+      value & flag
+      & info [ "untyped" ]
+          ~doc:
+            "Force the untyped product BFS even when a schema is given \
+             (the baseline the typed evaluator is benchmarked against).")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 10.
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:"Wall-clock deadline for the typed evaluation.")
+  in
+  let steps_arg =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:"Product-pair budget for the typed evaluation.")
+  in
+  let run query_file graph_file schema_file untyped timeout steps trace stats
+      metrics audit =
+    let code =
+      with_obs ~cmd:"query.eval" ~always:true ?metrics ?audit ~trace ~stats
+        (fun () ->
+          let ( let* ) r k =
+            match r with
+            | Error m ->
+                prerr_endline ("query eval: error: " ^ m);
+                2
+            | Ok v -> k v
+          in
+          let* g = load_graph graph_file in
+          let* src = read_file query_file in
+          let* doc = Rpq.Parser.document_of_string src
+                     |> Result.map_error Rpq.Parser.error_to_string in
+          let* schema =
+            match schema_file with
+            | None -> Ok None
+            | Some path -> Result.map Option.some (Schema.Schema_parser.load path)
+          in
+          let cancel = Core.Engine.Cancel.create () in
+          let budget =
+            Core.Engine.Budget.v ~max_steps:steps ~max_nodes:steps ~timeout
+              ~cancel ()
+          in
+          let answers ast =
+            match schema with
+            | Some schema when not untyped ->
+                let tc = Rpq.Typecheck.run schema ast in
+                let class_of = Rpq.Typecheck.type_graph schema g in
+                let ctl = Core.Engine.start budget in
+                let interrupt () = not (Core.Engine.tick ctl ()) in
+                Rpq.Eval.eval_typed ~interrupt ~class_of tc g
+            | _ -> Rpq.Eval.eval g (Rpq.Parser.regex_of ast)
+          in
+          let qstr ast = Rpq.Regex.to_string (Rpq.Parser.regex_of ast) in
+          Core.Engine.Cancel.with_sigint cancel (fun () ->
+              match
+                List.iter
+                  (fun (it : Rpq.Parser.located) ->
+                    match it.Rpq.Parser.item with
+                    | Rpq.Parser.Query ast ->
+                        let ns = answers ast in
+                        Printf.printf "%s:%s\n" (qstr ast)
+                          (String.concat ""
+                             (List.map (Printf.sprintf " %d")
+                                (Sgraph.Graph.Node_set.elements ns)))
+                    | Rpq.Parser.Constr { lhs; rhs } ->
+                        let c =
+                          {
+                            Rpq.Eval.lhs = Rpq.Parser.regex_of lhs;
+                            rhs = Rpq.Parser.regex_of rhs;
+                          }
+                        in
+                        Printf.printf "%s -> %s: %s\n" (qstr lhs) (qstr rhs)
+                          (if Rpq.Eval.holds g c then "holds" else "FAILS"))
+                  doc.Rpq.Parser.items
+              with
+              | () -> 0
+              | exception Rpq.Eval.Interrupted ->
+                  prerr_endline
+                    "query eval: interrupted (budget exhausted or \
+                     cancelled); partial output above is complete per \
+                     finished query";
+                  2))
+    in
+    exit code
+  in
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:
+         "Evaluate a file of regular path queries on a graph (answers from \
+          the root, one line per query; regular constraints report \
+          holds/FAILS).  With --schema, evaluation runs the type-pruned \
+          product — states the schema proves dead or unfinishable are \
+          never explored — under a step/wall-clock budget; answers are \
+          identical to the untyped BFS on schema-conforming graphs \
+          (--untyped forces the baseline).")
+    Term.(
+      ret
+        (const (fun a b c d e f g h i j ->
+             `Ok (run a b c d e f g h i j))
+        $ query_file_arg $ graph_arg $ query_schema_arg $ untyped_arg
+        $ timeout_arg $ steps_arg $ trace_arg $ stats_arg $ metrics_arg
+        $ audit_arg))
+
+let query_explain_cmd =
+  let run query_file schema_file config format output jobs trace stats metrics
+      audit =
+    let code =
+      with_obs ~cmd:"query.explain" ~always:true ?metrics ?audit ~trace ~stats
+        (fun () ->
+          let diags =
+            Par.with_pool ~jobs (fun pool ->
+                Analysis.Querycheck.lint_queries ?pool ?schema_file
+                  ?config_file:config ~explain:true ~query_file ())
+          in
+          (* the explanation report: the PC803 chains plus the load/parse
+             errors (a file that didn't parse has no chains — the
+             consumer must see why) *)
+          let mine d =
+            let c = d.Analysis.Diagnostic.code in
+            c = "PC803" || c = "PC001" || c = "PC002" || c = "PC003"
+          in
+          let diags = List.filter mine diags in
+          render_query_diags ~format ~output diags;
+          Analysis.Lint.exit_code diags)
+    in
+    exit code
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Print the inferred type chains of every query in a file (PC803): \
+          the schema classes live after each letter, and the answer \
+          sorts.  Equivalent to $(b,query lint --explain) filtered to \
+          PC803 and the input-error codes.")
+    Term.(
+      ret
+        (const (fun a b c d e f g h i j ->
+             `Ok (run a b c d e f g h i j))
+        $ query_file_arg $ query_schema_arg $ query_config_arg
+        $ query_format_arg $ query_output_arg $ jobs_arg $ trace_arg
+        $ stats_arg $ metrics_arg $ audit_arg))
+
+let query_cmd =
+  Cmd.group
+    (Cmd.info "query"
+       ~doc:
+         "Typed regular path queries: statically typecheck a query file \
+          against a schema ($(b,lint)), evaluate it on a graph with \
+          type-based pruning ($(b,eval)), or print the inferred type \
+          chains ($(b,explain))")
+    [ query_lint_cmd; query_eval_cmd; query_explain_cmd ]
+
 (* --- profile --------------------------------------------------------------------- *)
 
 let profile_cmd =
@@ -1690,6 +1989,7 @@ let () =
             odl_cmd;
             lint_cmd;
             interact_cmd;
+            query_cmd;
             profile_cmd;
             metrics_serve_cmd;
           ]))

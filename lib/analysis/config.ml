@@ -37,6 +37,7 @@ let pass_names =
     "inconsistency";
     "hygiene";
     "interact";
+    "querycheck";
   ]
 
 let pass_enabled t name =

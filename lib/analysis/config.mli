@@ -35,9 +35,10 @@ val default : t
 
 val pass_names : string list
 (** The pass identifiers accepted in [[passes]]: [classify], [typeflow],
-    [vacuity], [redundancy], [inconsistency], [hygiene], [interact].
-    All default to enabled except [interact], which runs only when
-    opted in (here or with [--interact]). *)
+    [vacuity], [redundancy], [inconsistency], [hygiene], [interact],
+    [querycheck].  All default to enabled except [interact], which runs
+    only when opted in (here or with [--interact]); [querycheck] is the
+    PC8xx pass of [pathctl query lint]. *)
 
 val pass_enabled : t -> string -> bool
 

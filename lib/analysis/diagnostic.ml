@@ -68,6 +68,16 @@ let rules =
       "entailment holds only through the type constraints (path/type \
        interaction)" );
     ("PC703", Hint, "interaction analysis inconclusive (budget exhausted)");
+    ( "PC800",
+      Warning,
+      "empty query: no word of the query lies in Paths(Delta)" );
+    ( "PC801",
+      Warning,
+      "dead subexpression: a query branch contributes no schema-live word" );
+    ( "PC802",
+      Warning,
+      "ill-typed regular constraint: lhs and rhs answer types are disjoint" );
+    ("PC803", Info, "inferred type sets at each position of a query");
   ]
 
 let make ~code ~severity ~file ?span message =

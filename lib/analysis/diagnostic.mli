@@ -17,7 +17,10 @@
        triggers, inferred type annotations),}
     {- [PC7xx] constraint interaction (minimal unsatisfiable cores,
        implication-DAG edges, path-vs-type provenance; {!Interact},
-       opt-in).}} *)
+       opt-in),}
+    {- [PC8xx] typed regular path queries (empty queries, dead
+       subexpressions, ill-typed regular constraints, inferred type
+       chains; {!Querycheck}).}} *)
 
 type severity = Error | Warning | Info | Hint
 

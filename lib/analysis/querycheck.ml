@@ -1,0 +1,321 @@
+(* The PC8xx pass: schema-aware static analysis of regular path
+   queries, plus the [pathctl query lint] driver around it.
+
+   The engine is Rpq.Typecheck — the product of the query's Thompson
+   automaton with the schema automaton, with reachable and co-reachable
+   pairs projected onto every regex position.  This pass turns the
+   projection into diagnostics with token-anchored spans:
+
+   - PC800 (empty query): L(query) does not intersect Paths(Delta) —
+     equivalently, the product has no reachable accepting pair — with
+     the first unsatisfiable token pinpointed (the first letter in
+     source order whose entry still types non-empty but whose exit
+     types empty);
+   - PC801 (dead subexpression): an Alt branch or Star/Plus/Opt body
+     of a non-empty query none of whose product pairs are both
+     reachable and co-reachable, so every schema-live match avoids it;
+   - PC802 (ill-typed regular constraint): an [lhs -> rhs] whose two
+     answer-sort sets are disjoint, so the inclusion can only hold
+     vacuously;
+   - PC803 (--explain): the inferred sort set after every letter
+     occurrence, the regex-position sibling of the PC602 chains.
+
+   The driver mirrors Lint.lint_paths: the same configuration file
+   (severity overrides, the [querycheck] pass switch), the same
+   suppression pragmas (query files carry Pathlang.Parser pragmas, so
+   Suppress — family patterns, PC510 staleness — applies unchanged),
+   and the same content-hash cache, keyed additionally on the query
+   file's contents and on the pass switch itself. *)
+
+module Span = Pathlang.Span
+module Label = Pathlang.Label
+module Qparser = Rpq.Parser
+module Typecheck = Rpq.Typecheck
+module Mschema = Schema.Mschema
+
+let passes_run = Obs.Counter.make ~unit_:"passes" "lint.passes.run"
+
+let f_diags = Obs.Counter.family ~unit_:"diagnostics" ~label:"family" "lint.diags"
+
+let qstr ast = Rpq.Regex.to_string (Qparser.regex_of ast)
+
+let sorts_label schema = function
+  | [] -> "(dead)"
+  | taus ->
+      String.concat " or " (List.map (Typeflow.sort_label schema) taus)
+
+(* "db -[book]-> Book -[ref]-> Book": every letter occurrence in source
+   order with the sorts live after it.  For a chain query this is
+   exactly the PC602 rendering; for a branching query the segments
+   enumerate the letter occurrences left to right. *)
+let chain_label schema tc =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "db";
+  List.iter
+    (fun (k, _, sorts) ->
+      Buffer.add_string buf
+        (Printf.sprintf " -[%s]-> %s" (Label.to_string k)
+           (sorts_label schema sorts)))
+    (Typecheck.letter_chain tc);
+  Buffer.contents buf
+
+(* --- diagnostics of one checked query -------------------------------------- *)
+
+let check_query ~query_file ~schema ~explain span (ast : Qparser.ast) =
+  let tc = Typecheck.run schema ast in
+  let out = ref [] in
+  let add d = out := d :: !out in
+  if Typecheck.empty_query tc then begin
+    match Typecheck.first_dead tc with
+    | Some (k, token_span, entry_sorts) ->
+        add
+          (Diagnostic.make ~code:"PC800" ~severity:Diagnostic.Warning
+             ~file:query_file ~span:token_span
+             (Printf.sprintf
+                "empty query: no word of %s lies in Paths(Delta); sort %s \
+                 has no edge labeled %s, so every candidate match dies at \
+                 this token"
+                (qstr ast)
+                (sorts_label schema entry_sorts)
+                (Label.to_string k)))
+    | None ->
+        add
+          (Diagnostic.make ~code:"PC800" ~severity:Diagnostic.Warning
+             ~file:query_file ~span
+             (Printf.sprintf
+                "empty query: no word of %s lies in Paths(Delta)" (qstr ast)))
+  end
+  else
+    List.iter
+      (fun (branch : Qparser.ast) ->
+        add
+          (Diagnostic.make ~code:"PC801" ~severity:Diagnostic.Warning
+             ~file:query_file ~span:branch.Qparser.span
+             (Printf.sprintf
+                "dead subexpression: %s contributes no word of Paths(Delta); \
+                 every schema-live match of %s avoids this branch"
+                (qstr branch) (qstr ast))))
+      (Typecheck.dead_subexprs tc);
+  if explain then
+    add
+      (Diagnostic.make ~code:"PC803" ~severity:Diagnostic.Info
+         ~file:query_file ~span
+         (Printf.sprintf "type flow of %s: %s; answers: %s" (qstr ast)
+            (chain_label schema tc)
+            (sorts_label schema (Typecheck.answer_sorts tc))));
+  (tc, List.rev !out)
+
+let check_item ~query_file ~schema ~explain (it : Qparser.located) =
+  match it.Qparser.item with
+  | Qparser.Query ast ->
+      snd (check_query ~query_file ~schema ~explain it.Qparser.span ast)
+  | Qparser.Constr { lhs; rhs } ->
+      let ltc, lds =
+        check_query ~query_file ~schema ~explain it.Qparser.span lhs
+      in
+      let rtc, rds =
+        check_query ~query_file ~schema ~explain it.Qparser.span rhs
+      in
+      let lsorts = Typecheck.answer_sorts ltc
+      and rsorts = Typecheck.answer_sorts rtc in
+      let disjoint =
+        lsorts <> [] && rsorts <> []
+        && not
+             (List.exists
+                (fun t -> List.exists (Schema.Mtype.equal t) rsorts)
+                lsorts)
+      in
+      let pc802 =
+        if disjoint then
+          [
+            Diagnostic.make ~code:"PC802" ~severity:Diagnostic.Warning
+              ~file:query_file ~span:it.Qparser.span
+              (Printf.sprintf
+                 "ill-typed regular constraint: %s types to %s but %s types \
+                  to %s; the answer sorts are disjoint, so the inclusion \
+                  can only hold vacuously"
+                 (qstr lhs) (sorts_label schema lsorts) (qstr rhs)
+                 (sorts_label schema rsorts));
+          ]
+        else []
+      in
+      lds @ rds @ pc802
+
+(* --- the pass -------------------------------------------------------------- *)
+
+let pass ~query_file ~schema ?(explain = false) ?pool
+    (items : Qparser.located list) =
+  Obs.Span.with_ "lint.querycheck" (fun () ->
+      Obs.Counter.incr passes_run;
+      let arr = Array.of_list items in
+      let results =
+        match pool with
+        | Some p when Par.jobs p > 1 ->
+            (* one task per query line; results keep file order, so -j N
+               output is byte-identical to -j 1 *)
+            Par.run p ~tasks:(Array.length arr) (fun i ->
+                check_item ~query_file ~schema ~explain arr.(i))
+        | _ -> Array.map (check_item ~query_file ~schema ~explain) arr
+      in
+      List.concat (Array.to_list results))
+
+(* --- the [pathctl query lint] driver --------------------------------------- *)
+
+let read_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> Ok s
+  | exception Sys_error m -> Error m
+
+let whole_file_span = Span.v ~line:1 ~start_col:1 ~end_col:1
+
+(* The cache key of a query-lint run.  The querycheck pass switch and
+   the query file's contents are key parts of their own (alongside the
+   configuration text, which also spells the switch): flipping either
+   must miss, which the mutation tests in test_querycheck flip
+   field-by-field. *)
+let cache_key ~querycheck ~explain ~query_file ~query_src ~schema_file
+    ~schema_src ~config_src =
+  Cache.key
+    ~parts:
+      [
+        "querycheck";
+        (if querycheck then "pass=on" else "pass=off");
+        query_file;
+        query_src;
+        schema_file;
+        schema_src;
+        config_src;
+        (if explain then "explain" else "");
+      ]
+
+let lint_queries ?pool ?schema_file ?config_file ?cache_dir
+    ?(explain = false) ~query_file () =
+  let config_src, config_result =
+    match config_file with
+    | None -> ("", Ok Config.default)
+    | Some path -> (
+        match read_file path with
+        | Error m -> ("", Error (path, m))
+        | Ok src -> (
+            ( src,
+              match Config.parse src with
+              | Ok c -> Ok c
+              | Error m -> Error (path, m) )))
+  in
+  match config_result with
+  | Error (path, m) ->
+      [ Diagnostic.make ~code:"PC003" ~severity:Diagnostic.Error ~file:path m ]
+  | Ok config -> (
+      let explain = explain || config.Config.explain in
+      let cache_dir =
+        match cache_dir with
+        | Some _ -> cache_dir
+        | None -> config.Config.cache_dir
+      in
+      let query_src = read_file query_file in
+      let schema_src =
+        match schema_file with None -> Ok "" | Some path -> read_file path
+      in
+      let key =
+        match (cache_dir, query_src, schema_src) with
+        | Some _, Ok q, Ok s ->
+            Some
+              (cache_key
+                 ~querycheck:(Config.pass_enabled config "querycheck")
+                 ~explain ~query_file ~query_src:q
+                 ~schema_file:(Option.value schema_file ~default:"")
+                 ~schema_src:s ~config_src)
+        | _ -> None
+      in
+      let cached =
+        match (cache_dir, key) with
+        | Some dir, Some key -> Cache.lookup ~dir ~key
+        | _ -> None
+      in
+      match cached with
+      | Some diags -> diags
+      | None ->
+          let diags =
+            match query_src with
+            | Error m ->
+                [
+                  Diagnostic.make ~code:"PC001" ~severity:Diagnostic.Error
+                    ~file:query_file ~span:whole_file_span m;
+                ]
+            | Ok src -> (
+                match Qparser.document_of_string src with
+                | Error e ->
+                    [
+                      Diagnostic.make ~code:"PC001" ~severity:Diagnostic.Error
+                        ~file:query_file
+                        ~span:
+                          (Span.v ~line:e.Qparser.line ~start_col:e.Qparser.col
+                             ~end_col:
+                               (e.Qparser.col + String.length e.Qparser.token))
+                        (if e.Qparser.token = "" then e.Qparser.reason
+                         else
+                           Printf.sprintf "at %S: %s" e.Qparser.token
+                             e.Qparser.reason);
+                    ]
+                | Ok doc -> (
+                    let schema_result =
+                      match schema_file with
+                      | None -> Ok None
+                      | Some path -> (
+                          match Schema.Schema_parser.load path with
+                          | Ok schema -> Ok (Some schema)
+                          | Error m -> Error (path, m))
+                    in
+                    match schema_result with
+                    | Error (path, m) ->
+                        [
+                          Diagnostic.make ~code:"PC002"
+                            ~severity:Diagnostic.Error ~file:path
+                            ~span:whole_file_span m;
+                        ]
+                    | Ok schema_opt ->
+                        let findings =
+                          match schema_opt with
+                          | Some schema
+                            when Config.pass_enabled config "querycheck" ->
+                              pass ~query_file ~schema ~explain ?pool
+                                doc.Qparser.items
+                          | _ -> []
+                        in
+                        let all =
+                          Suppress.apply ~sigma_file:query_file
+                            doc.Qparser.pragmas findings
+                        in
+                        let all =
+                          List.filter_map
+                            (fun d ->
+                              match
+                                Config.severity_override config
+                                  d.Diagnostic.code
+                              with
+                              | None -> Some d
+                              | Some None -> None
+                              | Some (Some severity) ->
+                                  Some { d with Diagnostic.severity })
+                            all
+                        in
+                        let all =
+                          List.stable_sort Diagnostic.compare all
+                        in
+                        List.iter
+                          (fun d ->
+                            let code = d.Diagnostic.code in
+                            let family =
+                              if String.length code >= 3 then
+                                String.sub code 0 3 ^ "xx"
+                              else code
+                            in
+                            Obs.Counter.incr
+                              (Obs.Counter.tag f_diags family))
+                          all;
+                        all))
+          in
+          (match (cache_dir, key) with
+          | Some dir, Some key -> Cache.store ~dir ~key diags
+          | _ -> ());
+          diags)

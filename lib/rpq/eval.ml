@@ -61,6 +61,54 @@ let witness g src r dst =
       Path.of_labels (build state []))
     target
 
+(* --- type-pruned evaluation ------------------------------------------------ *)
+
+exception Interrupted
+
+(* The same product BFS, over the checker's automaton, except that a
+   pair (v, q) is enqueued only if a schema-conforming run may inhabit
+   it and still finish the query (Typecheck.allow, i.e. the pair is
+   reachable AND co-reachable in the query x schema product).  On a
+   graph that validates against the schema every answer-bearing pair
+   passes the filter, so the answer set is identical to eval_from's —
+   the differential property the test suite checks on seeded
+   schema/instance/query triples — while pairs that can never complete
+   the query are cut before their subgraphs are explored. *)
+let eval_from_typed ?(interrupt = fun () -> false) ?class_of tc g src =
+  let a, start = Typecheck.nfa tc in
+  let admissible v st =
+    match class_of with
+    | None -> Typecheck.state_live tc st
+    | Some class_of -> (
+        match class_of v with
+        | Some tau -> Typecheck.allow tc st tau
+        | None -> Typecheck.state_live tc st)
+  in
+  let closure q = Nfa.eps_closure a (Nfa.State_set.singleton q) in
+  let seen = Hashtbl.create 64 in
+  let q = Queue.create () in
+  let push (v, st) =
+    if admissible v st && not (Hashtbl.mem seen (v, st)) then begin
+      Hashtbl.add seen (v, st) ();
+      Queue.add (v, st) q
+    end
+  in
+  Nfa.State_set.iter (fun st -> push (src, st)) (closure start);
+  while not (Queue.is_empty q) do
+    if interrupt () then raise Interrupted;
+    let v, st = Queue.pop q in
+    List.iter
+      (fun (k, v') ->
+        Nfa.State_set.iter (fun st' -> push (v', st')) (Nfa.reach a st [ k ]))
+      (Graph.succ_all g v)
+  done;
+  Hashtbl.fold
+    (fun (v, st) () acc -> if Nfa.is_final a st then NS.add v acc else acc)
+    seen NS.empty
+
+let eval_typed ?interrupt ?class_of tc g =
+  eval_from_typed ?interrupt ?class_of tc g (Graph.root g)
+
 type constr = { lhs : Regex.t; rhs : Regex.t }
 
 let holds g c = NS.subset (eval g c.lhs) (eval g c.rhs)

@@ -23,6 +23,41 @@ val witness :
   Pathlang.Path.t option
 (** A shortest label sequence in [L(r)] connecting the two nodes. *)
 
+exception Interrupted
+(** Raised by the governed evaluators when their [interrupt] hook turns
+    true mid-product (budget trip, cancellation). *)
+
+val eval_from_typed :
+  ?interrupt:(unit -> bool) ->
+  ?class_of:(Sgraph.Graph.node -> Schema.Mtype.t option) ->
+  Typecheck.t ->
+  Sgraph.Graph.t ->
+  Sgraph.Graph.node ->
+  Sgraph.Graph.Node_set.t
+(** Type-pruned RPQ evaluation: the same product BFS as {!eval_from},
+    run on the checker's automaton, but a pair [(v, q)] is explored
+    only if {!Typecheck.allow} admits it — i.e. a schema-conforming
+    run may inhabit [q] at [v]'s sort ([class_of], e.g.
+    {!Typecheck.type_graph}) and still finish the query.  Nodes typing
+    to [None] are never pruned on their sort (only on
+    {!Typecheck.state_live}).
+
+    On a graph that validates against the schema and a root [src], the
+    answer set equals {!eval_from}'s (QCheck-checked on seeded
+    schema/instance/query triples); on non-conforming graphs the typed
+    evaluator restricts answers to matches witnessed inside
+    [Paths(Delta)].  [interrupt] is polled once per dequeued product
+    pair.
+    @raise Interrupted when [interrupt] fires mid-search. *)
+
+val eval_typed :
+  ?interrupt:(unit -> bool) ->
+  ?class_of:(Sgraph.Graph.node -> Schema.Mtype.t option) ->
+  Typecheck.t ->
+  Sgraph.Graph.t ->
+  Sgraph.Graph.Node_set.t
+(** {!eval_from_typed} from the root. *)
+
 (** Regular word constraints (the constraint language of [4]):
     [forall x (r1(root, x) -> r2(root, x))] with [r1], [r2] regular.
     Model checking is decidable and implemented; the {e implication}

@@ -121,8 +121,13 @@ let rec to_string_prec outer r =
     match r with
     | Eps -> "eps"
     | Letter k -> Label.to_string k
-    | Concat (a, b) -> to_string_prec 1 a ^ "." ^ to_string_prec 1 b
-    | Alt (a, b) -> to_string_prec 0 a ^ "|" ^ to_string_prec 0 b
+    (* [.] and [|] parse right-associatively, so a left-nested child at
+       the operator's own level must be parenthesized — printing
+       Concat (Concat (a, b), c) as "a.b.c" would re-parse as
+       Concat (a, Concat (b, c)), breaking parse ∘ print = id (the
+       round-trip property in test_rpq) *)
+    | Concat (a, b) -> to_string_prec 2 a ^ "." ^ to_string_prec 1 b
+    | Alt (a, b) -> to_string_prec 1 a ^ "|" ^ to_string_prec 0 b
     | Star a -> to_string_prec 3 a ^ "*"
   in
   if prec r < outer then "(" ^ s ^ ")" else s

@@ -1,0 +1,292 @@
+(* Typing a regular path query against the schema graph.
+
+   The engine is the same product fixpoint that powers the PC6xx type
+   flow: a pair (q, tau) of a query-automaton state and a sort of
+   T(Delta) is reachable iff some word drives the query automaton from
+   its start to q while walking the schema graph from DBtype to tau —
+   i.e. iff some member of Paths(Delta) is read by the query into q.
+   Where the PC6xx pass types the chain automaton of a single walk,
+   here the query is a full regex, so the Thompson construction is
+   redone over the span-annotated AST with fresh entry/exit states per
+   node (Regex.to_nfa shares states across Star, which would smear the
+   attribution): every subexpression owns its states, and projecting
+   the reachable product pairs onto them types every regex position.
+
+   On top of reachability, a backward pass over the product computes
+   co-reachability (can this pair still reach an accepting pair?).
+   The two together drive everything downstream:
+
+   - the query is empty over the schema iff no accepting product pair
+     is reachable (PC800), and the first letter in source order whose
+     entry types non-empty but whose exit types empty pinpoints the
+     token where every matching walk leaves Paths(Delta);
+   - an Alt branch or Star/Plus/Opt body none of whose exit pairs are
+     both reachable and co-reachable contributes no schema-live word
+     (PC801);
+   - the pairs that survive both passes are exactly the product states
+     a schema-conforming evaluation can inhabit, which is the typed
+     pruning of Eval.eval_from_typed: dropping everything else cannot
+     lose answers on a graph that validates against the schema. *)
+
+module Label = Pathlang.Label
+module Span = Pathlang.Span
+module Mschema = Schema.Mschema
+module Mtype = Schema.Mtype
+module Schema_graph = Schema.Schema_graph
+module Graph = Sgraph.Graph
+module Nfa = Automata.Nfa
+
+let states_explored =
+  Obs.Counter.make ~unit_:"states" "querycheck.product.states"
+
+(* --- fresh-state Thompson construction over the annotated AST ------------- *)
+
+type frag = { entry : Nfa.state; exit_ : Nfa.state }
+
+(* Build the NFA and record each AST node's fragment.  Nodes are keyed
+   by physical identity: the AST is immutable and we only ever look up
+   the exact nodes we walked. *)
+let build_nfa (ast : Parser.ast) =
+  let a = Nfa.create () in
+  let frags : (Parser.ast * frag) list ref = ref [] in
+  let rec build (n : Parser.ast) =
+    let entry = Nfa.add_state a and exit_ = Nfa.add_state a in
+    (match n.Parser.node with
+    | Parser.Eps -> Nfa.add_eps a entry exit_
+    | Parser.Letter k -> Nfa.add_trans a entry k exit_
+    | Parser.Concat (x, y) ->
+        let fx = build x and fy = build y in
+        Nfa.add_eps a entry fx.entry;
+        Nfa.add_eps a fx.exit_ fy.entry;
+        Nfa.add_eps a fy.exit_ exit_
+    | Parser.Alt (x, y) ->
+        let fx = build x and fy = build y in
+        Nfa.add_eps a entry fx.entry;
+        Nfa.add_eps a entry fy.entry;
+        Nfa.add_eps a fx.exit_ exit_;
+        Nfa.add_eps a fy.exit_ exit_
+    | Parser.Star x ->
+        let fx = build x in
+        Nfa.add_eps a entry exit_;
+        Nfa.add_eps a entry fx.entry;
+        Nfa.add_eps a fx.exit_ fx.entry;
+        Nfa.add_eps a fx.exit_ exit_
+    | Parser.Plus x ->
+        let fx = build x in
+        Nfa.add_eps a entry fx.entry;
+        Nfa.add_eps a fx.exit_ fx.entry;
+        Nfa.add_eps a fx.exit_ exit_
+    | Parser.Opt x ->
+        let fx = build x in
+        Nfa.add_eps a entry exit_;
+        Nfa.add_eps a entry fx.entry;
+        Nfa.add_eps a fx.exit_ exit_);
+    let f = { entry; exit_ } in
+    frags := (n, f) :: !frags;
+    f
+  in
+  let root = build ast in
+  Nfa.set_final a root.exit_;
+  (a, root, !frags)
+
+(* --- the product and its two reachability passes --------------------------- *)
+
+type t = {
+  schema : Mschema.t;
+  query : Parser.ast;
+  nfa : Nfa.t;
+  start : Nfa.state;
+  frags : (Parser.ast * frag) list;
+  reach_sorts : (Nfa.state, Mtype.Set_of.t) Hashtbl.t;
+      (* per query state: sorts of the reachable product pairs *)
+  live_sorts : (Nfa.state, Mtype.Set_of.t) Hashtbl.t;
+      (* per query state: sorts of the pairs that are also co-reachable *)
+  empty : bool;
+}
+
+let frag_of tc n =
+  match List.find_opt (fun (m, _) -> m == n) tc.frags with
+  | Some (_, f) -> f
+  | None -> invalid_arg "Typecheck: node is not part of the checked query"
+
+let sorts_of tbl q =
+  match Hashtbl.find_opt tbl q with
+  | None -> []
+  | Some s -> Mtype.Set_of.elements s
+
+let run schema (ast : Parser.ast) =
+  let nfa, root, frags = build_nfa ast in
+  let snfa, ssorts, sstart = Schema_graph.automaton schema in
+  let prod, pairs = Nfa.product nfa snfa ~start:(root.entry, sstart) in
+  Obs.Counter.add states_explored (Array.length pairs);
+  (* backward reachability from the accepting product pairs *)
+  let n = Array.length pairs in
+  let rev = Array.make n [] in
+  List.iter
+    (fun (src, _, dst) -> rev.(dst) <- src :: rev.(dst))
+    (Nfa.transitions prod);
+  List.iter (fun (src, dst) -> rev.(dst) <- src :: rev.(dst))
+    (Nfa.eps_transitions prod);
+  let coreach = Array.make n false in
+  let stack = ref [] in
+  Array.iteri
+    (fun i _ ->
+      if Nfa.is_final prod i then begin
+        coreach.(i) <- true;
+        stack := i :: !stack
+      end)
+    pairs;
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | i :: rest ->
+        stack := rest;
+        List.iter
+          (fun p ->
+            if not coreach.(p) then begin
+              coreach.(p) <- true;
+              stack := p :: !stack
+            end)
+          rev.(i);
+        drain ()
+  in
+  drain ();
+  let reach_sorts = Hashtbl.create 16 and live_sorts = Hashtbl.create 16 in
+  let add tbl q s =
+    let cur = Option.value ~default:Mtype.Set_of.empty (Hashtbl.find_opt tbl q) in
+    Hashtbl.replace tbl q (Mtype.Set_of.add ssorts.(s) cur)
+  in
+  Array.iteri
+    (fun i (q, s) ->
+      add reach_sorts q s;
+      if coreach.(i) then add live_sorts q s)
+    pairs;
+  let empty = not (Array.exists (fun i -> i) coreach) in
+  { schema; query = ast; nfa; start = root.entry; frags; reach_sorts;
+    live_sorts; empty }
+
+(* --- queries over the result ----------------------------------------------- *)
+
+let empty_query tc = tc.empty
+
+let sorts_after tc n = sorts_of tc.reach_sorts (frag_of tc n).exit_
+
+let answer_sorts tc =
+  sorts_of tc.reach_sorts (frag_of tc tc.query).exit_
+
+(* eval pruning: may a schema-conforming run inhabit query state [q]
+   at a node of sort [tau] and still finish the query? *)
+let allow tc q tau =
+  match Hashtbl.find_opt tc.live_sorts q with
+  | None -> false
+  | Some s -> Mtype.Set_of.mem tau s
+
+let state_live tc q = Hashtbl.mem tc.live_sorts q
+
+let nfa tc = (tc.nfa, tc.start)
+
+(* --- per-letter attribution ------------------------------------------------ *)
+
+(* Every letter occurrence in source order with the sorts its exit
+   state can carry — the regex-position analogue of a PC602 chain. *)
+let letter_chain tc =
+  let rec walk (n : Parser.ast) =
+    match n.Parser.node with
+    | Parser.Eps -> []
+    | Parser.Letter k ->
+        [ (k, n.Parser.span, sorts_of tc.reach_sorts (frag_of tc n).exit_) ]
+    | Parser.Concat (x, y) | Parser.Alt (x, y) -> walk x @ walk y
+    | Parser.Star x | Parser.Plus x | Parser.Opt x -> walk x
+  in
+  walk tc.query
+
+(* The first letter (in source order) whose entry still types non-empty
+   but whose exit types empty: the token where every walk matching the
+   query leaves Paths(Delta).  [None] when the query is non-empty, or
+   empty for reasons no single letter witnesses. *)
+let first_dead tc =
+  if not tc.empty then None
+  else
+    let letter_frames =
+      let rec walk (n : Parser.ast) =
+        match n.Parser.node with
+        | Parser.Eps -> []
+        | Parser.Letter k -> [ (k, n.Parser.span, frag_of tc n) ]
+        | Parser.Concat (x, y) | Parser.Alt (x, y) -> walk x @ walk y
+        | Parser.Star x | Parser.Plus x | Parser.Opt x -> walk x
+      in
+      walk tc.query
+    in
+    List.find_map
+      (fun (k, span, f) ->
+        let entry_sorts = sorts_of tc.reach_sorts f.entry in
+        if entry_sorts <> [] && sorts_of tc.reach_sorts f.exit_ = [] then
+          Some (k, span, entry_sorts)
+        else None)
+      letter_frames
+
+(* --- dead subexpressions (PC801) ------------------------------------------- *)
+
+(* Maximal Alt branches and Star/Plus/Opt bodies that contribute no
+   schema-live word: no product pair at the subtree's exit is both
+   reachable and co-reachable, so every accepted walk of the whole
+   query avoids the subtree.  Only meaningful on non-empty queries
+   (an empty query is all dead; PC800 owns that case). *)
+let dead_subexprs tc =
+  let live (n : Parser.ast) = Hashtbl.mem tc.live_sorts (frag_of tc n).exit_ in
+  let out = ref [] in
+  let report n = out := n :: !out in
+  let rec walk (n : Parser.ast) =
+    match n.Parser.node with
+    | Parser.Eps | Parser.Letter _ -> ()
+    | Parser.Concat (x, y) ->
+        walk x;
+        walk y
+    | Parser.Alt (x, y) ->
+        if live x then walk x else report x;
+        if live y then walk y else report y
+    | Parser.Star x | Parser.Plus x | Parser.Opt x ->
+        if live x then walk x else report x
+  in
+  if not tc.empty then walk tc.query;
+  List.rev !out
+
+(* --- typing the nodes of a data graph -------------------------------------- *)
+
+(* Walking a path from DBtype visits a unique sequence of sorts
+   (labels are functional on record sorts, sets only carry [*]), so a
+   graph that conforms to the schema types its nodes by BFS from the
+   root.  Nodes reached under two different sorts, or along an edge
+   the schema does not admit, stay untyped — the pruned evaluation
+   treats untyped nodes conservatively (never pruned), so a partial
+   typing degrades performance, not answers. *)
+let type_graph schema g =
+  let typing : (Graph.node, Mtype.t) Hashtbl.t = Hashtbl.create 64 in
+  let ambiguous : (Graph.node, unit) Hashtbl.t = Hashtbl.create 8 in
+  let q = Queue.create () in
+  let assign v tau =
+    if not (Hashtbl.mem ambiguous v) then
+      match Hashtbl.find_opt typing v with
+      | None ->
+          Hashtbl.replace typing v tau;
+          Queue.add v q
+      | Some tau' ->
+          if not (Mtype.equal tau tau') then begin
+            Hashtbl.remove typing v;
+            Hashtbl.replace ambiguous v ()
+          end
+  in
+  assign (Graph.root g) (Mschema.dbtype schema);
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    match Hashtbl.find_opt typing v with
+    | None -> () (* became ambiguous after enqueueing *)
+    | Some tau ->
+        List.iter
+          (fun (k, w) ->
+            match Schema_graph.successor schema tau k with
+            | Some tau' -> assign w tau'
+            | None -> ())
+          (Graph.succ_all g v)
+  done;
+  fun v -> Hashtbl.find_opt typing v

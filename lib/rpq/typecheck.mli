@@ -1,0 +1,82 @@
+(** Typing a regular path query against the schema graph (the PC8xx
+    engine, following the typed-RPQ discipline of Colazzo–Sartiani over
+    the schema formalism of Section 3.2).
+
+    The product of the query's Thompson automaton with
+    [Schema_graph.automaton] is computed once; its {e reachable} pairs
+    type every regex position (which sorts of [T(Delta)] can a match
+    inhabit here?), and a backward pass marks the {e co-reachable}
+    pairs (can this position still finish the query inside
+    [Paths(Delta)]?).  The Thompson construction is redone over the
+    span-annotated {!Parser.ast} with fresh entry/exit states per node,
+    so every subexpression — not just every walk prefix, as in the
+    PC6xx chain automaton — owns its type set.
+
+    The number of explored product pairs is exported through the
+    [querycheck.product.states] counter. *)
+
+type t
+
+val run : Schema.Mschema.t -> Parser.ast -> t
+(** Build the product and both reachability passes.  Cost is
+    [O(|query| * |T(Delta)| * |E(Delta)|)] — the query automaton and the
+    schema automaton are both linear in their sources. *)
+
+val empty_query : t -> bool
+(** [L(query) ∩ Paths(Delta) = ∅]: no accepting product pair is
+    reachable.  Equivalent to emptiness of the product automaton
+    (cross-checked in the test suite against [Nfa] emptiness). *)
+
+val first_dead :
+  t -> (Pathlang.Label.t * Pathlang.Span.t * Schema.Mtype.t list) option
+(** For an empty query: the first letter in source order whose entry
+    still types non-empty but whose exit types empty — the token where
+    every walk matching the query leaves [Paths(Delta)] — together
+    with the sorts live at its entry.  [None] when the query is
+    non-empty (or empty for reasons no single letter witnesses). *)
+
+val dead_subexprs : t -> Parser.ast list
+(** Maximal [Alt] branches and [Star]/[Plus]/[Opt] bodies contributing
+    no schema-live word (PC801): no product pair at the subtree's exit
+    is both reachable and co-reachable.  Empty on empty queries (PC800
+    owns that case) — the list is in source order. *)
+
+val sorts_after : t -> Parser.ast -> Schema.Mtype.t list
+(** The sorts a match can inhabit {e after} the given subexpression (a
+    node of the checked query).  Empty iff the position is unreachable
+    over [Paths(Delta)].
+    @raise Invalid_argument if the node is not part of the checked query. *)
+
+val answer_sorts : t -> Schema.Mtype.t list
+(** The sorts of the query's answers: {!sorts_after} the root. *)
+
+val letter_chain :
+  t -> (Pathlang.Label.t * Pathlang.Span.t * Schema.Mtype.t list) list
+(** Every letter occurrence in source order with the sorts live after
+    consuming it — the regex-position analogue of a PC602 chain, used
+    by the PC803 [--explain] rendering. *)
+
+val allow : t -> Automata.Nfa.state -> Schema.Mtype.t -> bool
+(** May a schema-conforming evaluation inhabit query state [q] at a
+    node of the given sort and still finish the query?  The pruning
+    predicate of {!Eval.eval_from_typed}: pairs that are reachable and
+    co-reachable in the product. *)
+
+val state_live : t -> Automata.Nfa.state -> bool
+(** Some sort is allowed at this query state.  The pruning predicate
+    for nodes whose sort is unknown. *)
+
+val nfa : t -> Automata.Nfa.t * Automata.Nfa.state
+(** The query automaton the checker built (fresh-state Thompson over
+    the annotated AST) and its start state; {!allow}/{!state_live} are
+    indexed by {e its} states, so the typed evaluator must run this
+    automaton. *)
+
+val type_graph :
+  Schema.Mschema.t -> Sgraph.Graph.t -> Sgraph.Graph.node -> Schema.Mtype.t option
+(** Type the nodes of a data graph by BFS from the root (the root gets
+    [DBtype]; [Schema_graph.successor] drives each edge).  Nodes that
+    are unreachable, reached under two different sorts, or reached only
+    along edges the schema does not admit map to [None] — the pruned
+    evaluation treats them conservatively, so a partial typing degrades
+    performance, never answers. *)

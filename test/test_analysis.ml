@@ -50,7 +50,8 @@ let code_counts out =
     [ "PC001"; "PC002"; "PC003"; "PC100"; "PC101"; "PC102"; "PC103";
       "PC200"; "PC201"; "PC300"; "PC301"; "PC302"; "PC400"; "PC401";
       "PC500"; "PC501"; "PC502"; "PC503"; "PC504"; "PC505"; "PC510";
-      "PC600"; "PC601"; "PC602"; "PC700"; "PC701"; "PC702"; "PC703" ]
+      "PC600"; "PC601"; "PC602"; "PC700"; "PC701"; "PC702"; "PC703";
+      "PC800"; "PC801"; "PC802"; "PC803" ]
   in
   List.filter_map
     (fun code ->
@@ -750,7 +751,8 @@ let test_rules_exhaustive () =
     [ "PC001"; "PC002"; "PC003"; "PC100"; "PC101"; "PC102"; "PC103";
       "PC200"; "PC201"; "PC300"; "PC301"; "PC302"; "PC400"; "PC401";
       "PC500"; "PC501"; "PC502"; "PC503"; "PC504"; "PC505"; "PC510";
-      "PC600"; "PC601"; "PC602"; "PC700"; "PC701"; "PC702"; "PC703" ]
+      "PC600"; "PC601"; "PC602"; "PC700"; "PC701"; "PC702"; "PC703";
+      "PC800"; "PC801"; "PC802"; "PC803" ]
   in
   let codes = List.map (fun (c, _, _) -> c) Diagnostic.rules in
   Alcotest.(check (list string)) "every stable code is declared, in order"

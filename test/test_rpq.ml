@@ -47,6 +47,80 @@ let prop_parse_roundtrip =
       | Ok r' -> Regex.equivalent r r'
       | Error _ -> false)
 
+(* --- exact round-trip and the span-carrying parser (satellite) ------------- *)
+
+(* Terms built through the smart constructors, including left-nested
+   concats/alts — the shapes that exposed the printer's precedence bug
+   (Concat (Concat (a, b), c) used to print as "a.b.c", which
+   re-parses right-associated). *)
+let gen_regex_smart depth0 =
+  let rec gen depth =
+    QCheck.Gen.(
+      if depth = 0 then
+        oneof [ return Regex.Eps; map Regex.letter gen_label ]
+      else
+        frequency
+          [
+            (2, map Regex.letter gen_label);
+            (1, return Regex.Eps);
+            (3, map2 Regex.concat (gen (depth - 1)) (gen (depth - 1)));
+            (3, map2 Regex.alt (gen (depth - 1)) (gen (depth - 1)));
+            (2, map Regex.star (gen (depth - 1)));
+            (1, map Regex.plus (gen (depth - 1)));
+            (1, map Regex.opt (gen (depth - 1)));
+          ])
+  in
+  gen depth0
+
+let prop_exact_roundtrip =
+  q ~count:500 "parse (to_string r) = r structurally"
+    (QCheck.make (gen_regex_smart 4) ~print:Regex.to_string)
+    (fun r -> Regex.parse (Regex.to_string r) = Ok r)
+
+let prop_span_parser_agrees =
+  q ~count:500 "span parser and Regex.parse build the same term"
+    (QCheck.make (gen_regex_smart 4) ~print:Regex.to_string)
+    (fun r ->
+      let s = Regex.to_string r in
+      match Rpq.Parser.parse s with
+      | Ok ast -> Rpq.Parser.regex_of ast = r
+      | Error _ -> false)
+
+let test_print_precedence () =
+  let l n = Regex.letter (Label.make n) in
+  let a = l "a" and b = l "b" and c = l "c" in
+  (* raw constructors: the smart ones never left-nest on their own *)
+  let left_cat = Regex.Concat (Regex.Concat (a, b), c) in
+  check_string "left-nested concat parenthesizes" "(a.b).c"
+    (Regex.to_string left_cat);
+  check_bool "and round-trips" true
+    (Regex.parse (Regex.to_string left_cat) = Ok left_cat);
+  let left_alt = Regex.Alt (Regex.Alt (a, b), c) in
+  check_string "left-nested alt parenthesizes" "(a|b)|c"
+    (Regex.to_string left_alt);
+  check_bool "and round-trips" true
+    (Regex.parse (Regex.to_string left_alt) = Ok left_alt);
+  (* right-nested stays clean *)
+  check_string "right-nested concat" "a.b.c"
+    (Regex.to_string (Regex.Concat (a, Regex.Concat (b, c))))
+
+let test_parser_spans () =
+  match Rpq.Parser.parse "book.(ref)*.author" with
+  | Error e -> Alcotest.failf "parse: %s" (Rpq.Parser.error_to_string e)
+  | Ok ast ->
+      let spans =
+        List.map
+          (fun (k, sp) ->
+            ( Label.to_string k,
+              sp.Pathlang.Span.start_col,
+              sp.Pathlang.Span.end_col ))
+          (Rpq.Parser.letters ast)
+      in
+      Alcotest.(check (list (triple string int int)))
+        "token spans are 1-based and end-exclusive"
+        [ ("book", 1, 5); ("ref", 7, 10); ("author", 13, 19) ]
+        spans
+
 (* --- matching --------------------------------------------------------------- *)
 
 let test_matches () =
@@ -199,6 +273,10 @@ let () =
         [
           Alcotest.test_case "parse" `Quick test_parse;
           prop_parse_roundtrip;
+          prop_exact_roundtrip;
+          prop_span_parser_agrees;
+          Alcotest.test_case "printer precedence" `Quick test_print_precedence;
+          Alcotest.test_case "token spans" `Quick test_parser_spans;
           Alcotest.test_case "matches" `Quick test_matches;
           prop_of_path_matches;
         ] );
